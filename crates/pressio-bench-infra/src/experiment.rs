@@ -1,0 +1,544 @@
+//! The Table 2 experiment driver: k-fold cross-validated evaluation of
+//! prediction schemes against ground-truth compressor runs, with stage
+//! timing (error-agnostic / error-dependent / training / fit / inference),
+//! checkpointed truth collection, and data-affinity parallel execution.
+
+use crate::queue::{run_tasks, PoolConfig, Task};
+use crate::store::CheckpointStore;
+use pressio_core::error::{Error, Result};
+use pressio_core::hash::hash_options_hex;
+use pressio_core::timing::{time_ms, MeanStd};
+use pressio_core::{Compressor, Data, Options};
+use pressio_dataset::DatasetPlugin;
+use pressio_predict::registry::{standard_compressors, standard_schemes};
+use pressio_stats::{k_folds, medape};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Experiment configuration (defaults mirror the paper's §5 setup).
+#[derive(Debug, Clone)]
+pub struct Table2Config {
+    /// Scheme names to evaluate.
+    pub schemes: Vec<String>,
+    /// Compressor names to evaluate against.
+    pub compressors: Vec<String>,
+    /// Absolute error bounds (`pressio:abs`); the paper uses 1e-6 and 1e-4.
+    pub abs_bounds: Vec<f64>,
+    /// Cross-validation folds (paper: 10).
+    pub folds: usize,
+    /// Seed for fold shuffling.
+    pub seed: u64,
+    /// Worker threads for ground-truth collection.
+    pub workers: usize,
+    /// Optional checkpoint database path (resume support).
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Table2Config {
+            schemes: vec![
+                "khan2023".into(),
+                "jin2022".into(),
+                "rahman2023".into(),
+            ],
+            compressors: vec!["sz3".into(), "zfp".into()],
+            abs_bounds: vec![1e-6, 1e-4],
+            folds: 10,
+            seed: 0xBE7C,
+            workers: 4,
+            checkpoint: None,
+        }
+    }
+}
+
+/// A compressor baseline row (the `sz3` / `zfp` rows of Table 2).
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Compressor id.
+    pub compressor: String,
+    /// Compression wall time, ms.
+    pub compress_ms: MeanStd,
+    /// Decompression wall time, ms.
+    pub decompress_ms: MeanStd,
+    /// Achieved compression ratio.
+    pub ratio: MeanStd,
+}
+
+/// A method row of Table 2.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Compressor id.
+    pub compressor: String,
+    /// Whether the scheme supports this compressor (N/A row otherwise).
+    pub supported: bool,
+    /// Error-dependent feature time, ms (None = scheme has no such stage).
+    pub error_dependent_ms: Option<MeanStd>,
+    /// Error-agnostic feature time, ms.
+    pub error_agnostic_ms: Option<MeanStd>,
+    /// Training-observation collection time, ms (trainable schemes only).
+    pub training_ms: Option<MeanStd>,
+    /// Model fit time, ms (trainable schemes only).
+    pub fit_ms: Option<MeanStd>,
+    /// Per-prediction inference time, ms (trainable schemes only; identity
+    /// predictors report N/A like the paper).
+    pub inference_ms: Option<MeanStd>,
+    /// Median absolute percentage error over all validation predictions.
+    pub medape: Option<f64>,
+}
+
+/// Complete Table 2 result.
+#[derive(Debug, Clone, Default)]
+pub struct Table2 {
+    /// Baseline rows, one per compressor.
+    pub baselines: Vec<BaselineRow>,
+    /// Method rows, one per (compressor, scheme).
+    pub methods: Vec<MethodRow>,
+    /// Ground-truth results reused from the checkpoint store.
+    pub checkpoint_hits: usize,
+    /// Ground-truth results computed this run.
+    pub checkpoint_misses: usize,
+}
+
+/// One ground-truth observation.
+#[derive(Debug, Clone)]
+struct Truth {
+    dataset: usize,
+    bound: f64,
+    ratio: f64,
+    compress_ms: f64,
+    decompress_ms: f64,
+}
+
+fn truth_key(compressor: &str, dataset_name: &str, abs: f64) -> String {
+    hash_options_hex(
+        &Options::new()
+            .with("task", "truth")
+            .with("compressor", compressor)
+            .with("dataset", dataset_name)
+            .with("pressio:abs", abs),
+    )
+}
+
+fn configured(compressor_name: &str, abs: f64) -> Result<Box<dyn Compressor>> {
+    let mut c = standard_compressors().build(compressor_name)?;
+    c.set_options(&Options::new().with("pressio:abs", abs))?;
+    Ok(c)
+}
+
+/// Collect ground truth (ratio + timings) for every dataset × bound for one
+/// compressor, using the worker pool and the checkpoint store.
+fn collect_truth(
+    compressor_name: &str,
+    datasets: &Arc<Vec<(String, Data)>>,
+    cfg: &Table2Config,
+    store: &mut Option<CheckpointStore>,
+    hits: &mut usize,
+    misses: &mut usize,
+) -> Result<Vec<Truth>> {
+    let mut truths = Vec::new();
+    let mut tasks = Vec::new();
+    for (di, (name, _)) in datasets.iter().enumerate() {
+        for &abs in &cfg.abs_bounds {
+            let key = truth_key(compressor_name, name, abs);
+            if let Some(store) = store.as_ref() {
+                if let Some(v) = store.get(&key) {
+                    *hits += 1;
+                    truths.push(Truth {
+                        dataset: di,
+                        bound: abs,
+                        ratio: v.get_f64("ratio")?,
+                        compress_ms: v.get_f64("compress_ms")?,
+                        decompress_ms: v.get_f64("decompress_ms")?,
+                    });
+                    continue;
+                }
+            }
+            *misses += 1;
+            tasks.push(Task {
+                id: key,
+                affinity_key: di as u64,
+                config: Options::new()
+                    .with("dataset_index", di as u64)
+                    .with("pressio:abs", abs),
+            });
+        }
+    }
+    if !tasks.is_empty() {
+        let datasets = datasets.clone();
+        let comp_name = compressor_name.to_string();
+        let (outcomes, _stats) = run_tasks(
+            tasks,
+            PoolConfig {
+                workers: cfg.workers,
+                ..Default::default()
+            },
+            Arc::new(move |task: &Task, _w| {
+                let di = task.config.get_usize("dataset_index")?;
+                let abs = task.config.get_f64("pressio:abs")?;
+                let comp = configured(&comp_name, abs)?;
+                let data = &datasets[di].1;
+                let (compressed, compress_ms) = time_ms(|| comp.compress(data));
+                let compressed = compressed?;
+                let ((), decompress_ms) = {
+                    let (r, ms) =
+                        time_ms(|| comp.decompress(&compressed, data.dtype(), data.dims()));
+                    r?;
+                    ((), ms)
+                };
+                let ratio = data.size_in_bytes() as f64 / compressed.len().max(1) as f64;
+                Ok(Options::new()
+                    .with("dataset_index", di as u64)
+                    .with("pressio:abs", abs)
+                    .with("ratio", ratio)
+                    .with("compress_ms", compress_ms)
+                    .with("decompress_ms", decompress_ms))
+            }),
+        );
+        for o in outcomes {
+            let v = o.result?;
+            if let Some(store) = store.as_mut() {
+                store.put(&o.id, v.clone())?;
+            }
+            truths.push(Truth {
+                dataset: v.get_usize("dataset_index")?,
+                bound: v.get_f64("pressio:abs")?,
+                ratio: v.get_f64("ratio")?,
+                compress_ms: v.get_f64("compress_ms")?,
+                decompress_ms: v.get_f64("decompress_ms")?,
+            });
+        }
+    }
+    // deterministic order: dataset-major, then bound
+    truths.sort_by(|a, b| {
+        a.dataset
+            .cmp(&b.dataset)
+            .then(a.bound.partial_cmp(&b.bound).unwrap())
+    });
+    Ok(truths)
+}
+
+/// Run the full Table 2 experiment over `dataset`.
+pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result<Table2> {
+    // 1. load everything once (the bench preloads; workers share via Arc)
+    let metas = dataset.load_metadata_all()?;
+    let mut loaded = Vec::with_capacity(metas.len());
+    for (i, meta) in metas.iter().enumerate() {
+        loaded.push((meta.name.clone(), dataset.load_data(i)?));
+    }
+    let datasets = Arc::new(loaded);
+    let n_data = datasets.len();
+    if n_data == 0 {
+        return Err(Error::InvalidValue {
+            key: "dataset".into(),
+            reason: "no datasets to evaluate".into(),
+        });
+    }
+
+    let mut store = match &cfg.checkpoint {
+        Some(path) => Some(CheckpointStore::open(path)?),
+        None => None,
+    };
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+
+    let schemes_registry = standard_schemes();
+    let mut out = Table2::default();
+
+    for compressor_name in &cfg.compressors {
+        let truths = collect_truth(
+            compressor_name,
+            &datasets,
+            cfg,
+            &mut store,
+            &mut hits,
+            &mut misses,
+        )?;
+
+        // baseline row
+        let mut comp_acc = MeanStd::new();
+        let mut decomp_acc = MeanStd::new();
+        let mut ratio_acc = MeanStd::new();
+        for t in &truths {
+            comp_acc.push(t.compress_ms);
+            decomp_acc.push(t.decompress_ms);
+            ratio_acc.push(t.ratio);
+        }
+        out.baselines.push(BaselineRow {
+            compressor: compressor_name.clone(),
+            compress_ms: comp_acc.clone(),
+            decompress_ms: decomp_acc,
+            ratio: ratio_acc,
+        });
+
+        for scheme_name in &cfg.schemes {
+            let scheme = schemes_registry.build(scheme_name)?;
+            if !scheme.supports(compressor_name) {
+                out.methods.push(MethodRow {
+                    scheme: scheme_name.clone(),
+                    compressor: compressor_name.clone(),
+                    supported: false,
+                    error_dependent_ms: None,
+                    error_agnostic_ms: None,
+                    training_ms: None,
+                    fit_ms: None,
+                    inference_ms: None,
+                    medape: None,
+                });
+                continue;
+            }
+
+            // 2. features per observation; agnostic computed once per
+            //    dataset (the invalidation-reuse the framework enables)
+            let mut agnostic_time = MeanStd::new();
+            let mut dependent_time = MeanStd::new();
+            let mut agnostic_feats: Vec<Option<Options>> = vec![None; n_data];
+            let mut observations: Vec<(Options, f64)> = Vec::with_capacity(truths.len());
+            let mut obs_dataset: Vec<usize> = Vec::with_capacity(truths.len());
+            let mut has_agnostic = false;
+            let mut has_dependent = false;
+            for t in &truths {
+                if agnostic_feats[t.dataset].is_none() {
+                    let (f, ms) =
+                        time_ms(|| scheme.error_agnostic_features(&datasets[t.dataset].1));
+                    let f = f?;
+                    agnostic_time.push(ms);
+                    if !f.is_empty() {
+                        has_agnostic = true;
+                    }
+                    agnostic_feats[t.dataset] = Some(f);
+                }
+                let comp = configured(compressor_name, t.bound)?;
+                let (dep, ms) = time_ms(|| {
+                    scheme.error_dependent_features(&datasets[t.dataset].1, comp.as_ref())
+                });
+                let dep = dep?;
+                dependent_time.push(ms);
+                if !dep.is_empty() {
+                    has_dependent = true;
+                }
+                let mut merged = agnostic_feats[t.dataset].clone().unwrap();
+                merged.merge_from(&dep);
+                observations.push((merged, t.ratio));
+                obs_dataset.push(t.dataset);
+            }
+
+            // 3. evaluate
+            let predictor_template = scheme.make_predictor();
+            let trainable = predictor_template.requires_training();
+            let mut fit_time = MeanStd::new();
+            let mut inference_time = MeanStd::new();
+            let mut actual = Vec::new();
+            let mut predicted = Vec::new();
+            if trainable {
+                // fold over datasets so validation fields are out-of-sample
+                let folds = cfg.folds.clamp(2, n_data);
+                for fold in k_folds(n_data, folds, cfg.seed) {
+                    let train_set: std::collections::HashSet<usize> =
+                        fold.train.iter().copied().collect();
+                    let mut train_f = Vec::new();
+                    let mut train_t = Vec::new();
+                    let mut val_idx = Vec::new();
+                    for (i, (f, t)) in observations.iter().enumerate() {
+                        if train_set.contains(&obs_dataset[i]) {
+                            train_f.push(f.clone());
+                            train_t.push(*t);
+                        } else {
+                            val_idx.push(i);
+                        }
+                    }
+                    let mut predictor = scheme.make_predictor();
+                    let (fit_result, ms) = time_ms(|| predictor.fit(&train_f, &train_t));
+                    fit_result?;
+                    fit_time.push(ms);
+                    for i in val_idx {
+                        let (p, ms) = time_ms(|| predictor.predict(&observations[i].0));
+                        inference_time.push(ms);
+                        predicted.push(p?);
+                        actual.push(observations[i].1);
+                    }
+                }
+            } else {
+                for (f, t) in &observations {
+                    let p = predictor_template.predict(f)?;
+                    predicted.push(p);
+                    actual.push(*t);
+                }
+            }
+
+            out.methods.push(MethodRow {
+                scheme: scheme_name.clone(),
+                compressor: compressor_name.clone(),
+                supported: true,
+                error_dependent_ms: has_dependent.then_some(dependent_time),
+                error_agnostic_ms: has_agnostic.then_some(agnostic_time),
+                // training = collecting ground truth = running the compressor
+                training_ms: trainable.then(|| {
+                    let mut acc = MeanStd::new();
+                    for t in &truths {
+                        acc.push(t.compress_ms);
+                    }
+                    acc
+                }),
+                fit_ms: trainable.then_some(fit_time),
+                inference_ms: trainable.then_some(inference_time),
+                medape: medape(&actual, &predicted),
+            });
+        }
+    }
+    out.checkpoint_hits = hits;
+    out.checkpoint_misses = misses;
+    Ok(out)
+}
+
+fn fmt_opt(v: &Option<MeanStd>, precision: usize) -> String {
+    match v {
+        Some(m) if m.count() > 0 => m.display(precision),
+        _ => "N/A".to_string(),
+    }
+}
+
+/// Render the result in the shape of the paper's Table 2.
+pub fn format_table2(t: &Table2) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "| method | Error-Dependent (ms) | Error-Agnostic (ms) | Training (ms) | Fit (ms) | \
+         Inference (ms) | Compression/Decompression (ms) | MedAPE (%) |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|\n");
+    for b in &t.baselines {
+        s.push_str(&format!(
+            "| {} | | | | | | {} / {} | |\n",
+            b.compressor,
+            b.compress_ms.display(2),
+            b.decompress_ms.display(2),
+        ));
+        for m in t.methods.iter().filter(|m| m.compressor == b.compressor) {
+            if !m.supported {
+                s.push_str(&format!(
+                    "| {} {} | N/A | N/A | N/A | N/A | N/A | | N/A |\n",
+                    m.compressor, m.scheme
+                ));
+                continue;
+            }
+            s.push_str(&format!(
+                "| {} {} | {} | {} | {} | {} | {} | | {} |\n",
+                m.compressor,
+                m.scheme,
+                fmt_opt(&m.error_dependent_ms, 3),
+                fmt_opt(&m.error_agnostic_ms, 3),
+                fmt_opt(&m.training_ms, 2),
+                fmt_opt(&m.fit_ms, 2),
+                fmt_opt(&m.inference_ms, 4),
+                m.medape
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "N/A".into()),
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pressio_dataset::Hurricane;
+
+    fn tiny_config() -> Table2Config {
+        Table2Config {
+            schemes: vec!["khan2023".into(), "jin2022".into(), "rahman2023".into()],
+            compressors: vec!["sz3".into(), "zfp".into()],
+            abs_bounds: vec![1e-4],
+            folds: 3,
+            seed: 7,
+            workers: 2,
+            checkpoint: None,
+        }
+    }
+
+    fn tiny_hurricane() -> Hurricane {
+        Hurricane::with_dims(16, 16, 8, 2).with_fields(&["P", "U", "QRAIN", "QSNOW", "TC", "V"])
+    }
+
+    #[test]
+    fn table2_runs_end_to_end() {
+        let mut data = tiny_hurricane();
+        let t = run_table2(&mut data, &tiny_config()).unwrap();
+        assert_eq!(t.baselines.len(), 2);
+        assert_eq!(t.methods.len(), 6);
+        // jin on zfp is the N/A row
+        let jin_zfp = t
+            .methods
+            .iter()
+            .find(|m| m.scheme == "jin2022" && m.compressor == "zfp")
+            .unwrap();
+        assert!(!jin_zfp.supported);
+        assert!(jin_zfp.medape.is_none());
+        // every supported row produced a MedAPE
+        for m in t.methods.iter().filter(|m| m.supported) {
+            assert!(m.medape.is_some(), "{} {}", m.compressor, m.scheme);
+            assert!(m.medape.unwrap().is_finite());
+        }
+        // trainable scheme reports all five stages
+        let rahman = t
+            .methods
+            .iter()
+            .find(|m| m.scheme == "rahman2023" && m.compressor == "sz3")
+            .unwrap();
+        assert!(rahman.training_ms.is_some());
+        assert!(rahman.fit_ms.is_some());
+        assert!(rahman.inference_ms.is_some());
+        assert!(rahman.error_agnostic_ms.is_some());
+        // calculation schemes report no training
+        let khan = t
+            .methods
+            .iter()
+            .find(|m| m.scheme == "khan2023" && m.compressor == "sz3")
+            .unwrap();
+        assert!(khan.training_ms.is_none());
+        assert!(khan.error_dependent_ms.is_some());
+        assert!(khan.error_agnostic_ms.is_none());
+    }
+
+    #[test]
+    fn rendered_table_has_expected_shape() {
+        let mut data = tiny_hurricane();
+        let t = run_table2(&mut data, &tiny_config()).unwrap();
+        let rendered = format_table2(&t);
+        assert!(rendered.contains("| sz3 |"));
+        assert!(rendered.contains("sz3 khan2023"));
+        assert!(rendered.contains("zfp jin2022 | N/A"));
+        assert!(rendered.contains("MedAPE"));
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_truth_recomputation() {
+        let dir = std::env::temp_dir().join("pressio_table2_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("truth.jsonl");
+        let mut cfg = tiny_config();
+        cfg.schemes = vec!["khan2023".into()];
+        cfg.compressors = vec!["sz3".into()];
+        cfg.checkpoint = Some(path.clone());
+        let mut data = tiny_hurricane();
+        let first = run_table2(&mut data, &cfg).unwrap();
+        assert_eq!(first.checkpoint_hits, 0);
+        assert!(first.checkpoint_misses > 0);
+        let second = run_table2(&mut data, &cfg).unwrap();
+        assert_eq!(second.checkpoint_misses, 0, "restart must reuse truth");
+        assert_eq!(second.checkpoint_hits, first.checkpoint_misses);
+        // identical quality metrics after resume
+        let m1 = first.methods[0].medape.unwrap();
+        let m2 = second.methods[0].medape.unwrap();
+        assert!((m1 - m2).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let mut data = pressio_dataset::MemoryDataset::new(vec![]);
+        assert!(run_table2(&mut data, &tiny_config()).is_err());
+    }
+}

@@ -1,0 +1,570 @@
+//! Worker-pool task queue with data-affinity scheduling, retry-based fault
+//! tolerance, and checkpoint skip — the single-node analog of the paper's
+//! LibDistributed-based MPI queue (§4.3).
+//!
+//! Scheduling: "as data loading times tend to dominate task runtimes ... we
+//! attempt to schedule as many jobs with the same data to the same
+//! workers". Here each task carries an `affinity_key` (normally the dataset
+//! index) and, in affinity mode, lands on worker `key % workers`.
+//! Fault tolerance: a panicking or erroring task is retried (up to a cap)
+//! on a different worker; results are reported per task, never lost.
+
+use crossbeam::channel::{unbounded, Sender};
+use pressio_core::error::Error;
+use pressio_core::Options;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// One unit of work.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Unique id (also the checkpoint key).
+    pub id: String,
+    /// Affinity key: tasks sharing it prefer the same worker.
+    pub affinity_key: u64,
+    /// Task configuration handed to the worker function.
+    pub config: Options,
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// `affinity_key % workers` — repeated-data locality.
+    DataAffinity,
+    /// Round-robin, ignoring affinity.
+    RoundRobin,
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker count (≥ 1; the paper's single-node fallback is 1).
+    pub workers: usize,
+    /// Scheduling policy.
+    pub scheduling: Scheduling,
+    /// Attempts per task before reporting failure (≥ 1).
+    pub max_attempts: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            scheduling: Scheduling::DataAffinity,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Outcome of one task.
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// The task id.
+    pub id: String,
+    /// Result value or the final error.
+    pub result: Result<Options, Error>,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: usize,
+    /// Worker that produced the final outcome.
+    pub worker: usize,
+}
+
+/// Execution statistics (for the affinity ablation).
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Per-worker count of *distinct* affinity keys it touched: with
+    /// affinity scheduling the total across workers approaches the number
+    /// of distinct keys; with round-robin it approaches `keys × workers`
+    /// (every worker loads every dataset).
+    pub distinct_keys_per_worker: Vec<usize>,
+    /// Total retries performed.
+    pub retries: usize,
+}
+
+impl PoolStats {
+    /// Total dataset-load events implied by the schedule (the quantity
+    /// data-affinity minimizes).
+    pub fn total_loads(&self) -> usize {
+        self.distinct_keys_per_worker.iter().sum()
+    }
+}
+
+/// Run `tasks` on a pool. `worker_fn(task, worker_id)` runs on pool
+/// threads; panics are caught and treated as task failures (the paper's
+/// motivation: buggy metrics implementations surfaced by diverse data must
+/// not take down the run).
+pub fn run_tasks(
+    tasks: Vec<Task>,
+    config: PoolConfig,
+    worker_fn: Arc<dyn Fn(&Task, usize) -> Result<Options, Error> + Send + Sync>,
+) -> (Vec<TaskOutcome>, PoolStats) {
+    let workers = config.workers.max(1);
+    let max_attempts = config.max_attempts.max(1);
+
+    struct Attempt {
+        task: Task,
+        attempt: usize,
+        exclude_worker: Option<usize>,
+    }
+
+    let (result_tx, result_rx) = unbounded::<(TaskOutcome, Option<Attempt>)>();
+    let mut worker_txs: Vec<Sender<Attempt>> = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let (tx, rx) = unbounded::<Attempt>();
+        worker_txs.push(tx);
+        let result_tx = result_tx.clone();
+        let worker_fn = worker_fn.clone();
+        handles.push(std::thread::spawn(move || {
+            for attempt in rx {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    worker_fn(&attempt.task, w)
+                }));
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "worker panicked".to_string());
+                        Err(Error::TaskFailed(msg))
+                    }
+                };
+                let failed = result.is_err();
+                let retry = if failed && attempt.attempt < max_attempts {
+                    Some(Attempt {
+                        task: attempt.task.clone(),
+                        attempt: attempt.attempt + 1,
+                        exclude_worker: Some(w),
+                    })
+                } else {
+                    None
+                };
+                let out = TaskOutcome {
+                    id: attempt.task.id.clone(),
+                    result,
+                    attempts: attempt.attempt,
+                    worker: w,
+                };
+                if result_tx.send((out, retry)).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(result_tx);
+
+    // dispatch
+    let total = tasks.len();
+    let mut key_seen: Vec<std::collections::HashSet<u64>> =
+        (0..workers).map(|_| Default::default()).collect();
+    let mut rr = 0usize;
+    let dispatch = |attempt: Attempt,
+                        rr: &mut usize,
+                        key_seen: &mut Vec<std::collections::HashSet<u64>>| {
+        let mut w = match config.scheduling {
+            Scheduling::DataAffinity => (attempt.task.affinity_key % workers as u64) as usize,
+            Scheduling::RoundRobin => {
+                let v = *rr % workers;
+                *rr += 1;
+                v
+            }
+        };
+        if Some(w) == attempt.exclude_worker && workers > 1 {
+            w = (w + 1) % workers;
+        }
+        key_seen[w].insert(attempt.task.affinity_key);
+        worker_txs[w]
+            .send(attempt)
+            .expect("worker channel closed prematurely");
+    };
+    for task in tasks {
+        dispatch(
+            Attempt {
+                task,
+                attempt: 1,
+                exclude_worker: None,
+            },
+            &mut rr,
+            &mut key_seen,
+        );
+    }
+
+    // collect, re-dispatching retries
+    let mut final_outcomes: HashMap<String, TaskOutcome> = HashMap::new();
+    let mut retries = 0usize;
+    let mut done = 0usize;
+    while done < total {
+        let (outcome, retry) = result_rx.recv().expect("all workers died");
+        match retry {
+            Some(attempt) => {
+                retries += 1;
+                dispatch(attempt, &mut rr, &mut key_seen);
+            }
+            None => {
+                final_outcomes.insert(outcome.id.clone(), outcome);
+                done += 1;
+            }
+        }
+    }
+    drop(worker_txs);
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut outcomes: Vec<TaskOutcome> = final_outcomes.into_values().collect();
+    outcomes.sort_by(|a, b| a.id.cmp(&b.id));
+    let stats = PoolStats {
+        distinct_keys_per_worker: key_seen.iter().map(|s| s.len()).collect(),
+        retries,
+    };
+    (outcomes, stats)
+}
+
+/// Result of one dynamic task: a value plus follow-up tasks to enqueue.
+///
+/// The paper's §3 faults existing workflow systems for lacking "the ability
+/// to dynamically add dependencies to currently running jobs as
+/// invalidations require additional computation" — this is that ability: a
+/// task that discovers its metric was invalidated can spawn the
+/// recomputation into the same running pool.
+pub struct DynamicOutcome {
+    /// The task's result value.
+    pub value: Options,
+    /// Tasks to add to the queue (scheduled with the same policy).
+    pub follow_ups: Vec<Task>,
+}
+
+/// Like [`run_tasks`], but the worker may spawn follow-up tasks that join
+/// the live queue. Follow-ups may themselves spawn follow-ups; the pool
+/// drains when no task or follow-up remains. Retries apply to every task.
+/// A safety cap bounds total scheduled tasks against runaway spawning.
+pub fn run_tasks_dynamic(
+    tasks: Vec<Task>,
+    config: PoolConfig,
+    max_total_tasks: usize,
+    worker_fn: Arc<dyn Fn(&Task, usize) -> Result<DynamicOutcome, Error> + Send + Sync>,
+) -> (Vec<TaskOutcome>, PoolStats) {
+    // queue of pending root-level work, fed by both the caller and
+    // completed tasks' follow-ups; executed in waves through run_tasks
+    let mut pending = tasks;
+    let mut scheduled = 0usize;
+    let mut all_outcomes: Vec<TaskOutcome> = Vec::new();
+    let mut stats_acc = PoolStats::default();
+    let follow_up_store: Arc<parking_lot::Mutex<Vec<Task>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    while !pending.is_empty() {
+        let take = pending.len().min(max_total_tasks.saturating_sub(scheduled));
+        if take == 0 {
+            // cap reached: report the rest as failed rather than hanging
+            for task in pending.drain(..) {
+                all_outcomes.push(TaskOutcome {
+                    id: task.id,
+                    result: Err(Error::TaskFailed(format!(
+                        "task cap of {max_total_tasks} reached"
+                    ))),
+                    attempts: 0,
+                    worker: 0,
+                });
+            }
+            break;
+        }
+        let wave: Vec<Task> = pending.drain(..take).collect();
+        scheduled += wave.len();
+        let fu = follow_up_store.clone();
+        let wf = worker_fn.clone();
+        let (outcomes, stats) = run_tasks(
+            wave,
+            config,
+            Arc::new(move |task, w| {
+                let out = wf(task, w)?;
+                if !out.follow_ups.is_empty() {
+                    fu.lock().extend(out.follow_ups);
+                }
+                Ok(out.value)
+            }),
+        );
+        all_outcomes.extend(outcomes);
+        stats_acc.retries += stats.retries;
+        if stats_acc.distinct_keys_per_worker.len() < stats.distinct_keys_per_worker.len() {
+            stats_acc
+                .distinct_keys_per_worker
+                .resize(stats.distinct_keys_per_worker.len(), 0);
+        }
+        for (acc, v) in stats_acc
+            .distinct_keys_per_worker
+            .iter_mut()
+            .zip(&stats.distinct_keys_per_worker)
+        {
+            *acc += v;
+        }
+        pending.extend(follow_up_store.lock().drain(..));
+    }
+    all_outcomes.sort_by(|a, b| a.id.cmp(&b.id));
+    (all_outcomes, stats_acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn make_tasks(n: usize, keys: usize) -> Vec<Task> {
+        (0..n)
+            .map(|i| Task {
+                id: format!("task{i:03}"),
+                affinity_key: (i % keys) as u64,
+                config: Options::new().with("i", i as u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_tasks_complete() {
+        let tasks = make_tasks(40, 5);
+        let (outcomes, _) = run_tasks(
+            tasks,
+            PoolConfig::default(),
+            Arc::new(|t: &Task, _w| Ok(Options::new().with("echo", t.config.get_u64("i")?))),
+        );
+        assert_eq!(outcomes.len(), 40);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.id, format!("task{i:03}"));
+            assert_eq!(
+                o.result.as_ref().unwrap().get_u64("echo").unwrap(),
+                i as u64
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_scheduling_minimizes_distinct_loads() {
+        // 5 keys is coprime with 4 workers, so round-robin smears every key
+        // across all workers while affinity pins each to one
+        let tasks = make_tasks(60, 5);
+        let cfg = PoolConfig {
+            workers: 4,
+            scheduling: Scheduling::DataAffinity,
+            max_attempts: 1,
+        };
+        let (_, affinity_stats) = run_tasks(
+            tasks.clone(),
+            cfg,
+            Arc::new(|_t, _w| Ok(Options::new())),
+        );
+        let cfg_rr = PoolConfig {
+            scheduling: Scheduling::RoundRobin,
+            ..cfg
+        };
+        let (_, rr_stats) = run_tasks(tasks, cfg_rr, Arc::new(|_t, _w| Ok(Options::new())));
+        assert_eq!(affinity_stats.total_loads(), 5, "one worker per key");
+        assert!(
+            rr_stats.total_loads() > affinity_stats.total_loads(),
+            "round-robin {} should exceed affinity {}",
+            rr_stats.total_loads(),
+            affinity_stats.total_loads()
+        );
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let fail_first = Arc::new(AtomicUsize::new(0));
+        let tasks = make_tasks(10, 10);
+        let ff = fail_first.clone();
+        let (outcomes, stats) = run_tasks(
+            tasks,
+            PoolConfig {
+                workers: 3,
+                scheduling: Scheduling::DataAffinity,
+                max_attempts: 3,
+            },
+            Arc::new(move |t: &Task, _w| {
+                // task 4 fails on its first attempt only
+                if t.id == "task004" && ff.fetch_add(1, Ordering::SeqCst) == 0 {
+                    return Err(Error::TaskFailed("transient".into()));
+                }
+                Ok(Options::new())
+            }),
+        );
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let retried = outcomes.iter().find(|o| o.id == "task004").unwrap();
+        assert_eq!(retried.attempts, 2);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn permanent_failures_reported_after_max_attempts() {
+        let tasks = make_tasks(5, 5);
+        let (outcomes, stats) = run_tasks(
+            tasks,
+            PoolConfig {
+                workers: 2,
+                scheduling: Scheduling::RoundRobin,
+                max_attempts: 3,
+            },
+            Arc::new(|t: &Task, _w| {
+                if t.id == "task002" {
+                    Err(Error::TaskFailed("permanent".into()))
+                } else {
+                    Ok(Options::new())
+                }
+            }),
+        );
+        let failed = outcomes.iter().find(|o| o.id == "task002").unwrap();
+        assert!(failed.result.is_err());
+        assert_eq!(failed.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(outcomes.iter().filter(|o| o.result.is_ok()).count(), 4);
+    }
+
+    #[test]
+    fn panicking_tasks_are_contained() {
+        let tasks = make_tasks(6, 6);
+        let (outcomes, _) = run_tasks(
+            tasks,
+            PoolConfig {
+                workers: 2,
+                scheduling: Scheduling::DataAffinity,
+                max_attempts: 2,
+            },
+            Arc::new(|t: &Task, _w| {
+                if t.id == "task003" {
+                    panic!("metric implementation bug");
+                }
+                Ok(Options::new())
+            }),
+        );
+        assert_eq!(outcomes.len(), 6);
+        let crashed = outcomes.iter().find(|o| o.id == "task003").unwrap();
+        match &crashed.result {
+            Err(Error::TaskFailed(msg)) => assert!(msg.contains("bug")),
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+        // the other five still succeeded
+        assert_eq!(outcomes.iter().filter(|o| o.result.is_ok()).count(), 5);
+    }
+
+    #[test]
+    fn retry_moves_to_a_different_worker() {
+        let tasks = vec![Task {
+            id: "t".into(),
+            affinity_key: 0,
+            config: Options::new(),
+        }];
+        let first_worker = Arc::new(AtomicUsize::new(usize::MAX));
+        let fw = first_worker.clone();
+        let (outcomes, _) = run_tasks(
+            tasks,
+            PoolConfig {
+                workers: 2,
+                scheduling: Scheduling::DataAffinity,
+                max_attempts: 2,
+            },
+            Arc::new(move |_t, w| {
+                if fw.compare_exchange(usize::MAX, w, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+                {
+                    Err(Error::TaskFailed("first attempt".into()))
+                } else {
+                    Ok(Options::new().with("worker", w as u64))
+                }
+            }),
+        );
+        let o = &outcomes[0];
+        let final_worker = o.result.as_ref().unwrap().get_u64("worker").unwrap() as usize;
+        assert_ne!(final_worker, first_worker.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn dynamic_follow_ups_run_in_the_same_pool() {
+        // task d00 discovers an invalidation and spawns two recomputations
+        let tasks = vec![Task {
+            id: "d00".into(),
+            affinity_key: 0,
+            config: Options::new().with("spawn", true),
+        }];
+        let (outcomes, _) = run_tasks_dynamic(
+            tasks,
+            PoolConfig {
+                workers: 2,
+                scheduling: Scheduling::DataAffinity,
+                max_attempts: 1,
+            },
+            100,
+            Arc::new(|task: &Task, _w| {
+                let spawn = task.config.get_bool_opt("spawn")?.unwrap_or(false);
+                let follow_ups = if spawn {
+                    vec![
+                        Task {
+                            id: "d00/recompute-a".into(),
+                            affinity_key: 0,
+                            config: Options::new(),
+                        },
+                        Task {
+                            id: "d00/recompute-b".into(),
+                            affinity_key: 1,
+                            config: Options::new(),
+                        },
+                    ]
+                } else {
+                    Vec::new()
+                };
+                Ok(DynamicOutcome {
+                    value: Options::new().with("done", true),
+                    follow_ups,
+                })
+            }),
+        );
+        let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
+        assert_eq!(ids, vec!["d00", "d00/recompute-a", "d00/recompute-b"]);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    }
+
+    #[test]
+    fn dynamic_task_cap_prevents_runaway_spawning() {
+        // every task spawns another: the cap must end the run with errors,
+        // not hang forever
+        let tasks = vec![Task {
+            id: "t0000".into(),
+            affinity_key: 0,
+            config: Options::new().with("n", 0u64),
+        }];
+        let (outcomes, _) = run_tasks_dynamic(
+            tasks,
+            PoolConfig {
+                workers: 1,
+                scheduling: Scheduling::RoundRobin,
+                max_attempts: 1,
+            },
+            10,
+            Arc::new(|task: &Task, _w| {
+                let n = task.config.get_u64("n")?;
+                Ok(DynamicOutcome {
+                    value: Options::new(),
+                    follow_ups: vec![Task {
+                        id: format!("t{:04}", n + 1),
+                        affinity_key: 0,
+                        config: Options::new().with("n", n + 1),
+                    }],
+                })
+            }),
+        );
+        assert_eq!(outcomes.iter().filter(|o| o.result.is_ok()).count(), 10);
+        assert_eq!(outcomes.iter().filter(|o| o.result.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn single_worker_fallback_works() {
+        let tasks = make_tasks(8, 3);
+        let (outcomes, _) = run_tasks(
+            tasks,
+            PoolConfig {
+                workers: 1,
+                scheduling: Scheduling::DataAffinity,
+                max_attempts: 1,
+            },
+            Arc::new(|_t, _w| Ok(Options::new())),
+        );
+        assert_eq!(outcomes.len(), 8);
+    }
+}

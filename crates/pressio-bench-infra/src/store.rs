@@ -1,0 +1,262 @@
+//! Embedded checkpoint store (paper §4.3).
+//!
+//! LibPressio-Predict-Bench checkpoints through SQLite for two properties:
+//! atomicity (a crash never leaves a partial result) and queryable partial
+//! state (restore exactly the metrics results that finished). This store
+//! provides both with an append-only JSON-lines log: every record is one
+//! line, appends are flushed, and a torn trailing line (the only artifact a
+//! crash can produce) is detected and ignored on open. Records are keyed by
+//! the stable SHA-256 option hash from `pressio-core`, so restarted jobs
+//! find their results across executions.
+
+use pressio_core::error::{Error, Result};
+use pressio_core::Options;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-only, crash-safe key → [`Options`] store.
+pub struct CheckpointStore {
+    path: PathBuf,
+    file: std::fs::File,
+    index: HashMap<String, Options>,
+    /// Records skipped at open because they were torn or malformed.
+    recovered_torn: usize,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Record {
+    key: String,
+    value: Options,
+}
+
+impl CheckpointStore {
+    /// Open (or create) the store at `path`, replaying the log.
+    pub fn open(path: &Path) -> Result<CheckpointStore> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut index = HashMap::new();
+        let mut recovered_torn = 0usize;
+        if path.is_file() {
+            let reader = BufReader::new(std::fs::File::open(path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<Record>(&line) {
+                    Ok(rec) => {
+                        index.insert(rec.key, rec.value);
+                    }
+                    Err(_) => {
+                        // torn or corrupt line (crash mid-append): skip
+                        recovered_torn += 1;
+                    }
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(CheckpointStore {
+            path: path.to_path_buf(),
+            file,
+            index,
+            recovered_torn,
+        })
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Torn/corrupt lines skipped during the last open (0 on clean logs).
+    pub fn recovered_torn(&self) -> usize {
+        self.recovered_torn
+    }
+
+    /// Whether `key` has a committed result.
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Fetch a committed result.
+    pub fn get(&self, key: &str) -> Option<&Options> {
+        self.index.get(key)
+    }
+
+    /// Commit a result: append one line and flush before updating the
+    /// in-memory index, so a reader never sees an acknowledged-but-lost
+    /// record.
+    pub fn put(&mut self, key: impl Into<String>, value: Options) -> Result<()> {
+        let key = key.into();
+        let rec = Record {
+            key: key.clone(),
+            value: value.clone(),
+        };
+        let mut line =
+            serde_json::to_string(&rec).map_err(|e| Error::Serialization(e.to_string()))?;
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.index.insert(key, value);
+        Ok(())
+    }
+
+    /// Rewrite the log with only the live records (tmp + rename, atomic).
+    /// Useful after many overwrites of the same keys.
+    pub fn compact(&mut self) -> Result<()> {
+        let tmp = self.path.with_extension("compact.tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            let mut keys: Vec<&String> = self.index.keys().collect();
+            keys.sort(); // deterministic output
+            for key in keys {
+                let rec = Record {
+                    key: key.clone(),
+                    value: self.index[key].clone(),
+                };
+                let line = serde_json::to_string(&rec)
+                    .map_err(|e| Error::Serialization(e.to_string()))?;
+                writeln!(f, "{line}")?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// All keys with a given prefix — the "query the partial state" use the
+    /// paper chose a database for.
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> {
+        self.index
+            .keys()
+            .filter(move |k| k.starts_with(prefix))
+            .map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pressio_store_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let path = temp("basic.jsonl");
+        let mut s = CheckpointStore::open(&path).unwrap();
+        assert!(s.is_empty());
+        s.put("k1", Options::new().with("ratio", 12.5)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains("k1"));
+        assert_eq!(s.get("k1").unwrap().get_f64("ratio").unwrap(), 12.5);
+        assert!(s.get("k2").is_none());
+    }
+
+    #[test]
+    fn reopen_restores_state() {
+        let path = temp("reopen.jsonl");
+        {
+            let mut s = CheckpointStore::open(&path).unwrap();
+            s.put("a", Options::new().with("v", 1.0)).unwrap();
+            s.put("b", Options::new().with("v", 2.0)).unwrap();
+        }
+        let s = CheckpointStore::open(&path).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("b").unwrap().get_f64("v").unwrap(), 2.0);
+        assert_eq!(s.recovered_torn(), 0);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_not_fatal() {
+        let path = temp("torn.jsonl");
+        {
+            let mut s = CheckpointStore::open(&path).unwrap();
+            s.put("good", Options::new().with("v", 1.0)).unwrap();
+        }
+        // simulate a crash mid-append
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"key\":\"half...").unwrap();
+        }
+        let s = CheckpointStore::open(&path).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains("good"));
+        assert_eq!(s.recovered_torn(), 1);
+    }
+
+    #[test]
+    fn overwrites_keep_latest_and_compact_shrinks() {
+        let path = temp("compact.jsonl");
+        let mut s = CheckpointStore::open(&path).unwrap();
+        for i in 0..50 {
+            s.put("same", Options::new().with("v", i as f64)).unwrap();
+        }
+        assert_eq!(s.get("same").unwrap().get_f64("v").unwrap(), 49.0);
+        let before = std::fs::metadata(&path).unwrap().len();
+        s.compact().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before / 10, "{after} vs {before}");
+        // still readable after compaction + reopen
+        drop(s);
+        let s = CheckpointStore::open(&path).unwrap();
+        assert_eq!(s.get("same").unwrap().get_f64("v").unwrap(), 49.0);
+    }
+
+    #[test]
+    fn writes_after_compact_persist() {
+        let path = temp("compact_write.jsonl");
+        let mut s = CheckpointStore::open(&path).unwrap();
+        s.put("a", Options::new().with("v", 1.0)).unwrap();
+        s.compact().unwrap();
+        s.put("b", Options::new().with("v", 2.0)).unwrap();
+        drop(s);
+        let s = CheckpointStore::open(&path).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn prefix_queries() {
+        let path = temp("prefix.jsonl");
+        let mut s = CheckpointStore::open(&path).unwrap();
+        s.put("sz3/f1", Options::new()).unwrap();
+        s.put("sz3/f2", Options::new()).unwrap();
+        s.put("zfp/f1", Options::new()).unwrap();
+        let mut sz: Vec<&str> = s.keys_with_prefix("sz3/").collect();
+        sz.sort_unstable();
+        assert_eq!(sz, vec!["sz3/f1", "sz3/f2"]);
+    }
+
+    #[test]
+    fn complex_options_round_trip() {
+        let path = temp("complex.jsonl");
+        let value = Options::new()
+            .with("f", 1.25e-7)
+            .with("s", "text with \"quotes\" and \n newline")
+            .with("vec", vec![1.0f64, 2.5, -3.0])
+            .with("bytes", vec![0u8, 255, 10]);
+        {
+            let mut s = CheckpointStore::open(&path).unwrap();
+            s.put("k", value.clone()).unwrap();
+        }
+        let s = CheckpointStore::open(&path).unwrap();
+        assert_eq!(s.get("k").unwrap(), &value);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion baseline bench: SZ3 and ZFP compression/decompression times on
+//! a Hurricane field at both paper error bounds — the §6 baseline numbers
+//! ("SZ3 ... 322.8 ± 30.1 ms ... ZFP tends to be faster ... 65.49 ± 25.33").
+//! Shape expectation: zfp compress < sz3 compress; decompress < compress.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pressio_core::{Compressor, Options};
+use pressio_dataset::{DatasetPlugin, Hurricane};
+use pressio_sz::SzCompressor;
+use pressio_zfp::ZfpCompressor;
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut hurricane = Hurricane::with_dims(64, 64, 32, 1);
+    let p_index = pressio_dataset::FIELDS.iter().position(|&f| f == "P").unwrap();
+    let data = hurricane.load_data(p_index).unwrap();
+    let bytes = data.size_in_bytes() as u64;
+
+    let mut group = c.benchmark_group("compressor_baseline");
+    group.throughput(Throughput::Bytes(bytes));
+    for abs in [1e-6f64, 1e-4] {
+        let opts = Options::new().with("pressio:abs", abs);
+        let mut sz = SzCompressor::new();
+        sz.set_options(&opts).unwrap();
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(&opts).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("sz3_compress", abs), &abs, |b, _| {
+            b.iter(|| sz.compress(&data).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("zfp_compress", abs), &abs, |b, _| {
+            b.iter(|| zfp.compress(&data).unwrap())
+        });
+        let sz_stream = sz.compress(&data).unwrap();
+        let zfp_stream = zfp.compress(&data).unwrap();
+        group.bench_with_input(BenchmarkId::new("sz3_decompress", abs), &abs, |b, _| {
+            b.iter(|| sz.decompress(&sz_stream, data.dtype(), data.dims()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("zfp_decompress", abs), &abs, |b, _| {
+            b.iter(|| zfp.decompress(&zfp_stream, data.dtype(), data.dims()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compressors
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: per-scheme estimate cost vs running the compressor —
+//! the headline comparison of Table 2's timing columns. Shape expectation:
+//! khan/rahman/tao ≪ sz3 compression; jin comparable to compression (it
+//! runs the full prediction+quantization stages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pressio_core::{Compressor, Options};
+use pressio_dataset::{DatasetPlugin, Hurricane};
+use pressio_predict::registry::standard_schemes;
+use pressio_sz::SzCompressor;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut hurricane = Hurricane::with_dims(64, 64, 32, 1);
+    let p_index = pressio_dataset::FIELDS.iter().position(|&f| f == "P").unwrap();
+    let data = hurricane.load_data(p_index).unwrap();
+    let mut sz = SzCompressor::new();
+    sz.set_options(
+        &Options::new()
+            .with("pressio:abs", 1e-4)
+            .with("sz3:predictor", "lorenzo"),
+    )
+    .unwrap();
+
+    let registry = standard_schemes();
+    let mut group = c.benchmark_group("scheme_estimate_vs_compress");
+    group.bench_function("sz3_compress_truth", |b| {
+        b.iter(|| sz.compress(&data).unwrap())
+    });
+    for name in ["tao2019", "khan2023", "jin2022", "krasowska2021", "rahman2023"] {
+        let scheme = registry.build(name).unwrap();
+        group.bench_function(format!("{name}_error_dependent"), |b| {
+            b.iter(|| scheme.error_dependent_features(&data, &sz).unwrap())
+        });
+    }
+    for name in ["rahman2023", "underwood2023", "ganguli2023"] {
+        let scheme = registry.build(name).unwrap();
+        group.bench_function(format!("{name}_error_agnostic"), |b| {
+            b.iter(|| scheme.error_agnostic_features(&data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schemes
+}
+criterion_main!(benches);

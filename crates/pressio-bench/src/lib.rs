@@ -1,0 +1,162 @@
+//! # pressio-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `--bin table1` | Table 1 (method taxonomy, from live registry metadata) |
+//! | `--bin table2` | Table 2 (Hurricane stage timings + MedAPE, 10-fold CV) |
+//! | `--bin fig2_pipeline` | Figure 2 (dataset-loader pipeline: cold vs cached vs sampled) |
+//! | `--bin ablation_checkpoint` | checkpoint-restart speedup ablation |
+//! | `--bin ablation_affinity` | data-affinity vs round-robin scheduling ablation |
+//! | `--bin ablation_tao_sweep` | Tao block-size/count accuracy-vs-time sweep |
+//! | `--bin ablation_rahman` | FXRZ sparsity-correction / augmentation ablation |
+//! | `--bin ablation_invalidation` | error-agnostic metric reuse across bounds |
+//! | `cargo bench` | Criterion microbenches (compressor baselines, metric costs, scheme estimate costs) |
+//!
+//! Binaries accept `--quick` for a reduced problem size and
+//! `--timesteps N` / `--dims NX,NY,NZ` to re-scale the synthetic Hurricane.
+
+#![warn(missing_docs)]
+
+use pressio_dataset::Hurricane;
+
+/// Simple CLI options shared by the bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Grid dims of the synthetic hurricane.
+    pub dims: (usize, usize, usize),
+    /// Timesteps to generate.
+    pub timesteps: usize,
+    /// Reduced preset requested.
+    pub quick: bool,
+    /// Evaluate every registered scheme, not just the paper's three.
+    pub all_schemes: bool,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            dims: (64, 64, 32),
+            timesteps: 48,
+            quick: false,
+            all_schemes: false,
+            // match the hardware: timing columns are only meaningful
+            // without thread oversubscription (scheduling demos that need
+            // multiple workers request them explicitly)
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args()`-style input. Unknown flags abort with
+    /// a usage message (fail-fast beats silently ignored typos).
+    pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    out.quick = true;
+                    out.dims = (32, 32, 16);
+                    out.timesteps = 6;
+                }
+                "--all-schemes" => out.all_schemes = true,
+                "--timesteps" => {
+                    out.timesteps = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--timesteps needs a number"));
+                }
+                "--workers" => {
+                    out.workers = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--workers needs a number"));
+                }
+                "--dims" => {
+                    let spec = it.next().unwrap_or_else(|| usage("--dims needs NX,NY,NZ"));
+                    let parts: Vec<usize> =
+                        spec.split(',').filter_map(|p| p.parse().ok()).collect();
+                    if parts.len() != 3 {
+                        usage("--dims needs NX,NY,NZ");
+                    }
+                    out.dims = (parts[0], parts[1], parts[2]);
+                }
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        out
+    }
+
+    /// Build the hurricane generator for these args.
+    pub fn hurricane(&self) -> Hurricane {
+        Hurricane::with_dims(self.dims.0, self.dims.1, self.dims.2, self.timesteps)
+    }
+
+    /// Scheme list for the Table 2 run.
+    pub fn schemes(&self) -> Vec<String> {
+        if self.all_schemes {
+            pressio_predict::standard_schemes()
+                .names()
+                .into_iter()
+                .map(String::from)
+                .collect()
+        } else {
+            vec!["khan2023".into(), "jin2022".into(), "rahman2023".into()]
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: [--quick] [--all-schemes] [--timesteps N] [--dims NX,NY,NZ] [--workers N]"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let a = parse(&[]);
+        assert_eq!(a.timesteps, 48);
+        assert!(!a.quick);
+        assert_eq!(a.schemes().len(), 3);
+    }
+
+    #[test]
+    fn quick_reduces_scale() {
+        let a = parse(&["--quick"]);
+        assert!(a.quick);
+        assert!(a.timesteps < 48);
+    }
+
+    #[test]
+    fn dims_and_timesteps_parse() {
+        let a = parse(&["--dims", "10,20,30", "--timesteps", "5", "--workers", "2"]);
+        assert_eq!(a.dims, (10, 20, 30));
+        assert_eq!(a.timesteps, 5);
+        assert_eq!(a.workers, 2);
+        let h = a.hurricane();
+        assert_eq!(h.dims(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn all_schemes_expands_list() {
+        let a = parse(&["--all-schemes"]);
+        assert!(a.schemes().len() >= 7);
+    }
+}

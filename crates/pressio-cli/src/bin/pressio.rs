@@ -1,0 +1,11 @@
+//! The `pressio` command-line tool; see the crate docs of `pressio-cli`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = pressio_cli::parse_args(argv)
+        .and_then(|cmd| pressio_cli::run(cmd, &mut std::io::stdout().lock()));
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

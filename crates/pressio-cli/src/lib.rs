@@ -1,0 +1,484 @@
+//! # pressio-cli
+//!
+//! Command-line front end for the LibPressio-Predict reproduction — the
+//! "embeddable, library-based" stack (paper §3) exposed as a tool a
+//! downstream user can drive without writing Rust:
+//!
+//! ```text
+//! pressio schemes                                   # list prediction schemes
+//! pressio compressors                               # list compressors
+//! pressio generate --out dir [--dims 64,64,32] [--timesteps 2]
+//! pressio compress -i U_64x64x32.f32 -o U.szr -c sz3 --abs 1e-4
+//! pressio decompress -i U.szr -o restored_64x64x32.f32 -c sz3
+//! pressio predict -i U_64x64x32.f32 -c sz3 --scheme khan2023 --abs 1e-4
+//! ```
+//!
+//! Raw files carry their shape in the filename (`NAME_NXxNY[...].f32`), so
+//! decompression targets are self-describing.
+
+#![warn(missing_docs)]
+
+use pressio_core::error::{Error, Result};
+use pressio_core::{Compressor, Options};
+use pressio_dataset::io::{parse_filename, read_raw};
+use pressio_dataset::DatasetPlugin;
+use pressio_predict::{standard_compressors, standard_schemes};
+use std::path::PathBuf;
+#[cfg(test)]
+use std::path::Path;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List registered prediction schemes (with Table 1 metadata).
+    Schemes,
+    /// List registered compressors.
+    Compressors,
+    /// Generate synthetic hurricane fields as raw files.
+    Generate {
+        /// Output directory.
+        out: PathBuf,
+        /// Grid dims.
+        dims: (usize, usize, usize),
+        /// Timesteps.
+        timesteps: usize,
+    },
+    /// Compress a raw file.
+    Compress {
+        /// Input raw file (shape-encoding name).
+        input: PathBuf,
+        /// Output stream path.
+        output: PathBuf,
+        /// Compressor id.
+        compressor: String,
+        /// Compressor options (abs/rel/predictor...).
+        options: Options,
+    },
+    /// Decompress a stream back to a raw file.
+    Decompress {
+        /// Input stream path.
+        input: PathBuf,
+        /// Output raw file (shape-encoding name supplies dtype/dims).
+        output: PathBuf,
+        /// Compressor id.
+        compressor: String,
+    },
+    /// Predict the compression ratio without compressing.
+    Predict {
+        /// Input raw file.
+        input: PathBuf,
+        /// Compressor id.
+        compressor: String,
+        /// Scheme name.
+        scheme: String,
+        /// Compressor options.
+        options: Options,
+        /// Optional trained-state file for trainable schemes.
+        state: Option<PathBuf>,
+        /// Also run the compressor and report the truth.
+        verify: bool,
+    },
+}
+
+fn flag_value(args: &mut std::collections::VecDeque<String>, flag: &str) -> Result<String> {
+    args.pop_front().ok_or_else(|| Error::InvalidValue {
+        key: flag.to_string(),
+        reason: "missing value".into(),
+    })
+}
+
+/// Parse a command line (without the program name).
+pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
+    let mut args: std::collections::VecDeque<String> = argv.into_iter().collect();
+    let sub = args.pop_front().ok_or_else(|| usage_error("no subcommand"))?;
+    let mut input: Option<PathBuf> = None;
+    let mut output: Option<PathBuf> = None;
+    let mut compressor = "sz3".to_string();
+    let mut scheme = "khan2023".to_string();
+    let mut state: Option<PathBuf> = None;
+    let mut verify = false;
+    let mut dims = (64usize, 64usize, 32usize);
+    let mut timesteps = 1usize;
+    let mut options = Options::new();
+    while let Some(arg) = args.pop_front() {
+        match arg.as_str() {
+            "-i" | "--input" => input = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
+            "-o" | "--output" | "--out" => {
+                output = Some(PathBuf::from(flag_value(&mut args, &arg)?))
+            }
+            "-c" | "--compressor" => compressor = flag_value(&mut args, &arg)?,
+            "--scheme" => scheme = flag_value(&mut args, &arg)?,
+            "--state" => state = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
+            "--verify" => verify = true,
+            "--abs" => {
+                let v: f64 = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--abs needs a number"))?;
+                options.set("pressio:abs", v);
+            }
+            "--rel" => {
+                let v: f64 = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--rel needs a number"))?;
+                options.set("pressio:rel", v);
+            }
+            "--predictor" => {
+                let v = flag_value(&mut args, &arg)?;
+                options.set("sz3:predictor", v);
+            }
+            "--mode" => {
+                let v = flag_value(&mut args, &arg)?;
+                options.set("zfp:mode", v);
+            }
+            "--rate" => {
+                let v: f64 = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--rate needs a number"))?;
+                options.set("zfp:rate", v);
+            }
+            "--dims" => {
+                let spec = flag_value(&mut args, &arg)?;
+                let parts: Vec<usize> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
+                if parts.len() != 3 {
+                    return Err(usage_error("--dims needs NX,NY,NZ"));
+                }
+                dims = (parts[0], parts[1], parts[2]);
+            }
+            "--timesteps" => {
+                timesteps = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--timesteps needs a number"))?;
+            }
+            other => return Err(usage_error(&format!("unknown flag '{other}'"))),
+        }
+    }
+    let need_input = |what: &str, v: Option<PathBuf>| {
+        v.ok_or_else(|| usage_error(&format!("{what} requires --input")))
+    };
+    match sub.as_str() {
+        "schemes" => Ok(Command::Schemes),
+        "compressors" => Ok(Command::Compressors),
+        "generate" => Ok(Command::Generate {
+            out: output.ok_or_else(|| usage_error("generate requires --out"))?,
+            dims,
+            timesteps,
+        }),
+        "compress" => Ok(Command::Compress {
+            input: need_input("compress", input)?,
+            output: output.ok_or_else(|| usage_error("compress requires --output"))?,
+            compressor,
+            options,
+        }),
+        "decompress" => Ok(Command::Decompress {
+            input: need_input("decompress", input)?,
+            output: output.ok_or_else(|| usage_error("decompress requires --output"))?,
+            compressor,
+        }),
+        "predict" => Ok(Command::Predict {
+            input: need_input("predict", input)?,
+            compressor,
+            scheme,
+            options,
+            state,
+            verify,
+        }),
+        other => Err(usage_error(&format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn usage_error(msg: &str) -> Error {
+    Error::InvalidValue {
+        key: "cli".into(),
+        reason: format!(
+            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict> [flags]"
+        ),
+    }
+}
+
+fn build_compressor(name: &str, options: &Options) -> Result<Box<dyn Compressor>> {
+    let mut comp = standard_compressors().build(name)?;
+    comp.set_options(options)?;
+    Ok(comp)
+}
+
+/// Execute a parsed command, writing human output to `out`.
+pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
+    match cmd {
+        Command::Schemes => {
+            let registry = standard_schemes();
+            for name in registry.names() {
+                let s = registry.build(name)?;
+                let i = s.info();
+                writeln!(
+                    out,
+                    "{name:16} {:9} training={} sampling={} approach={}",
+                    i.goal,
+                    if i.training { "yes" } else { "no " },
+                    if i.sampling { "yes" } else { "no " },
+                    i.approach
+                )?;
+            }
+            Ok(())
+        }
+        Command::Compressors => {
+            let registry = standard_compressors();
+            for name in registry.names() {
+                let c = registry.build(name)?;
+                writeln!(out, "{name}: {}", c.get_options())?;
+            }
+            Ok(())
+        }
+        Command::Generate {
+            out: dir,
+            dims,
+            timesteps,
+        } => {
+            let mut h = pressio_dataset::Hurricane::with_dims(dims.0, dims.1, dims.2, timesteps);
+            for i in 0..h.len() {
+                let meta = h.load_metadata(i)?;
+                let data = h.load_data(i)?;
+                let path = pressio_dataset::io::write_raw(
+                    &dir,
+                    &meta.name.replace('@', "-"),
+                    &data,
+                )?;
+                writeln!(out, "wrote {}", path.display())?;
+            }
+            Ok(())
+        }
+        Command::Compress {
+            input,
+            output,
+            compressor,
+            options,
+        } => {
+            let data = read_raw(&input)?;
+            let comp = build_compressor(&compressor, &options)?;
+            let stream = comp.compress(&data)?;
+            std::fs::write(&output, &stream)?;
+            writeln!(
+                out,
+                "{} -> {}: {} -> {} bytes (ratio {:.2})",
+                input.display(),
+                output.display(),
+                data.size_in_bytes(),
+                stream.len(),
+                data.size_in_bytes() as f64 / stream.len().max(1) as f64
+            )?;
+            Ok(())
+        }
+        Command::Decompress {
+            input,
+            output,
+            compressor,
+        } => {
+            let (_, dims, dtype) = parse_filename(&output)?;
+            let stream = std::fs::read(&input)?;
+            let comp = build_compressor(&compressor, &Options::new())?;
+            let data = comp.decompress(&stream, dtype, &dims)?;
+            std::fs::write(&output, data.to_le_bytes())?;
+            writeln!(
+                out,
+                "{} -> {} ({} values)",
+                input.display(),
+                output.display(),
+                data.num_elements()
+            )?;
+            Ok(())
+        }
+        Command::Predict {
+            input,
+            compressor,
+            scheme,
+            options,
+            state,
+            verify,
+        } => {
+            let data = read_raw(&input)?;
+            let comp = build_compressor(&compressor, &options)?;
+            let sch = standard_schemes().build(&scheme)?;
+            if !sch.supports(comp.id()) {
+                return Err(Error::Unsupported(format!(
+                    "scheme '{scheme}' does not support compressor '{compressor}'"
+                )));
+            }
+            let mut features = sch.error_agnostic_features(&data)?;
+            features.merge_from(&sch.error_dependent_features(&data, comp.as_ref())?);
+            let mut predictor = sch.make_predictor();
+            if let Some(path) = state {
+                predictor.load_state(&std::fs::read(&path)?)?;
+            } else if predictor.requires_training() {
+                return Err(Error::NotFitted(format!(
+                    "scheme '{scheme}' needs --state <trained-state-file>"
+                )));
+            }
+            let predicted = predictor.predict(&features)?;
+            writeln!(out, "predicted compression ratio: {predicted:.3}")?;
+            if verify {
+                let stream = comp.compress(&data)?;
+                let actual = data.size_in_bytes() as f64 / stream.len().max(1) as f64;
+                writeln!(out, "actual    compression ratio: {actual:.3}")?;
+                writeln!(
+                    out,
+                    "absolute percentage error:   {:.1}%",
+                    ((predicted - actual) / actual).abs() * 100.0
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Command> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_compress() {
+        let cmd = parse(&[
+            "compress", "-i", "U_4x4.f32", "-o", "U.szr", "-c", "sz3", "--abs", "1e-3",
+            "--predictor", "hybrid",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Compress {
+                input,
+                output,
+                compressor,
+                options,
+            } => {
+                assert_eq!(input, Path::new("U_4x4.f32"));
+                assert_eq!(output, Path::new("U.szr"));
+                assert_eq!(compressor, "sz3");
+                assert_eq!(options.get_f64("pressio:abs").unwrap(), 1e-3);
+                assert_eq!(options.get_str("sz3:predictor").unwrap(), "hybrid");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["compress", "-o", "x"]).is_err()); // no input
+        assert!(parse(&["compress", "-i", "x"]).is_err()); // no output
+        assert!(parse(&["predict", "-i", "x", "--abs", "nope"]).is_err());
+        assert!(parse(&["compress", "-i"]).is_err()); // dangling flag
+    }
+
+    #[test]
+    fn listing_commands_run() {
+        let mut buf = Vec::new();
+        run(Command::Schemes, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("rahman2023"));
+        assert!(text.contains("deep learning"));
+        let mut buf = Vec::new();
+        run(Command::Compressors, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("sz3"));
+        assert!(text.contains("zfp"));
+    }
+
+    #[test]
+    fn end_to_end_generate_compress_decompress_predict() {
+        let dir = std::env::temp_dir().join("pressio_cli_e2e");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // generate a small hurricane
+        let mut buf = Vec::new();
+        run(
+            Command::Generate {
+                out: dir.join("raw"),
+                dims: (16, 16, 8),
+                timesteps: 1,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let input = dir.join("raw").join("TC-t00_16x16x8.f32");
+        assert!(input.is_file(), "expected generated file at {input:?}");
+        // compress
+        let stream = dir.join("TC.szr");
+        let mut buf = Vec::new();
+        run(
+            parse(&[
+                "compress",
+                "-i",
+                input.to_str().unwrap(),
+                "-o",
+                stream.to_str().unwrap(),
+                "-c",
+                "sz3",
+                "--abs",
+                "1e-3",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("ratio"));
+        // decompress and check the bound
+        let restored = dir.join("restored_16x16x8.f32");
+        run(
+            parse(&[
+                "decompress",
+                "-i",
+                stream.to_str().unwrap(),
+                "-o",
+                restored.to_str().unwrap(),
+                "-c",
+                "sz3",
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let original = read_raw(&input).unwrap();
+        let back = read_raw(&restored).unwrap();
+        for (a, b) in original.to_f64_vec().iter().zip(back.to_f64_vec()) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+        // predict with a calculation scheme (no training state needed)
+        let mut buf = Vec::new();
+        run(
+            parse(&[
+                "predict",
+                "-i",
+                input.to_str().unwrap(),
+                "-c",
+                "sz3",
+                "--scheme",
+                "khan2023",
+                "--abs",
+                "1e-3",
+                "--verify",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("predicted compression ratio"));
+        assert!(text.contains("actual"));
+        // trainable scheme without state is a clear error
+        let err = run(
+            parse(&[
+                "predict",
+                "-i",
+                input.to_str().unwrap(),
+                "--scheme",
+                "rahman2023",
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        );
+        assert!(matches!(err, Err(Error::NotFitted(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,131 @@
+//! Unified error type for the pressio crates.
+
+use std::fmt;
+
+/// Errors produced by compressors, metrics, datasets, and predictors.
+///
+/// The C LibPressio library reports errors through per-object error codes and
+/// message strings; in Rust we use a single enum that implements
+/// [`std::error::Error`] so errors compose with `?`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An option was requested with the wrong type (e.g. asking for an `f64`
+    /// from a string-valued entry).
+    TypeMismatch {
+        /// The option key involved.
+        key: String,
+        /// The type that was requested.
+        expected: &'static str,
+        /// The type actually stored.
+        found: &'static str,
+    },
+    /// A required option was missing from the option structure.
+    MissingOption(String),
+    /// An option value was present and well-typed, but outside the domain the
+    /// consumer accepts (e.g. a negative error bound).
+    InvalidValue {
+        /// The option key involved.
+        key: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The requested plugin does not exist in the registry.
+    UnknownPlugin {
+        /// Registry kind ("compressor", "metric", "scheme", ...).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The input data had an unsupported type or shape.
+    UnsupportedData(String),
+    /// A compressed stream was malformed or truncated.
+    CorruptStream(String),
+    /// An I/O failure (message only, to keep the error `Clone`able).
+    Io(String),
+    /// The operation is unsupported by this plugin in its current
+    /// configuration (e.g. the Jin scheme asked to model ZFP).
+    Unsupported(String),
+    /// A predictor was asked to predict before being fit.
+    NotFitted(String),
+    /// A numerical routine failed to converge or produced a degenerate
+    /// result (singular matrix, empty sample, ...).
+    Numerical(String),
+    /// Serialization or deserialization of plugin state failed.
+    Serialization(String),
+    /// A worker task failed; carries the underlying message.
+    TaskFailed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "option '{key}': type mismatch (expected {expected}, found {found})"
+            ),
+            Error::MissingOption(key) => write!(f, "missing required option '{key}'"),
+            Error::InvalidValue { key, reason } => {
+                write!(f, "invalid value for option '{key}': {reason}")
+            }
+            Error::UnknownPlugin { kind, name } => {
+                write!(f, "unknown {kind} plugin '{name}'")
+            }
+            Error::UnsupportedData(msg) => write!(f, "unsupported data: {msg}"),
+            Error::CorruptStream(msg) => write!(f, "corrupt compressed stream: {msg}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Error::NotFitted(msg) => write!(f, "predictor not fitted: {msg}"),
+            Error::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            Error::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            Error::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::TypeMismatch {
+            key: "pressio:abs".into(),
+            expected: "f64",
+            found: "string",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pressio:abs"));
+        assert!(msg.contains("f64"));
+        assert!(msg.contains("string"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = Error::MissingOption("x".into());
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,266 @@
+//! The external metrics framework (paper §4.2, Figure 3 caption): metrics
+//! can be written in *any* language and attached through a subprocess
+//! bridge, "at the cost of some overhead".
+//!
+//! Protocol (line-oriented, stdin/stdout):
+//!
+//! ```text
+//! child stdin:   api=1
+//!                stage=begin_compress | end_decompress
+//!                dtype=<f32|f64|...>
+//!                dims=<d0> <d1> ...
+//!                data=<n>            # n whitespace-separated f64 follow
+//!                <v0> <v1> ... <vn-1>
+//!                done
+//! child stdout:  <name>=<f64 value>  # one metric per line
+//! ```
+//!
+//! The child is spawned per hook invocation; results are namespaced as
+//! `external:<name>`. Errors (missing binary, bad output, non-zero exit)
+//! surface as [`Error::TaskFailed`] so a buggy external metric cannot
+//! silently corrupt results — the failure containment the paper's bench
+//! needed in practice.
+
+use crate::data::Data;
+use crate::error::{Error, Result};
+use crate::metrics::{invalidations, MetricsPlugin};
+use crate::options::Options;
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// A metrics plugin that shells out to an external program.
+pub struct ExternalMetrics {
+    command: String,
+    args: Vec<String>,
+    /// Invalidation class the external metric declares
+    /// (`predictors:error_agnostic` by default; set error-dependent when
+    /// the program inspects reconstructions).
+    invalidation: String,
+    results: Options,
+}
+
+impl ExternalMetrics {
+    /// Bridge to `command` (invoked with `args` plus the protocol on
+    /// stdin).
+    pub fn new(command: impl Into<String>, args: Vec<String>) -> ExternalMetrics {
+        ExternalMetrics {
+            command: command.into(),
+            args,
+            invalidation: invalidations::ERROR_AGNOSTIC.to_string(),
+            results: Options::new(),
+        }
+    }
+
+    /// Declare the metric error-dependent (it will also receive the
+    /// decompressed output through `end_decompress`).
+    pub fn error_dependent(mut self) -> ExternalMetrics {
+        self.invalidation = invalidations::ERROR_DEPENDENT.to_string();
+        self
+    }
+
+    fn invoke(&self, stage: &str, data: &Data) -> Result<Options> {
+        let mut child = Command::new(&self.command)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| Error::TaskFailed(format!("spawn '{}': {e}", self.command)))?;
+        {
+            let stdin = child
+                .stdin
+                .as_mut()
+                .ok_or_else(|| Error::TaskFailed("no stdin".into()))?;
+            let mut payload = String::new();
+            payload.push_str("api=1\n");
+            payload.push_str(&format!("stage={stage}\n"));
+            payload.push_str(&format!("dtype={}\n", data.dtype().name()));
+            payload.push_str("dims=");
+            for (i, d) in data.dims().iter().enumerate() {
+                if i > 0 {
+                    payload.push(' ');
+                }
+                payload.push_str(&d.to_string());
+            }
+            payload.push('\n');
+            let values = data.to_f64_vec();
+            payload.push_str(&format!("data={}\n", values.len()));
+            for v in &values {
+                payload.push_str(&format!("{v} "));
+            }
+            payload.push_str("\ndone\n");
+            stdin
+                .write_all(payload.as_bytes())
+                .map_err(|e| Error::TaskFailed(format!("write to child: {e}")))?;
+        }
+        let output = child
+            .wait_with_output()
+            .map_err(|e| Error::TaskFailed(format!("wait for child: {e}")))?;
+        if !output.status.success() {
+            return Err(Error::TaskFailed(format!(
+                "external metric '{}' exited with {}",
+                self.command, output.status
+            )));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let mut results = Options::new();
+        for line in stdout.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once('=') else {
+                return Err(Error::TaskFailed(format!(
+                    "external metric produced malformed line '{line}'"
+                )));
+            };
+            let value: f64 = value.trim().parse().map_err(|_| {
+                Error::TaskFailed(format!("external metric value not numeric: '{line}'"))
+            })?;
+            results.set(format!("external:{}", name.trim()), value);
+        }
+        Ok(results)
+    }
+}
+
+impl MetricsPlugin for ExternalMetrics {
+    fn id(&self) -> &'static str {
+        "external"
+    }
+
+    fn begin_compress(&mut self, input: &Data) -> Result<()> {
+        let r = self.invoke("begin_compress", input)?;
+        self.results.merge_from(&r);
+        Ok(())
+    }
+
+    fn end_decompress(
+        &mut self,
+        _compressed: &[u8],
+        output: Option<&Data>,
+        ok: bool,
+    ) -> Result<()> {
+        if self.invalidation != invalidations::ERROR_DEPENDENT {
+            return Ok(());
+        }
+        let (Some(output), true) = (output, ok) else {
+            return Ok(());
+        };
+        let r = self.invoke("end_decompress", output)?;
+        self.results.merge_from(&r);
+        Ok(())
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new()
+            .with("external:command", self.command.as_str())
+            .with("external:args", self.args.clone())
+    }
+
+    fn get_configuration(&self) -> Options {
+        Options::new().with("predictors:invalidate", vec![self.invalidation.clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Write a tiny POSIX-shell metric program and return its path.
+    fn script(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pressio_external_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, format!("#!/bin/sh\n{body}\n")).unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn awk_metric_computes_mean() {
+        // an external metric in awk: mean of the data values
+        let path = script(
+            "mean.sh",
+            r#"awk '
+                /^data=/ { reading=1; next }
+                /^done$/ { reading=0 }
+                reading { for (i=1;i<=NF;i++) { s+=$i; n++ } }
+                END { if (n>0) printf "mean=%.17g\n", s/n }
+            '"#,
+        );
+        let mut m = ExternalMetrics::new(path.display().to_string(), vec![]);
+        let data = Data::from_f32(vec![4], vec![1.0, 2.0, 3.0, 6.0]);
+        m.begin_compress(&data).unwrap();
+        let r = m.results();
+        assert!((r.get_f64("external:mean").unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protocol_header_is_visible_to_the_program() {
+        // echo back the dims line as a "metric count" to prove the header
+        // arrives intact
+        let path = script(
+            "dims.sh",
+            r#"awk '/^dims=/ { sub(/^dims=/, ""); print "rank=" NF }'"#,
+        );
+        let mut m = ExternalMetrics::new(path.display().to_string(), vec![]);
+        let data = Data::from_f32(vec![2, 3, 4], vec![0.0; 24]);
+        m.begin_compress(&data).unwrap();
+        assert_eq!(m.results().get_f64("external:rank").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn missing_binary_errors() {
+        let mut m = ExternalMetrics::new("/definitely/not/a/binary", vec![]);
+        let data = Data::from_f32(vec![1], vec![0.0]);
+        assert!(matches!(
+            m.begin_compress(&data),
+            Err(Error::TaskFailed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_output_errors() {
+        let path = script("bad.sh", "echo 'this is not key value'");
+        let mut m = ExternalMetrics::new(path.display().to_string(), vec![]);
+        let data = Data::from_f32(vec![1], vec![0.0]);
+        assert!(m.begin_compress(&data).is_err());
+    }
+
+    #[test]
+    fn nonzero_exit_errors() {
+        let path = script("fail.sh", "cat > /dev/null; exit 3");
+        let mut m = ExternalMetrics::new(path.display().to_string(), vec![]);
+        let data = Data::from_f32(vec![1], vec![0.0]);
+        assert!(m.begin_compress(&data).is_err());
+    }
+
+    #[test]
+    fn error_dependent_mode_sees_reconstruction() {
+        let path = script(
+            "max.sh",
+            r#"awk '
+                /^data=/ { reading=1; next }
+                /^done$/ { reading=0 }
+                reading { for (i=1;i<=NF;i++) if ($i>m || n==0) { m=$i; n=1 } }
+                END { printf "max=%.17g\n", m }
+            '"#,
+        );
+        let mut m =
+            ExternalMetrics::new(path.display().to_string(), vec![]).error_dependent();
+        let recon = Data::from_f64(vec![3], vec![1.0, 9.0, 2.0]);
+        m.end_decompress(&[], Some(&recon), true).unwrap();
+        assert_eq!(m.results().get_f64("external:max").unwrap(), 9.0);
+        // agnostic-mode plugin ignores decompress hooks
+        let mut agnostic = ExternalMetrics::new("/definitely/not/a/binary".to_string(), vec![]);
+        assert!(agnostic.end_decompress(&[], Some(&recon), true).is_ok());
+    }
+}

@@ -1,0 +1,325 @@
+//! Deterministic option-structure hashing (paper §4.3).
+//!
+//! LibPressio-Predict-Bench indexes its checkpoint database by a *stable
+//! cryptographic* hash of option structures: unlike `std::hash`, the digest
+//! is identical across executions, architectures, and library versions, so a
+//! restarted job finds its previous results. We implement SHA-256 from the
+//! FIPS 180-4 specification (no external dependency) and define a canonical
+//! byte encoding of [`Options`]: entries are walked in sorted-key order and
+//! `Opaque` values (the analog of `void*` CUDA streams / `MPI_Comm`) are
+//! skipped.
+
+use crate::options::Options;
+use crate::value::Value;
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher with the FIPS initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(rest.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&rest[..take]);
+            self.buffer_len += take;
+            rest = &rest[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().unwrap());
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+
+    /// Finish and produce the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update(&[0x00]);
+        }
+        // append length without re-counting it
+        self.total_len = self.total_len.wrapping_sub(8);
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Render a digest as lowercase hex.
+pub fn to_hex(digest: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(64);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hash_value(h: &mut Sha256, v: &Value) {
+    // A one-byte type tag keeps e.g. U64(1) and I64(1) distinct.
+    match v {
+        Value::Bool(b) => {
+            h.update(&[0x01, *b as u8]);
+        }
+        Value::I64(x) => {
+            h.update(&[0x02]);
+            h.update(&x.to_le_bytes());
+        }
+        Value::U64(x) => {
+            h.update(&[0x03]);
+            h.update(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            h.update(&[0x04]);
+            // canonicalize -0.0 so numerically equal configs hash equal
+            let x = if *x == 0.0 { 0.0 } else { *x };
+            h.update(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            h.update(&[0x05]);
+            h.update(&(s.len() as u64).to_le_bytes());
+            h.update(s.as_bytes());
+        }
+        Value::F64Vec(xs) => {
+            h.update(&[0x06]);
+            h.update(&(xs.len() as u64).to_le_bytes());
+            for x in xs {
+                let x = if *x == 0.0 { 0.0 } else { *x };
+                h.update(&x.to_le_bytes());
+            }
+        }
+        Value::U64Vec(xs) => {
+            h.update(&[0x07]);
+            h.update(&(xs.len() as u64).to_le_bytes());
+            for x in xs {
+                h.update(&x.to_le_bytes());
+            }
+        }
+        Value::StrVec(xs) => {
+            h.update(&[0x08]);
+            h.update(&(xs.len() as u64).to_le_bytes());
+            for s in xs {
+                h.update(&(s.len() as u64).to_le_bytes());
+                h.update(s.as_bytes());
+            }
+        }
+        Value::Bytes(xs) => {
+            h.update(&[0x09]);
+            h.update(&(xs.len() as u64).to_le_bytes());
+            h.update(xs);
+        }
+        Value::Opaque(_) => unreachable!("opaque values are filtered before hashing"),
+    }
+}
+
+/// Stable digest of an option structure.
+///
+/// Entries are visited in sorted-key order (guaranteed by [`Options`]'s
+/// `BTreeMap`); `Opaque` entries are skipped so runtime handles do not
+/// perturb the key a result is stored under.
+pub fn hash_options(opts: &Options) -> [u8; 32] {
+    let mut h = Sha256::new();
+    for (k, v) in opts.iter() {
+        if !v.is_hashable() {
+            continue;
+        }
+        h.update(&(k.len() as u64).to_le_bytes());
+        h.update(k.as_bytes());
+        hash_value(&mut h, v);
+    }
+    h.finalize()
+}
+
+/// Hex form of [`hash_options`] — the checkpoint database key.
+pub fn hash_options_hex(opts: &Options) -> String {
+    to_hex(&hash_options(opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 test vectors.
+    #[test]
+    fn sha256_known_vectors() {
+        assert_eq!(
+            to_hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            to_hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            to_hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn option_hash_is_insertion_order_independent() {
+        let a = Options::new().with("x", 1.0).with("y", "abs");
+        let b = Options::new().with("y", "abs").with("x", 1.0);
+        assert_eq!(hash_options(&a), hash_options(&b));
+    }
+
+    #[test]
+    fn option_hash_distinguishes_values_and_types() {
+        let base = Options::new().with("pressio:abs", 1e-6);
+        let other = Options::new().with("pressio:abs", 1e-4);
+        assert_ne!(hash_options(&base), hash_options(&other));
+        let int1 = Options::new().with("n", 1u64);
+        let sint1 = Options::new().with("n", 1i64);
+        assert_ne!(hash_options(&int1), hash_options(&sint1));
+    }
+
+    #[test]
+    fn opaque_entries_do_not_affect_hash() {
+        let plain = Options::new().with("pressio:abs", 1e-6);
+        let mut with_handle = plain.clone();
+        with_handle.set("runtime:stream", Value::Opaque("cuda-stream-7".into()));
+        assert_eq!(hash_options(&plain), hash_options(&with_handle));
+    }
+
+    #[test]
+    fn negative_zero_canonicalized() {
+        let a = Options::new().with("v", 0.0f64);
+        let b = Options::new().with("v", -0.0f64);
+        assert_eq!(hash_options(&a), hash_options(&b));
+    }
+
+    #[test]
+    fn key_value_boundaries_unambiguous() {
+        // ("ab" -> "c") must differ from ("a" -> "bc")
+        let a = Options::new().with("ab", "c");
+        let b = Options::new().with("a", "bc");
+        assert_ne!(hash_options(&a), hash_options(&b));
+    }
+}

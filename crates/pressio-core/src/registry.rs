@@ -1,0 +1,127 @@
+//! Generic name → factory registries.
+//!
+//! LibPressio exposes compressors, metrics, datasets, and prediction schemes
+//! through string-keyed registries so applications select plugins by
+//! configuration rather than by link-time dependency. This module provides
+//! the shared mechanism; each crate registers its plugins into a registry
+//! instance owned by the caller (no global mutable state).
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A registry mapping plugin names to boxed factory closures.
+pub struct Registry<T: ?Sized> {
+    kind: &'static str,
+    factories: BTreeMap<String, Box<dyn Fn() -> Box<T> + Send + Sync>>,
+}
+
+impl<T: ?Sized> Registry<T> {
+    /// Create an empty registry; `kind` appears in error messages
+    /// (`"compressor"`, `"metric"`, `"scheme"`, ...).
+    pub fn new(kind: &'static str) -> Self {
+        Registry {
+            kind,
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// Register a factory under `name`, replacing any previous registration.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<T> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.factories.insert(name.into(), Box::new(factory));
+        self
+    }
+
+    /// Instantiate the plugin registered under `name`.
+    pub fn build(&self, name: &str) -> Result<Box<T>> {
+        self.factories
+            .get(name)
+            .map(|f| f())
+            .ok_or_else(|| Error::UnknownPlugin {
+                kind: self.kind,
+                name: name.to_string(),
+            })
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered plugins.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Greeter: Send {
+        fn greet(&self) -> String;
+    }
+
+    struct English;
+    impl Greeter for English {
+        fn greet(&self) -> String {
+            "hello".into()
+        }
+    }
+
+    #[test]
+    fn register_and_build() {
+        let mut r: Registry<dyn Greeter> = Registry::new("greeter");
+        r.register("en", || Box::new(English));
+        assert!(r.contains("en"));
+        assert_eq!(r.build("en").unwrap().greet(), "hello");
+    }
+
+    #[test]
+    fn unknown_plugin_error_names_kind() {
+        let r: Registry<dyn Greeter> = Registry::new("greeter");
+        let err = match r.build("fr") {
+            Err(e) => e,
+            Ok(_) => panic!("expected error"),
+        };
+        assert!(err.to_string().contains("greeter"));
+        assert!(err.to_string().contains("fr"));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut r: Registry<dyn Greeter> = Registry::new("greeter");
+        r.register("zz", || Box::new(English));
+        r.register("aa", || Box::new(English));
+        assert_eq!(r.names(), vec!["aa", "zz"]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        struct Loud;
+        impl Greeter for Loud {
+            fn greet(&self) -> String {
+                "HELLO".into()
+            }
+        }
+        let mut r: Registry<dyn Greeter> = Registry::new("greeter");
+        r.register("en", || Box::new(English));
+        r.register("en", || Box::new(Loud));
+        assert_eq!(r.build("en").unwrap().greet(), "HELLO");
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Small timing utilities shared by the metrics plugins, the prediction
+//! framework's stage timers, and the benchmark harness.
+
+use std::time::Instant;
+
+/// Run `f`, returning its result and the elapsed wall-clock milliseconds.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Streaming mean / standard-deviation accumulator (Welford's algorithm).
+///
+/// Table 2 of the paper reports every stage time as `mean ± sd`; this is the
+/// accumulator behind those cells. Welford's update is numerically stable for
+/// long runs where naive sum-of-squares cancels.
+#[derive(Debug, Clone, Default)]
+pub struct MeanStd {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n-1 denominator; 0 for fewer than two
+    /// observations).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &MeanStd) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+
+    /// `"mean ± sd"` with the given precision, as printed in Table 2.
+    pub fn display(&self, precision: usize) -> String {
+        format!(
+            "{:.p$} ± {:.p$}",
+            self.mean(),
+            self.std(),
+            p = precision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_matches_closed_form() {
+        let mut acc = MeanStd::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            acc.push(x);
+        }
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        // sample sd of this classic dataset is sqrt(32/7)
+        assert!((acc.std() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(acc.count(), 8);
+    }
+
+    #[test]
+    fn fewer_than_two_observations_have_zero_std() {
+        let mut acc = MeanStd::new();
+        assert_eq!(acc.std(), 0.0);
+        acc.push(3.0);
+        assert_eq!(acc.std(), 0.0);
+        assert_eq!(acc.mean(), 3.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut seq = MeanStd::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        let mut a = MeanStd::new();
+        let mut b = MeanStd::new();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.std() - seq.std()).abs() < 1e-9);
+        assert_eq!(a.count(), seq.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = MeanStd::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = (a.mean(), a.std(), a.count());
+        a.merge(&MeanStd::new());
+        assert_eq!((a.mean(), a.std(), a.count()), before);
+
+        let mut empty = MeanStd::new();
+        empty.merge(&a);
+        assert_eq!((empty.mean(), empty.std(), empty.count()), before);
+    }
+
+    #[test]
+    fn time_ms_measures() {
+        let ((), ms) = time_ms(|| std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(ms >= 4.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut acc = MeanStd::new();
+        acc.push(1.0);
+        acc.push(3.0);
+        assert_eq!(acc.display(2), "2.00 ± 1.41");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the option system and the stable hashing that keys
+//! the checkpoint database: hashes must be insertion-order independent,
+//! sensitive to every hashable entry, and stable through serialization.
+
+use pressio_core::hash::{hash_options, hash_options_hex, Sha256};
+use pressio_core::{Options, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        any::<u64>().prop_map(Value::U64),
+        (-1e12f64..1e12).prop_map(Value::F64),
+        "[a-z0-9:_]{0,24}".prop_map(Value::Str),
+        prop::collection::vec(-1e6f64..1e6, 0..8).prop_map(Value::F64Vec),
+        prop::collection::vec(any::<u64>(), 0..8).prop_map(Value::U64Vec),
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ]
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<(String, Value)>> {
+    prop::collection::vec(("[a-z][a-z0-9:_]{0,16}", arb_value()), 0..12).prop_map(|mut v| {
+        // unique keys (later duplicates would overwrite anyway)
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|a, b| a.0 == b.0);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hash_is_insertion_order_independent(entries in arb_entries()) {
+        let forward: Options = entries.iter().cloned().collect();
+        let reversed: Options = entries.iter().rev().cloned().collect();
+        prop_assert_eq!(hash_options(&forward), hash_options(&reversed));
+    }
+
+    #[test]
+    fn hash_survives_json_round_trip(entries in arb_entries()) {
+        let opts: Options = entries.into_iter().collect();
+        let restored = Options::from_json(&opts.to_json().unwrap()).unwrap();
+        prop_assert_eq!(hash_options(&opts), hash_options(&restored));
+        prop_assert_eq!(opts, restored);
+    }
+
+    #[test]
+    fn any_entry_change_changes_the_hash(entries in arb_entries(), extra_key in "[a-z]{3,8}") {
+        let base: Options = entries.clone().into_iter().collect();
+        if base.contains(&extra_key) {
+            return Ok(()); // collision with an existing key: skip
+        }
+        let modified = base.clone().with(extra_key, 12345u64);
+        prop_assert_ne!(hash_options(&base), hash_options(&modified));
+    }
+
+    #[test]
+    fn opaque_entries_never_affect_the_hash(entries in arb_entries(), label in "[a-z]{1,12}") {
+        let base: Options = entries.into_iter().collect();
+        let mut with_opaque = base.clone();
+        with_opaque.set("zzz:runtime_handle", Value::Opaque(label));
+        prop_assert_eq!(hash_options(&base), hash_options(&with_opaque));
+    }
+
+    #[test]
+    fn hex_is_64_lowercase_chars(entries in arb_entries()) {
+        let opts: Options = entries.into_iter().collect();
+        let hex = hash_options_hex(&opts);
+        prop_assert_eq!(hex.len(), 64);
+        prop_assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2000), split in 0usize..2000) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn merge_then_extract_is_consistent(a in arb_entries(), b in arb_entries()) {
+        let oa: Options = a.into_iter().collect();
+        let ob: Options = b.into_iter().collect();
+        let mut merged = oa.clone();
+        merged.merge_from(&ob);
+        // every key of b holds b's value in the merge
+        for (k, v) in ob.iter() {
+            prop_assert_eq!(merged.get(k), Some(v));
+        }
+        // keys only in a keep a's value
+        for (k, v) in oa.iter() {
+            if !ob.contains(k) {
+                prop_assert_eq!(merged.get(k), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! `folder_loader`: walk a directory, match raw files by pattern, and serve
+//! them as datasets with file-provenance attributes (Figure 2).
+//!
+//! Metadata (name, shape, dtype) comes entirely from the filename, so
+//! `load_metadata_all` never opens a file — job configuration only needs
+//! metadata, exactly as the paper's pipeline requires.
+
+use crate::io::{parse_filename, read_raw};
+use crate::plugin::{index_error, DatasetMeta, DatasetPlugin};
+use pressio_core::error::Result;
+use pressio_core::{Data, Options};
+use std::path::{Path, PathBuf};
+
+/// Directory-walking dataset source.
+pub struct FolderLoader {
+    root: PathBuf,
+    pattern: Option<String>,
+    entries: Vec<(PathBuf, DatasetMeta)>,
+}
+
+impl FolderLoader {
+    /// Scan `root` (non-recursive) for loadable files; `pattern`, when
+    /// given, must be a substring of the field name (cheap glob stand-in).
+    pub fn open(root: &Path, pattern: Option<&str>) -> Result<FolderLoader> {
+        let mut entries = Vec::new();
+        let mut names: Vec<PathBuf> = std::fs::read_dir(root)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        names.sort(); // deterministic ordering
+        for path in names {
+            if !path.is_file() {
+                continue;
+            }
+            let Ok((name, dims, dtype)) = parse_filename(&path) else {
+                continue; // non-dataset files are skipped silently
+            };
+            if let Some(p) = pattern {
+                if !name.contains(p) {
+                    continue;
+                }
+            }
+            let attributes = Options::new()
+                .with("source:path", path.display().to_string())
+                .with("source:loader", "folder");
+            entries.push((
+                path.clone(),
+                DatasetMeta {
+                    name,
+                    dtype,
+                    dims,
+                    attributes,
+                },
+            ));
+        }
+        Ok(FolderLoader {
+            root: root.to_path_buf(),
+            pattern: pattern.map(String::from),
+            entries,
+        })
+    }
+}
+
+impl DatasetPlugin for FolderLoader {
+    fn id(&self) -> &'static str {
+        "folder"
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn load_metadata(&mut self, index: usize) -> Result<DatasetMeta> {
+        self.entries
+            .get(index)
+            .map(|(_, m)| m.clone())
+            .ok_or_else(|| index_error(index, self.entries.len()))
+    }
+
+    fn load_data(&mut self, index: usize) -> Result<Data> {
+        let (path, _) = self
+            .entries
+            .get(index)
+            .ok_or_else(|| index_error(index, self.entries.len()))?;
+        read_raw(path)
+    }
+
+    fn get_options(&self) -> Options {
+        let mut o = Options::new().with("folder:root", self.root.display().to_string());
+        if let Some(p) = &self.pattern {
+            o.set("folder:pattern", p.as_str());
+        }
+        o
+    }
+
+    fn get_configuration(&self) -> Options {
+        Options::new().with("folder:metadata_is_free", true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_raw;
+
+    fn setup(dirname: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(dirname);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, n) in [("U", 8usize), ("V", 8), ("QRAIN", 16)] {
+            let data = Data::from_f32(vec![n], (0..n).map(|i| i as f32).collect());
+            write_raw(&dir, name, &data).unwrap();
+        }
+        std::fs::write(dir.join("README.txt"), "not a dataset").unwrap();
+        dir
+    }
+
+    #[test]
+    fn walks_and_loads() {
+        let dir = setup("pressio_folder_test");
+        let mut loader = FolderLoader::open(&dir, None).unwrap();
+        assert_eq!(loader.len(), 3); // README skipped
+        let metas = loader.load_metadata_all().unwrap();
+        let names: Vec<&str> = metas.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["QRAIN", "U", "V"]); // sorted by path
+        let d = loader.load_data(1).unwrap();
+        assert_eq!(d.num_elements(), 8);
+        // provenance attribute present
+        assert!(metas[0]
+            .attributes
+            .get_str("source:path")
+            .unwrap()
+            .contains("QRAIN"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pattern_filters() {
+        let dir = setup("pressio_folder_pattern_test");
+        let mut loader = FolderLoader::open(&dir, Some("Q")).unwrap();
+        assert_eq!(loader.len(), 1);
+        assert_eq!(loader.load_metadata(0).unwrap().name, "QRAIN");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        assert!(FolderLoader::open(Path::new("/definitely/not/a/dir"), None).is_err());
+    }
+
+    #[test]
+    fn metadata_matches_loaded_data() {
+        let dir = setup("pressio_folder_meta_test");
+        let mut loader = FolderLoader::open(&dir, None).unwrap();
+        for i in 0..loader.len() {
+            let meta = loader.load_metadata(i).unwrap();
+            let data = loader.load_data(i).unwrap();
+            assert_eq!(meta.dims, data.dims());
+            assert_eq!(meta.dtype, data.dtype());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

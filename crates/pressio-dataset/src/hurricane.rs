@@ -1,0 +1,404 @@
+//! Synthetic Hurricane Isabel stand-in.
+//!
+//! The paper evaluates on the Hurricane Isabel dataset (48 timesteps × 13
+//! fields of 500×500×100 `f32`). That data is not redistributable here, so
+//! this module generates a deterministic synthetic hurricane with the
+//! property the paper's analysis actually hinges on: a **mix of dense
+//! smooth fields and sparse fields** (§6 — "Hurricane features a mix of
+//! sparse and dense data fields... sparse fields can be substantially more
+//! compressible"). The 13 field names match the real dataset's.
+//!
+//! Field construction: a Rankine-style vortex whose eye drifts across the
+//! domain over the 48 timesteps provides the large-scale structure; a
+//! deterministic value-noise field adds spatially correlated turbulence;
+//! the moisture fields (QCLOUD, QRAIN, QICE, QSNOW, QGRAUP, CLOUD, PRECIP)
+//! are thresholded plumes that are exactly zero over most of the volume.
+
+use crate::plugin::{index_error, DatasetMeta, DatasetPlugin};
+use pressio_core::error::Result;
+use pressio_core::{Data, Dtype, Options};
+
+/// The 13 Hurricane Isabel field names.
+pub const FIELDS: [&str; 13] = [
+    "CLOUD", "P", "PRECIP", "QCLOUD", "QGRAUP", "QICE", "QRAIN", "QSNOW", "QVAPOR", "TC", "U",
+    "V", "W",
+];
+
+/// Fields that are sparse (mostly exact zeros) in the real dataset.
+pub const SPARSE_FIELDS: [&str; 7] = [
+    "CLOUD", "PRECIP", "QCLOUD", "QGRAUP", "QICE", "QRAIN", "QSNOW",
+];
+
+/// Number of timesteps in the full dataset.
+pub const TIMESTEPS: usize = 48;
+
+/// Deterministic hash-based value noise (smooth, spatially correlated).
+fn hash3(x: i64, y: i64, z: i64, seed: u64) -> f64 {
+    let mut h = seed
+        ^ (x as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F)
+        ^ (z as u64).wrapping_mul(0x165667B19E3779F9);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D049BB133111EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Trilinear value noise at continuous coordinates, in `[-1, 1]`.
+fn value_noise(x: f64, y: f64, z: f64, seed: u64) -> f64 {
+    let (xi, yi, zi) = (x.floor() as i64, y.floor() as i64, z.floor() as i64);
+    let (fx, fy, fz) = (
+        smoothstep(x - xi as f64),
+        smoothstep(y - yi as f64),
+        smoothstep(z - zi as f64),
+    );
+    let mut acc = 0.0;
+    for (dz, wz) in [(0i64, 1.0 - fz), (1, fz)] {
+        for (dy, wy) in [(0i64, 1.0 - fy), (1, fy)] {
+            for (dx, wx) in [(0i64, 1.0 - fx), (1, fx)] {
+                acc += wx * wy * wz * hash3(xi + dx, yi + dy, zi + dz, seed);
+            }
+        }
+    }
+    acc
+}
+
+/// Two-octave fractal noise, in roughly `[-1.5, 1.5]`.
+fn turbulence(x: f64, y: f64, z: f64, seed: u64) -> f64 {
+    value_noise(x, y, z, seed) + 0.5 * value_noise(x * 2.0 + 17.0, y * 2.0, z * 2.0, seed ^ 0xABCD)
+}
+
+/// Synthetic hurricane volume generator.
+#[derive(Debug, Clone)]
+pub struct Hurricane {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    timesteps: usize,
+    fields: Vec<String>,
+    seed: u64,
+}
+
+impl Hurricane {
+    /// Full-resolution configuration (500×500×100, 48 timesteps, 13
+    /// fields) — the shape the paper used.
+    pub fn full() -> Hurricane {
+        Hurricane::with_dims(500, 500, 100, TIMESTEPS)
+    }
+
+    /// Laptop-scale configuration used by the bundled experiments.
+    pub fn small() -> Hurricane {
+        Hurricane::with_dims(64, 64, 32, TIMESTEPS)
+    }
+
+    /// Custom grid and timestep count, all 13 fields.
+    pub fn with_dims(nx: usize, ny: usize, nz: usize, timesteps: usize) -> Hurricane {
+        Hurricane {
+            nx,
+            ny,
+            nz,
+            timesteps,
+            fields: FIELDS.iter().map(|s| s.to_string()).collect(),
+            seed: 0x15ABE1,
+        }
+    }
+
+    /// Restrict to a subset of fields (names must come from [`FIELDS`]).
+    pub fn with_fields(mut self, fields: &[&str]) -> Hurricane {
+        self.fields = fields.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Change the generator seed (varies the synthetic weather).
+    pub fn with_seed(mut self, seed: u64) -> Hurricane {
+        self.seed = seed;
+        self
+    }
+
+    /// Grid dims (fastest first).
+    pub fn dims(&self) -> Vec<usize> {
+        vec![self.nx, self.ny, self.nz]
+    }
+
+    /// Number of timesteps.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Field names generated.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Whether a field is of the sparse family.
+    pub fn is_sparse(field: &str) -> bool {
+        SPARSE_FIELDS.contains(&field)
+    }
+
+    /// Generate one `field` at `timestep` as an `f32` volume.
+    pub fn generate(&self, field: &str, timestep: usize) -> Data {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let t = timestep as f64 / self.timesteps.max(1) as f64;
+        // eye track: drifts diagonally across the middle of the domain
+        let cx = (0.25 + 0.5 * t) * nx as f64;
+        let cy = (0.30 + 0.4 * t) * ny as f64;
+        let rm = 0.12 * nx as f64; // radius of maximum wind
+        let seed = self.seed ^ (timestep as u64).wrapping_mul(0x9E37);
+        let noise_scale = 8.0 / (nx as f64).max(1.0);
+        let mut out = Vec::with_capacity(nx * ny * nz);
+        for z in 0..nz {
+            let zf = z as f64 / nz.max(1) as f64;
+            for y in 0..ny {
+                for x in 0..nx {
+                    let dx = x as f64 - cx;
+                    let dy = y as f64 - cy;
+                    let r = (dx * dx + dy * dy).sqrt().max(1e-9);
+                    // Rankine-style swirl speed, decaying with altitude
+                    let swirl = (r / rm) * (1.0 - r / rm).exp() * (1.0 - 0.6 * zf);
+                    let nval = turbulence(
+                        x as f64 * noise_scale,
+                        y as f64 * noise_scale,
+                        z as f64 * noise_scale * 2.0 + t * 5.0,
+                        seed,
+                    );
+                    let v = match field {
+                        "U" => -dy / r * swirl * 60.0 + 4.0 * nval,
+                        "V" => dx / r * swirl * 60.0 + 4.0 * nval,
+                        "W" => {
+                            // updraft ring at the eyewall
+                            let ring = (-((r - rm) / (0.4 * rm)).powi(2)).exp();
+                            ring * (1.0 - zf) * 8.0 + 0.5 * nval
+                        }
+                        "P" => {
+                            // pressure deficit filling with altitude
+                            let deficit = 60.0 * (-(r / (2.0 * rm)).powi(2)).exp();
+                            1000.0 - 90.0 * zf - deficit * (1.0 - 0.5 * zf) + 0.8 * nval
+                        }
+                        "TC" => {
+                            // lapse rate + warm core
+                            let core = 6.0 * (-(r / rm).powi(2)).exp();
+                            28.0 - 60.0 * zf + core + 0.5 * nval
+                        }
+                        "QVAPOR" => {
+                            let humid = (-(zf * 3.0)).exp();
+                            (0.02 * humid * (1.0 + 0.4 * (-(r / (3.0 * rm)).powi(2)).exp())
+                                + 0.002 * nval)
+                                .max(0.0)
+                        }
+                        // sparse families: thresholded plumes
+                        "QCLOUD" | "CLOUD" => {
+                            let ring = (-((r - rm) / (0.8 * rm)).powi(2)).exp();
+                            sparse_plume(ring * (1.0 - zf), nval, 0.55, 0.004)
+                        }
+                        "QRAIN" | "PRECIP" => {
+                            let ring = (-((r - 0.8 * rm) / (0.6 * rm)).powi(2)).exp();
+                            sparse_plume(ring * (1.0 - zf).powi(2), nval, 0.65, 0.008)
+                        }
+                        "QICE" | "QSNOW" => {
+                            // only aloft
+                            let ring = (-((r - 1.2 * rm) / rm).powi(2)).exp();
+                            sparse_plume(ring * zf, nval, 0.7, 0.003)
+                        }
+                        "QGRAUP" => {
+                            let ring = (-((r - rm) / (0.5 * rm)).powi(2)).exp();
+                            sparse_plume(ring * zf * (1.0 - zf) * 4.0, nval, 0.8, 0.005)
+                        }
+                        _ => nval,
+                    };
+                    out.push(v as f32);
+                }
+            }
+        }
+        Data::from_f32(vec![nx, ny, nz], out)
+    }
+}
+
+/// Thresholded plume: exactly zero unless the envelope and the turbulence
+/// jointly exceed the threshold — this is what makes the moisture fields
+/// mostly exact zeros with patchy nonzero regions, like the real data.
+fn sparse_plume(envelope: f64, noise: f64, threshold: f64, scale: f64) -> f64 {
+    let intensity = envelope * (0.6 + 0.4 * noise);
+    if intensity > threshold {
+        (intensity - threshold) * scale / (1.0 - threshold)
+    } else {
+        0.0
+    }
+}
+
+impl DatasetPlugin for Hurricane {
+    fn id(&self) -> &'static str {
+        "hurricane"
+    }
+
+    /// One dataset per (timestep, field), timestep-major.
+    fn len(&self) -> usize {
+        self.timesteps * self.fields.len()
+    }
+
+    fn load_metadata(&mut self, index: usize) -> Result<DatasetMeta> {
+        if index >= self.len() {
+            return Err(index_error(index, self.len()));
+        }
+        let (timestep, field) = (
+            index / self.fields.len(),
+            &self.fields[index % self.fields.len()],
+        );
+        Ok(DatasetMeta {
+            name: format!("{field}@t{timestep:02}"),
+            dtype: Dtype::F32,
+            dims: self.dims(),
+            attributes: Options::new()
+                .with("hurricane:field", field.as_str())
+                .with("hurricane:timestep", timestep as u64)
+                .with("hurricane:sparse", Hurricane::is_sparse(field)),
+        })
+    }
+
+    fn load_data(&mut self, index: usize) -> Result<Data> {
+        if index >= self.len() {
+            return Err(index_error(index, self.len()));
+        }
+        let (timestep, field) = (
+            index / self.fields.len(),
+            self.fields[index % self.fields.len()].clone(),
+        );
+        Ok(self.generate(&field, timestep))
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new()
+            .with("hurricane:nx", self.nx as u64)
+            .with("hurricane:ny", self.ny as u64)
+            .with("hurricane:nz", self.nz as u64)
+            .with("hurricane:timesteps", self.timesteps as u64)
+            .with("hurricane:seed", self.seed)
+            .with("hurricane:fields", self.fields.clone())
+    }
+
+    fn get_configuration(&self) -> Options {
+        Options::new()
+            .with("hurricane:synthetic", true)
+            .with(
+                "hurricane:provenance",
+                "deterministic stand-in for Hurricane Isabel (see DESIGN.md)",
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pressio_stats::summarize;
+
+    fn small() -> Hurricane {
+        Hurricane::with_dims(32, 32, 16, 4)
+    }
+
+    #[test]
+    fn dataset_enumeration() {
+        let mut h = small();
+        assert_eq!(h.len(), 4 * 13);
+        let m0 = h.load_metadata(0).unwrap();
+        assert_eq!(m0.name, "CLOUD@t00");
+        let m_last = h.load_metadata(h.len() - 1).unwrap();
+        assert_eq!(m_last.name, "W@t03");
+        assert!(h.load_metadata(h.len()).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let h = small();
+        let a = h.generate("U", 2);
+        let b = h.generate("U", 2);
+        assert_eq!(a, b);
+        let c = h.clone().with_seed(99).generate("U", 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_fields_are_mostly_zero_dense_are_not() {
+        let h = small();
+        for field in SPARSE_FIELDS {
+            let d = h.generate(field, 1);
+            let s = summarize(&d.to_f64_vec());
+            assert!(
+                s.zero_fraction > 0.5,
+                "{field}: zero fraction {} too low",
+                s.zero_fraction
+            );
+        }
+        for field in ["U", "V", "P", "TC", "QVAPOR"] {
+            let d = h.generate(field, 1);
+            let s = summarize(&d.to_f64_vec());
+            assert!(
+                s.zero_fraction < 0.05,
+                "{field}: zero fraction {} too high",
+                s.zero_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn fields_evolve_over_time() {
+        let h = small();
+        assert_ne!(h.generate("P", 0), h.generate("P", 3));
+    }
+
+    #[test]
+    fn dense_fields_are_spatially_correlated() {
+        // lag-1 variogram score well below 1 (noise) for the smooth fields
+        let h = small();
+        let d = h.generate("P", 0);
+        let score = pressio_stats::variogram_score(&d.to_f64_vec(), d.dims());
+        assert!(score < 0.3, "P variogram score {score}");
+    }
+
+    #[test]
+    fn physically_plausible_ranges() {
+        let h = small();
+        let p = summarize(&h.generate("P", 0).to_f64_vec());
+        assert!(p.min > 800.0 && p.max < 1100.0, "pressure {p:?}");
+        let tc = summarize(&h.generate("TC", 0).to_f64_vec());
+        assert!(tc.min > -80.0 && tc.max < 60.0, "temperature {tc:?}");
+        let q = summarize(&h.generate("QVAPOR", 0).to_f64_vec());
+        assert!(q.min >= 0.0, "humidity cannot be negative");
+    }
+
+    #[test]
+    fn full_and_small_presets() {
+        let f = Hurricane::full();
+        assert_eq!(f.dims(), vec![500, 500, 100]);
+        assert_eq!(f.timesteps(), 48);
+        let s = Hurricane::small();
+        assert_eq!(s.timesteps(), 48);
+        assert_eq!(s.fields().len(), 13);
+    }
+
+    #[test]
+    fn field_subset() {
+        let mut h = small().with_fields(&["U", "QRAIN"]);
+        assert_eq!(h.len(), 4 * 2);
+        assert_eq!(h.load_metadata(1).unwrap().name, "QRAIN@t00");
+        let sparse_attr = h
+            .load_metadata(1)
+            .unwrap()
+            .attributes
+            .get_bool("hurricane:sparse")
+            .unwrap();
+        assert!(sparse_attr);
+    }
+
+    #[test]
+    fn options_include_generator_config() {
+        let h = small();
+        let o = h.get_options();
+        assert_eq!(o.get_u64("hurricane:nx").unwrap(), 32);
+        assert_eq!(o.get_str_slice("hurricane:fields").unwrap().len(), 13);
+    }
+}

@@ -1,0 +1,182 @@
+//! The `dataset_plugin` abstraction (paper §4.1): metadata-first loading
+//! with the four primary methods `load_metadata`, `load_data`, and their
+//! `*_all` batch variants, plus option-based configuration.
+//!
+//! Plugins stack: a loader can wrap another loader to add caching,
+//! sampling, or preprocessing without the consumer changing (Figure 2).
+
+use pressio_core::error::Result;
+use pressio_core::{Data, Dtype, Options};
+
+/// Lightweight description of one dataset — everything a scheduler needs
+/// to plan work without touching the (possibly huge) payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeta {
+    /// Human-readable name (e.g. `"QRAIN@t07"`).
+    pub name: String,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Shape, fastest-varying dimension first.
+    pub dims: Vec<usize>,
+    /// Source-specific attributes (file path, timestep, field, ...).
+    pub attributes: Options,
+}
+
+impl DatasetMeta {
+    /// Total elements.
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Total payload bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.num_elements() * self.dtype.size()
+    }
+}
+
+/// A source (or transformer) of datasets.
+pub trait DatasetPlugin: Send {
+    /// Stable identifier (`"folder"`, `"local_cache"`, `"hurricane"`, ...).
+    fn id(&self) -> &'static str;
+
+    /// Number of datasets available.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load only the metadata of dataset `index` — must be cheap; job
+    /// planning and sampling configuration rely on it (Figure 2).
+    fn load_metadata(&mut self, index: usize) -> Result<DatasetMeta>;
+
+    /// Load the full payload of dataset `index`.
+    fn load_data(&mut self, index: usize) -> Result<Data>;
+
+    /// Batch metadata load; sources that can amortize per-call overhead
+    /// (directory walks, file-header reads) should override.
+    fn load_metadata_all(&mut self) -> Result<Vec<DatasetMeta>> {
+        (0..self.len()).map(|i| self.load_metadata(i)).collect()
+    }
+
+    /// Batch payload load; override when bulk I/O can be coalesced.
+    fn load_data_all(&mut self) -> Result<Vec<Data>> {
+        (0..self.len()).map(|i| self.load_data(i)).collect()
+    }
+
+    /// Apply settings (default: accept and ignore).
+    fn set_options(&mut self, _opts: &Options) -> Result<()> {
+        Ok(())
+    }
+
+    /// Current settings.
+    fn get_options(&self) -> Options {
+        Options::new()
+    }
+
+    /// Static capabilities and provenance metadata.
+    fn get_configuration(&self) -> Options {
+        Options::new()
+    }
+}
+
+/// A trivial in-memory source, useful for tests and for feeding
+/// already-loaded buffers through plugin stacks.
+pub struct MemoryDataset {
+    items: Vec<(DatasetMeta, Data)>,
+}
+
+impl MemoryDataset {
+    /// Wrap named buffers.
+    pub fn new(items: Vec<(String, Data)>) -> MemoryDataset {
+        let items = items
+            .into_iter()
+            .map(|(name, data)| {
+                (
+                    DatasetMeta {
+                        name,
+                        dtype: data.dtype(),
+                        dims: data.dims().to_vec(),
+                        attributes: Options::new(),
+                    },
+                    data,
+                )
+            })
+            .collect();
+        MemoryDataset { items }
+    }
+}
+
+impl DatasetPlugin for MemoryDataset {
+    fn id(&self) -> &'static str {
+        "memory"
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn load_metadata(&mut self, index: usize) -> Result<DatasetMeta> {
+        self.items
+            .get(index)
+            .map(|(m, _)| m.clone())
+            .ok_or_else(|| index_error(index, self.items.len()))
+    }
+
+    fn load_data(&mut self, index: usize) -> Result<Data> {
+        self.items
+            .get(index)
+            .map(|(_, d)| d.clone())
+            .ok_or_else(|| index_error(index, self.items.len()))
+    }
+}
+
+pub(crate) fn index_error(index: usize, len: usize) -> pressio_core::Error {
+    pressio_core::Error::InvalidValue {
+        key: "dataset:index".into(),
+        reason: format!("index {index} out of range (len {len})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_dataset_round_trips() {
+        let d = Data::from_f32(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut m = MemoryDataset::new(vec![("a".into(), d.clone())]);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        let meta = m.load_metadata(0).unwrap();
+        assert_eq!(meta.name, "a");
+        assert_eq!(meta.dims, vec![4]);
+        assert_eq!(meta.num_elements(), 4);
+        assert_eq!(meta.size_in_bytes(), 16);
+        assert_eq!(m.load_data(0).unwrap(), d);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut m = MemoryDataset::new(vec![]);
+        assert!(m.load_metadata(0).is_err());
+        assert!(m.load_data(3).is_err());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn batch_defaults_cover_all() {
+        let items = (0..3)
+            .map(|i| {
+                (
+                    format!("d{i}"),
+                    Data::from_f64(vec![2], vec![i as f64, i as f64 + 1.0]),
+                )
+            })
+            .collect();
+        let mut m = MemoryDataset::new(items);
+        assert_eq!(m.load_metadata_all().unwrap().len(), 3);
+        assert_eq!(m.load_data_all().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the sampling strategies and the raw-file round trip.
+
+use pressio_core::Data;
+use pressio_dataset::{sample, Strategy as Sampling};
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = (Vec<usize>, Vec<f32>)> {
+    (1usize..=3).prop_flat_map(|rank| {
+        prop::collection::vec(1usize..=10, rank..=rank).prop_flat_map(|dims| {
+            let n: usize = dims.iter().product();
+            let values = prop::collection::vec(-100.0f32..100.0, n..=n);
+            (Just(dims), values)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stride_sampling_shape_law((dims, values) in arb_grid(), stride in 1usize..5) {
+        let data = Data::from_f32(dims.clone(), values);
+        let s = sample(&data, &Sampling::Stride(stride)).unwrap();
+        let expected: Vec<usize> = dims.iter().map(|&d| d.div_ceil(stride)).collect();
+        prop_assert_eq!(s.dims(), &expected[..]);
+        // every sampled value exists in the source
+        let src = data.to_f64_vec();
+        for v in s.to_f64_vec() {
+            prop_assert!(src.contains(&v));
+        }
+    }
+
+    #[test]
+    fn block_sampling_values_come_from_source(
+        (dims, values) in arb_grid(),
+        edge in 1usize..6,
+        count in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let data = Data::from_f32(dims.clone(), values);
+        let shape = vec![edge; dims.len()];
+        let s = sample(&data, &Sampling::RandomBlocks { shape, count, seed }).unwrap();
+        // last dim is the block count; others clamped to the data
+        let sd = s.dims();
+        prop_assert_eq!(*sd.last().unwrap(), count);
+        for (a, b) in sd[..sd.len() - 1].iter().zip(&dims) {
+            prop_assert!(a <= b && *a >= 1);
+        }
+        let src = data.to_f64_vec();
+        for v in s.to_f64_vec() {
+            prop_assert!(src.contains(&v));
+        }
+    }
+
+    #[test]
+    fn raw_file_round_trip((dims, values) in arb_grid()) {
+        let dir = std::env::temp_dir().join(format!(
+            "pressio_dataset_prop_{}",
+            std::process::id()
+        ));
+        let data = Data::from_f32(dims, values);
+        let path = pressio_dataset::io::write_raw(&dir, "prop", &data).unwrap();
+        let back = pressio_dataset::io::read_raw(&path).unwrap();
+        prop_assert_eq!(back, data);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

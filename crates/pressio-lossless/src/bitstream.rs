@@ -1,0 +1,253 @@
+//! LSB-first bit-level readers and writers.
+//!
+//! Both the SZ-like Huffman backend and the ZFP-like embedded coder are
+//! bit-oriented; this module is their shared substrate. Bits are packed
+//! little-endian within each byte (bit 0 of byte 0 is the first bit written),
+//! matching the convention of the ZFP reference bitstream.
+
+/// Accumulating bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the final byte (0 means byte-aligned).
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with pre-reserved capacity in bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            bytes: Vec::with_capacity(bytes),
+            bit_pos: 0,
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn len_bits(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().unwrap();
+            *last |= 1 << self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) & 7;
+    }
+
+    /// Append the low `n` bits of `value`, least-significant bit first.
+    /// `n` must be ≤ 64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        let mut v = value;
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let space = 8 - self.bit_pos;
+            let take = space.min(remaining);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let chunk = (v & mask) as u8;
+            let last = self.bytes.last_mut().unwrap();
+            *last |= chunk << self.bit_pos;
+            self.bit_pos = (self.bit_pos + take) & 7;
+            v >>= take;
+            remaining -= take;
+        }
+    }
+
+    /// Append a whole byte slice (first aligns to a byte boundary).
+    pub fn write_bytes_aligned(&mut self, data: &[u8]) {
+        self.align();
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        self.bit_pos = 0;
+    }
+
+    /// Finish, returning the packed bytes (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Bit reader over a byte slice, mirroring [`BitWriter`]'s packing.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader positioned at the first bit.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit; `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bytes.len() * 8 {
+            return None;
+        }
+        let byte = self.bytes[self.pos >> 3];
+        let bit = (byte >> (self.pos & 7)) & 1;
+        self.pos += 1;
+        Some(bit == 1)
+    }
+
+    /// Read `n` bits (≤ 64), LSB first; `None` if fewer remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if self.remaining_bits() < n as usize {
+            return None;
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.bytes[self.pos >> 3] as u64;
+            let offset = (self.pos & 7) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(n - got);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            out |= ((byte >> offset) & mask) << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Some(out)
+    }
+
+    /// Skip to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+
+    /// Read `n` bytes after aligning; `None` if fewer remain.
+    pub fn read_bytes_aligned(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.align();
+        let start = self.pos / 8;
+        if start + n > self.bytes.len() {
+            return None;
+        }
+        self.pos += n * 8;
+        Some(&self.bytes[start..start + n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_round_trip_misaligned() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(0x3FFF, 14);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(32), Some(0xDEADBEEF));
+        assert_eq!(r.read_bits(14), Some(0x3FFF));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 0);
+        w.write_bits(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0), Some(0));
+        assert_eq!(r.read_bit(), Some(true));
+    }
+
+    #[test]
+    fn len_bits_tracks() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.len_bits(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.len_bits(), 5);
+        w.write_bits(0, 11);
+        assert_eq!(w.len_bits(), 16);
+    }
+
+    #[test]
+    fn aligned_bytes_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_bytes_aligned(&[1, 2, 3]);
+        w.write_bits(0b1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2), Some(0b11));
+        assert_eq!(r.read_bytes_aligned(3), Some(&[1u8, 2, 3][..]));
+        assert_eq!(r.read_bit(), Some(true));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn remaining_bits_accounting() {
+        let bytes = [0u8; 2];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5);
+        assert_eq!(r.remaining_bits(), 11);
+        r.align();
+        assert_eq!(r.remaining_bits(), 8);
+    }
+}

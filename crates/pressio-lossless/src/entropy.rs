@@ -1,0 +1,133 @@
+//! Entropy estimators for byte and symbol streams.
+//!
+//! Shannon entropy bounds lossless compressibility (paper §2.2); the
+//! Krasowska (2021) scheme regresses compression ratio on the *quantized
+//! entropy* of the data, and the Jin (2022) model needs symbol-distribution
+//! entropy for its encoding-efficiency estimate.
+
+/// Shannon entropy in bits/symbol of an arbitrary `u32` symbol stream.
+pub fn shannon_entropy_symbols(symbols: &[u32]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for &s in symbols {
+        *counts.entry(s).or_insert(0u64) += 1;
+    }
+    entropy_from_counts(counts.values().copied(), symbols.len() as u64)
+}
+
+/// Shannon entropy in bits/byte of a byte stream (dense 256-bin histogram).
+pub fn shannon_entropy_bytes(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    entropy_from_counts(counts.iter().copied().filter(|&c| c > 0), bytes.len() as u64)
+}
+
+/// Entropy of a pre-computed histogram.
+pub fn entropy_from_counts(counts: impl IntoIterator<Item = u64>, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for c in counts {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / total;
+        h -= p * p.log2();
+    }
+    h
+}
+
+/// Quantized entropy of floating-point data (Krasowska 2021): bucket each
+/// value into `⌊v / (2·bound)⌋`-style bins of width `2 * abs_bound` and take
+/// the Shannon entropy of the bin distribution. Low quantized entropy means
+/// an error-bounded compressor at that bound has little information to store.
+pub fn quantized_entropy(values: &[f64], abs_bound: f64) -> f64 {
+    if values.is_empty() || abs_bound <= 0.0 {
+        return 0.0;
+    }
+    let width = 2.0 * abs_bound;
+    let mut counts = std::collections::BTreeMap::new();
+    for &v in values {
+        // non-finite values land in a dedicated bin
+        let bin = if v.is_finite() {
+            (v / width).floor() as i64
+        } else {
+            i64::MAX
+        };
+        *counts.entry(bin).or_insert(0u64) += 1;
+    }
+    entropy_from_counts(counts.into_values(), values.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bytes_have_eight_bits() {
+        let bytes: Vec<u8> = (0..=255u8).cycle().take(256 * 16).collect();
+        assert!((shannon_entropy_bytes(&bytes) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_entropy() {
+        assert_eq!(shannon_entropy_bytes(&[7u8; 1000]), 0.0);
+        assert_eq!(shannon_entropy_symbols(&[42u32; 1000]), 0.0);
+        assert_eq!(shannon_entropy_bytes(&[]), 0.0);
+    }
+
+    #[test]
+    fn fair_coin_is_one_bit() {
+        let symbols: Vec<u32> = (0..1000).map(|i| i % 2).collect();
+        assert!((shannon_entropy_symbols(&symbols) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_distribution_matches_closed_form() {
+        // p = [3/4, 1/4] -> H = 2 - 0.75*log2(3) ≈ 0.811278
+        let symbols: Vec<u32> = (0..1000).map(|i| u32::from(i % 4 == 0)).collect();
+        let h = shannon_entropy_symbols(&symbols);
+        let expected = -(0.75f64 * 0.75f64.log2() + 0.25 * 0.25f64.log2());
+        assert!((h - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantized_entropy_decreases_with_looser_bounds() {
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.001).sin()).collect();
+        let tight = quantized_entropy(&values, 1e-6);
+        let loose = quantized_entropy(&values, 1e-2);
+        assert!(
+            tight > loose,
+            "tight bound {tight} should exceed loose bound {loose}"
+        );
+    }
+
+    #[test]
+    fn quantized_entropy_zero_when_all_in_one_bin() {
+        let values = vec![0.1, 0.10001, 0.10002];
+        assert_eq!(quantized_entropy(&values, 1.0), 0.0);
+    }
+
+    #[test]
+    fn quantized_entropy_handles_non_finite() {
+        let values = vec![0.0, f64::NAN, f64::INFINITY, 1.0];
+        let h = quantized_entropy(&values, 0.1);
+        assert!(h.is_finite());
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn degenerate_bound_yields_zero() {
+        assert_eq!(quantized_entropy(&[1.0, 2.0], 0.0), 0.0);
+        assert_eq!(quantized_entropy(&[], 1.0), 0.0);
+    }
+}

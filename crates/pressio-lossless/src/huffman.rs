@@ -1,0 +1,471 @@
+//! Canonical Huffman coding over `u32` symbol alphabets.
+//!
+//! SZ-style compressors Huffman-code their quantization indices; the Jin
+//! (2022) ratio-quality model additionally needs the *expected code length*
+//! of a symbol distribution without actually encoding. Both are served here.
+//!
+//! Codes are canonical: only the code-length table is stored in the stream
+//! header, and both encoder and decoder derive identical codebooks from it.
+
+use crate::bitstream::{BitReader, BitWriter};
+use std::collections::BinaryHeap;
+
+/// Errors from Huffman coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The encoded stream ended prematurely or contained an invalid code.
+    Corrupt(&'static str),
+    /// Attempted to encode a symbol not present when the codebook was built.
+    UnknownSymbol(u32),
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::Corrupt(msg) => write!(f, "corrupt huffman stream: {msg}"),
+            HuffmanError::UnknownSymbol(s) => write!(f, "symbol {s} not in codebook"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// Maximum code length we emit. Package-merge style limiting is overkill for
+/// quantization-index alphabets; we rebuild with dampened frequencies in the
+/// rare case the tree exceeds this.
+const MAX_CODE_LEN: u32 = 58;
+
+/// A canonical Huffman codebook for a set of `u32` symbols.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    /// Sorted list of (symbol, code length).
+    lengths: Vec<(u32, u32)>,
+    /// Parallel canonical codes (MSB-first values).
+    codes: Vec<u64>,
+    /// symbol -> index in `lengths`/`codes` for encoding.
+    index: std::collections::HashMap<u32, usize>,
+}
+
+impl Codebook {
+    /// Build a codebook from `(symbol, frequency)` pairs. Zero-frequency
+    /// entries are ignored; an empty histogram yields an empty codebook; a
+    /// single-symbol histogram gets a 1-bit code.
+    pub fn from_frequencies(freqs: &[(u32, u64)]) -> Codebook {
+        let mut active: Vec<(u32, u64)> = freqs.iter().copied().filter(|&(_, f)| f > 0).collect();
+        active.sort_unstable();
+        if active.is_empty() {
+            return Codebook {
+                lengths: Vec::new(),
+                codes: Vec::new(),
+                index: Default::default(),
+            };
+        }
+        if active.len() == 1 {
+            return Self::from_lengths(vec![(active[0].0, 1)]);
+        }
+        let mut lengths = huffman_lengths(&active);
+        // Rare pathological distributions can exceed MAX_CODE_LEN; dampen by
+        // flattening frequencies logarithmically and rebuild.
+        if lengths.iter().any(|&(_, l)| l > MAX_CODE_LEN) {
+            let dampened: Vec<(u32, u64)> = active
+                .iter()
+                .map(|&(s, f)| (s, (f as f64).log2().max(0.0) as u64 + 1))
+                .collect();
+            lengths = huffman_lengths(&dampened);
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Build from an explicit `(symbol, code length)` table (the stream
+    /// header form). Lengths must satisfy Kraft's inequality, as produced by
+    /// [`Codebook::from_frequencies`].
+    pub fn from_lengths(mut lengths: Vec<(u32, u32)>) -> Codebook {
+        // canonical order: shorter codes first, then by symbol
+        lengths.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut codes = Vec::with_capacity(lengths.len());
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        for &(_, len) in &lengths {
+            code <<= len - prev_len;
+            codes.push(code);
+            code += 1;
+            prev_len = len;
+        }
+        let index = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, _))| (s, i))
+            .collect();
+        Codebook {
+            lengths,
+            codes,
+            index,
+        }
+    }
+
+    /// Number of symbols with codes.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Whether the codebook is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Code length in bits for `symbol`, if coded.
+    pub fn code_length(&self, symbol: u32) -> Option<u32> {
+        self.index.get(&symbol).map(|&i| self.lengths[i].1)
+    }
+
+    /// Expected bits/symbol under the distribution `freqs` — the quantity the
+    /// Jin model computes analytically (its "Huffman encoding efficiency").
+    pub fn expected_code_length(&self, freqs: &[(u32, u64)]) -> f64 {
+        let total: u64 = freqs.iter().map(|&(_, f)| f).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut bits = 0.0;
+        for &(s, f) in freqs {
+            if f == 0 {
+                continue;
+            }
+            let len = self.code_length(s).unwrap_or(32) as f64;
+            bits += len * f as f64;
+        }
+        bits / total as f64
+    }
+
+    /// Encode `symbols` onto `writer` (MSB-first within each code).
+    pub fn encode(&self, symbols: &[u32], writer: &mut BitWriter) -> Result<(), HuffmanError> {
+        for &s in symbols {
+            let &i = self
+                .index
+                .get(&s)
+                .ok_or(HuffmanError::UnknownSymbol(s))?;
+            let len = self.lengths[i].1;
+            let code = self.codes[i];
+            // emit MSB-first so canonical decode can extend bit-by-bit
+            for b in (0..len).rev() {
+                writer.write_bit((code >> b) & 1 == 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode exactly `count` symbols from `reader`.
+    pub fn decode(&self, reader: &mut BitReader, count: usize) -> Result<Vec<u32>, HuffmanError> {
+        if self.is_empty() {
+            return if count == 0 {
+                Ok(Vec::new())
+            } else {
+                Err(HuffmanError::Corrupt("empty codebook"))
+            };
+        }
+        // first_code[l], first_index[l], count_at[l] per length, canonical
+        let max_len = self.lengths.last().map(|&(_, l)| l).unwrap_or(0);
+        let mut first_code = vec![0u64; (max_len + 2) as usize];
+        let mut first_index = vec![0usize; (max_len + 2) as usize];
+        let mut counts = vec![0usize; (max_len + 2) as usize];
+        for &(_, l) in &self.lengths {
+            counts[l as usize] += 1;
+        }
+        {
+            let mut code = 0u64;
+            let mut idx = 0usize;
+            for l in 1..=max_len {
+                code <<= 1;
+                first_code[l as usize] = code;
+                first_index[l as usize] = idx;
+                code += counts[l as usize] as u64;
+                idx += counts[l as usize];
+            }
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut code = 0u64;
+            let mut len = 0u32;
+            loop {
+                let bit = reader
+                    .read_bit()
+                    .ok_or(HuffmanError::Corrupt("stream truncated"))?;
+                code = (code << 1) | bit as u64;
+                len += 1;
+                if len > max_len {
+                    return Err(HuffmanError::Corrupt("invalid code"));
+                }
+                let c = counts[len as usize];
+                if c > 0 {
+                    let fc = first_code[len as usize];
+                    if code >= fc && code < fc + c as u64 {
+                        let idx = first_index[len as usize] + (code - fc) as usize;
+                        out.push(self.lengths[idx].0);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serialize the code-length table (the only part a decoder needs).
+    pub fn write_table(&self, writer: &mut BitWriter) {
+        writer.write_bits(self.lengths.len() as u64, 32);
+        for &(sym, len) in &self.lengths {
+            writer.write_bits(sym as u64, 32);
+            writer.write_bits(len as u64, 6);
+        }
+    }
+
+    /// Read a table written by [`Codebook::write_table`].
+    pub fn read_table(reader: &mut BitReader) -> Result<Codebook, HuffmanError> {
+        let n = reader
+            .read_bits(32)
+            .ok_or(HuffmanError::Corrupt("missing table size"))? as usize;
+        // sanity cap: a table bigger than the remaining stream is corrupt
+        if n > reader.remaining_bits() / 38 + 1 {
+            return Err(HuffmanError::Corrupt("table size exceeds stream"));
+        }
+        let mut lengths = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sym = reader
+                .read_bits(32)
+                .ok_or(HuffmanError::Corrupt("truncated table"))? as u32;
+            let len = reader
+                .read_bits(6)
+                .ok_or(HuffmanError::Corrupt("truncated table"))? as u32;
+            if len == 0 || len > 63 {
+                return Err(HuffmanError::Corrupt("invalid code length"));
+            }
+            lengths.push((sym, len));
+        }
+        Ok(Codebook::from_lengths(lengths))
+    }
+}
+
+/// Compute Huffman code lengths for the given (sorted, positive) histogram
+/// using the standard two-queue/heap algorithm.
+fn huffman_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // min-heap by frequency, ties by id for determinism
+            other
+                .freq
+                .cmp(&self.freq)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = freqs.len();
+    debug_assert!(n >= 2);
+    // parent links for internal nodes; leaves are ids 0..n
+    let mut parent = vec![usize::MAX; 2 * n];
+    let mut heap: BinaryHeap<Node> = freqs
+        .iter()
+        .enumerate()
+        .map(|(id, &(_, f))| Node { freq: f, id })
+        .collect();
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Node {
+            freq: a.freq + b.freq,
+            id: next_id,
+        });
+        next_id += 1;
+    }
+    let mut lengths = Vec::with_capacity(n);
+    for (leaf, &(sym, _)) in freqs.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = leaf;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths.push((sym, depth.max(1)));
+    }
+    lengths
+}
+
+/// Convenience: build a codebook and encode in one pass, emitting a
+/// self-describing stream `[table][count:u64][codes...]`.
+pub fn compress_symbols(symbols: &[u32]) -> Vec<u8> {
+    let freqs = histogram(symbols);
+    let book = Codebook::from_frequencies(&freqs);
+    let mut w = BitWriter::new();
+    book.write_table(&mut w);
+    w.write_bits(symbols.len() as u64, 64);
+    book.encode(symbols, &mut w)
+        .expect("all symbols present in freshly built codebook");
+    w.into_bytes()
+}
+
+/// Inverse of [`compress_symbols`].
+pub fn decompress_symbols(bytes: &[u8]) -> Result<Vec<u32>, HuffmanError> {
+    let mut r = BitReader::new(bytes);
+    let book = Codebook::read_table(&mut r)?;
+    let count = r
+        .read_bits(64)
+        .ok_or(HuffmanError::Corrupt("missing count"))? as usize;
+    if count > 0 && book.is_empty() {
+        return Err(HuffmanError::Corrupt("empty codebook with nonzero count"));
+    }
+    // every symbol costs at least one bit: a larger count is corrupt (and
+    // must be rejected before Vec::with_capacity aborts on it)
+    if count > r.remaining_bits() {
+        return Err(HuffmanError::Corrupt("count exceeds stream"));
+    }
+    book.decode(&mut r, count)
+}
+
+/// Histogram of a symbol stream as sorted `(symbol, count)` pairs.
+pub fn histogram(symbols: &[u32]) -> Vec<(u32, u64)> {
+    let mut map = std::collections::HashMap::new();
+    for &s in symbols {
+        *map.entry(s).or_insert(0u64) += 1;
+    }
+    let mut v: Vec<(u32, u64)> = map.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_skewed_distribution() {
+        let mut symbols = Vec::new();
+        for i in 0..1000u32 {
+            let s = match i % 10 {
+                0..=6 => 0,
+                7..=8 => 1,
+                _ => i % 50,
+            };
+            symbols.push(s);
+        }
+        let bytes = compress_symbols(&symbols);
+        assert_eq!(decompress_symbols(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn skewed_stream_compresses() {
+        let symbols: Vec<u32> = (0..10_000).map(|i| if i % 100 == 0 { 1 } else { 0 }).collect();
+        let bytes = compress_symbols(&symbols);
+        // ~1.08 bits/symbol + table << 4 bytes/symbol raw
+        assert!(bytes.len() < 10_000 / 4);
+    }
+
+    #[test]
+    fn empty_and_single_symbol_streams() {
+        let bytes = compress_symbols(&[]);
+        assert_eq!(decompress_symbols(&bytes).unwrap(), Vec::<u32>::new());
+
+        let symbols = vec![42u32; 100];
+        let bytes = compress_symbols(&symbols);
+        assert_eq!(decompress_symbols(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let freqs = vec![(0u32, 50u64), (1u32, 50u64)];
+        let book = Codebook::from_frequencies(&freqs);
+        assert_eq!(book.code_length(0), Some(1));
+        assert_eq!(book.code_length(1), Some(1));
+    }
+
+    #[test]
+    fn expected_code_length_matches_actual() {
+        let symbols: Vec<u32> = (0..4096u32).map(|i| i % 7).collect();
+        let freqs = histogram(&symbols);
+        let book = Codebook::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        book.encode(&symbols, &mut w).unwrap();
+        let actual_bits_per_symbol = w.len_bits() as f64 / symbols.len() as f64;
+        let expected = book.expected_code_length(&freqs);
+        assert!((actual_bits_per_symbol - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_length_within_one_bit_of_entropy() {
+        // Huffman optimality: H <= E[len] < H + 1
+        let mut symbols = Vec::new();
+        for (s, n) in [(0u32, 700usize), (1, 150), (2, 100), (3, 40), (4, 10)] {
+            symbols.extend(std::iter::repeat_n(s, n));
+        }
+        let freqs = histogram(&symbols);
+        let total: u64 = freqs.iter().map(|f| f.1).sum();
+        let entropy: f64 = freqs
+            .iter()
+            .map(|&(_, f)| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        let book = Codebook::from_frequencies(&freqs);
+        let e = book.expected_code_length(&freqs);
+        assert!(e >= entropy - 1e-9, "E[len]={e} < H={entropy}");
+        assert!(e < entropy + 1.0, "E[len]={e} >= H+1={}", entropy + 1.0);
+    }
+
+    #[test]
+    fn unknown_symbol_errors() {
+        let book = Codebook::from_frequencies(&[(0, 1), (1, 1)]);
+        let mut w = BitWriter::new();
+        assert_eq!(
+            book.encode(&[5], &mut w),
+            Err(HuffmanError::UnknownSymbol(5))
+        );
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let symbols: Vec<u32> = (0..100u32).collect();
+        let bytes = compress_symbols(&symbols);
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(decompress_symbols(truncated).is_err());
+    }
+
+    #[test]
+    fn garbage_header_errors_not_panics() {
+        // all-0xFF header claims an enormous table
+        let garbage = vec![0xFFu8; 16];
+        assert!(decompress_symbols(&garbage).is_err());
+    }
+
+    #[test]
+    fn table_round_trip_preserves_codes() {
+        let freqs: Vec<(u32, u64)> = (0..20u32).map(|s| (s, (s as u64 + 1) * 3)).collect();
+        let book = Codebook::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        book.write_table(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let book2 = Codebook::read_table(&mut r).unwrap();
+        for s in 0..20u32 {
+            assert_eq!(book.code_length(s), book2.code_length(s));
+        }
+    }
+
+    #[test]
+    fn large_alphabet_round_trip() {
+        // typical SZ quantization-bin alphabet size
+        let symbols: Vec<u32> =
+            (0..65536u32).map(|i| i.wrapping_mul(2654435761) % 1000).collect();
+        let bytes = compress_symbols(&symbols);
+        assert_eq!(decompress_symbols(&bytes).unwrap(), symbols);
+    }
+}

@@ -1,0 +1,22 @@
+//! # pressio-lossless
+//!
+//! Lossless coding substrate for the LibPressio-Predict reproduction:
+//! bit-level streams ([`bitstream`]), canonical Huffman coding ([`huffman`]),
+//! LZSS dictionary compression ([`lzss`]), run-length encoding ([`rle`]),
+//! and entropy estimators ([`entropy`]).
+//!
+//! The SZ-like compressor chains these (`Huffman → LZSS` with an RLE fast
+//! path for sparse fields), and the prediction schemes of
+//! `pressio-predict` reuse the entropy and expected-code-length machinery
+//! to *model* the encoder without running it.
+
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod entropy;
+pub mod huffman;
+pub mod lzss;
+pub mod rle;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use huffman::{compress_symbols, decompress_symbols, Codebook, HuffmanError};

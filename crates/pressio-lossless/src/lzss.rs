@@ -1,0 +1,240 @@
+//! LZSS byte-oriented dictionary compression.
+//!
+//! SZ3 post-processes its Huffman-coded quantization stream with a
+//! dictionary coder (zstd in the reference implementation). This LZSS with a
+//! 64 KiB window and hash-chain match finding plays that role: it captures
+//! the long runs and repeated structures that remain after entropy coding of
+//! quantization indices, with fully deterministic output.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Errors from LZSS decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzssError {
+    /// Stream ended prematurely or references preceded the window.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Corrupt(m) => write!(f, "corrupt lzss stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+const WINDOW_BITS: u32 = 16;
+const WINDOW_SIZE: usize = 1 << WINDOW_BITS;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 258;
+const LEN_BITS: u32 = 8; // MAX_MATCH - MIN_MATCH fits in 8 bits
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    ((v.wrapping_mul(2654435761)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `data`. Output format: `[len:u64][tokens]` where each token is a
+/// flag bit (0 = literal byte, 1 = match) followed by either 8 literal bits
+/// or `WINDOW_BITS` distance + `LEN_BITS` length-minus-MIN_MATCH bits.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 16);
+    w.write_bits(data.len() as u64, 64);
+    let n = data.len();
+    if n == 0 {
+        return w.into_bytes();
+    }
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            let window_start = i.saturating_sub(WINDOW_SIZE - 1);
+            while cand != usize::MAX && cand >= window_start && chain < MAX_CHAIN {
+                // extend the match
+                let limit = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l >= MAX_MATCH {
+                        break;
+                    }
+                }
+                if cand == 0 {
+                    break;
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            // insert current position into the chain
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            w.write_bit(true);
+            w.write_bits(best_dist as u64, WINDOW_BITS);
+            w.write_bits((best_len - MIN_MATCH) as u64, LEN_BITS);
+            // index the skipped positions so later matches can reach them
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < end {
+                let h = hash4(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            w.write_bit(false);
+            w.write_bits(data[i] as u64, 8);
+            i += 1;
+        }
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, LzssError> {
+    let mut r = BitReader::new(bytes);
+    let n = r.read_bits(64).ok_or(LzssError::Corrupt("missing length"))? as usize;
+    // guard against absurd lengths from corrupt headers
+    if n > bytes.len().saturating_mul(MAX_MATCH) + 64 {
+        return Err(LzssError::Corrupt("implausible decoded length"));
+    }
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let flag = r.read_bit().ok_or(LzssError::Corrupt("truncated token"))?;
+        if flag {
+            let dist = r
+                .read_bits(WINDOW_BITS)
+                .ok_or(LzssError::Corrupt("truncated match"))? as usize;
+            let len = r
+                .read_bits(LEN_BITS)
+                .ok_or(LzssError::Corrupt("truncated match"))? as usize
+                + MIN_MATCH;
+            if dist == 0 || dist > out.len() {
+                return Err(LzssError::Corrupt("match distance out of range"));
+            }
+            let start = out.len() - dist;
+            // overlapping copies are valid (runs); copy byte-by-byte
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            let b = r
+                .read_bits(8)
+                .ok_or(LzssError::Corrupt("truncated literal"))? as u8;
+            out.push(b);
+        }
+    }
+    if out.len() != n {
+        return Err(LzssError::Corrupt("length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog."
+            .to_vec();
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_empty_and_tiny() {
+        for data in [vec![], vec![7u8], vec![1, 2, 3]] {
+            let c = compress(&data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn zero_runs_compress_hard() {
+        let data = vec![0u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 2_000, "run compression too weak: {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        // "abcabcabc..." exercises overlapping copies (dist < len)
+        let data: Vec<u8> = b"abc".iter().copied().cycle().take(5000).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_round_trips() {
+        // xorshift noise: no matches, pure literal path
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                state as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        // literal overhead is 9/8 plus the header
+        assert!(c.len() <= data.len() * 9 / 8 + 16);
+    }
+
+    #[test]
+    fn matches_beyond_window_are_not_used() {
+        // 70000 zeros, then a unique marker, then zeros again: decoder must
+        // never be asked to reach back past the 64KiB window.
+        let mut data = vec![0u8; 70_000];
+        data.extend_from_slice(b"MARKER");
+        data.extend(vec![0u8; 70_000]);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data: Vec<u8> = b"hello hello hello hello hello".to_vec();
+        let c = compress(&data);
+        for cut in [0, 4, 8, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_distance_errors() {
+        // hand-craft: length 4, then a match token with dist > produced
+        let mut w = BitWriter::new();
+        w.write_bits(4, 64);
+        w.write_bit(true);
+        w.write_bits(100, WINDOW_BITS); // distance 100 into empty output
+        w.write_bits(0, LEN_BITS);
+        let bytes = w.into_bytes();
+        assert!(decompress(&bytes).is_err());
+    }
+}

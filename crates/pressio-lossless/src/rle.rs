@@ -1,0 +1,174 @@
+//! Byte-oriented run-length encoding.
+//!
+//! Used for the sparse-field fast path: Hurricane Isabel's precipitation-like
+//! fields are dominated by exact zeros, and a cheap RLE pass ahead of the
+//! dictionary coder captures them at near-zero cost.
+
+/// Errors from RLE decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RleError {
+    /// The stream ended inside a token.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for RleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RleError::Corrupt(m) => write!(f, "corrupt rle stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RleError {}
+
+/// Encode with a two-token scheme:
+/// `0x00 <len-1:u8> <byte>` for runs of 4..=259 equal bytes, and
+/// `0x01 <len-1:u8> <bytes...>` for literal spans of 1..=256 bytes.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    let n = data.len();
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    let flush_literals = |out: &mut Vec<u8>, lits: &[u8]| {
+        for chunk in lits.chunks(256) {
+            out.push(0x01);
+            out.push((chunk.len() - 1) as u8);
+            out.extend_from_slice(chunk);
+        }
+    };
+    while i < n {
+        // measure the run at i
+        let b = data[i];
+        let mut j = i + 1;
+        while j < n && data[j] == b && j - i < 259 {
+            j += 1;
+        }
+        let run = j - i;
+        if run >= 4 {
+            flush_literals(&mut out, &data[lit_start..i]);
+            out.push(0x00);
+            out.push((run - 4) as u8);
+            out.push(b);
+            i = j;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &data[lit_start..n]);
+    out
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, RleError> {
+    if bytes.len() < 8 {
+        return Err(RleError::Corrupt("missing header"));
+    }
+    let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    // best case: one 3-byte run token expands to 259 bytes; anything larger
+    // is corrupt (reject before allocating for it)
+    if n > bytes.len().saturating_mul(259) {
+        return Err(RleError::Corrupt("implausible decoded length"));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut i = 8usize;
+    while out.len() < n {
+        let tag = *bytes.get(i).ok_or(RleError::Corrupt("truncated tag"))?;
+        i += 1;
+        match tag {
+            0x00 => {
+                let len = *bytes.get(i).ok_or(RleError::Corrupt("truncated run"))? as usize + 4;
+                let b = *bytes.get(i + 1).ok_or(RleError::Corrupt("truncated run"))?;
+                i += 2;
+                out.extend(std::iter::repeat_n(b, len));
+            }
+            0x01 => {
+                let len = *bytes.get(i).ok_or(RleError::Corrupt("truncated span"))? as usize + 1;
+                i += 1;
+                let span = bytes
+                    .get(i..i + len)
+                    .ok_or(RleError::Corrupt("truncated span bytes"))?;
+                out.extend_from_slice(span);
+                i += len;
+            }
+            _ => return Err(RleError::Corrupt("unknown tag")),
+        }
+    }
+    if out.len() != n {
+        return Err(RleError::Corrupt("length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed() {
+        let mut data = vec![0u8; 1000];
+        data.extend(b"literal section here".iter());
+        data.extend(vec![7u8; 300]);
+        data.extend((0..100).map(|i| i as u8));
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn zeros_compress_over_50x() {
+        let data = vec![0u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() * 50 < data.len(), "len={}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        for data in [vec![], vec![1u8], vec![1, 1, 1]] {
+            let c = compress(&data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn run_of_exactly_four_uses_run_token() {
+        let data = vec![9u8; 4];
+        let c = compress(&data);
+        // header(8) + tag + len + byte = 11
+        assert_eq!(c.len(), 11);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn run_of_three_stays_literal() {
+        let data = vec![9u8; 3];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn max_length_tokens() {
+        // run of 259 (max run token) followed by 256 literals (max span)
+        let mut data = vec![5u8; 259];
+        data.extend((0..=255u8).collect::<Vec<_>>());
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let data = vec![0u8; 50];
+        let c = compress(&data);
+        assert!(decompress(&c[..c.len() - 1]).is_err());
+        assert!(decompress(&c[..9]).is_err());
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut c = compress(&[0u8; 50]);
+        c[8] = 0xFF;
+        assert!(decompress(&c).is_err());
+    }
+}

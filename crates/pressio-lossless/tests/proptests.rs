@@ -1,0 +1,83 @@
+//! Property tests: every lossless codec must round-trip arbitrary inputs
+//! exactly, and the bitstream must honor its packing contract.
+
+use pressio_lossless::bitstream::{BitReader, BitWriter};
+use pressio_lossless::{compress_symbols, decompress_symbols};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitstream_round_trips_mixed_writes(fields in prop::collection::vec((0u64..u64::MAX, 1u32..=64), 0..50)) {
+        let mut w = BitWriter::new();
+        for &(value, width) in &fields {
+            w.write_bits(value & mask(width), width);
+        }
+        let total: usize = fields.iter().map(|&(_, n)| n as usize).sum();
+        prop_assert_eq!(w.len_bits(), total);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(value, width) in &fields {
+            prop_assert_eq!(r.read_bits(width), Some(value & mask(width)));
+        }
+    }
+
+    #[test]
+    fn huffman_round_trips_any_symbols(symbols in prop::collection::vec(0u32..100_000, 0..2000)) {
+        let bytes = compress_symbols(&symbols);
+        prop_assert_eq!(decompress_symbols(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn huffman_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..500)) {
+        let _ = decompress_symbols(&bytes); // errors allowed; panics are not
+    }
+
+    #[test]
+    fn lzss_round_trips_any_bytes(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = pressio_lossless::lzss::compress(&data);
+        prop_assert_eq!(pressio_lossless::lzss::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..500)) {
+        let _ = pressio_lossless::lzss::decompress(&bytes);
+    }
+
+    #[test]
+    fn rle_round_trips_any_bytes(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = pressio_lossless::rle::compress(&data);
+        prop_assert_eq!(pressio_lossless::rle::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..500)) {
+        let _ = pressio_lossless::rle::decompress(&bytes);
+    }
+
+    #[test]
+    fn rle_round_trips_runs(runs in prop::collection::vec((any::<u8>(), 1usize..600), 0..20)) {
+        let data: Vec<u8> = runs
+            .iter()
+            .flat_map(|&(b, n)| std::iter::repeat_n(b, n))
+            .collect();
+        let c = pressio_lossless::rle::compress(&data);
+        prop_assert_eq!(pressio_lossless::rle::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn entropy_is_bounded(symbols in prop::collection::vec(0u32..64, 1..3000)) {
+        let h = pressio_lossless::entropy::shannon_entropy_symbols(&symbols);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= 6.0 + 1e-12); // log2(64)
+    }
+}
+
+fn mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}

@@ -1,0 +1,697 @@
+//! The `predict_plugin` abstraction (paper §4.2): Scikit-Learn
+//! `BaseEstimator`-inspired `fit`/`predict` with serializable state.
+
+use crate::features::feature_vector;
+use pressio_core::error::{Error, Result};
+use pressio_core::Options;
+use pressio_stats::{
+    augment_by_interpolation, ConformalCalibration, ForestParams, GaussianProcess, Interval,
+    LinearModel, Mlp, MlpParams, NaturalSpline, RandomForest,
+};
+use serde::{Deserialize, Serialize};
+
+/// A compression-performance predictor.
+///
+/// `fit` consumes one feature [`Options`] per training observation plus the
+/// observed target (compression ratio); `predict` maps features to an
+/// estimate. State must round-trip through `state`/`load_state` so trained
+/// predictors can be checkpointed and shipped (the paper requires predictor
+/// state to be serializable like every other LibPressio object).
+pub trait Predictor: Send {
+    /// Whether `fit` must be called before `predict`.
+    fn requires_training(&self) -> bool;
+
+    /// Train on features/targets (no-op for calculation-based predictors).
+    fn fit(&mut self, features: &[Options], targets: &[f64]) -> Result<()>;
+
+    /// Predict the target for one feature structure.
+    fn predict(&self, features: &Options) -> Result<f64>;
+
+    /// Optional conformal interval around [`Predictor::predict`] (only the
+    /// Ganguli-style predictor provides one).
+    fn predict_interval(&self, _features: &Options, _alpha: f64) -> Option<Interval> {
+        None
+    }
+
+    /// Serialize trained state.
+    fn state(&self) -> Result<Vec<u8>>;
+
+    /// Restore trained state.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()>;
+}
+
+/// The "simple" predictor module from the paper: the prediction *is* the
+/// value of a single named metric. No training.
+pub struct IdentityPredictor {
+    key: String,
+}
+
+impl IdentityPredictor {
+    /// Predict the value of feature `key` verbatim.
+    pub fn new(key: impl Into<String>) -> IdentityPredictor {
+        IdentityPredictor { key: key.into() }
+    }
+}
+
+impl Predictor for IdentityPredictor {
+    fn requires_training(&self) -> bool {
+        false
+    }
+
+    fn fit(&mut self, _features: &[Options], _targets: &[f64]) -> Result<()> {
+        Ok(())
+    }
+
+    fn predict(&self, features: &Options) -> Result<f64> {
+        features.get_f64(&self.key)
+    }
+
+    fn state(&self) -> Result<Vec<u8>> {
+        Ok(self.key.as_bytes().to_vec())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        self.key = String::from_utf8(bytes.to_vec())
+            .map_err(|e| Error::Serialization(e.to_string()))?;
+        Ok(())
+    }
+}
+
+fn check_fitted<'a, T>(state: &'a Option<T>, what: &str) -> Result<&'a T> {
+    state
+        .as_ref()
+        .ok_or_else(|| Error::NotFitted(format!("{what}: call fit() or load_state() first")))
+}
+
+fn to_rows(features: &[Options], keys: &[String]) -> Result<Vec<Vec<f64>>> {
+    features.iter().map(|f| feature_vector(f, keys)).collect()
+}
+
+/// Log-space targets: compression ratios span orders of magnitude, and all
+/// trainable predictors here model `log2(CR)` then exponentiate.
+fn log_targets(targets: &[f64]) -> Result<Vec<f64>> {
+    targets
+        .iter()
+        .map(|&t| {
+            if t > 0.0 && t.is_finite() {
+                Ok(t.log2())
+            } else {
+                Err(Error::InvalidValue {
+                    key: "target".into(),
+                    reason: format!("compression ratio must be positive, got {t}"),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Linear regression over named features (Krasowska 2021 style).
+#[derive(Serialize, Deserialize)]
+pub struct LinearPredictor {
+    keys: Vec<String>,
+    model: Option<LinearModel>,
+}
+
+impl LinearPredictor {
+    /// OLS over the given feature keys, predicting `log2(CR)`.
+    pub fn new(keys: Vec<String>) -> LinearPredictor {
+        LinearPredictor { keys, model: None }
+    }
+}
+
+impl Predictor for LinearPredictor {
+    fn requires_training(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, features: &[Options], targets: &[f64]) -> Result<()> {
+        let rows = to_rows(features, &self.keys)?;
+        let ys = log_targets(targets)?;
+        self.model =
+            Some(LinearModel::fit(&rows, &ys).map_err(|e| Error::Numerical(e.to_string()))?);
+        Ok(())
+    }
+
+    fn predict(&self, features: &Options) -> Result<f64> {
+        let model = check_fitted(&self.model, "linear predictor")?;
+        let x = feature_vector(features, &self.keys)?;
+        let log_cr = model.predict(&x).map_err(|e| Error::Numerical(e.to_string()))?;
+        Ok(log_cr.exp2())
+    }
+
+    fn state(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| Error::Serialization(e.to_string()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = serde_json::from_slice(bytes).map_err(|e| Error::Serialization(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Additive spline + linear model (Underwood 2023 style): a natural cubic
+/// spline over a primary feature plus a linear term in the secondary
+/// features, fit by backfitting.
+#[derive(Serialize, Deserialize)]
+pub struct SplinePredictor {
+    /// Feature receiving the spline.
+    spline_key: String,
+    /// Features entering linearly.
+    linear_keys: Vec<String>,
+    knots: usize,
+    spline: Option<NaturalSpline>,
+    linear: Option<LinearModel>,
+}
+
+impl SplinePredictor {
+    /// Spline on `spline_key`, linear terms on `linear_keys`.
+    pub fn new(spline_key: impl Into<String>, linear_keys: Vec<String>) -> SplinePredictor {
+        SplinePredictor {
+            spline_key: spline_key.into(),
+            linear_keys,
+            knots: 6,
+            spline: None,
+            linear: None,
+        }
+    }
+}
+
+impl Predictor for SplinePredictor {
+    fn requires_training(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, features: &[Options], targets: &[f64]) -> Result<()> {
+        let xs: Vec<f64> = features
+            .iter()
+            .map(|f| f.get_f64(&self.spline_key))
+            .collect::<Result<_>>()?;
+        let mut ys = log_targets(targets)?;
+        let lin_rows = to_rows(features, &self.linear_keys)?;
+        let mut spline = NaturalSpline::fit(&xs, &ys, self.knots)
+            .map_err(|e| Error::Numerical(e.to_string()))?;
+        let mut linear: Option<LinearModel> = None;
+        if !self.linear_keys.is_empty() {
+            // 3 backfitting rounds: spline residuals <-> linear residuals
+            for _ in 0..3 {
+                let spline_pred = spline.predict_batch(&xs);
+                let resid: Vec<f64> = ys.iter().zip(&spline_pred).map(|(y, p)| y - p).collect();
+                let lin = LinearModel::fit(&lin_rows, &resid)
+                    .map_err(|e| Error::Numerical(e.to_string()))?;
+                let lin_pred = lin
+                    .predict_batch(&lin_rows)
+                    .map_err(|e| Error::Numerical(e.to_string()))?;
+                let resid2: Vec<f64> = ys.iter().zip(&lin_pred).map(|(y, p)| y - p).collect();
+                spline = NaturalSpline::fit(&xs, &resid2, self.knots)
+                    .map_err(|e| Error::Numerical(e.to_string()))?;
+                linear = Some(lin);
+            }
+            // keep ys for clarity; the final model is spline(resid2) + linear
+            let _ = &mut ys;
+        }
+        self.spline = Some(spline);
+        self.linear = linear;
+        Ok(())
+    }
+
+    fn predict(&self, features: &Options) -> Result<f64> {
+        let spline = check_fitted(&self.spline, "spline predictor")?;
+        let x = features.get_f64(&self.spline_key)?;
+        let mut log_cr = spline.predict(x);
+        if let Some(lin) = &self.linear {
+            let xs = feature_vector(features, &self.linear_keys)?;
+            log_cr += lin.predict(&xs).map_err(|e| Error::Numerical(e.to_string()))?;
+        }
+        Ok(log_cr.exp2())
+    }
+
+    fn state(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| Error::Serialization(e.to_string()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = serde_json::from_slice(bytes).map_err(|e| Error::Serialization(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Random-forest predictor with FXRZ data augmentation (Rahman 2023 style).
+#[derive(Serialize, Deserialize)]
+pub struct ForestPredictor {
+    keys: Vec<String>,
+    /// Synthetic-to-real augmentation factor (0 disables).
+    pub augmentation: f64,
+    params: ForestParams,
+    forest: Option<RandomForest>,
+}
+
+impl ForestPredictor {
+    /// Forest over the given feature keys, predicting `log2(CR)`.
+    pub fn new(keys: Vec<String>) -> ForestPredictor {
+        ForestPredictor {
+            keys,
+            augmentation: 2.0,
+            params: ForestParams {
+                num_trees: 40,
+                ..Default::default()
+            },
+            forest: None,
+        }
+    }
+}
+
+impl Predictor for ForestPredictor {
+    fn requires_training(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, features: &[Options], targets: &[f64]) -> Result<()> {
+        let mut rows = to_rows(features, &self.keys)?;
+        let mut ys = log_targets(targets)?;
+        if rows.is_empty() {
+            return Err(Error::NotFitted("no training data".into()));
+        }
+        augment_by_interpolation(&mut rows, &mut ys, self.augmentation, self.params.seed);
+        self.forest = Some(RandomForest::fit(&rows, &ys, &self.params));
+        Ok(())
+    }
+
+    fn predict(&self, features: &Options) -> Result<f64> {
+        let forest = check_fitted(&self.forest, "forest predictor")?;
+        let x = feature_vector(features, &self.keys)?;
+        Ok(forest.predict(&x).exp2())
+    }
+
+    fn state(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| Error::Serialization(e.to_string()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = serde_json::from_slice(bytes).map_err(|e| Error::Serialization(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Forest + split conformal intervals (Ganguli 2023 style): part of the
+/// training set is held out to calibrate distribution-free bounds on the
+/// log-ratio prediction error.
+#[derive(Serialize, Deserialize)]
+pub struct ConformalForestPredictor {
+    inner: ForestPredictor,
+    calibration: Option<ConformalCalibration>,
+}
+
+impl ConformalForestPredictor {
+    /// Forest over `keys` with conformal calibration.
+    pub fn new(keys: Vec<String>) -> ConformalForestPredictor {
+        ConformalForestPredictor {
+            inner: ForestPredictor::new(keys),
+            calibration: None,
+        }
+    }
+}
+
+impl Predictor for ConformalForestPredictor {
+    fn requires_training(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, features: &[Options], targets: &[f64]) -> Result<()> {
+        let n = features.len();
+        if n < 5 {
+            // too small to split: fit without calibration
+            self.inner.fit(features, targets)?;
+            self.calibration = None;
+            return Ok(());
+        }
+        // hold out every 4th sample for calibration
+        let mut train_f = Vec::new();
+        let mut train_t = Vec::new();
+        let mut cal_f = Vec::new();
+        let mut cal_t = Vec::new();
+        for i in 0..n {
+            if i % 4 == 3 {
+                cal_f.push(features[i].clone());
+                cal_t.push(targets[i]);
+            } else {
+                train_f.push(features[i].clone());
+                train_t.push(targets[i]);
+            }
+        }
+        self.inner.fit(&train_f, &train_t)?;
+        let mut predicted = Vec::with_capacity(cal_f.len());
+        let mut actual = Vec::with_capacity(cal_f.len());
+        for (f, &t) in cal_f.iter().zip(&cal_t) {
+            predicted.push(self.inner.predict(f)?.log2());
+            actual.push(t.log2());
+        }
+        self.calibration = ConformalCalibration::calibrate(&predicted, &actual);
+        Ok(())
+    }
+
+    fn predict(&self, features: &Options) -> Result<f64> {
+        self.inner.predict(features)
+    }
+
+    fn predict_interval(&self, features: &Options, alpha: f64) -> Option<Interval> {
+        let cal = self.calibration.as_ref()?;
+        let point = self.inner.predict(features).ok()?;
+        let iv = cal.interval(point.log2(), alpha);
+        Some(Interval {
+            lo: iv.lo.exp2(),
+            hi: iv.hi.exp2(),
+            coverage: iv.coverage,
+        })
+    }
+
+    fn state(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| Error::Serialization(e.to_string()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = serde_json::from_slice(bytes).map_err(|e| Error::Serialization(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Gaussian-process predictor (Lu 2018 style): exact GP regression over
+/// named features, predicting `log2(CR)`.
+#[derive(Serialize, Deserialize)]
+pub struct GpPredictor {
+    keys: Vec<String>,
+    /// Noise-variance fraction of the target variance.
+    pub noise: f64,
+    model: Option<GaussianProcess>,
+}
+
+impl GpPredictor {
+    /// GP over the given feature keys.
+    pub fn new(keys: Vec<String>) -> GpPredictor {
+        GpPredictor {
+            keys,
+            noise: 0.01,
+            model: None,
+        }
+    }
+}
+
+impl Predictor for GpPredictor {
+    fn requires_training(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, features: &[Options], targets: &[f64]) -> Result<()> {
+        let rows = to_rows(features, &self.keys)?;
+        let ys = log_targets(targets)?;
+        self.model = Some(
+            GaussianProcess::fit(&rows, &ys, self.noise)
+                .map_err(|e| Error::Numerical(e.to_string()))?,
+        );
+        Ok(())
+    }
+
+    fn predict(&self, features: &Options) -> Result<f64> {
+        let model = check_fitted(&self.model, "gp predictor")?;
+        let x = feature_vector(features, &self.keys)?;
+        let log_cr = model.predict(&x).map_err(|e| Error::Numerical(e.to_string()))?;
+        Ok(log_cr.exp2())
+    }
+
+    fn state(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| Error::Serialization(e.to_string()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = serde_json::from_slice(bytes).map_err(|e| Error::Serialization(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Neural-network predictor (Qin 2020 style): a small MLP over named
+/// features, predicting `log2(CR)`.
+#[derive(Serialize, Deserialize)]
+pub struct MlpPredictor {
+    keys: Vec<String>,
+    /// Network/training hyper-parameters.
+    pub params: MlpParams,
+    model: Option<Mlp>,
+}
+
+impl MlpPredictor {
+    /// MLP over the given feature keys.
+    pub fn new(keys: Vec<String>) -> MlpPredictor {
+        MlpPredictor {
+            keys,
+            params: MlpParams::default(),
+            model: None,
+        }
+    }
+}
+
+impl Predictor for MlpPredictor {
+    fn requires_training(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, features: &[Options], targets: &[f64]) -> Result<()> {
+        let rows = to_rows(features, &self.keys)?;
+        let ys = log_targets(targets)?;
+        self.model = Some(
+            Mlp::fit(&rows, &ys, &self.params)
+                .ok_or_else(|| Error::Numerical("mlp training failed".into()))?,
+        );
+        Ok(())
+    }
+
+    fn predict(&self, features: &Options) -> Result<f64> {
+        let model = check_fitted(&self.model, "mlp predictor")?;
+        let x = feature_vector(features, &self.keys)?;
+        let log_cr = model
+            .predict(&x)
+            .ok_or_else(|| Error::Numerical("mlp dimension mismatch".into()))?;
+        Ok(log_cr.exp2())
+    }
+
+    fn state(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| Error::Serialization(e.to_string()))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = serde_json::from_slice(bytes).map_err(|e| Error::Serialization(e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_set(n: usize) -> (Vec<Options>, Vec<f64>) {
+        // CR = 2^(8 - entropy) roughly: log-linear in the feature
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..n {
+            let entropy = (i % 9) as f64;
+            let aux = (i % 5) as f64 * 0.1;
+            features.push(
+                Options::new()
+                    .with("qent:entropy", entropy)
+                    .with("variogram:score", aux),
+            );
+            targets.push((8.0 - entropy + aux).exp2());
+        }
+        (features, targets)
+    }
+
+    #[test]
+    fn identity_predictor_returns_metric() {
+        let p = IdentityPredictor::new("tao:sampled_ratio");
+        assert!(!p.requires_training());
+        let f = Options::new().with("tao:sampled_ratio", 12.5);
+        assert_eq!(p.predict(&f).unwrap(), 12.5);
+        assert!(p.predict(&Options::new()).is_err());
+    }
+
+    #[test]
+    fn linear_predictor_learns_log_linear_law() {
+        let (features, targets) = training_set(100);
+        let mut p = LinearPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        assert!(p.requires_training());
+        assert!(matches!(
+            p.predict(&features[0]),
+            Err(Error::NotFitted(_))
+        ));
+        p.fit(&features, &targets).unwrap();
+        for (f, t) in features.iter().zip(&targets).take(20) {
+            let pred = p.predict(f).unwrap();
+            assert!((pred / t - 1.0).abs() < 0.05, "{pred} vs {t}");
+        }
+    }
+
+    #[test]
+    fn spline_predictor_fits_nonlinear_law() {
+        // CR = 2^( (entropy-4)^2 / 4 ): nonlinear in entropy
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..120 {
+            let e = (i % 12) as f64 * 0.75;
+            features.push(Options::new().with("qent:entropy", e).with("aux", 0.0));
+            targets.push(((e - 4.0) * (e - 4.0) / 4.0).exp2());
+        }
+        let mut p = SplinePredictor::new("qent:entropy", vec!["aux".to_string()]);
+        p.fit(&features, &targets).unwrap();
+        for (f, t) in features.iter().zip(&targets).take(12) {
+            let pred = p.predict(f).unwrap();
+            assert!(
+                (pred.log2() - t.log2()).abs() < 0.35,
+                "{pred} vs {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn spline_predictor_round_trips_state() {
+        let (features, targets) = training_set(60);
+        let mut p = SplinePredictor::new(
+            "qent:entropy",
+            vec!["variogram:score".to_string()],
+        );
+        p.fit(&features, &targets).unwrap();
+        let mut q = SplinePredictor::new("", vec![]);
+        q.load_state(&p.state().unwrap()).unwrap();
+        assert_eq!(
+            p.predict(&features[7]).unwrap(),
+            q.predict(&features[7]).unwrap()
+        );
+    }
+
+    #[test]
+    fn forest_predictor_round_trips_state() {
+        let (features, targets) = training_set(80);
+        let mut p = ForestPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        p.fit(&features, &targets).unwrap();
+        let state = p.state().unwrap();
+        let mut q = ForestPredictor::new(vec![]);
+        q.load_state(&state).unwrap();
+        assert_eq!(
+            p.predict(&features[3]).unwrap(),
+            q.predict(&features[3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn forest_learns_reasonably() {
+        let (features, targets) = training_set(120);
+        let mut p = ForestPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        p.fit(&features, &targets).unwrap();
+        let preds: Vec<f64> = features.iter().map(|f| p.predict(f).unwrap()).collect();
+        let med = pressio_stats::medape(&targets, &preds).unwrap();
+        assert!(med < 25.0, "forest MedAPE {med}%");
+    }
+
+    #[test]
+    fn negative_targets_rejected() {
+        let f = vec![Options::new().with("x", 1.0); 4];
+        let mut p = LinearPredictor::new(vec!["x".to_string()]);
+        assert!(p.fit(&f, &[1.0, 2.0, -1.0, 3.0]).is_err());
+        assert!(p.fit(&f, &[1.0, 2.0, 0.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn conformal_intervals_cover_training_law() {
+        let (features, targets) = training_set(200);
+        let mut p = ConformalForestPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        p.fit(&features, &targets).unwrap();
+        let mut covered = 0usize;
+        for (f, &t) in features.iter().zip(&targets) {
+            let iv = p.predict_interval(f, 0.1).unwrap();
+            assert!(iv.lo <= iv.hi);
+            if iv.lo <= t && t <= iv.hi {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / targets.len() as f64;
+        assert!(rate > 0.8, "coverage {rate}");
+    }
+
+    #[test]
+    fn conformal_without_enough_data_has_no_interval() {
+        let (features, targets) = training_set(4);
+        let mut p = ConformalForestPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        p.fit(&features, &targets).unwrap();
+        assert!(p.predict_interval(&features[0], 0.1).is_none());
+        // but the point prediction works
+        assert!(p.predict(&features[0]).is_ok());
+    }
+
+    #[test]
+    fn gp_predictor_learns_log_law() {
+        let (features, targets) = training_set(80);
+        let mut p = GpPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        assert!(p.requires_training());
+        p.fit(&features, &targets).unwrap();
+        let preds: Vec<f64> = features.iter().map(|f| p.predict(f).unwrap()).collect();
+        let med = pressio_stats::medape(&targets, &preds).unwrap();
+        assert!(med < 20.0, "gp MedAPE {med}%");
+        // state round trip
+        let mut q = GpPredictor::new(vec![]);
+        q.load_state(&p.state().unwrap()).unwrap();
+        assert_eq!(
+            p.predict(&features[5]).unwrap(),
+            q.predict(&features[5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn mlp_predictor_learns_log_law() {
+        let (features, targets) = training_set(90);
+        let mut p = MlpPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        p.fit(&features, &targets).unwrap();
+        let preds: Vec<f64> = features.iter().map(|f| p.predict(f).unwrap()).collect();
+        let med = pressio_stats::medape(&targets, &preds).unwrap();
+        assert!(med < 40.0, "mlp MedAPE {med}%");
+        let mut q = MlpPredictor::new(vec![]);
+        q.load_state(&p.state().unwrap()).unwrap();
+        assert_eq!(
+            p.predict(&features[5]).unwrap(),
+            q.predict(&features[5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn linear_state_round_trip() {
+        let (features, targets) = training_set(50);
+        let mut p = LinearPredictor::new(vec![
+            "qent:entropy".to_string(),
+            "variogram:score".to_string(),
+        ]);
+        p.fit(&features, &targets).unwrap();
+        let mut q = LinearPredictor::new(vec![]);
+        q.load_state(&p.state().unwrap()).unwrap();
+        assert_eq!(
+            p.predict(&features[0]).unwrap(),
+            q.predict(&features[0]).unwrap()
+        );
+    }
+}

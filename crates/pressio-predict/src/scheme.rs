@@ -1,0 +1,173 @@
+//! The `scheme_plugin` abstraction (paper §4.2): a scheme bundles the
+//! metrics a prediction method needs, their invalidation classes, and a
+//! factory for the matching predictor — so applications can switch methods
+//! without knowing their internals (Figure 4).
+
+use crate::predictor::Predictor;
+use pressio_core::error::Result;
+use pressio_core::{Compressor, Data, Options};
+
+/// Capability metadata — one row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeInfo {
+    /// Registry name (`"tao2019"`, ...).
+    pub name: &'static str,
+    /// Bibliographic reference.
+    pub citation: &'static str,
+    /// Whether the scheme has a training stage (Table 1 "training").
+    pub training: bool,
+    /// Whether it samples the data (Table 1 "sampling").
+    pub sampling: bool,
+    /// Black-box status: `"yes"`, `"no"`, or `"partial"` (Table 1 "~").
+    pub black_box: &'static str,
+    /// Design goal: `"fast"` or `"accurate"`.
+    pub goal: &'static str,
+    /// Metrics predicted (`"CR"`, `"CR, Bandwidth"`, ...).
+    pub metrics: &'static str,
+    /// Approach family (`"trial-based"`, `"regression"`, `"calculation"`,
+    /// `"machine learning"`, `"deep learning"`).
+    pub approach: &'static str,
+    /// Special features (`"bounded"`, `"counterfactuals"`, or `""`).
+    pub features: &'static str,
+}
+
+/// Stage timings of one end-to-end prediction (the columns of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// Time computing error-agnostic features, ms (`None` if the scheme has
+    /// none — rendered as "N/A" like the paper).
+    pub error_agnostic_ms: Option<f64>,
+    /// Time computing error-dependent features, ms.
+    pub error_dependent_ms: Option<f64>,
+    /// Time collecting training-only observations, ms.
+    pub training_ms: Option<f64>,
+    /// Model-fitting time, ms.
+    pub fit_ms: Option<f64>,
+    /// Single-prediction inference time, ms.
+    pub inference_ms: Option<f64>,
+}
+
+/// A prediction scheme: feature extraction split by invalidation class,
+/// plus a predictor factory.
+pub trait Scheme: Send {
+    /// Capability metadata (regenerates Table 1).
+    fn info(&self) -> SchemeInfo;
+
+    /// Whether the scheme can model this compressor in its current
+    /// configuration (e.g. the Jin model is SZ-specific — its ZFP cell in
+    /// Table 2 is N/A).
+    fn supports(&self, compressor_id: &str) -> bool;
+
+    /// Compute the error-agnostic features (depend only on the data).
+    /// Schemes without any return an empty structure.
+    fn error_agnostic_features(&self, data: &Data) -> Result<Options>;
+
+    /// Compute the error-dependent features (depend on error-affecting
+    /// compressor settings, notably `pressio:abs`).
+    fn error_dependent_features(&self, data: &Data, compressor: &dyn Compressor)
+        -> Result<Options>;
+
+    /// Collect the training-only observation for one dataset — by default
+    /// the ground truth: run the compressor and return the actual ratio.
+    /// This is the "Training (ms)" column of Table 2 (≈ compression time).
+    fn training_observation(&self, data: &Data, compressor: &dyn Compressor) -> Result<f64> {
+        let compressed = compressor.compress(data)?;
+        Ok(data.size_in_bytes() as f64 / compressed.len().max(1) as f64)
+    }
+
+    /// Instantiate the predictor this scheme pairs with.
+    fn make_predictor(&self) -> Box<dyn Predictor>;
+
+    /// Names of the feature keys the predictor consumes (for diagnostics
+    /// and for `extract`-style narrowing as in Figure 4).
+    fn feature_keys(&self) -> Vec<String>;
+}
+
+/// Render Table 1 from live scheme metadata.
+pub fn format_table1(schemes: &[&dyn Scheme]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| method | training | sampling | black-box | goal | metrics | approach | features |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for s in schemes {
+        let i = s.info();
+        let bb = match i.black_box {
+            "yes" => "✓",
+            "no" => "✗",
+            _ => "~",
+        };
+        out.push_str(&format!(
+            "| {} [{}] | {} | {} | {} | {} | {} | {} | {} |\n",
+            i.name,
+            i.citation,
+            if i.training { "✓" } else { "✗" },
+            if i.sampling { "✓" } else { "✗" },
+            bb,
+            i.goal,
+            i.metrics,
+            i.approach,
+            i.features,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::IdentityPredictor;
+
+    struct Dummy;
+
+    impl Scheme for Dummy {
+        fn info(&self) -> SchemeInfo {
+            SchemeInfo {
+                name: "dummy",
+                citation: "Nobody 2099",
+                training: false,
+                sampling: true,
+                black_box: "partial",
+                goal: "fast",
+                metrics: "CR",
+                approach: "trial-based",
+                features: "",
+            }
+        }
+        fn supports(&self, id: &str) -> bool {
+            id == "sz3"
+        }
+        fn error_agnostic_features(&self, _data: &Data) -> Result<Options> {
+            Ok(Options::new())
+        }
+        fn error_dependent_features(
+            &self,
+            _data: &Data,
+            _compressor: &dyn Compressor,
+        ) -> Result<Options> {
+            Ok(Options::new().with("dummy:ratio", 2.0))
+        }
+        fn make_predictor(&self) -> Box<dyn Predictor> {
+            Box::new(IdentityPredictor::new("dummy:ratio"))
+        }
+        fn feature_keys(&self) -> Vec<String> {
+            vec!["dummy:ratio".to_string()]
+        }
+    }
+
+    #[test]
+    fn table1_renders_metadata() {
+        let d = Dummy;
+        let t = format_table1(&[&d]);
+        assert!(t.contains("dummy [Nobody 2099]"));
+        assert!(t.contains("| ✗ | ✓ | ~ |"));
+        assert!(t.contains("trial-based"));
+    }
+
+    #[test]
+    fn supports_filters_compressors() {
+        let d = Dummy;
+        assert!(d.supports("sz3"));
+        assert!(!d.supports("zfp"));
+    }
+}

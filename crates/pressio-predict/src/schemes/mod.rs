@@ -1,0 +1,25 @@
+//! The bundled prediction schemes — one module per method ported in the
+//! paper (§5) or listed in its Table 1.
+
+pub mod ganguli;
+pub mod jin;
+pub mod khan;
+pub mod krasowska;
+pub mod lu;
+pub mod qin;
+pub mod rahman;
+pub mod szmodel;
+pub mod tao;
+pub mod underwood;
+pub mod wang;
+
+pub use ganguli::GanguliScheme;
+pub use jin::JinScheme;
+pub use khan::KhanScheme;
+pub use krasowska::KrasowskaScheme;
+pub use lu::LuScheme;
+pub use qin::QinScheme;
+pub use rahman::RahmanScheme;
+pub use tao::TaoScheme;
+pub use underwood::UnderwoodScheme;
+pub use wang::WangScheme;

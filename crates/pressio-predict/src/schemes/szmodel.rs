@@ -1,0 +1,104 @@
+//! Shared analytic model of the SZ encoding stages, used by the Jin (2022)
+//! ratio-quality scheme and the Wang (2023) counterfactual stage model:
+//! quantization-code distribution → Huffman encoding efficiency →
+//! dictionary-stage efficiency on the modal-code runs.
+
+use pressio_lossless::huffman::{histogram, Codebook};
+
+/// Estimate the compressed size in bytes from the quantization stage's
+/// output statistics, without running the encoder.
+///
+/// * `symbols` — quantization symbols (sampled or full).
+/// * `total_elements` — elements in the full dataset being modeled (the
+///   symbol statistics are extrapolated to this count).
+/// * `unpredictable_fraction` — fraction of escape-coded points.
+/// * `value_size` — bytes per verbatim value (4 for f32).
+pub fn estimate_sz_size_bytes(
+    symbols: &[u32],
+    total_elements: usize,
+    unpredictable_fraction: f64,
+    value_size: usize,
+) -> f64 {
+    let n = total_elements as f64;
+    if symbols.is_empty() || total_elements == 0 {
+        return 1.0;
+    }
+    let freqs = histogram(symbols);
+    let book = Codebook::from_frequencies(&freqs);
+    let sample_n = symbols.len() as f64;
+    // modal code (overwhelmingly the zero-residual bin)
+    let (modal_sym, modal_count) = freqs
+        .iter()
+        .copied()
+        .max_by_key(|&(_, c)| c)
+        .unwrap_or((0, 0));
+    let p = modal_count as f64 / sample_n;
+    let l0 = book.code_length(modal_sym).unwrap_or(1) as f64;
+    let huffman_modal_bits = n * p * l0;
+    // dictionary stage: one ~25-bit token per maximal modal run (≈ n(1−p)
+    // runs under independence), plus the 258-byte match cap amortized
+    let lzss_modal_bits = n * (1.0 - p) * 25.0 + n * p * l0 * 25.0 / (258.0 * 8.0);
+    let modal_bits = huffman_modal_bits.min(lzss_modal_bits);
+    let rest_bits: f64 = freqs
+        .iter()
+        .filter(|&&(s, _)| s != modal_sym)
+        .map(|&(s, c)| (c as f64 / sample_n) * n * book.code_length(s).unwrap_or(32) as f64)
+        .sum();
+    let payload_bytes = (modal_bits + rest_bits) / 8.0;
+    let table_bytes = freqs.len() as f64 * 38.0 / 8.0 + 12.0;
+    let unpred_bytes = n * unpredictable_fraction * value_size as f64;
+    let header_bytes = 64.0;
+    (payload_bytes + table_bytes + unpred_bytes + header_bytes).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_symbols_estimate_near_token_floor() {
+        let symbols = vec![7u32; 10_000];
+        let size = estimate_sz_size_bytes(&symbols, 10_000, 0.0, 4);
+        // modal run collapses: far below the 1-bit/symbol Huffman floor
+        assert!(size < 10_000.0 / 8.0, "size {size}");
+        assert!(size > 50.0, "still pays table+header: {size}");
+    }
+
+    #[test]
+    fn uniform_symbols_estimate_near_entropy() {
+        let symbols: Vec<u32> = (0..4096u32).map(|i| i % 16).collect();
+        let size = estimate_sz_size_bytes(&symbols, 4096, 0.0, 4);
+        // 16 equiprobable symbols = 4 bits each
+        let expected = 4096.0 * 4.0 / 8.0;
+        assert!((size - expected).abs() < expected * 0.3, "{size} vs {expected}");
+    }
+
+    #[test]
+    fn unpredictable_points_add_verbatim_cost() {
+        let symbols = vec![1u32; 1000];
+        let clean = estimate_sz_size_bytes(&symbols, 1000, 0.0, 4);
+        let dirty = estimate_sz_size_bytes(&symbols, 1000, 0.25, 4);
+        assert!((dirty - clean - 1000.0 * 0.25 * 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn extrapolates_sample_statistics() {
+        let symbols: Vec<u32> = (0..1000u32).map(|i| i % 4).collect();
+        let small = estimate_sz_size_bytes(&symbols, 1000, 0.0, 4);
+        let big = estimate_sz_size_bytes(&symbols, 10_000, 0.0, 4);
+        // payload scales 10x, table/header (~95 bytes) do not
+        let fixed = 4.0 * 38.0 / 8.0 + 12.0 + 64.0; // 4-symbol table + header
+        let payload_small = small - fixed;
+        let payload_big = big - fixed;
+        assert!(
+            (payload_big - 10.0 * payload_small).abs() < payload_small,
+            "{small} -> {big} (payload {payload_small} -> {payload_big})"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_do_not_divide_by_zero() {
+        assert_eq!(estimate_sz_size_bytes(&[], 100, 0.0, 4), 1.0);
+        assert_eq!(estimate_sz_size_bytes(&[1], 0, 0.0, 4), 1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Descriptive statistics and prediction-quality metrics.
+//!
+//! Includes MedAPE — the Median Absolute Percentage Error the paper uses as
+//! its quality axis (robust to outliers and metric scale, §5).
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of finite observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Fraction of exact zeros — the "sparsity" feature FXRZ's correction
+    /// factor keys on.
+    pub zero_fraction: f64,
+}
+
+/// Compute [`Summary`] over `values`, ignoring non-finite entries.
+pub fn summarize(values: &[f64]) -> Summary {
+    let mut count = 0usize;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut zeros = 0usize;
+    for &v in values {
+        if !v.is_finite() {
+            continue;
+        }
+        count += 1;
+        let delta = v - mean;
+        mean += delta / count as f64;
+        m2 += delta * (v - mean);
+        min = min.min(v);
+        max = max.max(v);
+        if v == 0.0 {
+            zeros += 1;
+        }
+    }
+    if count == 0 {
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            variance: 0.0,
+            min: 0.0,
+            max: 0.0,
+            zero_fraction: 0.0,
+        };
+    }
+    Summary {
+        count,
+        mean,
+        variance: m2 / count as f64,
+        min,
+        max,
+        zero_fraction: zeros as f64 / count as f64,
+    }
+}
+
+/// `p`-quantile (0 ≤ p ≤ 1) with linear interpolation; ignores non-finite
+/// values; returns `None` on an empty (or all-non-finite) sample.
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = p.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Median (0.5-quantile).
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Median Absolute Percentage Error, in percent:
+/// `median(|predicted - actual| / |actual|) × 100`.
+///
+/// Pairs where `actual == 0` are skipped (their percentage error is
+/// undefined); returns `None` when no valid pairs remain.
+pub fn medape(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    let apes: Vec<f64> = actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| a.is_finite() && p.is_finite() && **a != 0.0)
+        .map(|(a, p)| ((p - a) / a).abs() * 100.0)
+        .collect();
+    median(&apes)
+}
+
+/// Mean Absolute Percentage Error, in percent (same conventions as
+/// [`medape`]; not robust to outliers — provided for comparisons).
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    let apes: Vec<f64> = actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| a.is_finite() && p.is_finite() && **a != 0.0)
+        .map(|(a, p)| ((p - a) / a).abs() * 100.0)
+        .collect();
+    if apes.is_empty() {
+        None
+    } else {
+        Some(apes.iter().sum::<f64>() / apes.len() as f64)
+    }
+}
+
+/// Root-mean-square error between paired samples.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    let n = actual.len().min(predicted.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let sse: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    (sse / n as f64).sqrt()
+}
+
+/// Coefficient of determination R² (1 − SSE/SST); `None` when the actuals
+/// are constant.
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    let n = actual.len().min(predicted.len());
+    if n == 0 {
+        return None;
+    }
+    let mean: f64 = actual[..n].iter().sum::<f64>() / n as f64;
+    let sst: f64 = actual[..n].iter().map(|a| (a - mean) * (a - mean)).sum();
+    if sst == 0.0 {
+        return None;
+    }
+    let sse: f64 = actual[..n]
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    Some(1.0 - sse / sst)
+}
+
+/// Pearson correlation coefficient; `None` when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return None;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.zero_fraction, 0.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite_and_counts_zeros() {
+        let s = summarize(&[0.0, 0.0, 1.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(s.count, 3);
+        assert!((s.zero_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn medape_robust_to_one_outlier() {
+        let actual = [10.0, 10.0, 10.0, 10.0, 10.0];
+        let predicted = [11.0, 11.0, 11.0, 11.0, 1000.0];
+        // mean APE is blown up by the outlier; median stays at 10%
+        assert!((medape(&actual, &predicted).unwrap() - 10.0).abs() < 1e-9);
+        assert!(mape(&actual, &predicted).unwrap() > 1000.0);
+    }
+
+    #[test]
+    fn medape_skips_zero_actuals() {
+        let actual = [0.0, 10.0];
+        let predicted = [5.0, 20.0];
+        assert!((medape(&actual, &predicted).unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(medape(&[0.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn medape_exact_predictions_zero() {
+        let a = [3.0, 7.0, 2.0];
+        assert_eq!(medape(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn rmse_and_r2() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &p), 0.0);
+        assert_eq!(r_squared(&a, &p), Some(1.0));
+        let p2 = [2.0, 2.0, 2.0]; // predicting the mean -> R² = 0
+        assert!((r_squared(&a, &p2).unwrap()).abs() < 1e-12);
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), None);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic k-fold cross-validation splitting (paper §4.3 footnote 3):
+//! the data is partitioned into `k` chunks; each fold trains on `k−1`
+//! chunks and validates on the remaining one.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/validation split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices used for training.
+    pub train: Vec<usize>,
+    /// Indices used for validation.
+    pub validate: Vec<usize>,
+}
+
+/// Produce `k` folds over `n` items, shuffled deterministically by `seed`.
+///
+/// Every index appears in exactly one validation set; fold sizes differ by
+/// at most one. Panics if `k < 2` or `n < k`.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= k, "need at least k items");
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    // chunk boundaries: first (n % k) folds get one extra
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let validate: Vec<usize> = indices[start..start + len].to_vec();
+        let train: Vec<usize> = indices[..start]
+            .iter()
+            .chain(&indices[start + len..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, validate });
+        start += len;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        for (n, k) in [(10, 2), (10, 10), (48, 10), (100, 7)] {
+            let folds = k_folds(n, k, 1);
+            assert_eq!(folds.len(), k);
+            let mut all_validation = BTreeSet::new();
+            for f in &folds {
+                for &i in &f.validate {
+                    assert!(all_validation.insert(i), "index {i} validated twice");
+                }
+                // train + validate == everything
+                let mut union: BTreeSet<usize> =
+                    f.train.iter().chain(&f.validate).copied().collect();
+                assert_eq!(union.len(), n);
+                union.extend(0..n);
+                assert_eq!(union.len(), n);
+                // train and validate are disjoint
+                let t: BTreeSet<usize> = f.train.iter().copied().collect();
+                assert!(f.validate.iter().all(|i| !t.contains(i)));
+            }
+            assert_eq!(all_validation.len(), n);
+        }
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = k_folds(48, 10, 3);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.validate.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 4 || s == 5));
+        assert_eq!(sizes.iter().sum::<usize>(), 48);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(k_folds(20, 4, 9), k_folds(20, 4, 9));
+        assert_ne!(k_folds(20, 4, 9), k_folds(20, 4, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_one_panics() {
+        let _ = k_folds(10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k items")]
+    fn too_few_items_panics() {
+        let _ = k_folds(3, 5, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # pressio-stats
+//!
+//! Statistics and machine-learning substrate for the LibPressio-Predict
+//! reproduction. The paper's prediction schemes were originally backed by
+//! Python/R libraries through an embedded interpreter; this crate provides
+//! native, serializable, deterministic equivalents:
+//!
+//! - [`descriptive`] — summaries, quantiles, and the MedAPE quality metric
+//!   (paper §5).
+//! - [`linalg`] — dense matrices, Cholesky SPD solves, one-sided Jacobi SVD
+//!   and the SVD-truncation feature (Underwood 2023).
+//! - [`regression`] — OLS linear models (Krasowska 2021).
+//! - [`spline`] — natural cubic spline regression (Underwood 2023).
+//! - [`tree`] / [`forest`] — CART random forests with FXRZ-style data
+//!   augmentation (Rahman 2023).
+//! - [`variogram`] — spatial-correlation features (Krasowska 2021).
+//! - [`kfold`] — deterministic k-fold cross-validation splits (§4.3).
+//! - [`conformal`] — split conformal prediction intervals (Ganguli 2023).
+
+#![warn(missing_docs)]
+
+pub mod conformal;
+pub mod descriptive;
+pub mod forest;
+pub mod gp;
+pub mod kfold;
+pub mod linalg;
+pub mod mlp;
+pub mod regression;
+pub mod spline;
+pub mod tree;
+pub mod variogram;
+
+pub use conformal::{ConformalCalibration, Interval};
+pub use descriptive::{medape, median, quantile, summarize, Summary};
+pub use forest::{augment_by_interpolation, ForestParams, RandomForest};
+pub use gp::GaussianProcess;
+pub use mlp::{Mlp, MlpParams};
+pub use kfold::{k_folds, Fold};
+pub use linalg::{singular_values, svd_truncation_fraction, Matrix};
+pub use regression::LinearModel;
+pub use spline::NaturalSpline;
+pub use tree::{RegressionTree, TreeParams};
+pub use variogram::{variogram, variogram_score};

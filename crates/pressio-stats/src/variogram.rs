@@ -1,0 +1,168 @@
+//! Empirical variograms of gridded data — the spatial-correlation feature
+//! of the Krasowska (2021) scheme.
+//!
+//! The (semi-)variogram at lag `h` along an axis is
+//! `γ(h) = mean((v[i] − v[i+h])²) / 2`; a slowly rising variogram means
+//! strong spatial correlation (compressible), a flat-high one means noise.
+
+/// Empirical variogram over the first `max_lag` lags, averaged across all
+/// axes of the grid (dims fastest-first, collapsed to ≤3 like the codecs).
+pub fn variogram(values: &[f64], dims: &[usize], max_lag: usize) -> Vec<f64> {
+    let (nx, ny, nz) = match dims.len() {
+        0 => (0, 1, 1),
+        1 => (dims[0], 1, 1),
+        2 => (dims[0], dims[1], 1),
+        _ => (dims[0], dims[1], dims[2..].iter().product()),
+    };
+    let mut gamma = vec![0.0f64; max_lag];
+    let mut counts = vec![0u64; max_lag];
+    let at = |x: usize, y: usize, z: usize| values[(z * ny + y) * nx + x];
+    for lag in 1..=max_lag {
+        let g = &mut gamma[lag - 1];
+        let c = &mut counts[lag - 1];
+        // x axis
+        if nx > lag {
+            for z in 0..nz {
+                for y in 0..ny {
+                    for x in 0..nx - lag {
+                        let d = at(x, y, z) - at(x + lag, y, z);
+                        if d.is_finite() {
+                            *g += d * d;
+                            *c += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // y axis
+        if ny > lag {
+            for z in 0..nz {
+                for y in 0..ny - lag {
+                    for x in 0..nx {
+                        let d = at(x, y, z) - at(x, y + lag, z);
+                        if d.is_finite() {
+                            *g += d * d;
+                            *c += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // z axis
+        if nz > lag {
+            for z in 0..nz - lag {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let d = at(x, y, z) - at(x, y, z + lag);
+                        if d.is_finite() {
+                            *g += d * d;
+                            *c += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (g, &c) in gamma.iter_mut().zip(&counts) {
+        if c > 0 {
+            *g /= 2.0 * c as f64;
+        }
+    }
+    gamma
+}
+
+/// Scalar variogram feature: the lag-1 semivariance normalized by the data
+/// variance (`0` = perfectly smooth, `~1` = uncorrelated noise). This is
+/// the regression input Krasowska pairs with quantized entropy.
+pub fn variogram_score(values: &[f64], dims: &[usize]) -> f64 {
+    let g = variogram(values, dims, 1);
+    let var = crate::descriptive::summarize(values).variance;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (g[0] / var).min(2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_field_has_rising_variogram() {
+        let n = 256;
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let g = variogram(&values, &[n], 8);
+        assert!(g[0] < g[3]);
+        assert!(g[3] < g[7]);
+    }
+
+    #[test]
+    fn noise_variogram_is_flat_at_variance() {
+        let mut state = 42u64;
+        let values: Vec<f64> = (0..8192)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let g = variogram(&values, &[8192], 4);
+        let var = crate::descriptive::summarize(&values).variance;
+        for gamma in g {
+            assert!((gamma - var).abs() < var * 0.2, "gamma {gamma} vs var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_field_scores_zero() {
+        let values = vec![5.0; 100];
+        assert_eq!(variogram_score(&values, &[100]), 0.0);
+        assert_eq!(variogram(&values, &[100], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn score_orders_smooth_below_noise() {
+        let smooth: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut state = 77u64;
+        let noise: Vec<f64> = (0..1024)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        assert!(variogram_score(&smooth, &[1024]) < 0.1);
+        assert!(variogram_score(&noise, &[1024]) > 0.5);
+    }
+
+    #[test]
+    fn multi_axis_variogram_2d() {
+        // varies along y only: x-lag differences are zero, y-lag nonzero
+        let (nx, ny) = (16, 16);
+        let values: Vec<f64> = (0..nx * ny).map(|i| (i / nx) as f64).collect();
+        let g_all = variogram(&values, &[nx, ny], 1);
+        assert!(g_all[0] > 0.0);
+        // restricted to one row (1-d), it is constant -> zero
+        let row: Vec<f64> = values[..nx].to_vec();
+        assert_eq!(variogram(&row, &[nx], 1)[0], 0.0);
+    }
+
+    #[test]
+    fn non_finite_pairs_skipped() {
+        let values = vec![1.0, f64::NAN, 3.0, 4.0];
+        let g = variogram(&values, &[4], 1);
+        assert!(g[0].is_finite());
+    }
+
+    #[test]
+    fn lag_longer_than_axis_is_zero_count() {
+        let values = vec![1.0, 2.0];
+        let g = variogram(&values, &[2], 3);
+        assert_eq!(g.len(), 3);
+        assert!(g[0] > 0.0);
+        assert_eq!(g[1], 0.0); // no pairs at lag 2
+        assert_eq!(g[2], 0.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Stream assembly for the SZ-like compressor: header, predictor side
+//! streams, Huffman-coded symbols, and the lossless backend stage.
+
+use crate::quantizer::{Dequantizer, Quantizer};
+use crate::{interp, lorenzo, regression};
+use pressio_core::error::{Error, Result};
+use pressio_core::{Data, Dtype};
+use pressio_lossless::{huffman, lzss};
+
+const MAGIC: &[u8; 4] = b"SZRS";
+const VERSION: u8 = 1;
+
+/// Quantization radius: codes in `(-(RADIUS-1), RADIUS-1)`; symbol alphabet
+/// is `2·RADIUS`, matching SZ's default 65536-bin quantizer.
+pub const RADIUS: i64 = 32768;
+
+/// Predictor selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predictor {
+    /// Pointwise Lorenzo (1st order neighbors).
+    Lorenzo,
+    /// Block-wise linear regression.
+    Regression,
+    /// Multilevel cubic interpolation.
+    Interp,
+    /// Per-block Lorenzo-vs-regression selection (SZ3's default design).
+    Hybrid,
+}
+
+impl Predictor {
+    /// Parse the `sz3:predictor` option value.
+    pub fn parse(s: &str) -> Result<Predictor> {
+        match s {
+            "lorenzo" => Ok(Predictor::Lorenzo),
+            "regression" => Ok(Predictor::Regression),
+            "interp" | "interpolation" => Ok(Predictor::Interp),
+            "hybrid" => Ok(Predictor::Hybrid),
+            other => Err(Error::InvalidValue {
+                key: "sz3:predictor".into(),
+                reason: format!("unknown predictor '{other}'"),
+            }),
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Predictor::Lorenzo => "lorenzo",
+            Predictor::Regression => "regression",
+            Predictor::Interp => "interp",
+            Predictor::Hybrid => "hybrid",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Predictor::Lorenzo => 0,
+            Predictor::Regression => 1,
+            Predictor::Interp => 2,
+            Predictor::Hybrid => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Predictor> {
+        match t {
+            0 => Ok(Predictor::Lorenzo),
+            1 => Ok(Predictor::Regression),
+            2 => Ok(Predictor::Interp),
+            3 => Ok(Predictor::Hybrid),
+            _ => Err(Error::CorruptStream("bad predictor tag".into())),
+        }
+    }
+}
+
+/// Output of the prediction+quantization stages, before entropy coding.
+/// This is the intermediate the Jin (2022) ratio-quality model inspects.
+pub struct QuantizedStream {
+    /// Quantization symbols (0 = unpredictable).
+    pub symbols: Vec<u32>,
+    /// Verbatim values for unpredictable points.
+    pub unpredictable: Vec<f64>,
+    /// Regression coefficients (empty for other predictors).
+    pub coefficients: Vec<f32>,
+    /// Hybrid per-block mode bitmap (bit set = regression block; empty for
+    /// non-hybrid predictors).
+    pub block_modes: Vec<u8>,
+    /// The reconstruction the decoder will produce (for in-loop metrics).
+    pub reconstruction: Vec<f64>,
+}
+
+/// Run prediction + quantization only (stages 1–2 of the SZ pipeline).
+pub fn predict_and_quantize(
+    values: &[f64],
+    dims: &[usize],
+    eb: f64,
+    predictor: Predictor,
+    block: usize,
+    round_f32: bool,
+) -> QuantizedStream {
+    let mut q = Quantizer::new(eb, RADIUS, round_f32, values.len());
+    let (reconstruction, coefficients, block_modes) = match predictor {
+        Predictor::Lorenzo => (lorenzo::encode(values, dims, &mut q), Vec::new(), Vec::new()),
+        Predictor::Regression => {
+            let (r, c) = regression::encode(values, dims, block, &mut q);
+            (r, c, Vec::new())
+        }
+        Predictor::Interp => (interp::encode(values, dims, &mut q), Vec::new(), Vec::new()),
+        Predictor::Hybrid => crate::hybrid::encode(values, dims, block, &mut q),
+    };
+    QuantizedStream {
+        symbols: q.symbols,
+        unpredictable: q.unpredictable,
+        coefficients,
+        block_modes,
+        reconstruction,
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let end = *pos + 8;
+    let s = bytes
+        .get(*pos..end)
+        .ok_or_else(|| Error::CorruptStream("truncated u64".into()))?;
+    *pos = end;
+    Ok(u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_u8(bytes: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *bytes
+        .get(*pos)
+        .ok_or_else(|| Error::CorruptStream("truncated u8".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Assemble the full compressed stream for pre-quantized data.
+pub fn assemble(
+    dtype: Dtype,
+    dims: &[usize],
+    eb: f64,
+    predictor: Predictor,
+    block: usize,
+    stream: &QuantizedStream,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(match dtype {
+        Dtype::F32 => 0,
+        _ => 1,
+    });
+    out.push(predictor.tag());
+    out.push(block as u8);
+    out.push(dims.len() as u8);
+    for &d in dims {
+        push_u64(&mut out, d as u64);
+    }
+    out.extend_from_slice(&eb.to_le_bytes());
+    // unpredictable values, stored at target precision
+    push_u64(&mut out, stream.unpredictable.len() as u64);
+    for &v in &stream.unpredictable {
+        if dtype == Dtype::F32 {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        } else {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    // regression coefficients
+    push_u64(&mut out, stream.coefficients.len() as u64);
+    for &c in &stream.coefficients {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    // hybrid per-block mode bitmap
+    push_u64(&mut out, stream.block_modes.len() as u64);
+    out.extend_from_slice(&stream.block_modes);
+    // entropy-coded symbols, then the dictionary backend if it helps
+    let huff = huffman::compress_symbols(&stream.symbols);
+    let dict = lzss::compress(&huff);
+    if dict.len() < huff.len() {
+        out.push(1);
+        push_u64(&mut out, dict.len() as u64);
+        out.extend_from_slice(&dict);
+    } else {
+        out.push(0);
+        push_u64(&mut out, huff.len() as u64);
+        out.extend_from_slice(&huff);
+    }
+    out
+}
+
+/// Parsed header + payload of a compressed stream.
+pub struct ParsedStream {
+    /// Element type of the original buffer.
+    pub dtype: Dtype,
+    /// Original shape.
+    pub dims: Vec<usize>,
+    /// Error bound the stream was produced with.
+    pub eb: f64,
+    /// Predictor used.
+    pub predictor: Predictor,
+    /// Regression block size.
+    pub block: usize,
+    /// Decoded quantization symbols.
+    pub symbols: Vec<u32>,
+    /// Verbatim values.
+    pub unpredictable: Vec<f64>,
+    /// Regression coefficients.
+    pub coefficients: Vec<f32>,
+    /// Hybrid per-block mode bitmap.
+    pub block_modes: Vec<u8>,
+}
+
+/// Parse and entropy-decode a stream produced by [`assemble`].
+pub fn parse(bytes: &[u8]) -> Result<ParsedStream> {
+    let mut pos = 0usize;
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(Error::CorruptStream("bad magic".into()));
+    }
+    pos += 4;
+    let version = read_u8(bytes, &mut pos)?;
+    if version != VERSION {
+        return Err(Error::CorruptStream(format!("unknown version {version}")));
+    }
+    let dtype = if read_u8(bytes, &mut pos)? == 0 {
+        Dtype::F32
+    } else {
+        Dtype::F64
+    };
+    let predictor = Predictor::from_tag(read_u8(bytes, &mut pos)?)?;
+    let block = read_u8(bytes, &mut pos)? as usize;
+    let rank = read_u8(bytes, &mut pos)? as usize;
+    if rank > 8 {
+        return Err(Error::CorruptStream("implausible rank".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(read_u64(bytes, &mut pos)? as usize);
+    }
+    let n: usize = dims.iter().product();
+    if n > (1usize << 34) {
+        return Err(Error::CorruptStream("implausible element count".into()));
+    }
+    let eb = f64::from_le_bytes(
+        bytes
+            .get(pos..pos + 8)
+            .ok_or_else(|| Error::CorruptStream("truncated eb".into()))?
+            .try_into()
+            .unwrap(),
+    );
+    pos += 8;
+    if !(eb > 0.0) || !eb.is_finite() {
+        return Err(Error::CorruptStream("invalid error bound".into()));
+    }
+    let n_unpred = read_u64(bytes, &mut pos)? as usize;
+    let value_size = if dtype == Dtype::F32 { 4 } else { 8 };
+    // must fit in the remaining stream (reject before allocating for it)
+    if n_unpred > n || n_unpred.saturating_mul(value_size) > bytes.len().saturating_sub(pos) {
+        return Err(Error::CorruptStream("unpredictable count exceeds size".into()));
+    }
+    let mut unpredictable = Vec::with_capacity(n_unpred);
+    for _ in 0..n_unpred {
+        if dtype == Dtype::F32 {
+            let s = bytes
+                .get(pos..pos + 4)
+                .ok_or_else(|| Error::CorruptStream("truncated unpredictable".into()))?;
+            unpredictable.push(f32::from_le_bytes(s.try_into().unwrap()) as f64);
+            pos += 4;
+        } else {
+            let s = bytes
+                .get(pos..pos + 8)
+                .ok_or_else(|| Error::CorruptStream("truncated unpredictable".into()))?;
+            unpredictable.push(f64::from_le_bytes(s.try_into().unwrap()));
+            pos += 8;
+        }
+    }
+    let n_coef = read_u64(bytes, &mut pos)? as usize;
+    if n_coef > 4 * n + 4 || n_coef.saturating_mul(4) > bytes.len().saturating_sub(pos) {
+        return Err(Error::CorruptStream("coefficient count exceeds size".into()));
+    }
+    let mut coefficients = Vec::with_capacity(n_coef);
+    for _ in 0..n_coef {
+        let s = bytes
+            .get(pos..pos + 4)
+            .ok_or_else(|| Error::CorruptStream("truncated coefficients".into()))?;
+        coefficients.push(f32::from_le_bytes(s.try_into().unwrap()));
+        pos += 4;
+    }
+    let n_modes = read_u64(bytes, &mut pos)? as usize;
+    if n_modes > bytes.len().saturating_sub(pos) {
+        return Err(Error::CorruptStream("mode bitmap exceeds stream".into()));
+    }
+    let block_modes = bytes
+        .get(pos..pos + n_modes)
+        .ok_or_else(|| Error::CorruptStream("truncated mode bitmap".into()))?
+        .to_vec();
+    pos += n_modes;
+    let backend = read_u8(bytes, &mut pos)?;
+    let payload_len = read_u64(bytes, &mut pos)? as usize;
+    let payload = bytes
+        .get(pos..pos + payload_len)
+        .ok_or_else(|| Error::CorruptStream("truncated payload".into()))?;
+    let huff = match backend {
+        0 => payload.to_vec(),
+        1 => lzss::decompress(payload).map_err(|e| Error::CorruptStream(e.to_string()))?,
+        _ => return Err(Error::CorruptStream("unknown backend".into())),
+    };
+    let symbols =
+        huffman::decompress_symbols(&huff).map_err(|e| Error::CorruptStream(e.to_string()))?;
+    if symbols.len() != n {
+        return Err(Error::CorruptStream(format!(
+            "symbol count {} != element count {n}",
+            symbols.len()
+        )));
+    }
+    Ok(ParsedStream {
+        dtype,
+        dims,
+        eb,
+        predictor,
+        block,
+        symbols,
+        unpredictable,
+        coefficients,
+        block_modes,
+    })
+}
+
+/// Reconstruct the data described by a parsed stream.
+pub fn reconstruct(p: &ParsedStream) -> Result<Data> {
+    let round_f32 = p.dtype == Dtype::F32;
+    let mut dq = Dequantizer::new(p.eb, RADIUS, round_f32, &p.symbols, &p.unpredictable);
+    let recon = match p.predictor {
+        Predictor::Lorenzo => lorenzo::decode(&p.dims, &mut dq),
+        Predictor::Regression => regression::decode(&p.dims, p.block, &p.coefficients, &mut dq),
+        Predictor::Interp => interp::decode(&p.dims, &mut dq),
+        Predictor::Hybrid => {
+            crate::hybrid::decode(&p.dims, p.block, &p.coefficients, &p.block_modes, &mut dq)
+        }
+    }
+    .map_err(|e| Error::CorruptStream(e.to_string()))?;
+    Ok(match p.dtype {
+        Dtype::F32 => Data::from_f32(p.dims.clone(), recon.iter().map(|&v| v as f32).collect()),
+        _ => Data::from_f64(p.dims.clone(), recon),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavefield(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.013).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn full_pipeline_round_trip_all_predictors() {
+        let dims = vec![24usize, 16, 4];
+        let n: usize = dims.iter().product();
+        let values = wavefield(n);
+        let eb = 1e-4;
+        for pred in [
+            Predictor::Lorenzo,
+            Predictor::Regression,
+            Predictor::Interp,
+            Predictor::Hybrid,
+        ] {
+            let qs = predict_and_quantize(&values, &dims, eb, pred, 6, false);
+            let bytes = assemble(Dtype::F64, &dims, eb, pred, 6, &qs);
+            let parsed = parse(&bytes).unwrap();
+            let out = reconstruct(&parsed).unwrap();
+            let out = out.as_f64().unwrap();
+            for (v, r) in values.iter().zip(out) {
+                assert!((v - r).abs() <= eb, "{pred:?}");
+            }
+            // decoder reconstruction must match the in-loop reconstruction
+            assert_eq!(out, &qs.reconstruction[..], "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn f32_round_trip_respects_bound() {
+        let dims = vec![50usize, 10];
+        let n = 500;
+        let values_f32: Vec<f32> = (0..n).map(|i| (i as f32 * 0.1).cos() * 10.0).collect();
+        let values: Vec<f64> = values_f32.iter().map(|&v| v as f64).collect();
+        let eb = 1e-3;
+        let qs = predict_and_quantize(&values, &dims, eb, Predictor::Lorenzo, 6, true);
+        let bytes = assemble(Dtype::F32, &dims, eb, Predictor::Lorenzo, 6, &qs);
+        let out = reconstruct(&parse(&bytes).unwrap()).unwrap();
+        for (v, r) in values_f32.iter().zip(out.as_f32().unwrap()) {
+            assert!((v - r).abs() as f64 <= eb);
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let dims = vec![64usize, 64];
+        let values = wavefield(64 * 64);
+        let qs = predict_and_quantize(&values, &dims, 1e-3, Predictor::Lorenzo, 6, false);
+        let bytes = assemble(Dtype::F64, &dims, 1e-3, Predictor::Lorenzo, 6, &qs);
+        let ratio = (values.len() * 8) as f64 / bytes.len() as f64;
+        assert!(ratio > 8.0, "compression ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn corrupt_inputs_error_not_panic() {
+        assert!(parse(b"").is_err());
+        assert!(parse(b"NOPE00000000").is_err());
+        let dims = vec![16usize, 16];
+        let values = wavefield(256);
+        let qs = predict_and_quantize(&values, &dims, 1e-3, Predictor::Lorenzo, 6, false);
+        let bytes = assemble(Dtype::F64, &dims, 1e-3, Predictor::Lorenzo, 6, &qs);
+        for cut in [5, 10, 20, bytes.len() - 3] {
+            assert!(parse(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // flip a header byte (version)
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn predictor_parse_round_trip() {
+        for p in [
+            Predictor::Lorenzo,
+            Predictor::Regression,
+            Predictor::Interp,
+            Predictor::Hybrid,
+        ] {
+            assert_eq!(Predictor::parse(p.name()).unwrap(), p);
+        }
+        assert!(Predictor::parse("nope").is_err());
+    }
+}

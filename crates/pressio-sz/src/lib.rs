@@ -1,0 +1,493 @@
+//! # pressio-sz
+//!
+//! A pure-Rust, SZ3-like error-bounded lossy compressor. The pipeline
+//! mirrors the prediction → quantization → encoding decomposition that the
+//! Jin (2022) ratio-quality model assumes (paper §2.2):
+//!
+//! 1. **Prediction** — Lorenzo, block-wise linear regression, multilevel
+//!    cubic interpolation, or per-block hybrid selection ([`lorenzo`],
+//!    [`regression`], [`interp`], [`hybrid`]); `"auto"` trial-compresses a
+//!    sample block with each and keeps the best.
+//! 2. **Quantization** — linear-scale quantization against the prediction
+//!    with an unpredictable-value escape ([`quantizer`]).
+//! 3. **Encoding** — canonical Huffman over the quantization symbols,
+//!    followed by an LZSS dictionary stage when it helps ([`codec`]).
+//!
+//! The compressor guarantees the `pressio:abs` point-wise absolute error
+//! bound on every finite value (non-finite values round-trip verbatim).
+//!
+//! ```
+//! use pressio_core::{Compressor, Data, Dtype, Options};
+//! use pressio_sz::SzCompressor;
+//!
+//! let data = Data::from_f32(vec![64, 64],
+//!     (0..4096).map(|i| (i as f32 * 0.01).sin()).collect());
+//! let mut sz = SzCompressor::new();
+//! sz.set_options(&Options::new().with("pressio:abs", 1e-3)).unwrap();
+//! let compressed = sz.compress(&data).unwrap();
+//! let restored = sz.decompress(&compressed, Dtype::F32, &[64, 64]).unwrap();
+//! for (a, b) in data.as_f32().unwrap().iter().zip(restored.as_f32().unwrap()) {
+//!     assert!((a - b).abs() <= 1e-3);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod hybrid;
+pub mod interp;
+pub mod lorenzo;
+pub mod quantizer;
+pub mod regression;
+
+pub use codec::{predict_and_quantize, Predictor, QuantizedStream, RADIUS};
+
+use pressio_core::error::{Error, Result};
+use pressio_core::metrics::invalidations;
+use pressio_core::{Compressor, Data, Dtype, Options};
+
+/// The SZ3-like compressor plugin (`id = "sz3"`).
+///
+/// Recognized options:
+/// - `pressio:abs` (`f64`, default `1e-4`) — absolute error bound.
+/// - `pressio:rel` (`f64`, optional) — value-range-relative bound: the
+///   effective absolute bound becomes `rel × (max − min)` per buffer
+///   (the normalization the paper's footnote 6 discusses). Takes
+///   precedence over `pressio:abs` while set; set to 0 to clear.
+/// - `sz3:predictor` (`"auto" | "lorenzo" | "regression" | "interp" | "hybrid"`,
+///   default `"auto"`).
+/// - `sz3:block_size` (`u64`, default 6) — regression block edge.
+#[derive(Clone, Debug)]
+pub struct SzCompressor {
+    abs: f64,
+    rel: Option<f64>,
+    predictor: String,
+    block: usize,
+}
+
+impl Default for SzCompressor {
+    fn default() -> Self {
+        SzCompressor {
+            abs: 1e-4,
+            rel: None,
+            predictor: "auto".to_string(),
+            block: regression::DEFAULT_BLOCK,
+        }
+    }
+}
+
+impl SzCompressor {
+    /// Compressor with default settings (`abs = 1e-4`, auto predictor).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current absolute error bound.
+    pub fn abs_bound(&self) -> f64 {
+        self.abs
+    }
+
+    /// Effective absolute bound for a buffer (resolves `pressio:rel`).
+    fn effective_abs(&self, values: &[f64]) -> f64 {
+        match self.rel {
+            Some(rel) => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in values {
+                    if v.is_finite() {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                let range = hi - lo;
+                if range.is_finite() && range > 0.0 {
+                    rel * range
+                } else {
+                    self.abs
+                }
+            }
+            None => self.abs,
+        }
+    }
+
+    /// Pick a predictor by trial-compressing a centered sample block with
+    /// each candidate and keeping the smallest output (the `"auto"` mode;
+    /// SZ3 performs an analogous sampled selection).
+    fn select_predictor(
+        &self,
+        values: &[f64],
+        dims: &[usize],
+        abs: f64,
+        round_f32: bool,
+    ) -> Predictor {
+        let sample_dims: Vec<usize> = dims.iter().map(|&d| d.min(32)).collect();
+        let origin: Vec<usize> = dims
+            .iter()
+            .zip(&sample_dims)
+            .map(|(&d, &s)| (d - s) / 2)
+            .collect();
+        // sample the center of the volume (edges are unrepresentative)
+        let sample = extract_block(values, dims, &origin, &sample_dims);
+        let mut best = Predictor::Lorenzo;
+        let mut best_size = usize::MAX;
+        for pred in [
+            Predictor::Lorenzo,
+            Predictor::Regression,
+            Predictor::Interp,
+            Predictor::Hybrid,
+        ] {
+            let qs = codec::predict_and_quantize(
+                &sample,
+                &sample_dims,
+                abs,
+                pred,
+                self.block,
+                round_f32,
+            );
+            let bytes = codec::assemble(
+                if round_f32 { Dtype::F32 } else { Dtype::F64 },
+                &sample_dims,
+                abs,
+                pred,
+                self.block,
+                &qs,
+            );
+            if bytes.len() < best_size {
+                best_size = bytes.len();
+                best = pred;
+            }
+        }
+        best
+    }
+}
+
+/// Extract a hyper-rectangle from a flat fastest-first array.
+fn extract_block(values: &[f64], dims: &[usize], origin: &[usize], shape: &[usize]) -> Vec<f64> {
+    let mut strides = vec![1usize; dims.len()];
+    for d in 1..dims.len() {
+        strides[d] = strides[d - 1] * dims[d - 1];
+    }
+    let n: usize = shape.iter().product();
+    let mut out = Vec::with_capacity(n);
+    let mut coord = vec![0usize; shape.len()];
+    if n == 0 {
+        return out;
+    }
+    'outer: loop {
+        let mut idx = 0usize;
+        for d in 0..shape.len() {
+            idx += (origin[d] + coord[d]) * strides[d];
+        }
+        out.push(values[idx]);
+        for d in 0..shape.len() {
+            coord[d] += 1;
+            if coord[d] < shape[d] {
+                continue 'outer;
+            }
+            coord[d] = 0;
+        }
+        break;
+    }
+    out
+}
+
+impl Compressor for SzCompressor {
+    fn id(&self) -> &'static str {
+        "sz3"
+    }
+
+    fn set_options(&mut self, opts: &Options) -> Result<()> {
+        if let Some(abs) = opts.get_f64_opt("pressio:abs")? {
+            if !(abs > 0.0) || !abs.is_finite() {
+                return Err(Error::InvalidValue {
+                    key: "pressio:abs".into(),
+                    reason: "error bound must be positive and finite".into(),
+                });
+            }
+            self.abs = abs;
+        }
+        if let Some(rel) = opts.get_f64_opt("pressio:rel")? {
+            if rel == 0.0 {
+                self.rel = None; // explicit clear
+            } else if rel > 0.0 && rel.is_finite() {
+                self.rel = Some(rel);
+            } else {
+                return Err(Error::InvalidValue {
+                    key: "pressio:rel".into(),
+                    reason: "relative bound must be positive and finite (0 clears)".into(),
+                });
+            }
+        }
+        if let Some(p) = opts.get_str_opt("sz3:predictor")? {
+            if p != "auto" {
+                Predictor::parse(p)?; // validate eagerly
+            }
+            self.predictor = p.to_string();
+        }
+        if let Some(b) = opts.get_u64_opt("sz3:block_size")? {
+            if !(2..=64).contains(&b) {
+                return Err(Error::InvalidValue {
+                    key: "sz3:block_size".into(),
+                    reason: "block size must be in 2..=64".into(),
+                });
+            }
+            self.block = b as usize;
+        }
+        Ok(())
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new()
+            .with("pressio:abs", self.abs)
+            .with("pressio:rel", self.rel.unwrap_or(0.0))
+            .with("sz3:predictor", self.predictor.as_str())
+            .with("sz3:block_size", self.block as u64)
+    }
+
+    fn get_configuration(&self) -> Options {
+        Options::new()
+            .with("pressio:thread_safe", true)
+            .with("pressio:stability", "stable")
+            .with(
+                "pressio:dtypes",
+                vec!["f32".to_string(), "f64".to_string()],
+            )
+            // settings that change the error behaviour — consumed by the
+            // invalidation tracker in pressio-predict
+            .with(
+                "predictors:error_dependent_settings",
+                vec!["pressio:abs".to_string(), "pressio:rel".to_string()],
+            )
+            .with(
+                "predictors:runtime_settings",
+                vec![
+                    "sz3:predictor".to_string(),
+                    "sz3:block_size".to_string(),
+                ],
+            )
+            .with(
+                "predictors:invalidate",
+                vec![invalidations::ERROR_DEPENDENT.to_string()],
+            )
+    }
+
+    fn compress(&self, input: &Data) -> Result<Vec<u8>> {
+        let dtype = input.dtype();
+        if !matches!(dtype, Dtype::F32 | Dtype::F64) {
+            return Err(Error::UnsupportedData(format!(
+                "sz3 supports f32/f64, got {}",
+                dtype.name()
+            )));
+        }
+        let values = input.to_f64_vec();
+        let dims = input.dims().to_vec();
+        let round_f32 = dtype == Dtype::F32;
+        let abs = self.effective_abs(&values);
+        let predictor = match self.predictor.as_str() {
+            "auto" => self.select_predictor(&values, &dims, abs, round_f32),
+            other => Predictor::parse(other)?,
+        };
+        let qs =
+            codec::predict_and_quantize(&values, &dims, abs, predictor, self.block, round_f32);
+        Ok(codec::assemble(
+            dtype, &dims, abs, predictor, self.block, &qs,
+        ))
+    }
+
+    fn decompress(&self, compressed: &[u8], dtype: Dtype, dims: &[usize]) -> Result<Data> {
+        let parsed = codec::parse(compressed)?;
+        if parsed.dtype != dtype {
+            return Err(Error::UnsupportedData(format!(
+                "stream holds {}, caller asked for {}",
+                parsed.dtype.name(),
+                dtype.name()
+            )));
+        }
+        if parsed.dims != dims {
+            return Err(Error::UnsupportedData(format!(
+                "stream dims {:?} do not match requested {:?}",
+                parsed.dims, dims
+            )));
+        }
+        codec::reconstruct(&parsed)
+    }
+
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_3d(nx: usize, ny: usize, nz: usize) -> Data {
+        let values: Vec<f32> = (0..nx * ny * nz)
+            .map(|i| {
+                let x = (i % nx) as f32;
+                let y = ((i / nx) % ny) as f32;
+                let z = (i / (nx * ny)) as f32;
+                (x * 0.1).sin() * (y * 0.07).cos() + 0.01 * z
+            })
+            .collect();
+        Data::from_f32(vec![nx, ny, nz], values)
+    }
+
+    #[test]
+    fn round_trip_auto_respects_bound() {
+        let data = field_3d(20, 18, 6);
+        let mut sz = SzCompressor::new();
+        for eb in [1e-2f64, 1e-4] {
+            sz.set_options(&Options::new().with("pressio:abs", eb))
+                .unwrap();
+            let c = sz.compress(&data).unwrap();
+            let out = sz.decompress(&c, Dtype::F32, data.dims()).unwrap();
+            for (a, b) in data.as_f32().unwrap().iter().zip(out.as_f32().unwrap()) {
+                assert!(((a - b).abs() as f64) <= eb, "eb={eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn looser_bound_compresses_more() {
+        let data = field_3d(32, 32, 8);
+        let mut sz = SzCompressor::new();
+        sz.set_options(&Options::new().with("pressio:abs", 1e-6))
+            .unwrap();
+        let tight = sz.compress(&data).unwrap().len();
+        sz.set_options(&Options::new().with("pressio:abs", 1e-2))
+            .unwrap();
+        let loose = sz.compress(&data).unwrap().len();
+        assert!(
+            loose < tight,
+            "loose bound ({loose}) should beat tight bound ({tight})"
+        );
+    }
+
+    #[test]
+    fn all_fixed_predictors_round_trip() {
+        let data = field_3d(16, 12, 4);
+        for pred in ["lorenzo", "regression", "interp"] {
+            let mut sz = SzCompressor::new();
+            sz.set_options(
+                &Options::new()
+                    .with("pressio:abs", 1e-3)
+                    .with("sz3:predictor", pred),
+            )
+            .unwrap();
+            let c = sz.compress(&data).unwrap();
+            let out = sz.decompress(&c, Dtype::F32, data.dims()).unwrap();
+            for (a, b) in data.as_f32().unwrap().iter().zip(out.as_f32().unwrap()) {
+                assert!(((a - b).abs() as f64) <= 1e-3, "{pred}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_field_compresses_hard() {
+        // 95% exact zeros, like a precipitation field
+        let n = 64 * 64;
+        let values: Vec<f32> = (0..n)
+            .map(|i| if i % 97 == 0 { (i as f32).sin() } else { 0.0 })
+            .collect();
+        let data = Data::from_f32(vec![64, 64], values);
+        let sz = SzCompressor::new();
+        let c = sz.compress(&data).unwrap();
+        let ratio = data.size_in_bytes() as f64 / c.len() as f64;
+        assert!(ratio > 10.0, "sparse ratio only {ratio:.1}");
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let mut sz = SzCompressor::new();
+        assert!(sz
+            .set_options(&Options::new().with("pressio:abs", -1.0))
+            .is_err());
+        assert!(sz
+            .set_options(&Options::new().with("sz3:predictor", "quantum"))
+            .is_err());
+        assert!(sz
+            .set_options(&Options::new().with("sz3:block_size", 1u64))
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_dtype_and_dims_on_decompress() {
+        let data = field_3d(8, 8, 2);
+        let sz = SzCompressor::new();
+        let c = sz.compress(&data).unwrap();
+        assert!(sz.decompress(&c, Dtype::F64, data.dims()).is_err());
+        assert!(sz.decompress(&c, Dtype::F32, &[8, 8, 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_integer_input() {
+        let data = Data::from_i32(vec![4], vec![1, 2, 3, 4]);
+        let sz = SzCompressor::new();
+        assert!(sz.compress(&data).is_err());
+    }
+
+    #[test]
+    fn f64_input_round_trips() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.01).exp().sin()).collect();
+        let data = Data::from_f64(vec![500], values.clone());
+        let mut sz = SzCompressor::new();
+        sz.set_options(&Options::new().with("pressio:abs", 1e-7))
+            .unwrap();
+        let c = sz.compress(&data).unwrap();
+        let out = sz.decompress(&c, Dtype::F64, &[500]).unwrap();
+        for (a, b) in values.iter().zip(out.as_f64().unwrap()) {
+            assert!((a - b).abs() <= 1e-7);
+        }
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let mut sz = SzCompressor::new();
+        sz.set_options(
+            &Options::new()
+                .with("pressio:abs", 0.5)
+                .with("sz3:predictor", "interp")
+                .with("sz3:block_size", 8u64),
+        )
+        .unwrap();
+        let o = sz.get_options();
+        assert_eq!(o.get_f64("pressio:abs").unwrap(), 0.5);
+        assert_eq!(o.get_str("sz3:predictor").unwrap(), "interp");
+        assert_eq!(o.get_u64("sz3:block_size").unwrap(), 8);
+    }
+
+    #[test]
+    fn relative_bound_scales_with_value_range() {
+        // same signal at two amplitudes: a rel bound must scale the
+        // effective abs bound with the range (paper footnote 6)
+        let small: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.01).sin()).collect();
+        let large: Vec<f32> = small.iter().map(|v| v * 1000.0).collect();
+        let mut sz = SzCompressor::new();
+        sz.set_options(&Options::new().with("pressio:rel", 1e-4)).unwrap();
+        for (values, range) in [(small, 2.0f64), (large, 2000.0)] {
+            let data = Data::from_f32(vec![32, 32], values.clone());
+            let c = sz.compress(&data).unwrap();
+            let out = sz.decompress(&c, Dtype::F32, &[32, 32]).unwrap();
+            let bound = 1e-4 * range * 1.01; // range here is approximate
+            for (a, b) in values.iter().zip(out.as_f32().unwrap()) {
+                assert!(((a - b).abs() as f64) <= bound, "range={range}");
+            }
+        }
+        // clearing returns to the absolute bound
+        sz.set_options(&Options::new().with("pressio:rel", 0.0)).unwrap();
+        assert_eq!(sz.get_options().get_f64("pressio:rel").unwrap(), 0.0);
+        // invalid values rejected
+        assert!(sz
+            .set_options(&Options::new().with("pressio:rel", -1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn configuration_lists_invalidations() {
+        let cfg = SzCompressor::new().get_configuration();
+        let deps = cfg
+            .get_str_slice("predictors:error_dependent_settings")
+            .unwrap();
+        assert!(deps.contains(&"pressio:abs".to_string()));
+    }
+}

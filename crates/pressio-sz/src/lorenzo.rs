@@ -1,0 +1,216 @@
+//! Lorenzo prediction: each point is predicted from its already-processed
+//! neighbors (the classic SZ first-order predictor).
+//!
+//! In 1D the prediction is the previous value; in 2D the three-point
+//! parallelogram rule; in 3D the seven-point inclusion–exclusion rule.
+//! Out-of-bounds neighbors contribute 0. Ranks above 3 are handled by
+//! collapsing the slowest dimensions into the third (the prediction quality
+//! degrades gracefully, matching SZ's behaviour on high-rank data).
+
+use crate::quantizer::{DequantError, Dequantizer, Quantizer};
+
+/// Normalize dims to exactly 3 entries (fastest first), collapsing extras.
+pub(crate) fn normalize_dims(dims: &[usize]) -> [usize; 3] {
+    match dims.len() {
+        0 => [0, 1, 1],
+        1 => [dims[0], 1, 1],
+        2 => [dims[0], dims[1], 1],
+        _ => [dims[0], dims[1], dims[2..].iter().product()],
+    }
+}
+
+#[inline]
+fn at(recon: &[f64], nx: usize, nxy: usize, x: isize, y: isize, z: isize) -> f64 {
+    if x < 0 || y < 0 || z < 0 {
+        0.0
+    } else {
+        recon[z as usize * nxy + y as usize * nx + x as usize]
+    }
+}
+
+#[inline]
+fn predict(recon: &[f64], nx: usize, nxy: usize, x: usize, y: usize, z: usize) -> f64 {
+    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+    at(recon, nx, nxy, xi - 1, yi, zi) + at(recon, nx, nxy, xi, yi - 1, zi)
+        + at(recon, nx, nxy, xi, yi, zi - 1)
+        - at(recon, nx, nxy, xi - 1, yi - 1, zi)
+        - at(recon, nx, nxy, xi - 1, yi, zi - 1)
+        - at(recon, nx, nxy, xi, yi - 1, zi - 1)
+        + at(recon, nx, nxy, xi - 1, yi - 1, zi - 1)
+}
+
+/// Quantize `values` under Lorenzo prediction, returning the reconstruction.
+pub fn encode(values: &[f64], dims: &[usize], q: &mut Quantizer) -> Vec<f64> {
+    let [nx, ny, nz] = normalize_dims(dims);
+    debug_assert_eq!(nx * ny * nz, values.len());
+    let nxy = nx * ny;
+    let mut recon = vec![0.0f64; values.len()];
+    let mut idx = 0usize;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let pred = predict(&recon, nx, nxy, x, y, z);
+                recon[idx] = q.quantize(pred, values[idx]);
+                idx += 1;
+            }
+        }
+    }
+    recon
+}
+
+/// Reconstruct a Lorenzo-coded buffer.
+pub fn decode(dims: &[usize], dq: &mut Dequantizer) -> Result<Vec<f64>, DequantError> {
+    let [nx, ny, nz] = normalize_dims(dims);
+    let nxy = nx * ny;
+    let mut recon = vec![0.0f64; nx * ny * nz];
+    let mut idx = 0usize;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let pred = predict(&recon, nx, nxy, x, y, z);
+                recon[idx] = dq.recover(pred)?;
+                idx += 1;
+            }
+        }
+    }
+    Ok(recon)
+}
+
+/// Estimate the mean absolute Lorenzo residual using *original* (not
+/// reconstructed) neighbors — the cheap proxy SZ3 uses for predictor
+/// selection without a full compression pass.
+pub fn estimate_mean_abs_residual(values: &[f64], dims: &[usize]) -> f64 {
+    let [nx, ny, nz] = normalize_dims(dims);
+    if values.is_empty() {
+        return 0.0;
+    }
+    let nxy = nx * ny;
+    let mut sum = 0.0f64;
+    let mut idx = 0usize;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let pred = predict(values, nx, nxy, x, y, z);
+                let v = values[idx];
+                if v.is_finite() && pred.is_finite() {
+                    sum += (v - pred).abs();
+                }
+                idx += 1;
+            }
+        }
+    }
+    sum / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[f64], dims: &[usize], eb: f64) -> Vec<f64> {
+        let mut q = Quantizer::new(eb, 32768, false, values.len());
+        let recon_c = encode(values, dims, &mut q);
+        let mut dq = Dequantizer::new(eb, 32768, false, &q.symbols, &q.unpredictable);
+        let recon_d = decode(dims, &mut dq).unwrap();
+        assert_eq!(recon_c, recon_d, "encode/decode reconstruction mismatch");
+        recon_d
+    }
+
+    #[test]
+    fn bound_respected_1d() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.05).sin()).collect();
+        let eb = 1e-4;
+        let recon = round_trip(&values, &[500], eb);
+        for (v, r) in values.iter().zip(&recon) {
+            assert!((v - r).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn bound_respected_2d() {
+        let (nx, ny) = (32, 24);
+        let values: Vec<f64> = (0..nx * ny)
+            .map(|i| {
+                let (x, y) = (i % nx, i / nx);
+                ((x as f64) * 0.2).sin() * ((y as f64) * 0.3).cos()
+            })
+            .collect();
+        let eb = 1e-3;
+        let recon = round_trip(&values, &[nx, ny], eb);
+        for (v, r) in values.iter().zip(&recon) {
+            assert!((v - r).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn bound_respected_3d() {
+        let (nx, ny, nz) = (12, 10, 8);
+        let values: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| {
+                let x = i % nx;
+                let y = (i / nx) % ny;
+                let z = i / (nx * ny);
+                (x as f64 * 0.4).sin() + (y as f64 * 0.2).cos() + z as f64 * 0.1
+            })
+            .collect();
+        let eb = 1e-3;
+        let recon = round_trip(&values, &[nx, ny, nz], eb);
+        for (v, r) in values.iter().zip(&recon) {
+            assert!((v - r).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn rank4_collapses_and_round_trips() {
+        let dims = [4usize, 3, 2, 2];
+        let n: usize = dims.iter().product();
+        let values: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        let eb = 1e-2;
+        let recon = round_trip(&values, &dims, eb);
+        for (v, r) in values.iter().zip(&recon) {
+            assert!((v - r).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn linear_ramp_2d_has_tiny_residuals() {
+        // the parallelogram rule is exact on affine data: all symbols after
+        // the first row/col should be the zero-residual code
+        let (nx, ny) = (16, 16);
+        let values: Vec<f64> = (0..nx * ny)
+            .map(|i| (i % nx) as f64 * 2.0 + (i / nx) as f64 * 3.0)
+            .collect();
+        let mut q = Quantizer::new(1e-6, 32768, false, values.len());
+        encode(&values, &[nx, ny], &mut q);
+        let zero_code = 32768u32; // code 0 + radius
+        let interior_zero = q
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % nx != 0 && *i >= nx)
+            .all(|(_, &s)| s == zero_code);
+        assert!(interior_zero, "affine data should be perfectly predicted");
+    }
+
+    #[test]
+    fn estimate_tracks_actual_smoothness() {
+        let smooth: Vec<f64> = (0..400).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut state = 1234u32;
+        let rough: Vec<f64> = (0..400)
+            .map(|_| {
+                state = state.wrapping_mul(1103515245).wrapping_add(12345);
+                (state >> 16) as f64 / 65536.0
+            })
+            .collect();
+        assert!(
+            estimate_mean_abs_residual(&smooth, &[400])
+                < estimate_mean_abs_residual(&rough, &[400])
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(estimate_mean_abs_residual(&[], &[0]), 0.0);
+        let mut q = Quantizer::new(1e-3, 32768, false, 0);
+        assert!(encode(&[], &[0], &mut q).is_empty());
+    }
+}

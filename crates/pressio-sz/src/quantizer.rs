@@ -1,0 +1,272 @@
+//! Linear-scale quantization with an unpredictable-value escape hatch —
+//! the error-control heart of SZ-style compressors.
+//!
+//! Given a prediction `p` for a value `v` and an absolute error bound `eb`,
+//! the residual is quantized to `code = round((v - p) / (2·eb))` and the
+//! reconstruction is `p + 2·eb·code`, which is within `eb` of `v` unless
+//! floating-point cancellation intervenes — in which case the value is
+//! stored verbatim ("unpredictable", symbol 0). Symbols are
+//! `code + radius`, keeping the common near-zero residuals in a dense,
+//! low-entropy band for the Huffman stage.
+
+/// Streaming quantizer used during compression.
+#[derive(Debug)]
+pub struct Quantizer {
+    eb: f64,
+    radius: i64,
+    /// When set, reconstructions are rounded through `f32` so that the
+    /// decompressor (whose output buffer is `f32`) sees bit-identical
+    /// predictions.
+    round_f32: bool,
+    /// Emitted symbol stream; 0 = unpredictable, else `code + radius`.
+    pub symbols: Vec<u32>,
+    /// Verbatim values for unpredictable points, in emission order.
+    pub unpredictable: Vec<f64>,
+}
+
+impl Quantizer {
+    /// Create a quantizer. `radius` bounds representable codes to
+    /// `[-(radius-1), radius-1]`; residuals outside become unpredictable.
+    pub fn new(eb: f64, radius: i64, round_f32: bool, capacity: usize) -> Quantizer {
+        assert!(eb > 0.0, "error bound must be positive");
+        assert!(radius > 1);
+        Quantizer {
+            eb,
+            radius,
+            round_f32,
+            symbols: Vec::with_capacity(capacity),
+            unpredictable: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn round_target(&self, v: f64) -> f64 {
+        if self.round_f32 {
+            v as f32 as f64
+        } else {
+            v
+        }
+    }
+
+    /// Quantize `value` against `prediction`; returns the reconstruction the
+    /// decompressor will produce (feed it back into the predictor state).
+    #[inline]
+    pub fn quantize(&mut self, prediction: f64, value: f64) -> f64 {
+        if value.is_finite() && prediction.is_finite() {
+            let diff = value - prediction;
+            let code = (diff / (2.0 * self.eb)).round();
+            if code.abs() < (self.radius - 1) as f64 {
+                let code = code as i64;
+                let recon = self.round_target(prediction + 2.0 * self.eb * code as f64);
+                if (recon - value).abs() <= self.eb {
+                    self.symbols.push((code + self.radius) as u32);
+                    return recon;
+                }
+            }
+        }
+        // escape: store verbatim (rounded through target precision, which is
+        // exact for values that came from that precision)
+        let recon = self.round_target(value);
+        self.symbols.push(0);
+        self.unpredictable.push(recon);
+        recon
+    }
+
+    /// Fraction of points that escaped quantization.
+    pub fn unpredictable_ratio(&self) -> f64 {
+        if self.symbols.is_empty() {
+            0.0
+        } else {
+            self.unpredictable.len() as f64 / self.symbols.len() as f64
+        }
+    }
+}
+
+/// Streaming dequantizer used during decompression; mirrors [`Quantizer`].
+#[derive(Debug)]
+pub struct Dequantizer<'a> {
+    eb: f64,
+    radius: i64,
+    round_f32: bool,
+    symbols: std::slice::Iter<'a, u32>,
+    unpredictable: std::slice::Iter<'a, f64>,
+}
+
+/// Error produced when the symbol/unpredictable streams run dry or contain
+/// out-of-range codes (corrupt input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DequantError(pub &'static str);
+
+impl std::fmt::Display for DequantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dequantization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DequantError {}
+
+impl<'a> Dequantizer<'a> {
+    /// Create a dequantizer over decoded symbol and verbatim-value streams.
+    pub fn new(
+        eb: f64,
+        radius: i64,
+        round_f32: bool,
+        symbols: &'a [u32],
+        unpredictable: &'a [f64],
+    ) -> Dequantizer<'a> {
+        Dequantizer {
+            eb,
+            radius,
+            round_f32,
+            symbols: symbols.iter(),
+            unpredictable: unpredictable.iter(),
+        }
+    }
+
+    #[inline]
+    fn round_target(&self, v: f64) -> f64 {
+        if self.round_f32 {
+            v as f32 as f64
+        } else {
+            v
+        }
+    }
+
+    /// Recover the next value given the same `prediction` the compressor
+    /// computed (guaranteed by feeding reconstructions into the predictor).
+    #[inline]
+    pub fn recover(&mut self, prediction: f64) -> Result<f64, DequantError> {
+        let &sym = self
+            .symbols
+            .next()
+            .ok_or(DequantError("symbol stream exhausted"))?;
+        if sym == 0 {
+            let &v = self
+                .unpredictable
+                .next()
+                .ok_or(DequantError("unpredictable stream exhausted"))?;
+            Ok(v)
+        } else {
+            let code = sym as i64 - self.radius;
+            if code.abs() >= self.radius {
+                return Err(DequantError("symbol out of range"));
+            }
+            Ok(self.round_target(prediction + 2.0 * self.eb * code as f64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[f64], eb: f64, round_f32: bool) -> Vec<f64> {
+        let mut q = Quantizer::new(eb, 32768, round_f32, values.len());
+        let mut recon_c = Vec::with_capacity(values.len());
+        let mut pred = 0.0;
+        for &v in values {
+            let r = q.quantize(pred, v);
+            recon_c.push(r);
+            pred = r; // 1-d lorenzo
+        }
+        let mut dq = Dequantizer::new(eb, 32768, round_f32, &q.symbols, &q.unpredictable);
+        let mut out = Vec::with_capacity(values.len());
+        let mut pred = 0.0;
+        for _ in values {
+            let r = dq.recover(pred).unwrap();
+            out.push(r);
+            pred = r;
+        }
+        assert_eq!(recon_c, out, "compressor/decompressor recon divergence");
+        out
+    }
+
+    #[test]
+    fn error_bound_respected_f64() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin() * 5.0).collect();
+        for eb in [1e-1, 1e-3, 1e-6] {
+            let recon = round_trip(&values, eb, false);
+            for (v, r) in values.iter().zip(&recon) {
+                assert!((v - r).abs() <= eb, "eb={eb}: |{v}-{r}|");
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_respected_f32_rounding() {
+        let values: Vec<f64> = (0..1000)
+            .map(|i| ((i as f32 * 0.01).sin() * 1e6) as f64)
+            .collect();
+        let eb = 1e-2;
+        let recon = round_trip(&values, eb, true);
+        for (v, r) in values.iter().zip(&recon) {
+            assert!((v - r).abs() <= eb, "|{v}-{r}| > {eb}");
+            assert_eq!(*r, *r as f32 as f64, "recon not f32-representable");
+        }
+    }
+
+    #[test]
+    fn huge_jumps_become_unpredictable() {
+        let values = vec![0.0, 1e12, -1e12, 0.0];
+        let mut q = Quantizer::new(1e-6, 256, false, 4);
+        let mut pred = 0.0;
+        for &v in &values {
+            pred = q.quantize(pred, v);
+        }
+        assert!(q.unpredictable.len() >= 2);
+        // verbatim values are exact
+        for (v, u) in values.iter().filter(|v| v.abs() > 1.0).zip(&q.unpredictable) {
+            assert_eq!(v, u);
+        }
+    }
+
+    #[test]
+    fn non_finite_values_stored_verbatim() {
+        let mut q = Quantizer::new(1e-3, 32768, false, 3);
+        let r = q.quantize(0.0, f64::NAN);
+        assert!(r.is_nan());
+        assert_eq!(q.symbols, vec![0]);
+        let r = q.quantize(f64::INFINITY, 1.0);
+        assert_eq!(r, 1.0);
+        assert_eq!(q.unpredictable.len(), 2);
+    }
+
+    #[test]
+    fn constant_data_single_symbol() {
+        let values = vec![3.25; 100];
+        let mut q = Quantizer::new(1e-3, 32768, false, 100);
+        let mut pred = 0.0;
+        for &v in &values {
+            pred = q.quantize(pred, v);
+        }
+        // after the first sample, every residual is zero -> same symbol
+        let s1 = q.symbols[1];
+        assert!(q.symbols[1..].iter().all(|&s| s == s1));
+        assert_eq!(q.unpredictable_ratio(), 0.0);
+    }
+
+    #[test]
+    fn exhausted_streams_error() {
+        let symbols = [0u32];
+        let unpred: [f64; 0] = [];
+        let mut dq = Dequantizer::new(1e-3, 32768, false, &symbols, &unpred);
+        assert!(dq.recover(0.0).is_err()); // symbol 0 but no verbatim value
+        let symbols: [u32; 0] = [];
+        let mut dq = Dequantizer::new(1e-3, 32768, false, &symbols, &unpred);
+        assert!(dq.recover(0.0).is_err()); // no symbols at all
+    }
+
+    #[test]
+    fn out_of_range_symbol_errors() {
+        let symbols = [100_000u32];
+        let unpred: [f64; 0] = [];
+        let mut dq = Dequantizer::new(1e-3, 32768, false, &symbols, &unpred);
+        assert!(dq.recover(0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn zero_error_bound_panics() {
+        let _ = Quantizer::new(0.0, 32768, false, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Block-wise linear-regression prediction (SZ3's regression predictor).
+//!
+//! The volume is tiled into `B³` blocks (B=6 by default, matching SZ3).
+//! For each block a first-order model `v ≈ c0 + c1·x + c2·y + c3·z` is fit
+//! to the *original* values by least squares; the coefficients are stored
+//! as `f32` in a side stream so the decompressor reproduces identical
+//! predictions, and residuals go through the shared quantizer.
+
+use crate::lorenzo::normalize_dims;
+use crate::quantizer::{DequantError, Dequantizer, Quantizer};
+
+/// Default block edge length (SZ3 uses 6 for its regression blocks).
+pub const DEFAULT_BLOCK: usize = 6;
+
+/// Solve the 4×4 normal equations `A c = b` by Gaussian elimination with
+/// partial pivoting; returns `None` when singular (degenerate block).
+fn solve4(a: &mut [[f64; 5]; 4]) -> Option<[f64; 4]> {
+    for col in 0..4 {
+        // pivot
+        let mut best = col;
+        for row in col + 1..4 {
+            if a[row][col].abs() > a[best][col].abs() {
+                best = row;
+            }
+        }
+        if a[best][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, best);
+        let pivot = a[col][col];
+        for row in col + 1..4 {
+            let factor = a[row][col] / pivot;
+            for k in col..5 {
+                a[row][k] -= factor * a[col][k];
+            }
+        }
+    }
+    let mut c = [0.0f64; 4];
+    for row in (0..4).rev() {
+        let mut sum = a[row][4];
+        for k in row + 1..4 {
+            sum -= a[row][k] * c[k];
+        }
+        c[row] = sum / a[row][row];
+    }
+    Some(c)
+}
+
+/// Fit `v ≈ c0 + c1·x + c2·y + c3·z` over one block of original values.
+/// Degenerate blocks (constant coordinates) get ridge-free reduced fits by
+/// zeroing the affected coefficients.
+fn fit_block(
+    values: &[f64],
+    nx: usize,
+    nxy: usize,
+    ox: usize,
+    oy: usize,
+    oz: usize,
+    bx: usize,
+    by: usize,
+    bz: usize,
+) -> [f32; 4] {
+    // accumulate normal equations; coordinates are block-local
+    let mut a = [[0.0f64; 5]; 4];
+    for z in 0..bz {
+        for y in 0..by {
+            for x in 0..bx {
+                let v = values[(oz + z) * nxy + (oy + y) * nx + (ox + x)];
+                let v = if v.is_finite() { v } else { 0.0 };
+                let row = [1.0, x as f64, y as f64, z as f64];
+                for i in 0..4 {
+                    for j in 0..4 {
+                        a[i][j] += row[i] * row[j];
+                    }
+                    a[i][4] += row[i] * v;
+                }
+            }
+        }
+    }
+    // dimensions with a single layer make the system singular; tiny ridge on
+    // the diagonal keeps the solve stable and pushes unused coeffs toward 0
+    for (i, extent) in [(1usize, bx), (2, by), (3, bz)] {
+        if extent <= 1 {
+            a[i][i] += 1.0;
+        }
+    }
+    match solve4(&mut a) {
+        Some(c) => [c[0] as f32, c[1] as f32, c[2] as f32, c[3] as f32],
+        None => {
+            // fall back to the block mean
+            let n = (bx * by * bz) as f64;
+            let mean = if n > 0.0 { a[0][4] / n } else { 0.0 };
+            [mean as f32, 0.0, 0.0, 0.0]
+        }
+    }
+}
+
+/// Quantize `values` under block regression. Returns `(recon, coefficients)`;
+/// the coefficient stream (4 `f32` per block, block-traversal order) must be
+/// carried to the decoder verbatim.
+pub fn encode(
+    values: &[f64],
+    dims: &[usize],
+    block: usize,
+    q: &mut Quantizer,
+) -> (Vec<f64>, Vec<f32>) {
+    let [nx, ny, nz] = normalize_dims(dims);
+    debug_assert_eq!(nx * ny * nz, values.len());
+    let nxy = nx * ny;
+    let mut recon = vec![0.0f64; values.len()];
+    let mut coeffs = Vec::new();
+    let b = block.max(2);
+    for oz in (0..nz.max(1)).step_by(b) {
+        for oy in (0..ny.max(1)).step_by(b) {
+            for ox in (0..nx.max(1)).step_by(b) {
+                let bx = b.min(nx - ox);
+                let by = b.min(ny - oy);
+                let bz = b.min(nz - oz);
+                let c = fit_block(values, nx, nxy, ox, oy, oz, bx, by, bz);
+                coeffs.extend_from_slice(&c);
+                for z in 0..bz {
+                    for y in 0..by {
+                        for x in 0..bx {
+                            let idx = (oz + z) * nxy + (oy + y) * nx + (ox + x);
+                            let pred = c[0] as f64
+                                + c[1] as f64 * x as f64
+                                + c[2] as f64 * y as f64
+                                + c[3] as f64 * z as f64;
+                            recon[idx] = q.quantize(pred, values[idx]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (recon, coeffs)
+}
+
+/// Reconstruct a regression-coded buffer from the coefficient stream.
+pub fn decode(
+    dims: &[usize],
+    block: usize,
+    coeffs: &[f32],
+    dq: &mut Dequantizer,
+) -> Result<Vec<f64>, DequantError> {
+    let [nx, ny, nz] = normalize_dims(dims);
+    let nxy = nx * ny;
+    let mut recon = vec![0.0f64; nx * ny * nz];
+    let b = block.max(2);
+    let mut ci = 0usize;
+    for oz in (0..nz.max(1)).step_by(b) {
+        for oy in (0..ny.max(1)).step_by(b) {
+            for ox in (0..nx.max(1)).step_by(b) {
+                let bx = b.min(nx - ox);
+                let by = b.min(ny - oy);
+                let bz = b.min(nz - oz);
+                let c = coeffs
+                    .get(ci..ci + 4)
+                    .ok_or(DequantError("coefficient stream exhausted"))?;
+                ci += 4;
+                for z in 0..bz {
+                    for y in 0..by {
+                        for x in 0..bx {
+                            let idx = (oz + z) * nxy + (oy + y) * nx + (ox + x);
+                            let pred = c[0] as f64
+                                + c[1] as f64 * x as f64
+                                + c[2] as f64 * y as f64
+                                + c[3] as f64 * z as f64;
+                            recon[idx] = dq.recover(pred)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(recon)
+}
+
+/// Number of regression blocks for a shape (for stream sizing).
+pub fn block_count(dims: &[usize], block: usize) -> usize {
+    let [nx, ny, nz] = normalize_dims(dims);
+    let b = block.max(2);
+    [nx, ny, nz]
+        .iter()
+        .map(|&n| n.max(1).div_ceil(b))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[f64], dims: &[usize], eb: f64, block: usize) -> Vec<f64> {
+        let mut q = Quantizer::new(eb, 32768, false, values.len());
+        let (recon_c, coeffs) = encode(values, dims, block, &mut q);
+        assert_eq!(coeffs.len(), 4 * block_count(dims, block));
+        let mut dq = Dequantizer::new(eb, 32768, false, &q.symbols, &q.unpredictable);
+        let recon_d = decode(dims, block, &coeffs, &mut dq).unwrap();
+        assert_eq!(recon_c, recon_d);
+        recon_d
+    }
+
+    #[test]
+    fn bound_respected_3d() {
+        let (nx, ny, nz) = (13, 11, 7); // deliberately not multiples of 6
+        let values: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| {
+                let x = (i % nx) as f64;
+                let y = ((i / nx) % ny) as f64;
+                let z = (i / (nx * ny)) as f64;
+                0.5 * x - 0.2 * y + 0.1 * z + (x * 0.7).sin() * 0.05
+            })
+            .collect();
+        let eb = 1e-3;
+        let recon = round_trip(&values, &[nx, ny, nz], eb, DEFAULT_BLOCK);
+        for (v, r) in values.iter().zip(&recon) {
+            assert!((v - r).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn affine_blocks_predict_exactly() {
+        // pure affine data: every in-block residual rounds to code 0
+        let (nx, ny) = (12, 12);
+        let values: Vec<f64> = (0..nx * ny)
+            .map(|i| 1.0 + 2.0 * (i % nx) as f64 - 3.0 * (i / nx) as f64)
+            .collect();
+        let mut q = Quantizer::new(1e-4, 32768, false, values.len());
+        let _ = encode(&values, &[nx, ny], 6, &mut q);
+        let zero = 32768u32;
+        let frac_zero =
+            q.symbols.iter().filter(|&&s| s == zero).count() as f64 / q.symbols.len() as f64;
+        assert!(frac_zero > 0.99, "affine fit should be near-exact: {frac_zero}");
+    }
+
+    #[test]
+    fn bound_respected_1d_and_2d() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).cos()).collect();
+        let eb = 1e-2;
+        for dims in [vec![100], vec![10, 10]] {
+            let recon = round_trip(&values, &dims, eb, 4);
+            for (v, r) in values.iter().zip(&recon) {
+                assert!((v - r).abs() <= eb);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_values_survive() {
+        let mut values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        values[10] = f64::NAN;
+        values[20] = f64::INFINITY;
+        let mut q = Quantizer::new(1e-3, 32768, false, values.len());
+        let (recon, coeffs) = encode(&values, &[8, 8], 4, &mut q);
+        assert!(recon[10].is_nan());
+        assert_eq!(recon[20], f64::INFINITY);
+        let mut dq = Dequantizer::new(1e-3, 32768, false, &q.symbols, &q.unpredictable);
+        let recon_d = decode(&[8, 8], 4, &coeffs, &mut dq).unwrap();
+        assert!(recon_d[10].is_nan());
+        assert_eq!(recon_d[20], f64::INFINITY);
+    }
+
+    #[test]
+    fn truncated_coefficients_error() {
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut q = Quantizer::new(1e-3, 32768, false, values.len());
+        let (_, coeffs) = encode(&values, &[8, 8], 4, &mut q);
+        let mut dq = Dequantizer::new(1e-3, 32768, false, &q.symbols, &q.unpredictable);
+        assert!(decode(&[8, 8], 4, &coeffs[..coeffs.len() - 4], &mut dq).is_err());
+    }
+
+    #[test]
+    fn block_count_matches_tiling() {
+        assert_eq!(block_count(&[12, 12], 6), 4);
+        assert_eq!(block_count(&[13, 12], 6), 6);
+        assert_eq!(block_count(&[6, 6, 6], 6), 1);
+        assert_eq!(block_count(&[100], 6), 17);
+    }
+}

@@ -1,0 +1,519 @@
+//! Per-block coding: fixed-point promotion, decorrelating transform,
+//! negabinary mapping, and embedded bit-plane coding with group testing —
+//! the ZFP pipeline, supporting fixed-accuracy, fixed-precision, and
+//! fixed-rate modes.
+
+use crate::transform::{
+    degree_order, fwd_xform, int_to_negabinary, inv_xform, negabinary_to_int,
+};
+use pressio_lossless::{BitReader, BitWriter};
+
+/// Fraction bits of the per-block fixed-point representation. 52 bits
+/// leave ~2^(P−e_max−6) of slack below any tolerance the cutoff admits, so
+/// the inverse transform's right-shift rounding (tens of fixed-point ULPs
+/// in the worst case) cannot breach the accuracy guarantee; the i64 budget
+/// is 52 fraction + ~2 transform growth + 1 negabinary + guard < 63.
+const P: i64 = 52;
+/// Bit planes carried through the embedded coder (fraction bits + transform
+/// growth + negabinary headroom).
+pub const INTPREC: u32 = 58;
+/// Exponent bias for the 12-bit block exponent field.
+const E_BIAS: i64 = 2048;
+
+/// Compression mode for the ZFP-like codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Absolute error tolerance (ZFP fixed-accuracy).
+    Accuracy(f64),
+    /// Number of bit planes kept per block (ZFP fixed-precision).
+    Precision(u32),
+    /// Bits per value (ZFP fixed-rate); every block gets exactly
+    /// `rate × 4^d` bits.
+    Rate(f64),
+}
+
+/// Block coding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockError(pub &'static str);
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zfp block error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+fn block_exponent(values: &[f64]) -> i64 {
+    let max = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max == 0.0 {
+        return i64::MIN;
+    }
+    // smallest e with max < 2^e
+    let mut e = max.log2().floor() as i64 + 1;
+    // guard against rounding at exact powers of two
+    while max >= (2.0f64).powi(e as i32) {
+        e += 1;
+    }
+    e
+}
+
+/// Lowest encoded bit plane for a mode, given the block exponent and block
+/// dimensionality. Deterministic on both sides of the stream.
+fn plane_cutoff(mode: Mode, e_max: i64, d: usize) -> u32 {
+    match mode {
+        Mode::Accuracy(tol) => {
+            // dropping planes below k leaves per-coefficient error < 2^k in
+            // fixed point = 2^(e_max - P + k) absolute; the inverse
+            // transform can amplify by ~2^d, plus rounding slack
+            let k = (tol.log2().floor() as i64) + P - e_max - d as i64 - 2;
+            k.clamp(0, INTPREC as i64) as u32
+        }
+        Mode::Precision(p) => INTPREC.saturating_sub(p),
+        Mode::Rate(_) => 0,
+    }
+}
+
+/// Budget in bits for one block under `mode` (None = unbounded).
+pub fn block_bit_budget(mode: Mode, d: usize) -> Option<usize> {
+    match mode {
+        Mode::Rate(r) => Some(((r * (1usize << (2 * d)) as f64).ceil() as usize).max(16)),
+        _ => None,
+    }
+}
+
+/// Encode one 4^d block of `values` (length `4^d`). Bits are appended to
+/// `w`; in rate mode the block is zero-padded to exactly the budget.
+pub fn encode_block(values: &[f64], d: usize, mode: Mode, w: &mut BitWriter) {
+    let size = 1usize << (2 * d);
+    debug_assert_eq!(values.len(), size);
+    let start_bits = w.len_bits();
+    let mut budget = block_bit_budget(mode, d);
+    if values.iter().any(|v| !v.is_finite()) {
+        // raw escape: 2-bit tag 0b10, then 64-bit images
+        write_budgeted(w, 0b01, 2, &mut budget); // LSB-first: tag bits 1,0
+        for &v in values {
+            write_budgeted(w, v.to_bits(), 64, &mut budget);
+        }
+        pad_to_budget(w, start_bits, mode, d);
+        return;
+    }
+    let e_max = block_exponent(values);
+    if e_max == i64::MIN {
+        // all-zero block: tag 0b00
+        write_budgeted(w, 0b00, 2, &mut budget);
+        pad_to_budget(w, start_bits, mode, d);
+        return;
+    }
+    // coded block: tag 0b11? keep tags: 0=zero, 1=raw, 2=coded
+    write_budgeted(w, 0b10, 2, &mut budget); // value 2 LSB-first
+    write_budgeted(w, (e_max + E_BIAS) as u64, 12, &mut budget);
+    // fixed point
+    let scale = (2.0f64).powi((P - e_max) as i32);
+    let mut ints: Vec<i64> = values.iter().map(|&v| (v * scale).round() as i64).collect();
+    fwd_xform(&mut ints, d);
+    let order = degree_order(d);
+    let coeffs: Vec<u64> = order
+        .iter()
+        .map(|&i| int_to_negabinary(ints[i]))
+        .collect();
+    let k_stop = plane_cutoff(mode, e_max, d);
+    encode_planes(&coeffs, k_stop, w, &mut budget);
+    pad_to_budget(w, start_bits, mode, d);
+}
+
+fn write_budgeted(w: &mut BitWriter, v: u64, n: u32, budget: &mut Option<usize>) {
+    match budget {
+        None => w.write_bits(v, n),
+        Some(b) => {
+            let take = (n as usize).min(*b) as u32;
+            w.write_bits(v & mask(take), take);
+            *b -= take as usize;
+        }
+    }
+}
+
+#[inline]
+fn mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+fn pad_to_budget(w: &mut BitWriter, start_bits: usize, mode: Mode, d: usize) {
+    if let Some(total) = block_bit_budget(mode, d) {
+        let written = w.len_bits() - start_bits;
+        for _ in written..total {
+            w.write_bit(false);
+        }
+    }
+}
+
+/// Embedded bit-plane encoder (ZFP's `encode_ints`): per plane, the bits of
+/// already-significant coefficients are sent verbatim, then the remaining
+/// positions are sent with group testing + unary run-length coding.
+fn encode_planes(coeffs: &[u64], k_stop: u32, w: &mut BitWriter, budget: &mut Option<usize>) {
+    let size = coeffs.len();
+    let mut n = 0usize; // number of significant coefficients so far
+    let mut k = INTPREC;
+    while k > k_stop {
+        k -= 1;
+        if matches!(budget, Some(0)) {
+            break;
+        }
+        // gather plane k, coefficient-ordered LSB-first
+        let mut x = 0u64;
+        for (i, &c) in coeffs.iter().enumerate() {
+            x |= ((c >> k) & 1) << i;
+        }
+        // step 2: verbatim bits for significant coefficients
+        let m = match budget {
+            None => n,
+            Some(b) => n.min(*b),
+        };
+        w.write_bits(x & mask(m as u32), m as u32);
+        if let Some(b) = budget {
+            *b -= m;
+        }
+        x = if m >= 64 { 0 } else { x >> m };
+        // step 3: group testing for the rest
+        loop {
+            if n >= size || !consume(budget) {
+                break;
+            }
+            let more = x != 0;
+            w.write_bit(more);
+            if !more {
+                break;
+            }
+            // unary scan: emit zeros up to the next 1 bit; the 1 itself (or
+            // the implied 1 at the final position) is consumed by the
+            // increment below, mirroring the decoder exactly
+            while n < size - 1 && consume(budget) {
+                let bit = x & 1 == 1;
+                w.write_bit(bit);
+                if bit {
+                    break;
+                }
+                x >>= 1;
+                n += 1;
+            }
+            x >>= 1;
+            n += 1;
+        }
+    }
+}
+
+#[inline]
+fn consume(budget: &mut Option<usize>) -> bool {
+    match budget {
+        None => true,
+        Some(0) => false,
+        Some(b) => {
+            *b -= 1;
+            true
+        }
+    }
+}
+
+/// Decode one block previously written by [`encode_block`].
+pub fn decode_block(
+    r: &mut BitReader,
+    d: usize,
+    mode: Mode,
+) -> Result<Vec<f64>, BlockError> {
+    let size = 1usize << (2 * d);
+    let start_pos = r.bit_position();
+    let mut budget = block_bit_budget(mode, d);
+    let tag = read_budgeted(r, 2, &mut budget).ok_or(BlockError("truncated tag"))?;
+    let out = match tag {
+        0b00 => Ok(vec![0.0; size]),
+        0b01 => {
+            let mut vals = Vec::with_capacity(size);
+            for _ in 0..size {
+                let bits =
+                    read_budgeted(r, 64, &mut budget).ok_or(BlockError("truncated raw block"))?;
+                vals.push(f64::from_bits(bits));
+            }
+            Ok(vals)
+        }
+        0b10 => {
+            let e_biased =
+                read_budgeted(r, 12, &mut budget).ok_or(BlockError("truncated exponent"))?;
+            let e_max = e_biased as i64 - E_BIAS;
+            if !(-1100..=1100).contains(&e_max) {
+                return Err(BlockError("implausible block exponent"));
+            }
+            let k_stop = plane_cutoff(mode, e_max, d);
+            let coeffs = decode_planes(size, k_stop, r, &mut budget)?;
+            let order = degree_order(d);
+            let mut ints = vec![0i64; size];
+            for (pos, &i) in order.iter().enumerate() {
+                ints[i] = negabinary_to_int(coeffs[pos]);
+            }
+            inv_xform(&mut ints, d);
+            let scale = (2.0f64).powi((e_max - P) as i32);
+            Ok(ints.iter().map(|&q| q as f64 * scale).collect())
+        }
+        _ => Err(BlockError("unknown block tag")),
+    }?;
+    // skip rate-mode padding so the next block starts on budget
+    if let Some(total) = block_bit_budget(mode, d) {
+        let consumed = r.bit_position() - start_pos;
+        for _ in consumed..total {
+            r.read_bit().ok_or(BlockError("truncated padding"))?;
+        }
+    }
+    Ok(out)
+}
+
+fn read_budgeted(r: &mut BitReader, n: u32, budget: &mut Option<usize>) -> Option<u64> {
+    match budget {
+        None => r.read_bits(n),
+        Some(b) => {
+            let take = (n as usize).min(*b) as u32;
+            *b -= take as usize;
+            // short reads return what fits, zero-extended (mirrors encoder)
+            r.read_bits(take)
+        }
+    }
+}
+
+/// Mirror of [`encode_planes`].
+fn decode_planes(
+    size: usize,
+    k_stop: u32,
+    r: &mut BitReader,
+    budget: &mut Option<usize>,
+) -> Result<Vec<u64>, BlockError> {
+    let mut coeffs = vec![0u64; size];
+    let mut n = 0usize;
+    let mut k = INTPREC;
+    while k > k_stop {
+        k -= 1;
+        if matches!(budget, Some(0)) {
+            break;
+        }
+        let m = match budget {
+            None => n,
+            Some(b) => n.min(*b),
+        };
+        let mut x_full = r
+            .read_bits(m as u32)
+            .ok_or(BlockError("truncated plane"))?;
+        if let Some(b) = budget {
+            *b -= m;
+        }
+        loop {
+            if n >= size || !consume(budget) {
+                break;
+            }
+            let more = r.read_bit().ok_or(BlockError("truncated group bit"))?;
+            if !more {
+                break;
+            }
+            while n < size - 1 && consume(budget) {
+                let bit = r.read_bit().ok_or(BlockError("truncated run"))?;
+                if bit {
+                    break;
+                }
+                n += 1;
+            }
+            x_full |= 1u64 << n;
+            n += 1;
+        }
+        // deposit plane
+        let mut i = 0usize;
+        let mut x = x_full;
+        while x != 0 {
+            if x & 1 == 1 {
+                coeffs[i] |= 1u64 << k;
+            }
+            x >>= 1;
+            i += 1;
+        }
+    }
+    Ok(coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_block(d: usize, seed: f64) -> Vec<f64> {
+        let size = 1usize << (2 * d);
+        (0..size)
+            .map(|i| {
+                let x = (i & 3) as f64;
+                let y = ((i >> 2) & 3) as f64;
+                let z = ((i >> 4) & 3) as f64;
+                (x * 0.3 + seed).sin() + (y * 0.2).cos() * 0.5 + z * 0.1
+            })
+            .collect()
+    }
+
+    fn round_trip(values: &[f64], d: usize, mode: Mode) -> Vec<f64> {
+        let mut w = BitWriter::new();
+        encode_block(values, d, mode, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        decode_block(&mut r, d, mode).unwrap()
+    }
+
+    #[test]
+    fn accuracy_mode_respects_tolerance() {
+        for d in 1..=3usize {
+            for tol in [1e-1, 1e-3, 1e-6] {
+                let values = smooth_block(d, 0.7);
+                let out = round_trip(&values, d, Mode::Accuracy(tol));
+                for (v, o) in values.iter().zip(&out) {
+                    assert!(
+                        (v - o).abs() <= tol,
+                        "d={d} tol={tol}: |{v} - {o}| = {}",
+                        (v - o).abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_mode_random_data() {
+        let mut state = 99u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+        };
+        for d in 1..=3usize {
+            let size = 1usize << (2 * d);
+            for tol in [1e-2, 1e-5] {
+                for _ in 0..20 {
+                    let values: Vec<f64> = (0..size).map(|_| next()).collect();
+                    let out = round_trip(&values, d, Mode::Accuracy(tol));
+                    for (v, o) in values.iter().zip(&out) {
+                        assert!((v - o).abs() <= tol, "d={d} tol={tol}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_block_is_two_bits() {
+        let values = vec![0.0; 16];
+        let mut w = BitWriter::new();
+        encode_block(&values, 2, Mode::Accuracy(1e-6), &mut w);
+        assert_eq!(w.len_bits(), 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(decode_block(&mut r, 2, Mode::Accuracy(1e-6)).unwrap(), values);
+    }
+
+    #[test]
+    fn non_finite_blocks_round_trip_exactly() {
+        let mut values = smooth_block(2, 0.1);
+        values[3] = f64::NAN;
+        values[7] = f64::NEG_INFINITY;
+        let out = round_trip(&values, 2, Mode::Accuracy(1e-3));
+        for (v, o) in values.iter().zip(&out) {
+            if v.is_nan() {
+                assert!(o.is_nan());
+            } else {
+                assert_eq!(v, o);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_mode_hits_exact_budget() {
+        let values = smooth_block(2, 0.5);
+        for rate in [4.0, 8.0, 16.0] {
+            let mut w = BitWriter::new();
+            encode_block(&values, 2, Mode::Rate(rate), &mut w);
+            assert_eq!(w.len_bits(), block_bit_budget(Mode::Rate(rate), 2).unwrap());
+        }
+    }
+
+    #[test]
+    fn rate_mode_round_trips_with_bounded_quality_loss() {
+        let values = smooth_block(3, 0.2);
+        let out = round_trip(&values, 3, Mode::Rate(16.0));
+        // 16 bits/value on smooth data should reconstruct quite accurately
+        for (v, o) in values.iter().zip(&out) {
+            assert!((v - o).abs() < 0.05, "|{v}-{o}|");
+        }
+    }
+
+    #[test]
+    fn higher_rate_means_higher_fidelity() {
+        let values = smooth_block(2, 0.9);
+        let err = |rate: f64| {
+            let out = round_trip(&values, 2, Mode::Rate(rate));
+            values
+                .iter()
+                .zip(&out)
+                .map(|(v, o)| (v - o).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let e4 = err(4.0);
+        let e12 = err(12.0);
+        assert!(e12 < e4, "rate 12 err {e12} !< rate 4 err {e4}");
+    }
+
+    #[test]
+    fn precision_mode_monotone() {
+        let values = smooth_block(2, 1.3);
+        let err = |p: u32| {
+            let out = round_trip(&values, 2, Mode::Precision(p));
+            values
+                .iter()
+                .zip(&out)
+                .map(|(v, o)| (v - o).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(err(30) <= err(10));
+        assert!(err(10) <= err(4) + 1e-12);
+    }
+
+    #[test]
+    fn tiny_values_under_tolerance_become_cheap() {
+        let values = vec![1e-12; 16];
+        let mut w = BitWriter::new();
+        encode_block(&values, 2, Mode::Accuracy(1e-3), &mut w);
+        // whole block is below tolerance: header only, no planes
+        assert!(w.len_bits() <= 14, "bits = {}", w.len_bits());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let out = decode_block(&mut r, 2, Mode::Accuracy(1e-3)).unwrap();
+        for (v, o) in values.iter().zip(&out) {
+            assert!((v - o).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let values = smooth_block(2, 0.4);
+        let mut w = BitWriter::new();
+        encode_block(&values, 2, Mode::Accuracy(1e-6), &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..2]);
+        assert!(decode_block(&mut r, 2, Mode::Accuracy(1e-6)).is_err());
+    }
+
+    #[test]
+    fn smooth_blocks_compress_below_raw() {
+        let values = smooth_block(3, 0.8);
+        let mut w = BitWriter::new();
+        encode_block(&values, 3, Mode::Accuracy(1e-4), &mut w);
+        let raw_bits = 64 * values.len();
+        assert!(
+            w.len_bits() < raw_bits / 2,
+            "coded {} bits vs raw {raw_bits}",
+            w.len_bits()
+        );
+    }
+}

@@ -1,0 +1,607 @@
+//! # pressio-zfp
+//!
+//! A pure-Rust, ZFP-like transform codec for floating-point arrays
+//! (Lindstrom 2014 architecture): the volume is tiled into 4^d blocks, each
+//! block is promoted to block-floating-point integers, decorrelated with the
+//! lifting transform, mapped to negabinary, and coded plane by plane with
+//! embedded group testing ([`transform`], [`block`]).
+//!
+//! Three modes mirror ZFP's: **fixed-accuracy** (`pressio:abs`),
+//! **fixed-precision** (`zfp:precision` bit planes), and **fixed-rate**
+//! (`zfp:rate` bits/value, constant-size blocks). Fixed-accuracy guarantees
+//! the point-wise absolute error bound on finite data.
+//!
+//! ```
+//! use pressio_core::{Compressor, Data, Dtype, Options};
+//! use pressio_zfp::ZfpCompressor;
+//!
+//! let data = Data::from_f32(vec![64, 64],
+//!     (0..4096).map(|i| (i as f32 * 0.01).sin()).collect());
+//! let mut zfp = ZfpCompressor::new();
+//! zfp.set_options(&Options::new().with("pressio:abs", 1e-3)).unwrap();
+//! let compressed = zfp.compress(&data).unwrap();
+//! let restored = zfp.decompress(&compressed, Dtype::F32, &[64, 64]).unwrap();
+//! for (a, b) in data.as_f32().unwrap().iter().zip(restored.as_f32().unwrap()) {
+//!     assert!((a - b).abs() <= 1e-3);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod transform;
+
+pub use block::Mode;
+
+use pressio_core::error::{Error, Result};
+use pressio_core::metrics::invalidations;
+use pressio_core::{Compressor, Data, Dtype, Options};
+use pressio_lossless::{BitReader, BitWriter};
+
+const MAGIC: &[u8; 4] = b"ZFRS";
+const VERSION: u8 = 1;
+
+/// The ZFP-like compressor plugin (`id = "zfp"`).
+///
+/// Recognized options:
+/// - `pressio:abs` (`f64`, default `1e-4`) — tolerance for accuracy mode.
+/// - `zfp:mode` (`"accuracy" | "precision" | "rate"`, default `"accuracy"`).
+/// - `zfp:precision` (`u64`, planes, default 24) — precision mode only.
+/// - `zfp:rate` (`f64`, bits/value, default 8.0) — rate mode only.
+#[derive(Clone, Debug)]
+pub struct ZfpCompressor {
+    abs: f64,
+    /// Optional value-range-relative tolerance (`pressio:rel`): the
+    /// effective tolerance becomes `rel × (max − min)` per buffer — the
+    /// normalization the paper's footnote 6 discusses.
+    rel: Option<f64>,
+    mode: String,
+    precision: u32,
+    rate: f64,
+}
+
+impl Default for ZfpCompressor {
+    fn default() -> Self {
+        ZfpCompressor {
+            abs: 1e-4,
+            rel: None,
+            mode: "accuracy".to_string(),
+            precision: 24,
+            rate: 8.0,
+        }
+    }
+}
+
+impl ZfpCompressor {
+    /// Compressor with default settings (accuracy mode, `abs = 1e-4`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn effective_mode(&self, values: &[f64]) -> Mode {
+        match self.mode.as_str() {
+            "precision" => Mode::Precision(self.precision),
+            "rate" => Mode::Rate(self.rate),
+            _ => {
+                let abs = match self.rel {
+                    Some(rel) => {
+                        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                        for &v in values {
+                            if v.is_finite() {
+                                lo = lo.min(v);
+                                hi = hi.max(v);
+                            }
+                        }
+                        let range = hi - lo;
+                        if range.is_finite() && range > 0.0 {
+                            rel * range
+                        } else {
+                            self.abs
+                        }
+                    }
+                    None => self.abs,
+                };
+                Mode::Accuracy(abs)
+            }
+        }
+    }
+}
+
+/// Collapse an arbitrary-rank shape to at most 3 dims (fastest first),
+/// multiplying the excess into the last — same convention as `pressio-sz`.
+fn collapse_dims(dims: &[usize]) -> Vec<usize> {
+    match dims.len() {
+        0 => vec![0],
+        1..=3 => dims.to_vec(),
+        _ => {
+            let mut v = dims[..2].to_vec();
+            v.push(dims[2..].iter().product());
+            v
+        }
+    }
+}
+
+/// Gather one 4^d block at block coordinates `(bx, by, bz)`, replicating
+/// edge values into the padding of partial blocks (ZFP's strategy keeps the
+/// transform well-behaved at boundaries).
+fn gather_block(
+    values: &[f64],
+    nd: &[usize],
+    d: usize,
+    bx: usize,
+    by: usize,
+    bz: usize,
+) -> Vec<f64> {
+    let size = 1usize << (2 * d);
+    let nx = nd[0];
+    let ny = *nd.get(1).unwrap_or(&1);
+    let nz = *nd.get(2).unwrap_or(&1);
+    let mut out = Vec::with_capacity(size);
+    let zr = if d >= 3 { 4 } else { 1 };
+    let yr = if d >= 2 { 4 } else { 1 };
+    for dz in 0..zr {
+        let z = (bz * 4 + dz).min(nz - 1);
+        for dy in 0..yr {
+            let y = (by * 4 + dy).min(ny - 1);
+            for dx in 0..4 {
+                let x = (bx * 4 + dx).min(nx - 1);
+                out.push(values[(z * ny + y) * nx + x]);
+            }
+        }
+    }
+    out
+}
+
+/// Scatter a decoded block back, skipping padded lanes.
+fn scatter_block(
+    block: &[f64],
+    out: &mut [f64],
+    nd: &[usize],
+    d: usize,
+    bx: usize,
+    by: usize,
+    bz: usize,
+) {
+    let nx = nd[0];
+    let ny = *nd.get(1).unwrap_or(&1);
+    let nz = *nd.get(2).unwrap_or(&1);
+    let zr = if d >= 3 { 4 } else { 1 };
+    let yr = if d >= 2 { 4 } else { 1 };
+    let mut i = 0usize;
+    for dz in 0..zr {
+        let z = bz * 4 + dz;
+        for dy in 0..yr {
+            let y = by * 4 + dy;
+            for dx in 0..4 {
+                let x = bx * 4 + dx;
+                if x < nx && y < ny && z < nz {
+                    out[(z * ny + y) * nx + x] = block[i];
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+fn mode_tag(mode: &str) -> u8 {
+    match mode {
+        "precision" => 1,
+        "rate" => 2,
+        _ => 0,
+    }
+}
+
+impl Compressor for ZfpCompressor {
+    fn id(&self) -> &'static str {
+        "zfp"
+    }
+
+    fn set_options(&mut self, opts: &Options) -> Result<()> {
+        if let Some(abs) = opts.get_f64_opt("pressio:abs")? {
+            if !(abs > 0.0) || !abs.is_finite() {
+                return Err(Error::InvalidValue {
+                    key: "pressio:abs".into(),
+                    reason: "tolerance must be positive and finite".into(),
+                });
+            }
+            self.abs = abs;
+        }
+        if let Some(rel) = opts.get_f64_opt("pressio:rel")? {
+            if rel == 0.0 {
+                self.rel = None; // explicit clear
+            } else if rel > 0.0 && rel.is_finite() {
+                self.rel = Some(rel);
+            } else {
+                return Err(Error::InvalidValue {
+                    key: "pressio:rel".into(),
+                    reason: "relative bound must be positive and finite (0 clears)".into(),
+                });
+            }
+        }
+        if let Some(m) = opts.get_str_opt("zfp:mode")? {
+            if !["accuracy", "precision", "rate"].contains(&m) {
+                return Err(Error::InvalidValue {
+                    key: "zfp:mode".into(),
+                    reason: format!("unknown mode '{m}'"),
+                });
+            }
+            self.mode = m.to_string();
+        }
+        if let Some(p) = opts.get_u64_opt("zfp:precision")? {
+            if p == 0 || p > block::INTPREC as u64 {
+                return Err(Error::InvalidValue {
+                    key: "zfp:precision".into(),
+                    reason: format!("precision must be in 1..={}", block::INTPREC),
+                });
+            }
+            self.precision = p as u32;
+        }
+        if let Some(r) = opts.get_f64_opt("zfp:rate")? {
+            if !(r > 0.0) || r > 64.0 {
+                return Err(Error::InvalidValue {
+                    key: "zfp:rate".into(),
+                    reason: "rate must be in (0, 64] bits/value".into(),
+                });
+            }
+            self.rate = r;
+        }
+        Ok(())
+    }
+
+    fn get_options(&self) -> Options {
+        Options::new()
+            .with("pressio:abs", self.abs)
+            .with("pressio:rel", self.rel.unwrap_or(0.0))
+            .with("zfp:mode", self.mode.as_str())
+            .with("zfp:precision", self.precision as u64)
+            .with("zfp:rate", self.rate)
+    }
+
+    fn get_configuration(&self) -> Options {
+        Options::new()
+            .with("pressio:thread_safe", true)
+            .with("pressio:stability", "stable")
+            .with(
+                "pressio:dtypes",
+                vec!["f32".to_string(), "f64".to_string()],
+            )
+            .with(
+                "predictors:error_dependent_settings",
+                vec![
+                    "pressio:abs".to_string(),
+                    "pressio:rel".to_string(),
+                    "zfp:mode".to_string(),
+                    "zfp:precision".to_string(),
+                    "zfp:rate".to_string(),
+                ],
+            )
+            .with(
+                "predictors:invalidate",
+                vec![invalidations::ERROR_DEPENDENT.to_string()],
+            )
+    }
+
+    fn compress(&self, input: &Data) -> Result<Vec<u8>> {
+        let dtype = input.dtype();
+        if !matches!(dtype, Dtype::F32 | Dtype::F64) {
+            return Err(Error::UnsupportedData(format!(
+                "zfp supports f32/f64, got {}",
+                dtype.name()
+            )));
+        }
+        let values = input.to_f64_vec();
+        let nd = collapse_dims(input.dims());
+        let d = nd.len().clamp(1, 3);
+        let mode = self.effective_mode(&values);
+        // the header must carry the *effective* tolerance so the decoder
+        // derives the identical plane cutoff (rel is resolved at encode time)
+        let header_abs = match mode {
+            Mode::Accuracy(a) => a,
+            _ => self.abs,
+        };
+
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(if dtype == Dtype::F32 { 0 } else { 1 });
+        out.push(mode_tag(&self.mode));
+        out.push(input.dims().len() as u8);
+        for &dim in input.dims() {
+            out.extend_from_slice(&(dim as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&header_abs.to_le_bytes());
+        out.extend_from_slice(&(self.precision as u64).to_le_bytes());
+        out.extend_from_slice(&self.rate.to_le_bytes());
+
+        let mut w = BitWriter::with_capacity(values.len());
+        if !values.is_empty() {
+            let bx_n = nd[0].div_ceil(4);
+            let by_n = nd.get(1).map_or(1, |&n| n.div_ceil(4));
+            let bz_n = nd.get(2).map_or(1, |&n| n.div_ceil(4));
+            for bz in 0..bz_n {
+                for by in 0..by_n {
+                    for bx in 0..bx_n {
+                        let blk = gather_block(&values, &nd, d, bx, by, bz);
+                        block::encode_block(&blk, d, mode, &mut w);
+                    }
+                }
+            }
+        }
+        let payload = w.into_bytes();
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    fn decompress(&self, compressed: &[u8], dtype: Dtype, dims: &[usize]) -> Result<Data> {
+        let mut pos = 0usize;
+        let get = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = compressed
+                .get(*pos..*pos + n)
+                .ok_or_else(|| Error::CorruptStream("truncated zfp header".into()))?;
+            *pos += n;
+            Ok(s)
+        };
+        if get(&mut pos, 4)? != MAGIC {
+            return Err(Error::CorruptStream("bad zfp magic".into()));
+        }
+        if get(&mut pos, 1)?[0] != VERSION {
+            return Err(Error::CorruptStream("unknown zfp version".into()));
+        }
+        let stored_dtype = if get(&mut pos, 1)?[0] == 0 {
+            Dtype::F32
+        } else {
+            Dtype::F64
+        };
+        if stored_dtype != dtype {
+            return Err(Error::UnsupportedData(format!(
+                "stream holds {}, caller asked for {}",
+                stored_dtype.name(),
+                dtype.name()
+            )));
+        }
+        let mode_tag = get(&mut pos, 1)?[0];
+        let rank = get(&mut pos, 1)?[0] as usize;
+        if rank > 8 {
+            return Err(Error::CorruptStream("implausible rank".into()));
+        }
+        let mut stored_dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            stored_dims
+                .push(u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize);
+        }
+        if stored_dims != dims {
+            return Err(Error::UnsupportedData(format!(
+                "stream dims {stored_dims:?} do not match requested {dims:?}"
+            )));
+        }
+        let abs = f64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap());
+        let precision = u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as u32;
+        let rate = f64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap());
+        let mode = match mode_tag {
+            1 => Mode::Precision(precision),
+            2 => Mode::Rate(rate),
+            _ => {
+                if !(abs > 0.0) || !abs.is_finite() {
+                    return Err(Error::CorruptStream("invalid tolerance".into()));
+                }
+                Mode::Accuracy(abs)
+            }
+        };
+        let payload_len = u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let payload = compressed
+            .get(pos..pos + payload_len)
+            .ok_or_else(|| Error::CorruptStream("truncated zfp payload".into()))?;
+
+        let nd = collapse_dims(dims);
+        let d = nd.len().clamp(1, 3);
+        let n: usize = dims.iter().product();
+        let mut values = vec![0.0f64; n];
+        if n > 0 {
+            let mut r = BitReader::new(payload);
+            let bx_n = nd[0].div_ceil(4);
+            let by_n = nd.get(1).map_or(1, |&v| v.div_ceil(4));
+            let bz_n = nd.get(2).map_or(1, |&v| v.div_ceil(4));
+            for bz in 0..bz_n {
+                for by in 0..by_n {
+                    for bx in 0..bx_n {
+                        let blk = block::decode_block(&mut r, d, mode)
+                            .map_err(|e| Error::CorruptStream(e.to_string()))?;
+                        scatter_block(&blk, &mut values, &nd, d, bx, by, bz);
+                    }
+                }
+            }
+        }
+        Ok(match dtype {
+            Dtype::F32 => {
+                Data::from_f32(dims.to_vec(), values.iter().map(|&v| v as f32).collect())
+            }
+            _ => Data::from_f64(dims.to_vec(), values),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(nx: usize, ny: usize, nz: usize) -> Data {
+        let values: Vec<f32> = (0..nx * ny * nz)
+            .map(|i| {
+                let x = (i % nx) as f32;
+                let y = ((i / nx) % ny) as f32;
+                let z = (i / (nx * ny)) as f32;
+                (x * 0.11).sin() * (y * 0.13).cos() + 0.02 * z
+            })
+            .collect();
+        Data::from_f32(vec![nx, ny, nz], values)
+    }
+
+    #[test]
+    fn accuracy_round_trip_3d() {
+        let data = field(21, 18, 7); // partial blocks on every axis
+        let mut zfp = ZfpCompressor::new();
+        for eb in [1e-2f64, 1e-4, 1e-6] {
+            zfp.set_options(&Options::new().with("pressio:abs", eb))
+                .unwrap();
+            let c = zfp.compress(&data).unwrap();
+            let out = zfp.decompress(&c, Dtype::F32, data.dims()).unwrap();
+            for (a, b) in data.as_f32().unwrap().iter().zip(out.as_f32().unwrap()) {
+                assert!(((a - b).abs() as f64) <= eb, "eb={eb}: |{a}-{b}|");
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_round_trip_1d_2d() {
+        for dims in [vec![103usize], vec![17, 13]] {
+            let n: usize = dims.iter().product();
+            let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).sin() * 3.0).collect();
+            let data = Data::from_f64(dims.clone(), values.clone());
+            let mut zfp = ZfpCompressor::new();
+            zfp.set_options(&Options::new().with("pressio:abs", 1e-5))
+                .unwrap();
+            let c = zfp.compress(&data).unwrap();
+            let out = zfp.decompress(&c, Dtype::F64, &dims).unwrap();
+            for (a, b) in values.iter().zip(out.as_f64().unwrap()) {
+                assert!((a - b).abs() <= 1e-5, "dims={dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data() {
+        let data = field(64, 64, 16);
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(&Options::new().with("pressio:abs", 1e-3))
+            .unwrap();
+        let c = zfp.compress(&data).unwrap();
+        let ratio = data.size_in_bytes() as f64 / c.len() as f64;
+        assert!(ratio > 3.0, "ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn rate_mode_output_size_is_deterministic() {
+        let data = field(32, 32, 8);
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(
+            &Options::new()
+                .with("zfp:mode", "rate")
+                .with("zfp:rate", 8.0),
+        )
+        .unwrap();
+        let c = zfp.compress(&data).unwrap();
+        let out = zfp.decompress(&c, Dtype::F32, data.dims()).unwrap();
+        assert_eq!(out.dims(), data.dims());
+        // 8 bits/value over 4^3 blocks; payload should be close to n bytes
+        let n = data.num_elements();
+        let payload = c.len();
+        assert!(payload < n * 2, "rate-mode stream too large: {payload}");
+    }
+
+    #[test]
+    fn precision_mode_round_trips() {
+        let data = field(16, 16, 4);
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(
+            &Options::new()
+                .with("zfp:mode", "precision")
+                .with("zfp:precision", 32u64),
+        )
+        .unwrap();
+        let c = zfp.compress(&data).unwrap();
+        let out = zfp.decompress(&c, Dtype::F32, data.dims()).unwrap();
+        for (a, b) in data.as_f32().unwrap().iter().zip(out.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn sparse_zero_field_is_tiny() {
+        let data = Data::from_f32(vec![64, 64], vec![0.0; 4096]);
+        let zfp = ZfpCompressor::new();
+        let c = zfp.compress(&data).unwrap();
+        // 256 all-zero blocks at 2 bits each + header
+        assert!(c.len() < 200, "len={}", c.len());
+    }
+
+    #[test]
+    fn rejects_bad_options_and_dtypes() {
+        let mut zfp = ZfpCompressor::new();
+        assert!(zfp
+            .set_options(&Options::new().with("pressio:abs", 0.0))
+            .is_err());
+        assert!(zfp
+            .set_options(&Options::new().with("zfp:mode", "psychic"))
+            .is_err());
+        assert!(zfp
+            .set_options(&Options::new().with("zfp:rate", 100.0))
+            .is_err());
+        let ints = Data::from_i32(vec![4], vec![1, 2, 3, 4]);
+        assert!(zfp.compress(&ints).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        let data = field(8, 8, 4);
+        let zfp = ZfpCompressor::new();
+        let c = zfp.compress(&data).unwrap();
+        assert!(zfp.decompress(&c[..10], Dtype::F32, data.dims()).is_err());
+        assert!(zfp
+            .decompress(b"garbage!", Dtype::F32, data.dims())
+            .is_err());
+        assert!(zfp.decompress(&c, Dtype::F64, data.dims()).is_err());
+        assert!(zfp.decompress(&c, Dtype::F32, &[8, 8, 5]).is_err());
+    }
+
+    #[test]
+    fn non_finite_values_round_trip() {
+        let mut values: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        values[7] = f64::NAN;
+        values[100] = f64::INFINITY;
+        let data = Data::from_f64(vec![16, 16], values.clone());
+        let zfp = ZfpCompressor::new();
+        let c = zfp.compress(&data).unwrap();
+        let out = zfp.decompress(&c, Dtype::F64, &[16, 16]).unwrap();
+        let out = out.as_f64().unwrap();
+        assert!(out[7].is_nan());
+        assert_eq!(out[100], f64::INFINITY);
+    }
+
+    #[test]
+    fn relative_bound_scales_with_value_range() {
+        let small: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.013).sin()).collect();
+        let large: Vec<f32> = small.iter().map(|v| v * 500.0).collect();
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(&Options::new().with("pressio:rel", 1e-4)).unwrap();
+        for (values, range) in [(small, 2.0f64), (large, 1000.0)] {
+            let data = Data::from_f32(vec![32, 32], values.clone());
+            let c = zfp.compress(&data).unwrap();
+            let out = zfp.decompress(&c, Dtype::F32, &[32, 32]).unwrap();
+            let bound = 1e-4 * range * 1.01;
+            for (a, b) in values.iter().zip(out.as_f32().unwrap()) {
+                assert!(((a - b).abs() as f64) <= bound, "range={range}");
+            }
+        }
+        assert!(zfp
+            .set_options(&Options::new().with("pressio:rel", f64::NAN))
+            .is_err());
+    }
+
+    #[test]
+    fn zfp_beats_itself_on_looser_bounds() {
+        let data = field(48, 48, 12);
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(&Options::new().with("pressio:abs", 1e-6))
+            .unwrap();
+        let tight = zfp.compress(&data).unwrap().len();
+        zfp.set_options(&Options::new().with("pressio:abs", 1e-2))
+            .unwrap();
+        let loose = zfp.compress(&data).unwrap().len();
+        assert!(loose < tight);
+    }
+}

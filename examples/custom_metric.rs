@@ -1,0 +1,124 @@
+//! Extending the framework: a user-written metrics plugin, mirroring the
+//! paper's Figure 3 API. Error-agnostic metrics hook `begin_compress`;
+//! error-dependent ones also hook `end_decompress`; results come back as
+//! an option structure, and the `predictors:invalidate` configuration tells
+//! the framework when cached values expire.
+//!
+//! ```sh
+//! cargo run --release --example custom_metric
+//! ```
+
+use libpressio_predict::core::metrics::{invalidations, MetricsPlugin};
+use libpressio_predict::core::{Compressor, Data, Dtype, InstrumentedCompressor, Options};
+use libpressio_predict::core::error::Result;
+use libpressio_predict::sz::SzCompressor;
+
+/// A bespoke metric: fraction of sign changes between neighboring values —
+/// a cheap oscillation measure an application might correlate with
+/// compressibility — plus the reconstruction's sign-agreement (error-
+/// dependent, since it needs the decompressed data).
+#[derive(Default)]
+struct SignMetrics {
+    input: Option<Vec<f64>>,
+    results: Options,
+}
+
+impl MetricsPlugin for SignMetrics {
+    fn id(&self) -> &'static str {
+        "sign"
+    }
+
+    // error-agnostic: computed from the input alone
+    fn begin_compress(&mut self, input: &Data) -> Result<()> {
+        let values = input.to_f64_vec();
+        let flips = values
+            .windows(2)
+            .filter(|w| (w[0] < 0.0) != (w[1] < 0.0))
+            .count();
+        self.results.set(
+            "sign:flip_fraction",
+            flips as f64 / (values.len().max(2) - 1) as f64,
+        );
+        self.input = Some(values);
+        Ok(())
+    }
+
+    // error-dependent: compares input against the reconstruction
+    fn end_decompress(
+        &mut self,
+        _compressed: &[u8],
+        output: Option<&Data>,
+        ok: bool,
+    ) -> Result<()> {
+        let (Some(input), Some(output), true) = (self.input.as_ref(), output, ok) else {
+            return Ok(());
+        };
+        let out = output.to_f64_vec();
+        let agree = input
+            .iter()
+            .zip(&out)
+            .filter(|(a, b)| (**a < 0.0) == (**b < 0.0))
+            .count();
+        self.results
+            .set("sign:agreement", agree as f64 / input.len().max(1) as f64);
+        Ok(())
+    }
+
+    fn results(&self) -> Options {
+        self.results.clone()
+    }
+
+    fn get_configuration(&self) -> Options {
+        // declare the invalidation classes per result, like error_stat
+        Options::new()
+            .with(
+                "predictors:error_agnostic",
+                vec!["sign:flip_fraction".to_string()],
+            )
+            .with(
+                "predictors:error_dependent",
+                vec!["sign:agreement".to_string()],
+            )
+            .with(
+                "predictors:invalidate",
+                vec![invalidations::ERROR_DEPENDENT.to_string()],
+            )
+    }
+}
+
+fn main() {
+    let data = Data::from_f32(
+        vec![64, 64],
+        (0..4096)
+            .map(|i| ((i % 64) as f32 * 0.2).sin() * ((i / 64) as f32 * 0.15).cos())
+            .collect(),
+    );
+
+    let mut sz = SzCompressor::new();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-3)).unwrap();
+
+    // attach the custom metric alongside the built-ins, LibPressio-style
+    let mut instrumented = InstrumentedCompressor::new(Box::new(sz))
+        .with_metric(Box::new(
+            libpressio_predict::core::metrics::SizeMetrics::new(),
+        ))
+        .with_metric(Box::new(
+            libpressio_predict::core::metrics::TimeMetrics::new(),
+        ))
+        .with_metric(Box::new(SignMetrics::default()));
+
+    let compressed = instrumented.compress(&data).unwrap();
+    let _restored = instrumented
+        .decompress(&compressed, Dtype::F32, &[64, 64])
+        .unwrap();
+
+    let results = instrumented.metrics_results();
+    println!("metrics results (custom + built-in):");
+    print!("{results}");
+    println!("\ninvalidation metadata exposed to the prediction framework:");
+    print!("{}", instrumented.metrics_configuration());
+
+    assert!(results.get_f64("sign:flip_fraction").unwrap() > 0.0);
+    assert!(results.get_f64("sign:agreement").unwrap() > 0.9);
+    assert!(results.get_f64("size:compression_ratio").unwrap() > 1.0);
+}

@@ -1,0 +1,77 @@
+//! Quickstart: the paper's Figure 4 inference flow, in Rust.
+//!
+//! 1. Get a scheme from the registry and check it supports the compressor.
+//! 2. Declare what changed (the invalidation list) and evaluate only the
+//!    metrics that need recomputing.
+//! 3. Predict the compression ratio — then compare against the truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use libpressio_predict::core::Options;
+use libpressio_predict::dataset::{DatasetPlugin, Hurricane};
+use libpressio_predict::predict::evaluator::CachedEvaluator;
+use libpressio_predict::predict::{standard_compressors, standard_schemes};
+
+fn main() {
+    // a field from the synthetic Hurricane Isabel stand-in
+    let mut hurricane = Hurricane::with_dims(64, 64, 32, 1);
+    let index = libpressio_predict::dataset::FIELDS
+        .iter()
+        .position(|&f| f == "TC")
+        .unwrap();
+    let meta = hurricane.load_metadata(index).unwrap();
+    let data = hurricane.load_data(index).unwrap();
+    println!("dataset: {} {:?} ({} MB)", meta.name, meta.dims,
+        meta.size_in_bytes() as f64 / 1e6);
+
+    // Figure 4, step by step ------------------------------------------------
+    // 1. scheme + predictor for a compressor
+    let schemes = standard_schemes();
+    let scheme = schemes.build("khan2023").expect("scheme registered");
+    let mut compressor = standard_compressors().build("sz3").unwrap();
+    compressor
+        .set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
+    assert!(scheme.supports(compressor.id()), "scheme must support sz3");
+
+    // 2. evaluate the required metrics under invalidation tracking
+    let mut evaluator = CachedEvaluator::new(scheme);
+    let (features, times) = evaluator
+        .features(&meta.name, &data, compressor.as_ref())
+        .unwrap();
+    println!(
+        "feature evaluation: error-agnostic {:?} ms, error-dependent {:?} ms",
+        times.error_agnostic_ms, times.error_dependent_ms
+    );
+
+    // 3. predict
+    let predictor = evaluator.scheme().make_predictor();
+    let predicted = predictor.predict(&features).unwrap();
+
+    // ...and check against reality
+    let compressed = compressor.compress(&data).unwrap();
+    let actual = data.size_in_bytes() as f64 / compressed.len() as f64;
+    println!("predicted compression ratio: {predicted:.2}");
+    println!("actual    compression ratio: {actual:.2}");
+    println!(
+        "absolute percentage error:   {:.1}%",
+        ((predicted - actual) / actual).abs() * 100.0
+    );
+
+    // the invalidation payoff: a second prediction at a different bound
+    // reuses every error-agnostic metric
+    compressor
+        .set_options(&Options::new().with("pressio:abs", 1e-6))
+        .unwrap();
+    let (features2, times2) = evaluator
+        .features(&meta.name, &data, compressor.as_ref())
+        .unwrap();
+    let predicted2 = predictor.predict(&features2).unwrap();
+    println!(
+        "\nsecond bound (1e-6): predicted {predicted2:.2}; \
+         agnostic stage reused from cache: {}",
+        times2.error_agnostic_ms.is_none()
+    );
+}

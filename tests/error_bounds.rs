@@ -1,0 +1,131 @@
+//! Property-based integration tests: the core invariant of the whole
+//! system — both compressors honor `pressio:abs` on arbitrary finite data,
+//! and their streams round-trip deterministically.
+
+use libpressio_predict::core::{Compressor, Data, Dtype, Options};
+use libpressio_predict::sz::SzCompressor;
+use libpressio_predict::zfp::ZfpCompressor;
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = (Vec<usize>, Vec<f32>)> {
+    // shapes from skinny 1-d to small 3-d, values across magnitudes
+    (1usize..=3).prop_flat_map(|rank| {
+        let dims = prop::collection::vec(1usize..=12, rank..=rank);
+        dims.prop_flat_map(|dims| {
+            let n: usize = dims.iter().product();
+            let values = prop::collection::vec(
+                prop_oneof![
+                    -1e6f32..1e6f32,
+                    -1.0f32..1.0f32,
+                    Just(0.0f32),
+                    -1e-5f32..1e-5f32,
+                ],
+                n..=n,
+            );
+            (Just(dims), values)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sz3_respects_abs_bound((dims, values) in arb_field(), abs_exp in -6i32..=-1) {
+        let abs = 10f64.powi(abs_exp);
+        let data = Data::from_f32(dims.clone(), values.clone());
+        for predictor in ["lorenzo", "regression", "interp"] {
+            let mut sz = SzCompressor::new();
+            sz.set_options(&Options::new()
+                .with("pressio:abs", abs)
+                .with("sz3:predictor", predictor)).unwrap();
+            let compressed = sz.compress(&data).unwrap();
+            let restored = sz.decompress(&compressed, Dtype::F32, &dims).unwrap();
+            for (a, b) in values.iter().zip(restored.as_f32().unwrap()) {
+                prop_assert!(
+                    ((a - b).abs() as f64) <= abs,
+                    "{predictor}: |{a} - {b}| > {abs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zfp_respects_abs_bound((dims, values) in arb_field(), abs_exp in -6i32..=-1) {
+        let abs = 10f64.powi(abs_exp);
+        let data = Data::from_f32(dims.clone(), values.clone());
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(&Options::new().with("pressio:abs", abs)).unwrap();
+        let compressed = zfp.compress(&data).unwrap();
+        let restored = zfp.decompress(&compressed, Dtype::F32, &dims).unwrap();
+        for (a, b) in values.iter().zip(restored.as_f32().unwrap()) {
+            prop_assert!(((a - b).abs() as f64) <= abs, "|{a} - {b}| > {abs}");
+        }
+    }
+
+    #[test]
+    fn compression_is_deterministic((dims, values) in arb_field()) {
+        let data = Data::from_f32(dims, values);
+        let sz = SzCompressor::new();
+        prop_assert_eq!(sz.compress(&data).unwrap(), sz.compress(&data).unwrap());
+        let zfp = ZfpCompressor::new();
+        prop_assert_eq!(zfp.compress(&data).unwrap(), zfp.compress(&data).unwrap());
+    }
+
+    #[test]
+    fn garbage_streams_never_panic(mut bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let sz = SzCompressor::new();
+        let zfp = ZfpCompressor::new();
+        // pure garbage
+        let _ = sz.decompress(&bytes, Dtype::F32, &[8, 8]);
+        let _ = zfp.decompress(&bytes, Dtype::F32, &[8, 8]);
+        // garbage with a valid magic prefix (exercises the header parsers)
+        if bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(b"SZRS");
+            let _ = sz.decompress(&bytes, Dtype::F32, &[8, 8]);
+            bytes[..4].copy_from_slice(b"ZFRS");
+            let _ = zfp.decompress(&bytes, Dtype::F32, &[8, 8]);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_never_panic((dims, values) in arb_field(), cut in 0usize..64) {
+        let data = Data::from_f32(dims.clone(), values);
+        let sz = SzCompressor::new();
+        let c = sz.compress(&data).unwrap();
+        let cut = cut.min(c.len());
+        // errors are fine; panics are not
+        let _ = sz.decompress(&c[..cut], Dtype::F32, &dims);
+        let zfp = ZfpCompressor::new();
+        let c = zfp.compress(&data).unwrap();
+        let cut = cut.min(c.len());
+        let _ = zfp.decompress(&c[..cut], Dtype::F32, &dims);
+    }
+}
+
+#[test]
+fn f64_inputs_respect_bounds_too() {
+    let values: Vec<f64> = (0..640)
+        .map(|i| (i as f64 * 0.113).sin() * 1e3 + (i as f64 * 1.7).cos())
+        .collect();
+    let data = Data::from_f64(vec![640], values.clone());
+    for abs in [1e-8, 1e-3] {
+        let opts = Options::new().with("pressio:abs", abs);
+        let mut sz = SzCompressor::new();
+        sz.set_options(&opts).unwrap();
+        let out = sz
+            .decompress(&sz.compress(&data).unwrap(), Dtype::F64, &[640])
+            .unwrap();
+        for (a, b) in values.iter().zip(out.as_f64().unwrap()) {
+            assert!((a - b).abs() <= abs, "sz3 abs={abs}");
+        }
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(&opts).unwrap();
+        let out = zfp
+            .decompress(&zfp.compress(&data).unwrap(), Dtype::F64, &[640])
+            .unwrap();
+        for (a, b) in values.iter().zip(out.as_f64().unwrap()) {
+            assert!((a - b).abs() <= abs, "zfp abs={abs}");
+        }
+    }
+}
