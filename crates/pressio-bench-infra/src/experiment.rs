@@ -37,11 +37,7 @@ pub struct Table2Config {
 impl Default for Table2Config {
     fn default() -> Self {
         Table2Config {
-            schemes: vec![
-                "khan2023".into(),
-                "jin2022".into(),
-                "rahman2023".into(),
-            ],
+            schemes: vec!["khan2023".into(), "jin2022".into(), "rahman2023".into()],
             compressors: vec!["sz3".into(), "zfp".into()],
             abs_bounds: vec![1e-6, 1e-4],
             folds: 10,
@@ -138,6 +134,7 @@ fn collect_truth(
     hits: &mut usize,
     misses: &mut usize,
 ) -> Result<Vec<Truth>> {
+    let _span = pressio_obs::span(format!("table2:{compressor_name}:truth"));
     let mut truths = Vec::new();
     let mut tasks = Vec::new();
     for (di, (name, _)) in datasets.iter().enumerate() {
@@ -146,6 +143,7 @@ fn collect_truth(
             if let Some(store) = store.as_ref() {
                 if let Some(v) = store.get(&key) {
                     *hits += 1;
+                    pressio_obs::add_counter("table2:checkpoint.hit", 1);
                     truths.push(Truth {
                         dataset: di,
                         bound: abs,
@@ -157,6 +155,7 @@ fn collect_truth(
                 }
             }
             *misses += 1;
+            pressio_obs::add_counter("table2:checkpoint.miss", 1);
             tasks.push(Task {
                 id: key,
                 affinity_key: di as u64,
@@ -223,11 +222,13 @@ fn collect_truth(
 /// Run the full Table 2 experiment over `dataset`.
 pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result<Table2> {
     // 1. load everything once (the bench preloads; workers share via Arc)
+    let load_span = pressio_obs::span("table2:load");
     let metas = dataset.load_metadata_all()?;
     let mut loaded = Vec::with_capacity(metas.len());
     for (i, meta) in metas.iter().enumerate() {
         loaded.push((meta.name.clone(), dataset.load_data(i)?));
     }
+    drop(load_span);
     let datasets = Arc::new(loaded);
     let n_data = datasets.len();
     if n_data == 0 {
@@ -257,7 +258,8 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
             &mut misses,
         )?;
 
-        // baseline row
+        // baseline row — each observation is also fed to the trace under
+        // the same name, so the trace aggregates equal the printed MeanStds
         let mut comp_acc = MeanStd::new();
         let mut decomp_acc = MeanStd::new();
         let mut ratio_acc = MeanStd::new();
@@ -265,7 +267,19 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
             comp_acc.push(t.compress_ms);
             decomp_acc.push(t.decompress_ms);
             ratio_acc.push(t.ratio);
+            pressio_obs::record_ms(
+                &format!("table2:{compressor_name}:compress_ms"),
+                t.compress_ms,
+            );
+            pressio_obs::record_ms(
+                &format!("table2:{compressor_name}:decompress_ms"),
+                t.decompress_ms,
+            );
         }
+        pressio_obs::set_gauge(
+            &format!("table2:{compressor_name}:ratio.mean"),
+            ratio_acc.mean(),
+        );
         out.baselines.push(BaselineRow {
             compressor: compressor_name.clone(),
             compress_ms: comp_acc.clone(),
@@ -274,6 +288,8 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
         });
 
         for scheme_name in &cfg.schemes {
+            let _scheme_span = pressio_obs::span(format!("table2:{compressor_name}:{scheme_name}"));
+            let stage = |name: &str| format!("table2:{compressor_name}:{scheme_name}:{name}");
             let scheme = schemes_registry.build(scheme_name)?;
             if !scheme.supports(compressor_name) {
                 out.methods.push(MethodRow {
@@ -305,6 +321,7 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
                         time_ms(|| scheme.error_agnostic_features(&datasets[t.dataset].1));
                     let f = f?;
                     agnostic_time.push(ms);
+                    pressio_obs::record_ms(&stage("error_agnostic"), ms);
                     if !f.is_empty() {
                         has_agnostic = true;
                     }
@@ -316,6 +333,7 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
                 });
                 let dep = dep?;
                 dependent_time.push(ms);
+                pressio_obs::record_ms(&stage("error_dependent"), ms);
                 if !dep.is_empty() {
                     has_dependent = true;
                 }
@@ -353,9 +371,11 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
                     let (fit_result, ms) = time_ms(|| predictor.fit(&train_f, &train_t));
                     fit_result?;
                     fit_time.push(ms);
+                    pressio_obs::record_ms(&stage("fit"), ms);
                     for i in val_idx {
                         let (p, ms) = time_ms(|| predictor.predict(&observations[i].0));
                         inference_time.push(ms);
+                        pressio_obs::record_ms(&stage("inference"), ms);
                         predicted.push(p?);
                         actual.push(observations[i].1);
                     }
@@ -379,6 +399,7 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
                     let mut acc = MeanStd::new();
                     for t in &truths {
                         acc.push(t.compress_ms);
+                        pressio_obs::record_ms(&stage("training"), t.compress_ms);
                     }
                     acc
                 }),

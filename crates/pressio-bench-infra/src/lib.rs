@@ -29,7 +29,7 @@ pub mod store;
 
 pub use experiment::{format_table2, run_table2, BaselineRow, MethodRow, Table2, Table2Config};
 pub use queue::{
-    run_tasks, run_tasks_dynamic, DynamicOutcome, PoolConfig, PoolStats, Scheduling, Task,
-    TaskOutcome,
+    run_tasks, run_tasks_dynamic, DynamicOutcome, DynamicWorkerFn, PoolConfig, PoolStats,
+    Scheduling, Task, TaskOutcome, WorkerFn,
 };
 pub use store::CheckpointStore;

@@ -90,6 +90,12 @@ impl PoolStats {
     }
 }
 
+/// Shared worker callback: `(task, worker_id) -> result`.
+pub type WorkerFn = Arc<dyn Fn(&Task, usize) -> Result<Options, Error> + Send + Sync>;
+
+/// Shared worker callback for [`run_tasks_dynamic`]: may spawn follow-ups.
+pub type DynamicWorkerFn = Arc<dyn Fn(&Task, usize) -> Result<DynamicOutcome, Error> + Send + Sync>;
+
 /// Run `tasks` on a pool. `worker_fn(task, worker_id)` runs on pool
 /// threads; panics are caught and treated as task failures (the paper's
 /// motivation: buggy metrics implementations surfaced by diverse data must
@@ -97,7 +103,7 @@ impl PoolStats {
 pub fn run_tasks(
     tasks: Vec<Task>,
     config: PoolConfig,
-    worker_fn: Arc<dyn Fn(&Task, usize) -> Result<Options, Error> + Send + Sync>,
+    worker_fn: WorkerFn,
 ) -> (Vec<TaskOutcome>, PoolStats) {
     let workers = config.workers.max(1);
     let max_attempts = config.max_attempts.max(1);
@@ -108,6 +114,7 @@ pub fn run_tasks(
         exclude_worker: Option<usize>,
     }
 
+    let pool_start = std::time::Instant::now();
     let (result_tx, result_rx) = unbounded::<(TaskOutcome, Option<Attempt>)>();
     let mut worker_txs: Vec<Sender<Attempt>> = Vec::with_capacity(workers);
     let mut handles = Vec::with_capacity(workers);
@@ -116,14 +123,21 @@ pub fn run_tasks(
         worker_txs.push(tx);
         let result_tx = result_tx.clone();
         let worker_fn = worker_fn.clone();
-        handles.push(std::thread::spawn(move || {
+        // each worker returns the wall time it spent inside tasks, so the
+        // pool can report per-worker utilization gauges
+        handles.push(std::thread::spawn(move || -> f64 {
+            let mut busy_ms = 0.0f64;
             for attempt in rx {
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    worker_fn(&attempt.task, w)
-                }));
+                let task_start = std::time::Instant::now();
+                let outcome = {
+                    let _span = pressio_obs::span("queue:task");
+                    std::panic::catch_unwind(AssertUnwindSafe(|| worker_fn(&attempt.task, w)))
+                };
+                busy_ms += task_start.elapsed().as_secs_f64() * 1e3;
                 let result = match outcome {
                     Ok(r) => r,
                     Err(panic) => {
+                        pressio_obs::add_counter("queue:panic", 1);
                         let msg = panic
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
@@ -152,6 +166,7 @@ pub fn run_tasks(
                     break;
                 }
             }
+            busy_ms
         }));
     }
     drop(result_tx);
@@ -161,25 +176,24 @@ pub fn run_tasks(
     let mut key_seen: Vec<std::collections::HashSet<u64>> =
         (0..workers).map(|_| Default::default()).collect();
     let mut rr = 0usize;
-    let dispatch = |attempt: Attempt,
-                        rr: &mut usize,
-                        key_seen: &mut Vec<std::collections::HashSet<u64>>| {
-        let mut w = match config.scheduling {
-            Scheduling::DataAffinity => (attempt.task.affinity_key % workers as u64) as usize,
-            Scheduling::RoundRobin => {
-                let v = *rr % workers;
-                *rr += 1;
-                v
+    let dispatch =
+        |attempt: Attempt, rr: &mut usize, key_seen: &mut Vec<std::collections::HashSet<u64>>| {
+            let mut w = match config.scheduling {
+                Scheduling::DataAffinity => (attempt.task.affinity_key % workers as u64) as usize,
+                Scheduling::RoundRobin => {
+                    let v = *rr % workers;
+                    *rr += 1;
+                    v
+                }
+            };
+            if Some(w) == attempt.exclude_worker && workers > 1 {
+                w = (w + 1) % workers;
             }
+            key_seen[w].insert(attempt.task.affinity_key);
+            worker_txs[w]
+                .send(attempt)
+                .expect("worker channel closed prematurely");
         };
-        if Some(w) == attempt.exclude_worker && workers > 1 {
-            w = (w + 1) % workers;
-        }
-        key_seen[w].insert(attempt.task.affinity_key);
-        worker_txs[w]
-            .send(attempt)
-            .expect("worker channel closed prematurely");
-    };
     for task in tasks {
         dispatch(
             Attempt {
@@ -201,6 +215,7 @@ pub fn run_tasks(
         match retry {
             Some(attempt) => {
                 retries += 1;
+                pressio_obs::add_counter("queue:retry", 1);
                 dispatch(attempt, &mut rr, &mut key_seen);
             }
             None => {
@@ -210,8 +225,19 @@ pub fn run_tasks(
         }
     }
     drop(worker_txs);
-    for h in handles {
-        let _ = h.join();
+    let busy: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(0.0))
+        .collect();
+    if pressio_obs::is_enabled() {
+        let wall_ms = pool_start.elapsed().as_secs_f64() * 1e3;
+        pressio_obs::set_gauge("queue:pool.wall_ms", wall_ms);
+        for (w, busy_ms) in busy.iter().enumerate() {
+            pressio_obs::set_gauge(&format!("queue:worker.{w}.busy_ms"), *busy_ms);
+            if wall_ms > 0.0 {
+                pressio_obs::set_gauge(&format!("queue:worker.{w}.utilization"), busy_ms / wall_ms);
+            }
+        }
     }
     let mut outcomes: Vec<TaskOutcome> = final_outcomes.into_values().collect();
     outcomes.sort_by(|a, b| a.id.cmp(&b.id));
@@ -244,7 +270,7 @@ pub fn run_tasks_dynamic(
     tasks: Vec<Task>,
     config: PoolConfig,
     max_total_tasks: usize,
-    worker_fn: Arc<dyn Fn(&Task, usize) -> Result<DynamicOutcome, Error> + Send + Sync>,
+    worker_fn: DynamicWorkerFn,
 ) -> (Vec<TaskOutcome>, PoolStats) {
     // queue of pending root-level work, fed by both the caller and
     // completed tasks' follow-ups; executed in waves through run_tasks
@@ -280,6 +306,10 @@ pub fn run_tasks_dynamic(
             Arc::new(move |task, w| {
                 let out = wf(task, w)?;
                 if !out.follow_ups.is_empty() {
+                    pressio_obs::add_counter(
+                        "queue:follow_up_spawned",
+                        out.follow_ups.len() as i64,
+                    );
                     fu.lock().extend(out.follow_ups);
                 }
                 Ok(out.value)
@@ -348,11 +378,8 @@ mod tests {
             scheduling: Scheduling::DataAffinity,
             max_attempts: 1,
         };
-        let (_, affinity_stats) = run_tasks(
-            tasks.clone(),
-            cfg,
-            Arc::new(|_t, _w| Ok(Options::new())),
-        );
+        let (_, affinity_stats) =
+            run_tasks(tasks.clone(), cfg, Arc::new(|_t, _w| Ok(Options::new())));
         let cfg_rr = PoolConfig {
             scheduling: Scheduling::RoundRobin,
             ..cfg
@@ -462,7 +489,9 @@ mod tests {
                 max_attempts: 2,
             },
             Arc::new(move |_t, w| {
-                if fw.compare_exchange(usize::MAX, w, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+                if fw
+                    .compare_exchange(usize::MAX, w, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
                 {
                     Err(Error::TaskFailed("first attempt".into()))
                 } else {

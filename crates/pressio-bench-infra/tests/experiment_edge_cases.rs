@@ -72,6 +72,6 @@ fn multiple_bounds_multiply_observations() {
     cfg.abs_bounds = vec![1e-6, 1e-5, 1e-4];
     let t = run_table2(&mut tiny(), &cfg).unwrap();
     assert_eq!(t.checkpoint_misses, 18); // 6 datasets x 3 bounds
-    // baseline stats aggregate across all observations
+                                         // baseline stats aggregate across all observations
     assert_eq!(t.baselines[0].compress_ms.count(), 18);
 }

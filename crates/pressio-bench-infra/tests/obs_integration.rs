@@ -1,0 +1,162 @@
+//! Observability integration: the trace aggregates must agree *exactly*
+//! with the numbers the experiment driver reports, and the queue's
+//! retry/panic counters must match its returned statistics.
+//!
+//! These tests install the process-global collector, so they serialize
+//! through a shared lock and live in their own integration binary (unit
+//! tests of this crate also exercise `run_table2`, which would otherwise
+//! record into whichever collector happens to be installed).
+
+use pressio_bench_infra::experiment::{run_table2, Table2Config};
+use pressio_bench_infra::queue::{run_tasks, PoolConfig, Scheduling, Task};
+use pressio_core::error::Error;
+use pressio_core::timing::MeanStd;
+use pressio_core::Options;
+use pressio_dataset::Hurricane;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static GLOBAL_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn assert_agrees(report: &pressio_obs::Report, name: &str, printed: &MeanStd) {
+    let traced = report
+        .spans
+        .get(name)
+        .unwrap_or_else(|| panic!("span '{name}' missing from trace aggregates"));
+    assert_eq!(traced.count(), printed.count(), "{name}: count");
+    assert_eq!(traced.mean(), printed.mean(), "{name}: mean");
+    assert_eq!(traced.std(), printed.std(), "{name}: std");
+}
+
+/// The tentpole acceptance criterion: every timing the Table 2 driver
+/// prints is also present in the trace aggregates with identical
+/// mean/std/count, because both are fed the same measured values.
+#[test]
+fn trace_aggregates_agree_exactly_with_table2() {
+    let _guard = exclusive();
+    let collector = Arc::new(pressio_obs::Collector::new());
+    pressio_obs::install(collector.clone());
+    let mut hurricane = Hurricane::with_dims(16, 16, 8, 2).with_fields(&["P", "U", "QRAIN", "TC"]);
+    let cfg = Table2Config {
+        schemes: vec!["khan2023".into(), "jin2022".into(), "rahman2023".into()],
+        compressors: vec!["sz3".into(), "zfp".into()],
+        abs_bounds: vec![1e-4],
+        folds: 3,
+        seed: 7,
+        workers: 2,
+        checkpoint: None,
+    };
+    let table = run_table2(&mut hurricane, &cfg).unwrap();
+    pressio_obs::uninstall();
+    let report = collector.report();
+
+    for b in &table.baselines {
+        assert_agrees(
+            &report,
+            &format!("table2:{}:compress_ms", b.compressor),
+            &b.compress_ms,
+        );
+        assert_agrees(
+            &report,
+            &format!("table2:{}:decompress_ms", b.compressor),
+            &b.decompress_ms,
+        );
+    }
+    for m in table.methods.iter().filter(|m| m.supported) {
+        let stage = |s: &str| format!("table2:{}:{}:{s}", m.compressor, m.scheme);
+        for (name, printed) in [
+            ("error_agnostic", &m.error_agnostic_ms),
+            ("error_dependent", &m.error_dependent_ms),
+            ("training", &m.training_ms),
+            ("fit", &m.fit_ms),
+            ("inference", &m.inference_ms),
+        ] {
+            if let Some(printed) = printed {
+                assert_agrees(&report, &stage(name), printed);
+            }
+        }
+    }
+
+    // the pipeline spans and codec counters made it into the same trace
+    assert!(report.spans.contains_key("table2:load"));
+    assert!(report.spans.contains_key("queue:task"));
+    assert!(report.spans.contains_key("sz3:compress"));
+    assert!(report.spans.contains_key("zfp:compress"));
+    // the totals include tiny sample-block compressions from trial-based
+    // schemes (header overhead dominates those), so only sanity-check them
+    assert!(report.counters["sz3:compress.bytes_in"] > 0);
+    assert!(report.counters["sz3:compress.bytes_out"] > 0);
+    assert_eq!(
+        report.counters["table2:checkpoint.miss"] as usize,
+        table.checkpoint_misses
+    );
+    // per-worker utilization gauges from the truth-collection pool
+    assert!(report.gauges.contains_key("queue:worker.0.utilization"));
+    assert!(report.gauges.contains_key("queue:pool.wall_ms"));
+}
+
+/// Fault-tolerance: a task that dies on worker k is retried on a different
+/// worker under DataAffinity, and the observability counters tell the same
+/// story as the returned `TaskOutcome`s / `PoolStats`.
+#[test]
+fn queue_retry_and_panic_counters_match_outcomes() {
+    let _guard = exclusive();
+    let collector = Arc::new(pressio_obs::Collector::new());
+    pressio_obs::install(collector.clone());
+
+    let tasks: Vec<Task> = (0..6)
+        .map(|i| Task {
+            id: format!("task{i}"),
+            affinity_key: i as u64,
+            config: Options::new(),
+        })
+        .collect();
+    let first_worker = Arc::new(AtomicUsize::new(usize::MAX));
+    let fw = first_worker.clone();
+    let (outcomes, stats) = run_tasks(
+        tasks,
+        PoolConfig {
+            workers: 2,
+            scheduling: Scheduling::DataAffinity,
+            max_attempts: 3,
+        },
+        Arc::new(move |t: &Task, w| {
+            if t.id == "task2" {
+                // first attempt panics (a buggy metric); a retry landing on
+                // the same worker would fail again, so success proves the
+                // retry moved
+                match fw.compare_exchange(usize::MAX, w, Ordering::SeqCst, Ordering::SeqCst) {
+                    Ok(_) => panic!("injected metric bug"),
+                    Err(prev) if prev == w => {
+                        return Err(Error::TaskFailed("still on the same worker?".into()))
+                    }
+                    Err(_) => {}
+                }
+            }
+            Ok(Options::new().with("worker", w as u64))
+        }),
+    );
+    pressio_obs::uninstall();
+    let report = collector.report();
+
+    assert_eq!(outcomes.len(), 6);
+    assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    let retried = outcomes.iter().find(|o| o.id == "task2").unwrap();
+    assert_eq!(retried.attempts, 2);
+    let final_worker = retried.result.as_ref().unwrap().get_u64("worker").unwrap() as usize;
+    assert_ne!(
+        final_worker,
+        first_worker.load(Ordering::SeqCst),
+        "retry must move to a different worker"
+    );
+
+    // counters agree with the pool's own accounting
+    assert_eq!(report.counters["queue:retry"], stats.retries as i64);
+    assert_eq!(report.counters["queue:panic"], 1);
+    let attempts: usize = outcomes.iter().map(|o| o.attempts).sum();
+    assert_eq!(report.spans["queue:task"].count(), attempts as u64);
+}

@@ -11,7 +11,10 @@ use pressio_zfp::ZfpCompressor;
 
 fn bench_compressors(c: &mut Criterion) {
     let mut hurricane = Hurricane::with_dims(64, 64, 32, 1);
-    let p_index = pressio_dataset::FIELDS.iter().position(|&f| f == "P").unwrap();
+    let p_index = pressio_dataset::FIELDS
+        .iter()
+        .position(|&f| f == "P")
+        .unwrap();
     let data = hurricane.load_data(p_index).unwrap();
     let bytes = data.size_in_bytes() as u64;
 
@@ -33,10 +36,16 @@ fn bench_compressors(c: &mut Criterion) {
         let sz_stream = sz.compress(&data).unwrap();
         let zfp_stream = zfp.compress(&data).unwrap();
         group.bench_with_input(BenchmarkId::new("sz3_decompress", abs), &abs, |b, _| {
-            b.iter(|| sz.decompress(&sz_stream, data.dtype(), data.dims()).unwrap())
+            b.iter(|| {
+                sz.decompress(&sz_stream, data.dtype(), data.dims())
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("zfp_decompress", abs), &abs, |b, _| {
-            b.iter(|| zfp.decompress(&zfp_stream, data.dtype(), data.dims()).unwrap())
+            b.iter(|| {
+                zfp.decompress(&zfp_stream, data.dtype(), data.dims())
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -10,7 +10,10 @@ use pressio_predict::features;
 
 fn bench_metrics(c: &mut Criterion) {
     let mut hurricane = Hurricane::with_dims(64, 64, 32, 1);
-    let p_index = pressio_dataset::FIELDS.iter().position(|&f| f == "P").unwrap();
+    let p_index = pressio_dataset::FIELDS
+        .iter()
+        .position(|&f| f == "P")
+        .unwrap();
     let data = hurricane.load_data(p_index).unwrap();
     let bytes = data.size_in_bytes() as u64;
 
@@ -32,7 +35,9 @@ fn bench_metrics(c: &mut Criterion) {
     group.bench_function("sz_quant_profile_sampled", |b| {
         b.iter(|| features::sz_quantization_profile(&data, 1e-4, 4))
     });
-    group.bench_function("svd_truncation", |b| b.iter(|| features::svd_features(&data)));
+    group.bench_function("svd_truncation", |b| {
+        b.iter(|| features::svd_features(&data))
+    });
     group.finish();
 }
 

@@ -11,7 +11,10 @@ use pressio_sz::SzCompressor;
 
 fn bench_schemes(c: &mut Criterion) {
     let mut hurricane = Hurricane::with_dims(64, 64, 32, 1);
-    let p_index = pressio_dataset::FIELDS.iter().position(|&f| f == "P").unwrap();
+    let p_index = pressio_dataset::FIELDS
+        .iter()
+        .position(|&f| f == "P")
+        .unwrap();
     let data = hurricane.load_data(p_index).unwrap();
     let mut sz = SzCompressor::new();
     sz.set_options(
@@ -26,7 +29,13 @@ fn bench_schemes(c: &mut Criterion) {
     group.bench_function("sz3_compress_truth", |b| {
         b.iter(|| sz.compress(&data).unwrap())
     });
-    for name in ["tao2019", "khan2023", "jin2022", "krasowska2021", "rahman2023"] {
+    for name in [
+        "tao2019",
+        "khan2023",
+        "jin2022",
+        "krasowska2021",
+        "rahman2023",
+    ] {
         let scheme = registry.build(name).unwrap();
         group.bench_function(format!("{name}_error_dependent"), |b| {
             b.iter(|| scheme.error_dependent_features(&data, &sz).unwrap())

@@ -47,8 +47,11 @@ fn main() {
     );
     for scheduling in [Scheduling::DataAffinity, Scheduling::RoundRobin] {
         // per-worker "loaded dataset" caches: first touch costs a deep copy
-        let caches: Arc<Vec<Mutex<HashMap<u64, Data>>>> =
-            Arc::new((0..args.workers).map(|_| Mutex::new(HashMap::new())).collect());
+        let caches: Arc<Vec<Mutex<HashMap<u64, Data>>>> = Arc::new(
+            (0..args.workers)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        );
         let ds = datasets.clone();
         let cs = caches.clone();
         let t0 = Instant::now();

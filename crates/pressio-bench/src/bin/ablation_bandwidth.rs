@@ -56,8 +56,7 @@ fn main() {
         }
     }
     // odd observations train, even validate (interleaves sizes and fields)
-    let (mut tf, mut tt, mut vf, mut vt, mut vtag) =
-        (vec![], vec![], vec![], vec![], vec![]);
+    let (mut tf, mut tt, mut vf, mut vt, mut vtag) = (vec![], vec![], vec![], vec![], vec![]);
     for i in 0..feats.len() {
         if i % 2 == 0 {
             tf.push(feats[i].clone());

@@ -42,7 +42,10 @@ fn main() {
         "restart run: {warm:.2}s ({} reused, {} recomputed)",
         second.checkpoint_hits, second.checkpoint_misses
     );
-    println!("restart speedup on truth collection: {:.1}x", cold / warm.max(1e-9));
+    println!(
+        "restart speedup on truth collection: {:.1}x",
+        cold / warm.max(1e-9)
+    );
     assert_eq!(second.checkpoint_misses, 0, "restart recomputed truth!");
     let _ = std::fs::remove_file(&ckpt);
 }

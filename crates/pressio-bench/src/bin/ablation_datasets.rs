@@ -29,7 +29,8 @@ fn main() {
         datasets.push(suite.load_data(i).unwrap());
     }
     let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4)).unwrap();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
     let truths: Vec<f64> = datasets
         .iter()
         .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
@@ -61,8 +62,7 @@ fn main() {
         let mut preds = vec![0.0f64; n];
         if trainable {
             for fold in k_folds(n, 5, 17) {
-                let train_f: Vec<Options> =
-                    fold.train.iter().map(|&i| feats[i].clone()).collect();
+                let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
                 let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
                 let mut p = scheme.make_predictor();
                 p.fit(&train_f, &train_t).unwrap();

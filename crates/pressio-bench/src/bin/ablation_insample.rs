@@ -18,7 +18,8 @@ fn main() {
     let n = hurricane.len();
     let datasets: Vec<_> = (0..n).map(|i| hurricane.load_data(i).unwrap()).collect();
     let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4)).unwrap();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
     let truths: Vec<f64> = datasets
         .iter()
         .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
@@ -28,7 +29,14 @@ fn main() {
     println!("# In-sample (best case) vs out-of-sample (paper setting) MedAPE, sz3 @1e-4\n");
     println!("| scheme | in-sample (%) | out-of-sample (%) | degradation |");
     println!("|---|---|---|---|");
-    for name in ["krasowska2021", "underwood2023", "rahman2023", "lu2018", "qin2020", "ganguli2023"] {
+    for name in [
+        "krasowska2021",
+        "underwood2023",
+        "rahman2023",
+        "lu2018",
+        "qin2020",
+        "ganguli2023",
+    ] {
         let scheme = registry.build(name).unwrap();
         let feats: Vec<Options> = datasets
             .iter()

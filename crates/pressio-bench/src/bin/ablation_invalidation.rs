@@ -39,7 +39,8 @@ fn main() {
     for (_, data) in &datasets {
         for &abs in &bounds {
             let mut sz = SzCompressor::new();
-            sz.set_options(&Options::new().with("pressio:abs", abs)).unwrap();
+            sz.set_options(&Options::new().with("pressio:abs", abs))
+                .unwrap();
             let _ = scheme.error_agnostic_features(data).unwrap();
             let _ = scheme.error_dependent_features(data, &sz).unwrap();
         }
@@ -54,7 +55,8 @@ fn main() {
     for (name, data) in &datasets {
         for &abs in &bounds {
             let mut sz = SzCompressor::new();
-            sz.set_options(&Options::new().with("pressio:abs", abs)).unwrap();
+            sz.set_options(&Options::new().with("pressio:abs", abs))
+                .unwrap();
             let _ = eval.features(name, data, &sz).unwrap();
         }
     }
@@ -69,5 +71,7 @@ fn main() {
         counters.dependent_misses
     );
     println!("speedup: {:.1}x", naive / cached.max(1e-9));
-    println!("\nshape check: the SVD is computed once per dataset instead of once per (dataset, bound)");
+    println!(
+        "\nshape check: the SVD is computed once per dataset instead of once per (dataset, bound)"
+    );
 }

@@ -9,8 +9,8 @@ use pressio_core::{Compressor, Options};
 use pressio_dataset::{DatasetPlugin, Hurricane};
 use pressio_predict::schemes::RahmanScheme;
 use pressio_predict::Scheme;
-use pressio_sz::SzCompressor;
 use pressio_stats::k_folds;
+use pressio_sz::SzCompressor;
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
@@ -25,7 +25,8 @@ fn main() {
         datasets.push(hurricane.load_data(i).unwrap());
     }
     let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4)).unwrap();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
     let truths: Vec<f64> = datasets
         .iter()
         .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
@@ -51,8 +52,7 @@ fn main() {
             // out-of-sample via 5 folds
             let mut pred = vec![0.0f64; n];
             for fold in k_folds(n, 5, 99) {
-                let train_f: Vec<Options> =
-                    fold.train.iter().map(|&i| feats[i].clone()).collect();
+                let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
                 let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
                 let mut p = scheme.make_predictor();
                 p.fit(&train_f, &train_t).unwrap();
@@ -80,5 +80,7 @@ fn main() {
             );
         }
     }
-    println!("\nshape check: disabling the sparsity features should hurt most on the sparse fields");
+    println!(
+        "\nshape check: disabling the sparsity features should hurt most on the sparse fields"
+    );
 }

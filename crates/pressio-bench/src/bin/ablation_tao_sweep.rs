@@ -17,7 +17,8 @@ fn main() {
     let n = hurricane.len().min(if args.quick { 6 } else { 13 });
     let datasets: Vec<_> = (0..n).map(|i| hurricane.load_data(i).unwrap()).collect();
     let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4)).unwrap();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
     let truths: Vec<f64> = datasets
         .iter()
         .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)

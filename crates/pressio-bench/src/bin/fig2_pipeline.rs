@@ -58,8 +58,14 @@ fn main() {
         });
         warm.push(ms);
     }
-    println!("cold sampled load  (folder -> cache-miss -> sample): {} ms", cold.display(3));
-    println!("warm sampled load  (local-cache hit -> sample):      {} ms", warm.display(3));
+    println!(
+        "cold sampled load  (folder -> cache-miss -> sample): {} ms",
+        cold.display(3)
+    );
+    println!(
+        "warm sampled load  (local-cache hit -> sample):      {} ms",
+        warm.display(3)
+    );
     println!(
         "sampled payload: {:?} of full {:?} ({}x reduction)",
         metas[0].dims,

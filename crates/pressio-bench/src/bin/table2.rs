@@ -11,6 +11,7 @@ use pressio_bench_infra::experiment::{format_table2, run_table2, Table2Config};
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
+    let tracing = pressio_bench::init_tracing(&args);
     let mut hurricane = args.hurricane();
     let cfg = Table2Config {
         schemes: args.schemes(),
@@ -54,4 +55,8 @@ fn main() {
     println!("  - rahman error-agnostic time << compression; inference sub-millisecond");
     println!("  - rahman achieves the lowest MedAPE on both compressors");
     println!("  - jin on zfp is N/A (SZ-specific model)");
+    pressio_bench::print_obs_summary(tracing);
+    if let Some(path) = &args.trace {
+        eprintln!("trace written to {}", path.display());
+    }
 }

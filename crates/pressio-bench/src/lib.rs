@@ -35,6 +35,8 @@ pub struct BenchArgs {
     pub all_schemes: bool,
     /// Worker threads.
     pub workers: usize,
+    /// Write a JSONL observability trace to this path.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -50,6 +52,7 @@ impl Default for BenchArgs {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            trace: None,
         }
     }
 }
@@ -79,6 +82,10 @@ impl BenchArgs {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--workers needs a number"));
+                }
+                "--trace" => {
+                    let path = it.next().unwrap_or_else(|| usage("--trace needs a path"));
+                    out.trace = Some(std::path::PathBuf::from(path));
                 }
                 "--dims" => {
                     let spec = it.next().unwrap_or_else(|| usage("--dims needs NX,NY,NZ"));
@@ -116,9 +123,39 @@ impl BenchArgs {
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "error: {msg}\nusage: [--quick] [--all-schemes] [--timesteps N] [--dims NX,NY,NZ] [--workers N]"
+        "error: {msg}\nusage: [--quick] [--all-schemes] [--timesteps N] [--dims NX,NY,NZ] [--workers N] [--trace PATH]"
     );
     std::process::exit(2)
+}
+
+/// Install the process-global observability collector for this run when
+/// `--trace PATH` was given: every span/counter/gauge is aggregated in
+/// memory and streamed to `PATH` as JSON lines. Returns the collector so
+/// the caller can render [`print_obs_summary`] at the end; `None` means
+/// tracing is off and all instrumentation stays a near-free no-op.
+pub fn init_tracing(args: &BenchArgs) -> Option<std::sync::Arc<pressio_obs::Collector>> {
+    let path = args.trace.as_deref()?;
+    let sink = match pressio_obs::JsonlSink::create(path) {
+        Ok(sink) => sink,
+        Err(e) => {
+            eprintln!("error: cannot create trace file {}: {e}", path.display());
+            std::process::exit(2)
+        }
+    };
+    let collector = std::sync::Arc::new(pressio_obs::Collector::with_sink(Box::new(sink)));
+    pressio_obs::install(collector.clone());
+    Some(collector)
+}
+
+/// Uninstall the global collector, flush the trace file, and print the
+/// aggregate report (per-span mean ± sd tables, counters, gauges) to
+/// stdout. A no-op when [`init_tracing`] returned `None`.
+pub fn print_obs_summary(collector: Option<std::sync::Arc<pressio_obs::Collector>>) {
+    let Some(collector) = collector else { return };
+    let _ = pressio_obs::uninstall();
+    collector.flush();
+    println!("\n## Observability report\n");
+    print!("{}", collector.report().format());
 }
 
 #[cfg(test)]
@@ -158,5 +195,31 @@ mod tests {
     fn all_schemes_expands_list() {
         let a = parse(&["--all-schemes"]);
         assert!(a.schemes().len() >= 7);
+    }
+
+    #[test]
+    fn trace_flag_parses_and_round_trips() {
+        let dir = std::env::temp_dir().join("pressio_bench_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let a = parse(&["--trace", path.to_str().unwrap()]);
+        assert_eq!(a.trace.as_deref(), Some(path.as_path()));
+
+        let collector = init_tracing(&a).expect("tracing enabled");
+        pressio_obs::record_ms("bench:test_stage", 2.0);
+        print_obs_summary(Some(collector.clone()));
+        assert!(!pressio_obs::is_enabled(), "summary must uninstall");
+        let (events, skipped) = pressio_obs::read_trace(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert!(events.iter().any(|e| e.name() == "bench:test_stage"));
+        assert_eq!(collector.report().spans["bench:test_stage"].count(), 1);
+    }
+
+    #[test]
+    fn no_trace_flag_disables_tracing() {
+        let a = parse(&[]);
+        assert!(a.trace.is_none());
+        assert!(init_tracing(&a).is_none());
+        print_obs_summary(None);
     }
 }

@@ -11,6 +11,7 @@
 //! pressio compress -i U_64x64x32.f32 -o U.szr -c sz3 --abs 1e-4
 //! pressio decompress -i U.szr -o restored_64x64x32.f32 -c sz3
 //! pressio predict -i U_64x64x32.f32 -c sz3 --scheme khan2023 --abs 1e-4
+//! pressio bench --dims 32,32,16 --timesteps 2 --trace /tmp/bench.jsonl
 //! ```
 //!
 //! Raw files carry their shape in the filename (`NAME_NXxNY[...].f32`), so
@@ -23,9 +24,9 @@ use pressio_core::{Compressor, Options};
 use pressio_dataset::io::{parse_filename, read_raw};
 use pressio_dataset::DatasetPlugin;
 use pressio_predict::{standard_compressors, standard_schemes};
-use std::path::PathBuf;
 #[cfg(test)]
 use std::path::Path;
+use std::path::PathBuf;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +79,18 @@ pub enum Command {
         /// Also run the compressor and report the truth.
         verify: bool,
     },
+    /// Run the Table-2 benchmark pipeline on a synthetic hurricane,
+    /// optionally writing a structured JSONL trace.
+    Bench {
+        /// Grid dims.
+        dims: (usize, usize, usize),
+        /// Timesteps.
+        timesteps: usize,
+        /// Worker threads for ground-truth collection.
+        workers: usize,
+        /// Observability trace output path.
+        trace: Option<PathBuf>,
+    },
 }
 
 fn flag_value(args: &mut std::collections::VecDeque<String>, flag: &str) -> Result<String> {
@@ -90,7 +103,9 @@ fn flag_value(args: &mut std::collections::VecDeque<String>, flag: &str) -> Resu
 /// Parse a command line (without the program name).
 pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let mut args: std::collections::VecDeque<String> = argv.into_iter().collect();
-    let sub = args.pop_front().ok_or_else(|| usage_error("no subcommand"))?;
+    let sub = args
+        .pop_front()
+        .ok_or_else(|| usage_error("no subcommand"))?;
     let mut input: Option<PathBuf> = None;
     let mut output: Option<PathBuf> = None;
     let mut compressor = "sz3".to_string();
@@ -99,6 +114,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let mut verify = false;
     let mut dims = (64usize, 64usize, 32usize);
     let mut timesteps = 1usize;
+    let mut workers = 2usize;
+    let mut trace: Option<PathBuf> = None;
     let mut options = Options::new();
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
@@ -149,6 +166,12 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
                     .parse()
                     .map_err(|_| usage_error("--timesteps needs a number"))?;
             }
+            "--workers" => {
+                workers = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--workers needs a number"))?;
+            }
+            "--trace" => trace = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
             other => return Err(usage_error(&format!("unknown flag '{other}'"))),
         }
     }
@@ -182,6 +205,12 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             state,
             verify,
         }),
+        "bench" => Ok(Command::Bench {
+            dims,
+            timesteps,
+            workers,
+            trace,
+        }),
         other => Err(usage_error(&format!("unknown subcommand '{other}'"))),
     }
 }
@@ -190,7 +219,7 @@ fn usage_error(msg: &str) -> Error {
     Error::InvalidValue {
         key: "cli".into(),
         reason: format!(
-            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict> [flags]"
+            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict|bench> [flags]"
         ),
     }
 }
@@ -237,11 +266,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             for i in 0..h.len() {
                 let meta = h.load_metadata(i)?;
                 let data = h.load_data(i)?;
-                let path = pressio_dataset::io::write_raw(
-                    &dir,
-                    &meta.name.replace('@', "-"),
-                    &data,
-                )?;
+                let path =
+                    pressio_dataset::io::write_raw(&dir, &meta.name.replace('@', "-"), &data)?;
                 writeln!(out, "wrote {}", path.display())?;
             }
             Ok(())
@@ -326,6 +352,49 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             }
             Ok(())
         }
+        Command::Bench {
+            dims,
+            timesteps,
+            workers,
+            trace,
+        } => {
+            let collector = match &trace {
+                Some(path) => {
+                    let sink = pressio_obs::JsonlSink::create(path)?;
+                    let c = std::sync::Arc::new(pressio_obs::Collector::with_sink(Box::new(sink)));
+                    pressio_obs::install(c.clone());
+                    Some(c)
+                }
+                None => None,
+            };
+            let mut hurricane =
+                pressio_dataset::Hurricane::with_dims(dims.0, dims.1, dims.2, timesteps);
+            let cfg = pressio_bench_infra::experiment::Table2Config {
+                workers,
+                checkpoint: None,
+                ..Default::default()
+            };
+            let result = pressio_bench_infra::experiment::run_table2(&mut hurricane, &cfg);
+            // always tear down the global collector, even on error
+            if collector.is_some() {
+                let _ = pressio_obs::uninstall();
+            }
+            let table = result?;
+            write!(
+                out,
+                "{}",
+                pressio_bench_infra::experiment::format_table2(&table)
+            )?;
+            if let Some(c) = collector {
+                c.flush();
+                writeln!(out, "\n## Observability report\n")?;
+                write!(out, "{}", c.report().format())?;
+                if let Some(path) = &trace {
+                    writeln!(out, "\ntrace written to {}", path.display())?;
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -340,8 +409,17 @@ mod tests {
     #[test]
     fn parses_compress() {
         let cmd = parse(&[
-            "compress", "-i", "U_4x4.f32", "-o", "U.szr", "-c", "sz3", "--abs", "1e-3",
-            "--predictor", "hybrid",
+            "compress",
+            "-i",
+            "U_4x4.f32",
+            "-o",
+            "U.szr",
+            "-c",
+            "sz3",
+            "--abs",
+            "1e-3",
+            "--predictor",
+            "hybrid",
         ])
         .unwrap();
         match cmd {
@@ -383,6 +461,59 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("sz3"));
         assert!(text.contains("zfp"));
+    }
+
+    #[test]
+    fn parses_bench_with_trace() {
+        let cmd = parse(&[
+            "bench",
+            "--dims",
+            "8,8,4",
+            "--timesteps",
+            "2",
+            "--workers",
+            "3",
+            "--trace",
+            "/tmp/t.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                dims: (8, 8, 4),
+                timesteps: 2,
+                workers: 3,
+                trace: Some(PathBuf::from("/tmp/t.jsonl")),
+            }
+        );
+    }
+
+    #[test]
+    fn bench_emits_table_and_trace() {
+        let dir = std::env::temp_dir().join("pressio_cli_bench");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("bench.jsonl");
+        let mut buf = Vec::new();
+        run(
+            Command::Bench {
+                dims: (12, 12, 6),
+                timesteps: 1,
+                workers: 2,
+                trace: Some(trace.clone()),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("MedAPE"), "table missing:\n{text}");
+        assert!(text.contains("## Observability report"));
+        assert!(text.contains("sz3:compress"));
+        let (events, skipped) = pressio_obs::read_trace(&trace).unwrap();
+        assert_eq!(skipped, 0, "trace must be valid JSONL");
+        assert!(events.iter().any(|e| e.name() == "queue:task"));
+        assert!(events.iter().any(|e| e.name() == "table2:sz3:compress_ms"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -270,7 +270,10 @@ mod tests {
         ic.set_options(&Options::new().with("pressio:abs", 0.1))
             .unwrap();
         assert_eq!(
-            ic.compressor().get_options().get_f64("pressio:abs").unwrap(),
+            ic.compressor()
+                .get_options()
+                .get_f64("pressio:abs")
+                .unwrap(),
             0.1
         );
     }

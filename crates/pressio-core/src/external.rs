@@ -221,10 +221,7 @@ mod tests {
     fn missing_binary_errors() {
         let mut m = ExternalMetrics::new("/definitely/not/a/binary", vec![]);
         let data = Data::from_f32(vec![1], vec![0.0]);
-        assert!(matches!(
-            m.begin_compress(&data),
-            Err(Error::TaskFailed(_))
-        ));
+        assert!(matches!(m.begin_compress(&data), Err(Error::TaskFailed(_))));
     }
 
     #[test]
@@ -254,8 +251,7 @@ mod tests {
                 END { printf "max=%.17g\n", m }
             '"#,
         );
-        let mut m =
-            ExternalMetrics::new(path.display().to_string(), vec![]).error_dependent();
+        let mut m = ExternalMetrics::new(path.display().to_string(), vec![]).error_dependent();
         let recon = Data::from_f64(vec![3], vec![1.0, 9.0, 2.0]);
         m.end_decompress(&[], Some(&recon), true).unwrap();
         assert_eq!(m.results().get_f64("external:max").unwrap(), 9.0);

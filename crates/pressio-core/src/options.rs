@@ -165,13 +165,11 @@ impl Options {
     ) -> Result<Option<T>> {
         match self.entries.get(key) {
             None => Ok(None),
-            Some(v) => cast(v)
-                .map(Some)
-                .ok_or_else(|| Error::TypeMismatch {
-                    key: key.to_string(),
-                    expected,
-                    found: v.type_name(),
-                }),
+            Some(v) => cast(v).map(Some).ok_or_else(|| Error::TypeMismatch {
+                key: key.to_string(),
+                expected,
+                found: v.type_name(),
+            }),
         }
     }
 

@@ -76,12 +76,7 @@ impl MeanStd {
 
     /// `"mean ± sd"` with the given precision, as printed in Table 2.
     pub fn display(&self, precision: usize) -> String {
-        format!(
-            "{:.p$} ± {:.p$}",
-            self.mean(),
-            self.std(),
-            p = precision
-        )
+        format!("{:.p$} ± {:.p$}", self.mean(), self.std(), p = precision)
     }
 }
 

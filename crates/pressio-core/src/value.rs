@@ -83,9 +83,7 @@ impl Value {
         match self {
             Value::U64(v) => Some(*v),
             Value::I64(v) => u64::try_from(*v).ok(),
-            Value::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 2f64.powi(64) => {
-                Some(*v as u64)
-            }
+            Value::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 2f64.powi(64) => Some(*v as u64),
             Value::Bool(b) => Some(*b as u64),
             _ => None,
         }

@@ -183,7 +183,11 @@ mod tests {
         let mut cache2 = LocalCache::new(Box::new(make(loads.clone())), &dir).unwrap();
         let d = cache2.load_data(0).unwrap();
         assert_eq!(d.as_f64().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(loads.load(Ordering::SeqCst), 1, "cache missed after restart");
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            1,
+            "cache missed after restart"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -219,10 +223,7 @@ mod tests {
         let dir = temp_dir("pressio_cache_meta_test");
         let loads = Arc::new(AtomicU64::new(0));
         let src = CountingSource {
-            inner: MemoryDataset::new(vec![(
-                "a".into(),
-                Data::from_f32(vec![2], vec![0.0, 1.0]),
-            )]),
+            inner: MemoryDataset::new(vec![("a".into(), Data::from_f32(vec![2], vec![0.0, 1.0]))]),
             loads: loads.clone(),
         };
         let mut cache = LocalCache::new(Box::new(src), &dir).unwrap();

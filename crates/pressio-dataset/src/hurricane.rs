@@ -20,8 +20,8 @@ use pressio_core::{Data, Dtype, Options};
 
 /// The 13 Hurricane Isabel field names.
 pub const FIELDS: [&str; 13] = [
-    "CLOUD", "P", "PRECIP", "QCLOUD", "QGRAUP", "QICE", "QRAIN", "QSNOW", "QVAPOR", "TC", "U",
-    "V", "W",
+    "CLOUD", "P", "PRECIP", "QCLOUD", "QGRAUP", "QICE", "QRAIN", "QSNOW", "QVAPOR", "TC", "U", "V",
+    "W",
 ];
 
 /// Fields that are sparse (mostly exact zeros) in the real dataset.
@@ -282,12 +282,10 @@ impl DatasetPlugin for Hurricane {
     }
 
     fn get_configuration(&self) -> Options {
-        Options::new()
-            .with("hurricane:synthetic", true)
-            .with(
-                "hurricane:provenance",
-                "deterministic stand-in for Hurricane Isabel (see DESIGN.md)",
-            )
+        Options::new().with("hurricane:synthetic", true).with(
+            "hurricane:provenance",
+            "deterministic stand-in for Hurricane Isabel (see DESIGN.md)",
+        )
     }
 }
 

@@ -71,10 +71,13 @@ impl DatasetPlugin for Sampler {
     fn load_metadata(&mut self, index: usize) -> Result<DatasetMeta> {
         let mut meta = self.inner.load_metadata(index)?;
         meta.dims = self.sampled_dims(&meta.dims);
-        meta.attributes.set("sampler:strategy", match self.strategy {
-            Strategy::RandomBlocks { .. } => "random_blocks",
-            Strategy::Stride(_) => "stride",
-        });
+        meta.attributes.set(
+            "sampler:strategy",
+            match self.strategy {
+                Strategy::RandomBlocks { .. } => "random_blocks",
+                Strategy::Stride(_) => "stride",
+            },
+        );
         Ok(meta)
     }
 
@@ -168,11 +171,7 @@ pub fn sample(data: &Data, strategy: &Strategy) -> Result<Data> {
             let mut coord = vec![0usize; dims.len()];
             if n_out > 0 {
                 'outer: loop {
-                    let idx: usize = coord
-                        .iter()
-                        .zip(&strides)
-                        .map(|(&c, &st)| c * s * st)
-                        .sum();
+                    let idx: usize = coord.iter().zip(&strides).map(|(&c, &st)| c * s * st).sum();
                     out.push(vals[idx]);
                     for d in 0..coord.len() {
                         coord[d] += 1;
@@ -200,10 +199,7 @@ mod tests {
     use crate::plugin::MemoryDataset;
 
     fn grid_2d(nx: usize, ny: usize) -> Data {
-        Data::from_f32(
-            vec![nx, ny],
-            (0..nx * ny).map(|i| i as f32).collect(),
-        )
+        Data::from_f32(vec![nx, ny], (0..nx * ny).map(|i| i as f32).collect())
     }
 
     #[test]

@@ -93,9 +93,20 @@ impl SyntheticSuite {
                         // fractal turbulence: 3 octaves of value noise
                         "turbulence" => {
                             value_noise(xf * s, yf * s, zf * s, seed)
-                                + 0.5 * value_noise(xf * s * 2.0, yf * s * 2.0, zf * s * 2.0, seed ^ 1)
+                                + 0.5
+                                    * value_noise(
+                                        xf * s * 2.0,
+                                        yf * s * 2.0,
+                                        zf * s * 2.0,
+                                        seed ^ 1,
+                                    )
                                 + 0.25
-                                    * value_noise(xf * s * 4.0, yf * s * 4.0, zf * s * 4.0, seed ^ 2)
+                                    * value_noise(
+                                        xf * s * 4.0,
+                                        yf * s * 4.0,
+                                        zf * s * 4.0,
+                                        seed ^ 2,
+                                    )
                         }
                         // a curved shock front: smooth on each side, jump across
                         "shock" => {
@@ -118,7 +129,8 @@ impl SyntheticSuite {
                         }
                         // piecewise-constant plateaus (quantized smooth field)
                         "plateau" => {
-                            let smooth = value_noise(xf * s * 0.7, yf * s * 0.7, zf * s * 0.7, seed);
+                            let smooth =
+                                value_noise(xf * s * 0.7, yf * s * 0.7, zf * s * 0.7, seed);
                             (smooth * 4.0).round() / 4.0
                         }
                         _ => 0.0,
@@ -221,10 +233,7 @@ mod tests {
             ratios.insert(family, d.size_in_bytes() as f64 / c.len() as f64);
         }
         // plateau (piecewise constant) must beat turbulence (fractal)
-        assert!(
-            ratios["plateau"] > ratios["turbulence"],
-            "{ratios:?}"
-        );
+        assert!(ratios["plateau"] > ratios["turbulence"], "{ratios:?}");
     }
 
     fn pressio_sz_compressor() -> impl pressio_core::Compressor {

@@ -62,7 +62,11 @@ impl BitWriter {
             }
             let space = 8 - self.bit_pos;
             let take = space.min(remaining);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             let chunk = (v & mask) as u8;
             let last = self.bytes.last_mut().unwrap();
             *last |= chunk << self.bit_pos;
@@ -139,7 +143,11 @@ impl<'a> BitReader<'a> {
             let offset = (self.pos & 7) as u32;
             let avail = 8 - offset;
             let take = avail.min(n - got);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             out |= ((byte >> offset) & mask) << got;
             got += take;
             self.pos += take as usize;

@@ -26,7 +26,10 @@ pub fn shannon_entropy_bytes(bytes: &[u8]) -> f64 {
     for &b in bytes {
         counts[b as usize] += 1;
     }
-    entropy_from_counts(counts.iter().copied().filter(|&c| c > 0), bytes.len() as u64)
+    entropy_from_counts(
+        counts.iter().copied().filter(|&c| c > 0),
+        bytes.len() as u64,
+    )
 }
 
 /// Entropy of a pre-computed histogram.

@@ -139,10 +139,7 @@ impl Codebook {
     /// Encode `symbols` onto `writer` (MSB-first within each code).
     pub fn encode(&self, symbols: &[u32], writer: &mut BitWriter) -> Result<(), HuffmanError> {
         for &s in symbols {
-            let &i = self
-                .index
-                .get(&s)
-                .ok_or(HuffmanError::UnknownSymbol(s))?;
+            let &i = self.index.get(&s).ok_or(HuffmanError::UnknownSymbol(s))?;
             let len = self.lengths[i].1;
             let code = self.codes[i];
             // emit MSB-first so canonical decode can extend bit-by-bit
@@ -254,10 +251,7 @@ fn huffman_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // min-heap by frequency, ties by id for determinism
-            other
-                .freq
-                .cmp(&self.freq)
-                .then(other.id.cmp(&self.id))
+            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -363,7 +357,9 @@ mod tests {
 
     #[test]
     fn skewed_stream_compresses() {
-        let symbols: Vec<u32> = (0..10_000).map(|i| if i % 100 == 0 { 1 } else { 0 }).collect();
+        let symbols: Vec<u32> = (0..10_000)
+            .map(|i| if i % 100 == 0 { 1 } else { 0 })
+            .collect();
         let bytes = compress_symbols(&symbols);
         // ~1.08 bits/symbol + table << 4 bytes/symbol raw
         assert!(bytes.len() < 10_000 / 4);
@@ -463,8 +459,9 @@ mod tests {
     #[test]
     fn large_alphabet_round_trip() {
         // typical SZ quantization-bin alphabet size
-        let symbols: Vec<u32> =
-            (0..65536u32).map(|i| i.wrapping_mul(2654435761) % 1000).collect();
+        let symbols: Vec<u32> = (0..65536u32)
+            .map(|i| i.wrapping_mul(2654435761) % 1000)
+            .collect();
         let bytes = compress_symbols(&symbols);
         assert_eq!(decompress_symbols(&bytes).unwrap(), symbols);
     }

@@ -110,7 +110,9 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// Inverse of [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, LzssError> {
     let mut r = BitReader::new(bytes);
-    let n = r.read_bits(64).ok_or(LzssError::Corrupt("missing length"))? as usize;
+    let n = r
+        .read_bits(64)
+        .ok_or(LzssError::Corrupt("missing length"))? as usize;
     // guard against absurd lengths from corrupt headers
     if n > bytes.len().saturating_mul(MAX_MATCH) + 64 {
         return Err(LzssError::Corrupt("implausible decoded length"));

@@ -1,0 +1,244 @@
+//! The thread-safe collector and its aggregate report.
+
+use crate::sink::{EventSink, TraceEvent};
+use pressio_core::timing::MeanStd;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Thread-safe measurement collector.
+///
+/// Every measurement updates the in-memory aggregates; when an event sink
+/// is attached, a [`TraceEvent`] is also appended for each measurement.
+pub struct Collector {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+struct State {
+    spans: BTreeMap<String, MeanStd>,
+    span_parents: BTreeMap<String, String>,
+    counters: BTreeMap<String, i64>,
+    gauges: BTreeMap<String, f64>,
+    sink: Option<Box<dyn EventSink + Send>>,
+}
+
+/// Aggregated view of everything a [`Collector`] saw.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Per-span-name duration statistics (ms), including `record_ms` feeds.
+    pub spans: BTreeMap<String, MeanStd>,
+    /// Last observed parent for each span name that had one.
+    pub span_parents: BTreeMap<String, String>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, i64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// Collector with in-memory aggregation only.
+    pub fn new() -> Collector {
+        Collector {
+            epoch: Instant::now(),
+            state: Mutex::new(State {
+                spans: BTreeMap::new(),
+                span_parents: BTreeMap::new(),
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                sink: None,
+            }),
+        }
+    }
+
+    /// Collector that also appends every event to `sink`.
+    pub fn with_sink(sink: Box<dyn EventSink + Send>) -> Collector {
+        let c = Collector::new();
+        c.state.lock().unwrap_or_else(|e| e.into_inner()).sink = Some(sink);
+        c
+    }
+
+    /// Microseconds since this collector was created (monotonic).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // a panic while holding the lock poisons it; measurements are
+        // append-only so the state stays valid — keep collecting
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a closed span (or an externally measured duration).
+    pub(crate) fn record_span(&self, name: &str, parent: Option<&str>, dur_ms: f64) {
+        let at_us = self.now_us();
+        let mut state = self.lock();
+        state
+            .spans
+            .entry(name.to_string())
+            .or_default()
+            .push(dur_ms);
+        if let Some(parent) = parent {
+            state
+                .span_parents
+                .insert(name.to_string(), parent.to_string());
+        }
+        if let Some(sink) = state.sink.as_mut() {
+            sink.record(&TraceEvent::Span {
+                name: name.to_string(),
+                parent: parent.map(String::from),
+                thread: thread_label(),
+                end_us: at_us,
+                dur_ms,
+            });
+        }
+    }
+
+    /// Record an externally measured duration (ms) under `name`, exactly
+    /// like a closed span with no parent.
+    pub fn record_ms(&self, name: &str, ms: f64) {
+        self.record_span(name, None, ms);
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add_counter(&self, name: &str, delta: i64) {
+        let at_us = self.now_us();
+        let mut state = self.lock();
+        let total = {
+            let slot = state.counters.entry(name.to_string()).or_insert(0);
+            *slot += delta;
+            *slot
+        };
+        if let Some(sink) = state.sink.as_mut() {
+            sink.record(&TraceEvent::Counter {
+                name: name.to_string(),
+                delta,
+                total,
+                at_us,
+            });
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let at_us = self.now_us();
+        let mut state = self.lock();
+        state.gauges.insert(name.to_string(), value);
+        if let Some(sink) = state.sink.as_mut() {
+            sink.record(&TraceEvent::Gauge {
+                name: name.to_string(),
+                value,
+                at_us,
+            });
+        }
+    }
+
+    /// Snapshot the aggregates.
+    pub fn report(&self) -> Report {
+        let state = self.lock();
+        Report {
+            spans: state.spans.clone(),
+            span_parents: state.span_parents.clone(),
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+        }
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = self.lock().sink.as_mut() {
+            sink.flush();
+        }
+    }
+}
+
+fn thread_label() -> String {
+    std::thread::current()
+        .name()
+        .map(String::from)
+        .unwrap_or_else(|| format!("{:?}", std::thread::current().id()))
+}
+
+impl Report {
+    /// Render the report as a Table-2-style text table: spans first
+    /// (count, mean ± sd, total), then counters, then gauges.
+    pub fn format(&self) -> String {
+        let mut s = String::new();
+        if !self.spans.is_empty() {
+            s.push_str("| span | count | mean ± sd (ms) | total (ms) |\n");
+            s.push_str("|---|---|---|---|\n");
+            for (name, agg) in &self.spans {
+                let label = match self.span_parents.get(name) {
+                    Some(parent) => format!("{name} (in {parent})"),
+                    None => name.clone(),
+                };
+                s.push_str(&format!(
+                    "| {label} | {} | {} | {:.3} |\n",
+                    agg.count(),
+                    agg.display(3),
+                    agg.mean() * agg.count() as f64,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            s.push_str("\n| counter | value |\n|---|---|\n");
+            for (name, value) in &self.counters {
+                s.push_str(&format!("| {name} | {value} |\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("\n| gauge | value |\n|---|---|\n");
+            for (name, value) in &self.gauges {
+                s.push_str(&format!("| {name} | {value:.4} |\n"));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_collector_use_without_global_install() {
+        let c = Collector::new();
+        c.record_ms("a", 2.0);
+        c.record_ms("a", 4.0);
+        c.add_counter("n", 7);
+        c.set_gauge("g", 1.5);
+        let r = c.report();
+        assert_eq!(r.spans["a"].count(), 2);
+        assert!((r.spans["a"].mean() - 3.0).abs() < 1e-12);
+        assert_eq!(r.counters["n"], 7);
+        assert_eq!(r.gauges["g"], 1.5);
+    }
+
+    #[test]
+    fn report_formats_all_sections() {
+        let c = Collector::new();
+        c.record_span("child", Some("parent"), 1.0);
+        c.add_counter("hits", 3);
+        c.set_gauge("util", 0.5);
+        let text = c.report().format();
+        assert!(text.contains("child (in parent)"));
+        assert!(text.contains("| hits | 3 |"));
+        assert!(text.contains("| util | 0.5000 |"));
+        assert!(text.contains("mean ± sd"));
+    }
+
+    #[test]
+    fn monotonic_timestamps_advance() {
+        let c = Collector::new();
+        let a = c.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now_us();
+        assert!(b > a);
+    }
+}

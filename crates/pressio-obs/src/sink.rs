@@ -1,0 +1,277 @@
+//! Event sinks: the JSONL trace writer and its torn-line-tolerant reader.
+//!
+//! The format follows the bench checkpoint store's conventions: one
+//! self-contained JSON object per line, append-only, flushed per batch. A
+//! crash can only produce a torn trailing line, which the reader skips.
+
+use pressio_core::error::Result;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// One trace event, serialized as a single JSON line.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TraceEvent {
+    /// A closed span (or an externally measured duration).
+    Span {
+        /// Span name.
+        name: String,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<String>,
+        /// Thread the span closed on.
+        thread: String,
+        /// Close time, microseconds since collector creation (monotonic).
+        end_us: u64,
+        /// Duration in milliseconds.
+        dur_ms: f64,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Increment applied.
+        delta: i64,
+        /// Counter value after the increment.
+        total: i64,
+        /// Event time, microseconds since collector creation.
+        at_us: u64,
+    },
+    /// A gauge update.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// New value.
+        value: f64,
+        /// Event time, microseconds since collector creation.
+        at_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's name, whichever variant it is.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceEvent::Span { name, .. }
+            | TraceEvent::Counter { name, .. }
+            | TraceEvent::Gauge { name, .. } => name,
+        }
+    }
+}
+
+/// Destination for trace events.
+pub trait EventSink {
+    /// Append one event.
+    fn record(&mut self, event: &TraceEvent);
+    /// Make everything recorded so far durable/visible.
+    fn flush(&mut self);
+}
+
+/// Append-only JSON-lines sink. Events are buffered and flushed in
+/// batches; each line is a complete [`TraceEvent`], so readers tolerate a
+/// torn final line exactly like the checkpoint store does.
+pub struct JsonlSink {
+    writer: BufWriter<std::fs::File>,
+    /// Events recorded since the last flush.
+    pending: usize,
+    /// Flush after this many events (bounds loss on crash without paying
+    /// a syscall per event).
+    batch: usize,
+}
+
+impl JsonlSink {
+    /// Create (truncating) a trace file at `path`.
+    pub fn create(path: &Path) -> Result<JsonlSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: BufWriter::new(file),
+            pending: 0,
+            batch: 64,
+        })
+    }
+
+    /// Override the flush batch size (1 = flush every event).
+    pub fn with_batch(mut self, batch: usize) -> JsonlSink {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if let Ok(line) = serde_json::to_string(event) {
+            // sink failures must never take down the measured program;
+            // losing trace lines is the acceptable failure mode
+            let _ = self.writer.write_all(line.as_bytes());
+            let _ = self.writer.write_all(b"\n");
+            self.pending += 1;
+            if self.pending >= self.batch {
+                self.flush();
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+        self.pending = 0;
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// In-memory sink for tests and programmatic consumers.
+#[derive(Debug, Default)]
+pub struct VecSink(pub std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>);
+
+impl EventSink for VecSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// Read a JSONL trace, skipping torn or malformed lines (the checkpoint
+/// store's recovery convention). Returns the events and the number of
+/// lines skipped.
+pub fn read_trace(path: &Path) -> Result<(Vec<TraceEvent>, usize)> {
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceEvent>(&line) {
+            Ok(event) => events.push(event),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((events, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pressio_obs_sink_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let path = temp("round_trip.jsonl");
+        let collector =
+            Collector::with_sink(Box::new(JsonlSink::create(&path).unwrap().with_batch(1)));
+        collector.record_span("compress", Some("task"), 12.5);
+        collector.add_counter("bytes_out", 4096);
+        collector.set_gauge("ratio", 3.75);
+        collector.flush();
+
+        let (events, skipped) = read_trace(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 3);
+        match &events[0] {
+            TraceEvent::Span {
+                name,
+                parent,
+                dur_ms,
+                ..
+            } => {
+                assert_eq!(name, "compress");
+                assert_eq!(parent.as_deref(), Some("task"));
+                assert_eq!(*dur_ms, 12.5);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        match &events[1] {
+            TraceEvent::Counter { delta, total, .. } => {
+                assert_eq!(*delta, 4096);
+                assert_eq!(*total, 4096);
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &events[2] {
+            TraceEvent::Gauge { value, .. } => assert_eq!(*value, 3.75),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped() {
+        let path = temp("torn.jsonl");
+        {
+            let collector =
+                Collector::with_sink(Box::new(JsonlSink::create(&path).unwrap().with_batch(1)));
+            collector.record_ms("good", 1.0);
+            collector.flush();
+        }
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"Span\":{\"name\":\"half").unwrap();
+        }
+        let (events, skipped) = read_trace(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name(), "good");
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn batched_sink_flushes_on_drop() {
+        let path = temp("batched.jsonl");
+        {
+            let collector = Collector::with_sink(Box::new(JsonlSink::create(&path).unwrap()));
+            for i in 0..10 {
+                collector.record_ms("stage", i as f64);
+            }
+            // no explicit flush: Collector drop drops the sink, which flushes
+        }
+        let (events, skipped) = read_trace(&path).unwrap();
+        assert_eq!(events.len(), 10);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn vec_sink_collects_in_memory() {
+        let sink = VecSink::default();
+        let events = sink.0.clone();
+        let collector = Collector::with_sink(Box::new(sink));
+        collector.record_ms("x", 1.0);
+        collector.add_counter("c", 1);
+        assert_eq!(events.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn counter_totals_accumulate_in_trace() {
+        let path = temp("totals.jsonl");
+        let collector =
+            Collector::with_sink(Box::new(JsonlSink::create(&path).unwrap().with_batch(1)));
+        collector.add_counter("n", 5);
+        collector.add_counter("n", -2);
+        collector.flush();
+        let (events, _) = read_trace(&path).unwrap();
+        match &events[1] {
+            TraceEvent::Counter { total, .. } => assert_eq!(*total, 3),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+}

@@ -98,6 +98,7 @@ impl CachedEvaluator {
         let agnostic = match self.agnostic.get(data_key) {
             Some(cached) => {
                 self.counters.agnostic_hits += 1;
+                pressio_obs::add_counter("evaluator:agnostic.hit", 1);
                 cached.clone()
             }
             None => {
@@ -105,6 +106,8 @@ impl CachedEvaluator {
                 let features = result?;
                 times.error_agnostic_ms = Some(ms);
                 self.counters.agnostic_misses += 1;
+                pressio_obs::add_counter("evaluator:agnostic.miss", 1);
+                pressio_obs::record_ms("evaluator:error_agnostic", ms);
                 self.agnostic.insert(data_key.to_string(), features.clone());
                 features
             }
@@ -113,6 +116,7 @@ impl CachedEvaluator {
         let dependent = match self.dependent.get(&dep_key) {
             Some(cached) => {
                 self.counters.dependent_hits += 1;
+                pressio_obs::add_counter("evaluator:dependent.hit", 1);
                 cached.clone()
             }
             None => {
@@ -121,6 +125,8 @@ impl CachedEvaluator {
                 let features = result?;
                 times.error_dependent_ms = Some(ms);
                 self.counters.dependent_misses += 1;
+                pressio_obs::add_counter("evaluator:dependent.miss", 1);
+                pressio_obs::record_ms("evaluator:error_dependent", ms);
                 self.dependent.insert(dep_key, features.clone());
                 features
             }
@@ -179,7 +185,8 @@ mod tests {
 
     fn sz(abs: f64) -> SzCompressor {
         let mut c = SzCompressor::new();
-        c.set_options(&Opts::new().with("pressio:abs", abs)).unwrap();
+        c.set_options(&Opts::new().with("pressio:abs", abs))
+            .unwrap();
         c
     }
 

@@ -29,7 +29,11 @@ pub fn global_stats(data: &Data) -> Options {
             grad_n += 1;
         }
     }
-    let grad = if grad_n > 0 { grad / grad_n as f64 } else { 0.0 };
+    let grad = if grad_n > 0 {
+        grad / grad_n as f64
+    } else {
+        0.0
+    };
     // Lorenzo-residual estimate: the cheap predictor-fit proxy SZ-family
     // schemes key on
     let lorenzo_mae = pressio_sz::lorenzo::estimate_mean_abs_residual(&values, data.dims());
@@ -207,11 +211,7 @@ fn pressio_dataset_stride(data: &Data, stride: usize) -> Data {
     let mut coord = vec![0usize; dims.len()];
     if n > 0 {
         'outer: loop {
-            let idx: usize = coord
-                .iter()
-                .zip(&strides)
-                .map(|(&c, &st)| c * s * st)
-                .sum();
+            let idx: usize = coord.iter().zip(&strides).map(|(&c, &st)| c * s * st).sum();
             out.push(vals[idx]);
             for d in 0..coord.len() {
                 coord[d] += 1;
@@ -275,8 +275,12 @@ mod tests {
     fn smooth_data_scores_compressible_everywhere() {
         let smooth = smooth_3d(24);
         let noisy = noise_3d(24);
-        let vs = variogram_features(&smooth).get_f64("variogram:score").unwrap();
-        let vn = variogram_features(&noisy).get_f64("variogram:score").unwrap();
+        let vs = variogram_features(&smooth)
+            .get_f64("variogram:score")
+            .unwrap();
+        let vn = variogram_features(&noisy)
+            .get_f64("variogram:score")
+            .unwrap();
         assert!(vs < vn, "variogram {vs} !< {vn}");
         let ss = svd_features(&smooth).get_f64("svd:truncation").unwrap();
         let sn = svd_features(&noisy).get_f64("svd:truncation").unwrap();

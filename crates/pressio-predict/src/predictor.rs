@@ -71,8 +71,8 @@ impl Predictor for IdentityPredictor {
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
-        self.key = String::from_utf8(bytes.to_vec())
-            .map_err(|e| Error::Serialization(e.to_string()))?;
+        self.key =
+            String::from_utf8(bytes.to_vec()).map_err(|e| Error::Serialization(e.to_string()))?;
         Ok(())
     }
 }
@@ -135,7 +135,9 @@ impl Predictor for LinearPredictor {
     fn predict(&self, features: &Options) -> Result<f64> {
         let model = check_fitted(&self.model, "linear predictor")?;
         let x = feature_vector(features, &self.keys)?;
-        let log_cr = model.predict(&x).map_err(|e| Error::Numerical(e.to_string()))?;
+        let log_cr = model
+            .predict(&x)
+            .map_err(|e| Error::Numerical(e.to_string()))?;
         Ok(log_cr.exp2())
     }
 
@@ -220,7 +222,9 @@ impl Predictor for SplinePredictor {
         let mut log_cr = spline.predict(x);
         if let Some(lin) = &self.linear {
             let xs = feature_vector(features, &self.linear_keys)?;
-            log_cr += lin.predict(&xs).map_err(|e| Error::Numerical(e.to_string()))?;
+            log_cr += lin
+                .predict(&xs)
+                .map_err(|e| Error::Numerical(e.to_string()))?;
         }
         Ok(log_cr.exp2())
     }
@@ -413,7 +417,9 @@ impl Predictor for GpPredictor {
     fn predict(&self, features: &Options) -> Result<f64> {
         let model = check_fitted(&self.model, "gp predictor")?;
         let x = feature_vector(features, &self.keys)?;
-        let log_cr = model.predict(&x).map_err(|e| Error::Numerical(e.to_string()))?;
+        let log_cr = model
+            .predict(&x)
+            .map_err(|e| Error::Numerical(e.to_string()))?;
         Ok(log_cr.exp2())
     }
 
@@ -520,10 +526,7 @@ mod tests {
             "variogram:score".to_string(),
         ]);
         assert!(p.requires_training());
-        assert!(matches!(
-            p.predict(&features[0]),
-            Err(Error::NotFitted(_))
-        ));
+        assert!(matches!(p.predict(&features[0]), Err(Error::NotFitted(_))));
         p.fit(&features, &targets).unwrap();
         for (f, t) in features.iter().zip(&targets).take(20) {
             let pred = p.predict(f).unwrap();
@@ -545,20 +548,14 @@ mod tests {
         p.fit(&features, &targets).unwrap();
         for (f, t) in features.iter().zip(&targets).take(12) {
             let pred = p.predict(f).unwrap();
-            assert!(
-                (pred.log2() - t.log2()).abs() < 0.35,
-                "{pred} vs {t}"
-            );
+            assert!((pred.log2() - t.log2()).abs() < 0.35, "{pred} vs {t}");
         }
     }
 
     #[test]
     fn spline_predictor_round_trips_state() {
         let (features, targets) = training_set(60);
-        let mut p = SplinePredictor::new(
-            "qent:entropy",
-            vec!["variogram:score".to_string()],
-        );
+        let mut p = SplinePredictor::new("qent:entropy", vec!["variogram:score".to_string()]);
         p.fit(&features, &targets).unwrap();
         let mut q = SplinePredictor::new("", vec![]);
         q.load_state(&p.state().unwrap()).unwrap();

@@ -73,7 +73,8 @@ mod tests {
     fn provides_conformal_intervals_that_cover() {
         let scheme = GanguliScheme;
         let mut sz = SzCompressor::new();
-        sz.set_options(&Opts::new().with("pressio:abs", 1e-4)).unwrap();
+        sz.set_options(&Opts::new().with("pressio:abs", 1e-4))
+            .unwrap();
         let datasets: Vec<Data> = (1..=24usize)
             .map(|k| {
                 let n = 24;

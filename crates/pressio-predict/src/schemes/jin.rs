@@ -40,14 +40,7 @@ impl JinScheme {
     /// correction only engages where repetition actually helps.
     fn predicted_ratio(&self, data: &Data, abs_bound: f64) -> f64 {
         let values = data.to_f64_vec();
-        let qs = predict_and_quantize(
-            &values,
-            data.dims(),
-            abs_bound,
-            self.sz_predictor,
-            6,
-            false,
-        );
+        let qs = predict_and_quantize(&values, data.dims(), abs_bound, self.sz_predictor, 6, false);
         let n = qs.symbols.len().max(1);
         let unpred_frac = qs.unpredictable.len() as f64 / n as f64;
         let size = estimate_sz_size_bytes(&qs.symbols, n, unpred_frac, data.dtype().size());
@@ -142,7 +135,10 @@ mod tests {
         let predicted = f.get_f64("jin:predicted_ratio").unwrap();
         let truth = data.size_in_bytes() as f64 / sz.compress(&data).unwrap().len() as f64;
         let err = ((predicted - truth) / truth).abs();
-        assert!(err < 0.5, "predicted {predicted} vs truth {truth} ({err:.2})");
+        assert!(
+            err < 0.5,
+            "predicted {predicted} vs truth {truth} ({err:.2})"
+        );
     }
 
     #[test]
@@ -171,9 +167,7 @@ mod tests {
         let scheme = JinScheme::default();
         assert!(!scheme.supports("zfp"));
         let zfp = ZfpCompressor::new();
-        assert!(scheme
-            .error_dependent_features(&smooth(8), &zfp)
-            .is_err());
+        assert!(scheme.error_dependent_features(&smooth(8), &zfp).is_err());
     }
 
     #[test]

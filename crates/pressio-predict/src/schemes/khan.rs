@@ -296,12 +296,7 @@ mod tests {
             fn compress(&self, _: &Data) -> Result<Vec<u8>> {
                 Ok(vec![])
             }
-            fn decompress(
-                &self,
-                _: &[u8],
-                _: pressio_core::Dtype,
-                _: &[usize],
-            ) -> Result<Data> {
+            fn decompress(&self, _: &[u8], _: pressio_core::Dtype, _: &[usize]) -> Result<Data> {
                 unimplemented!()
             }
             fn clone_box(&self) -> Box<dyn Compressor> {

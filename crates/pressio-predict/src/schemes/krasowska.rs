@@ -63,7 +63,8 @@ mod tests {
     fn end_to_end_regression_tracks_ratio_ordering() {
         let scheme = KrasowskaScheme;
         let mut sz = SzCompressor::new();
-        sz.set_options(&Opts::new().with("pressio:abs", 1e-4)).unwrap();
+        sz.set_options(&Opts::new().with("pressio:abs", 1e-4))
+            .unwrap();
         // datasets of increasing roughness
         let datasets: Vec<Data> = (1..=8usize)
             .map(|k| {

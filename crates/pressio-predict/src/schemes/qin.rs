@@ -82,7 +82,8 @@ mod tests {
     fn mlp_scheme_fits_and_predicts() {
         let scheme = QinScheme::default();
         let mut sz = SzCompressor::new();
-        sz.set_options(&Opts::new().with("pressio:abs", 1e-4)).unwrap();
+        sz.set_options(&Opts::new().with("pressio:abs", 1e-4))
+            .unwrap();
         let datasets: Vec<Data> = (1..=12usize)
             .map(|k| {
                 let n = 24;

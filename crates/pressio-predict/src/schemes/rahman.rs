@@ -141,7 +141,8 @@ mod tests {
     fn train_and_eval(scheme: &RahmanScheme) -> f64 {
         let sz = {
             let mut c = SzCompressor::new();
-            c.set_options(&Opts::new().with("pressio:abs", 1e-4)).unwrap();
+            c.set_options(&Opts::new().with("pressio:abs", 1e-4))
+                .unwrap();
             c
         };
         let datasets = fields();
@@ -186,7 +187,8 @@ mod tests {
         let scheme = RahmanScheme::default();
         let d = Data::from_f32(vec![16], (0..16).map(|i| i as f32).collect());
         let mut sz = SzCompressor::new();
-        sz.set_options(&Opts::new().with("pressio:abs", 1e-3)).unwrap();
+        sz.set_options(&Opts::new().with("pressio:abs", 1e-3))
+            .unwrap();
         let f = scheme.error_dependent_features(&d, &sz).unwrap();
         assert!((f.get_f64("rahman:log_abs").unwrap() - (-3.0)).abs() < 1e-9);
         assert!(f.get_f64("rahman:log_rel_bound").unwrap() < 0.0);

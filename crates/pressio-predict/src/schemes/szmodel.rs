@@ -70,7 +70,10 @@ mod tests {
         let size = estimate_sz_size_bytes(&symbols, 4096, 0.0, 4);
         // 16 equiprobable symbols = 4 bits each
         let expected = 4096.0 * 4.0 / 8.0;
-        assert!((size - expected).abs() < expected * 0.3, "{size} vs {expected}");
+        assert!(
+            (size - expected).abs() < expected * 0.3,
+            "{size} vs {expected}"
+        );
     }
 
     #[test]

@@ -116,8 +116,7 @@ mod tests {
         let scheme = TaoScheme::default();
         let f = scheme.error_dependent_features(&data, &sz).unwrap();
         let sampled = f.get_f64("tao:sampled_ratio").unwrap();
-        let truth =
-            data.size_in_bytes() as f64 / sz.compress(&data).unwrap().len() as f64;
+        let truth = data.size_in_bytes() as f64 / sz.compress(&data).unwrap().len() as f64;
         // trial sampling carries per-block header overhead, so on highly
         // compressible data it *underestimates* substantially — the paper
         // calls the method "not very accurate"; it only needs to preserve
@@ -126,7 +125,10 @@ mod tests {
             sampled > truth / 10.0 && sampled < truth * 10.0,
             "sampled {sampled} vs truth {truth}"
         );
-        assert!(sampled > 1.0, "sampled ratio must still show compressibility");
+        assert!(
+            sampled > 1.0,
+            "sampled ratio must still show compressibility"
+        );
     }
 
     #[test]

@@ -97,7 +97,8 @@ mod tests {
     fn spline_fit_and_predict_end_to_end() {
         let scheme = UnderwoodScheme;
         let mut sz = SzCompressor::new();
-        sz.set_options(&Opts::new().with("pressio:abs", 1e-4)).unwrap();
+        sz.set_options(&Opts::new().with("pressio:abs", 1e-4))
+            .unwrap();
         let datasets: Vec<Data> = (1..=10usize).map(|k| wave(32, 0.02 * k as f32)).collect();
         let mut feats = Vec::new();
         let mut targets = Vec::new();

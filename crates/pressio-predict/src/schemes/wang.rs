@@ -136,10 +136,7 @@ impl Scheme for WangScheme {
             }
         }
         // "auto" picks the best design, which is what SZ's selection does
-        out.set(
-            "wang:predicted_ratio",
-            configured_ratio.unwrap_or(best),
-        );
+        out.set("wang:predicted_ratio", configured_ratio.unwrap_or(best));
         Ok(out)
     }
 
@@ -149,7 +146,11 @@ impl Scheme for WangScheme {
 
     fn feature_keys(&self) -> Vec<String> {
         let mut keys = vec!["wang:predicted_ratio".to_string()];
-        keys.extend(DESIGNS.iter().map(|d| format!("wang:predicted_ratio_{}", d.name())));
+        keys.extend(
+            DESIGNS
+                .iter()
+                .map(|d| format!("wang:predicted_ratio_{}", d.name())),
+        );
         keys
     }
 }
@@ -192,7 +193,9 @@ mod tests {
             .unwrap();
         for design in ["lorenzo", "regression", "interp"] {
             assert!(
-                f.get_f64(&format!("wang:predicted_ratio_{design}")).unwrap() > 0.0,
+                f.get_f64(&format!("wang:predicted_ratio_{design}"))
+                    .unwrap()
+                    > 0.0,
                 "{design}"
             );
         }
@@ -248,8 +251,6 @@ mod tests {
         let scheme = WangScheme::default();
         assert!(!scheme.supports("zfp"));
         let zfp = pressio_zfp::ZfpCompressor::new();
-        assert!(scheme
-            .error_dependent_features(&smooth(8), &zfp)
-            .is_err());
+        assert!(scheme.error_dependent_features(&smooth(8), &zfp).is_err());
     }
 }

@@ -101,8 +101,7 @@ mod tests {
             .enumerate()
             .map(|(i, a)| a + pseudo_noise(i))
             .collect();
-        let cal =
-            ConformalCalibration::calibrate(&predicted[..n / 2], &actual[..n / 2]).unwrap();
+        let cal = ConformalCalibration::calibrate(&predicted[..n / 2], &actual[..n / 2]).unwrap();
         for alpha in [0.1, 0.25] {
             let mut covered = 0usize;
             for i in n / 2..n {

@@ -116,12 +116,7 @@ impl RandomForest {
 /// samples obtained by convex interpolation between random training pairs.
 /// Rahman (2023) reports this slashes the amount of real (expensive,
 /// compressor-in-the-loop) training data needed.
-pub fn augment_by_interpolation(
-    xs: &mut Vec<Vec<f64>>,
-    ys: &mut Vec<f64>,
-    factor: f64,
-    seed: u64,
-) {
+pub fn augment_by_interpolation(xs: &mut Vec<Vec<f64>>, ys: &mut Vec<f64>, factor: f64, seed: u64) {
     let n = xs.len();
     if n < 2 || factor <= 0.0 {
         return;
@@ -163,7 +158,11 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..4).map(|_| next()).collect()).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2) + 5.0 * r[3])
+            .map(|r| {
+                10.0 * (std::f64::consts::PI * r[0] * r[1]).sin()
+                    + 20.0 * (r[2] - 0.5).powi(2)
+                    + 5.0 * r[3]
+            })
             .collect();
         (xs, ys)
     }

@@ -94,8 +94,7 @@ impl GaussianProcess {
         for i in 0..n {
             for j in i..n {
                 let v = signal_var
-                    * (-sq_dist(&train_x[i], &train_x[j])
-                        / (2.0 * lengthscale * lengthscale))
+                    * (-sq_dist(&train_x[i], &train_x[j]) / (2.0 * lengthscale * lengthscale))
                         .exp();
                 k.set(i, j, v);
                 k.set(j, i, v);
@@ -169,7 +168,10 @@ mod tests {
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         let gp = GaussianProcess::fit(&xs, &ys, 0.01).unwrap();
         let far = gp.predict(&[1e6]).unwrap();
-        assert!((far - mean).abs() < 1e-6, "far prediction {far} vs mean {mean}");
+        assert!(
+            (far - mean).abs() < 1e-6,
+            "far prediction {far} vs mean {mean}"
+        );
     }
 
     #[test]

@@ -35,9 +35,9 @@ pub use conformal::{ConformalCalibration, Interval};
 pub use descriptive::{medape, median, quantile, summarize, Summary};
 pub use forest::{augment_by_interpolation, ForestParams, RandomForest};
 pub use gp::GaussianProcess;
-pub use mlp::{Mlp, MlpParams};
 pub use kfold::{k_folds, Fold};
 pub use linalg::{singular_values, svd_truncation_fraction, Matrix};
+pub use mlp::{Mlp, MlpParams};
 pub use regression::LinearModel;
 pub use spline::NaturalSpline;
 pub use tree::{RegressionTree, TreeParams};

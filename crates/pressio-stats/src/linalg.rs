@@ -71,10 +71,9 @@ impl Matrix {
     pub fn t_mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let vr = v[r];
-            for c in 0..self.cols {
-                out[c] += self.get(r, c) * vr;
+        for (r, &vr) in v.iter().enumerate() {
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.get(r, c) * vr;
             }
         }
         out
@@ -84,12 +83,12 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let mut s = 0.0;
-            for c in 0..self.cols {
-                s += self.get(r, c) * v[c];
+            for (c, &vc) in v.iter().enumerate() {
+                s += self.get(r, c) * vc;
             }
-            out[r] = s;
+            *o = s;
         }
         out
     }
@@ -151,7 +150,9 @@ pub fn singular_values(a: &Matrix) -> Vec<f64> {
     let m = a.rows();
     let n = a.cols();
     // work on columns
-    let mut u: Vec<Vec<f64>> = (0..n).map(|c| (0..m).map(|r| a.get(r, c)).collect()).collect();
+    let mut u: Vec<Vec<f64>> = (0..n)
+        .map(|c| (0..m).map(|r| a.get(r, c)).collect())
+        .collect();
     let max_sweeps = 60;
     let eps = 1e-12;
     for _ in 0..max_sweeps {
@@ -161,10 +162,10 @@ pub fn singular_values(a: &Matrix) -> Vec<f64> {
                 let mut alpha = 0.0;
                 let mut beta = 0.0;
                 let mut gamma = 0.0;
-                for r in 0..m {
-                    alpha += u[p][r] * u[p][r];
-                    beta += u[q][r] * u[q][r];
-                    gamma += u[p][r] * u[q][r];
+                for (&up, &uq) in u[p].iter().zip(u[q].iter()) {
+                    alpha += up * up;
+                    beta += uq * uq;
+                    gamma += up * uq;
                 }
                 off = off.max(gamma.abs() / (alpha * beta).sqrt().max(1e-300));
                 if gamma.abs() <= eps * (alpha * beta).sqrt() {
@@ -174,11 +175,11 @@ pub fn singular_values(a: &Matrix) -> Vec<f64> {
                 let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                for r in 0..m {
-                    let up = u[p][r];
-                    let uq = u[q][r];
-                    u[p][r] = c * up - s * uq;
-                    u[q][r] = s * up + c * uq;
+                let (head, tail) = u.split_at_mut(q); // p < q
+                for (up_r, uq_r) in head[p].iter_mut().zip(tail[0].iter_mut()) {
+                    let (up, uq) = (*up_r, *uq_r);
+                    *up_r = c * up - s * uq;
+                    *uq_r = s * up + c * uq;
                 }
             }
         }
@@ -275,9 +276,9 @@ mod tests {
         let mut a = Matrix::zeros(4, 3);
         let u = [1.0, 2.0, 3.0, 4.0];
         let v = [1.0, 0.5, 0.25];
-        for r in 0..4 {
-            for c in 0..3 {
-                a.set(r, c, u[r] * v[c]);
+        for (r, &ur) in u.iter().enumerate() {
+            for (c, &vc) in v.iter().enumerate() {
+                a.set(r, c, ur * vc);
             }
         }
         let sv = singular_values(&a);
@@ -288,11 +289,7 @@ mod tests {
     #[test]
     fn svd_frobenius_norm_preserved() {
         // sum of squared singular values equals squared Frobenius norm
-        let a = Matrix::from_rows(
-            3,
-            3,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0],
-        );
+        let a = Matrix::from_rows(3, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0]);
         let frob: f64 = (0..3)
             .flat_map(|r| (0..3).map(move |c| (r, c)))
             .map(|(r, c)| a.get(r, c) * a.get(r, c))

@@ -161,8 +161,7 @@ impl Mlp {
                             .tanh()
                     })
                     .collect();
-                let out: f64 =
-                    net.w3.iter().zip(&a2).map(|(w, v)| w * v).sum::<f64>() + net.b3;
+                let out: f64 = net.w3.iter().zip(&a2).map(|(w, v)| w * v).sum::<f64>() + net.b3;
                 // backward (squared loss)
                 let dout = 2.0 * (out - y) / n as f64;
                 let mut da2 = vec![0.0; h];
@@ -183,23 +182,21 @@ impl Mlp {
                 for i in 0..h {
                     let dz1 = da1[i] * (1.0 - a1[i] * a1[i]);
                     grad.b1[i] += dz1;
-                    for j in 0..d {
-                        grad.w1[i][j] += dz1 * x[j];
+                    for (j, &xj) in x.iter().enumerate().take(d) {
+                        grad.w1[i][j] += dz1 * xj;
                     }
                 }
             }
             // momentum update
             for i in 0..h {
                 for j in 0..d {
-                    vel.w1[i][j] =
-                        params.momentum * vel.w1[i][j] - params.lr * grad.w1[i][j];
+                    vel.w1[i][j] = params.momentum * vel.w1[i][j] - params.lr * grad.w1[i][j];
                     net.w1[i][j] += vel.w1[i][j];
                 }
                 vel.b1[i] = params.momentum * vel.b1[i] - params.lr * grad.b1[i];
                 net.b1[i] += vel.b1[i];
                 for j in 0..h {
-                    vel.w2[i][j] =
-                        params.momentum * vel.w2[i][j] - params.lr * grad.w2[i][j];
+                    vel.w2[i][j] = params.momentum * vel.w2[i][j] - params.lr * grad.w2[i][j];
                     net.w2[i][j] += vel.w2[i][j];
                 }
                 vel.b2[i] = params.momentum * vel.b2[i] - params.lr * grad.b2[i];
@@ -269,7 +266,9 @@ mod tests {
         .unwrap();
         let rmse = crate::descriptive::rmse(
             &ys,
-            &xs.iter().map(|x| net.predict(x).unwrap()).collect::<Vec<_>>(),
+            &xs.iter()
+                .map(|x| net.predict(x).unwrap())
+                .collect::<Vec<_>>(),
         );
         assert!(rmse < 0.25, "mlp rmse {rmse}");
     }

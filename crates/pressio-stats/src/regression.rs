@@ -99,8 +99,8 @@ impl LinearModel {
             return Err(FitError::DimensionMismatch);
         }
         let mut y = self.intercept;
-        for i in 0..x.len() {
-            y += self.coefficients[i] * (x[i] - self.feature_means[i]) / self.feature_stds[i];
+        for (i, &xi) in x.iter().enumerate() {
+            y += self.coefficients[i] * (xi - self.feature_means[i]) / self.feature_stds[i];
         }
         Ok(y)
     }

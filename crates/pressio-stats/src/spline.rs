@@ -164,7 +164,10 @@ mod tests {
                 .predict_batch(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>())
                 .unwrap(),
         );
-        assert!(sp_rmse < ln_rmse / 5.0, "spline {sp_rmse} vs line {ln_rmse}");
+        assert!(
+            sp_rmse < ln_rmse / 5.0,
+            "spline {sp_rmse} vs line {ln_rmse}"
+        );
     }
 
     #[test]

@@ -100,7 +100,11 @@ impl RegressionTree {
         for &f in &features {
             // sort indices by this feature
             let mut order = idx.clone();
-            order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&a, &b| {
+                xs[a][f]
+                    .partial_cmp(&xs[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             // prefix sums for O(n) split scan
             let n = order.len();
             let mut prefix_sum = vec![0.0f64; n + 1];
@@ -192,7 +196,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![(i % 10) as f64, (i % 7) as f64])
             .collect();
-        let ys: Vec<f64> = xs.iter().map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 })
+            .collect();
         (xs, ys)
     }
 
@@ -238,10 +245,7 @@ mod tests {
                 max_features: None,
             };
             let t = RegressionTree::fit(&xs, &ys, &params, 3);
-            crate::descriptive::rmse(
-                &ys,
-                &xs.iter().map(|x| t.predict(x)).collect::<Vec<_>>(),
-            )
+            crate::descriptive::rmse(&ys, &xs.iter().map(|x| t.predict(x)).collect::<Vec<_>>())
         };
         assert!(rmse_at(8) < rmse_at(2));
         assert!(rmse_at(2) < rmse_at(0));

@@ -110,7 +110,10 @@ mod tests {
         let g = variogram(&values, &[8192], 4);
         let var = crate::descriptive::summarize(&values).variance;
         for gamma in g {
-            assert!((gamma - var).abs() < var * 0.2, "gamma {gamma} vs var {var}");
+            assert!(
+                (gamma - var).abs() < var * 0.2,
+                "gamma {gamma} vs var {var}"
+            );
         }
     }
 

@@ -99,7 +99,11 @@ pub fn predict_and_quantize(
 ) -> QuantizedStream {
     let mut q = Quantizer::new(eb, RADIUS, round_f32, values.len());
     let (reconstruction, coefficients, block_modes) = match predictor {
-        Predictor::Lorenzo => (lorenzo::encode(values, dims, &mut q), Vec::new(), Vec::new()),
+        Predictor::Lorenzo => (
+            lorenzo::encode(values, dims, &mut q),
+            Vec::new(),
+            Vec::new(),
+        ),
         Predictor::Regression => {
             let (r, c) = regression::encode(values, dims, block, &mut q);
             (r, c, Vec::new())
@@ -252,14 +256,16 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedStream> {
             .unwrap(),
     );
     pos += 8;
-    if !(eb > 0.0) || !eb.is_finite() {
+    if !(eb.is_finite() && eb > 0.0) {
         return Err(Error::CorruptStream("invalid error bound".into()));
     }
     let n_unpred = read_u64(bytes, &mut pos)? as usize;
     let value_size = if dtype == Dtype::F32 { 4 } else { 8 };
     // must fit in the remaining stream (reject before allocating for it)
     if n_unpred > n || n_unpred.saturating_mul(value_size) > bytes.len().saturating_sub(pos) {
-        return Err(Error::CorruptStream("unpredictable count exceeds size".into()));
+        return Err(Error::CorruptStream(
+            "unpredictable count exceeds size".into(),
+        ));
     }
     let mut unpredictable = Vec::with_capacity(n_unpred);
     for _ in 0..n_unpred {
@@ -279,7 +285,9 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedStream> {
     }
     let n_coef = read_u64(bytes, &mut pos)? as usize;
     if n_coef > 4 * n + 4 || n_coef.saturating_mul(4) > bytes.len().saturating_sub(pos) {
-        return Err(Error::CorruptStream("coefficient count exceeds size".into()));
+        return Err(Error::CorruptStream(
+            "coefficient count exceeds size".into(),
+        ));
     }
     let mut coefficients = Vec::with_capacity(n_coef);
     for _ in 0..n_coef {

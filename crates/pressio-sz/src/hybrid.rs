@@ -24,7 +24,8 @@ fn at(recon: &[f64], nx: usize, nxy: usize, x: isize, y: isize, z: isize) -> f64
 #[inline]
 fn lorenzo_predict(recon: &[f64], nx: usize, nxy: usize, x: usize, y: usize, z: usize) -> f64 {
     let (xi, yi, zi) = (x as isize, y as isize, z as isize);
-    at(recon, nx, nxy, xi - 1, yi, zi) + at(recon, nx, nxy, xi, yi - 1, zi)
+    at(recon, nx, nxy, xi - 1, yi, zi)
+        + at(recon, nx, nxy, xi, yi - 1, zi)
         + at(recon, nx, nxy, xi, yi, zi - 1)
         - at(recon, nx, nxy, xi - 1, yi - 1, zi)
         - at(recon, nx, nxy, xi - 1, yi, zi - 1)
@@ -130,10 +131,11 @@ fn solve4(a: &mut [[f64; 5]; 4]) -> Option<[f64; 4]> {
         }
         a.swap(col, best);
         let pivot = a[col][col];
-        for row in col + 1..4 {
-            let factor = a[row][col] / pivot;
-            for k in col..5 {
-                a[row][k] -= factor * a[col][k];
+        let acol = a[col];
+        for arow in a.iter_mut().skip(col + 1) {
+            let factor = arow[col] / pivot;
+            for (k, &ack) in acol.iter().enumerate().skip(col) {
+                arow[k] -= factor * ack;
             }
         }
     }
@@ -421,8 +423,7 @@ mod tests {
         let mut dq = Dequantizer::new(1e-3, 32768, false, &q.symbols, &q.unpredictable);
         assert!(decode(&[24, 24], 6, &coeffs, &modes[..modes.len() - 1], &mut dq).is_err());
         if coeffs.len() >= 4 {
-            let mut dq =
-                Dequantizer::new(1e-3, 32768, false, &q.symbols, &q.unpredictable);
+            let mut dq = Dequantizer::new(1e-3, 32768, false, &q.symbols, &q.unpredictable);
             assert!(decode(&[24, 24], 6, &coeffs[..coeffs.len() - 4], &modes, &mut dq).is_err());
         }
     }

@@ -235,13 +235,7 @@ mod tests {
         let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
         let mut q = Quantizer::new(1e-3, 32768, false, 64);
         encode(&values, &[8, 8], &mut q);
-        let mut dq = Dequantizer::new(
-            1e-3,
-            32768,
-            false,
-            &q.symbols[..32],
-            &q.unpredictable,
-        );
+        let mut dq = Dequantizer::new(1e-3, 32768, false, &q.symbols[..32], &q.unpredictable);
         assert!(decode(&[8, 8], &mut dq).is_err());
     }
 }

@@ -197,7 +197,7 @@ impl Compressor for SzCompressor {
 
     fn set_options(&mut self, opts: &Options) -> Result<()> {
         if let Some(abs) = opts.get_f64_opt("pressio:abs")? {
-            if !(abs > 0.0) || !abs.is_finite() {
+            if !(abs.is_finite() && abs > 0.0) {
                 return Err(Error::InvalidValue {
                     key: "pressio:abs".into(),
                     reason: "error bound must be positive and finite".into(),
@@ -247,10 +247,7 @@ impl Compressor for SzCompressor {
         Options::new()
             .with("pressio:thread_safe", true)
             .with("pressio:stability", "stable")
-            .with(
-                "pressio:dtypes",
-                vec!["f32".to_string(), "f64".to_string()],
-            )
+            .with("pressio:dtypes", vec!["f32".to_string(), "f64".to_string()])
             // settings that change the error behaviour — consumed by the
             // invalidation tracker in pressio-predict
             .with(
@@ -259,10 +256,7 @@ impl Compressor for SzCompressor {
             )
             .with(
                 "predictors:runtime_settings",
-                vec![
-                    "sz3:predictor".to_string(),
-                    "sz3:block_size".to_string(),
-                ],
+                vec!["sz3:predictor".to_string(), "sz3:block_size".to_string()],
             )
             .with(
                 "predictors:invalidate",
@@ -271,6 +265,7 @@ impl Compressor for SzCompressor {
     }
 
     fn compress(&self, input: &Data) -> Result<Vec<u8>> {
+        let _span = pressio_obs::span("sz3:compress");
         let dtype = input.dtype();
         if !matches!(dtype, Dtype::F32 | Dtype::F64) {
             return Err(Error::UnsupportedData(format!(
@@ -286,14 +281,20 @@ impl Compressor for SzCompressor {
             "auto" => self.select_predictor(&values, &dims, abs, round_f32),
             other => Predictor::parse(other)?,
         };
-        let qs =
-            codec::predict_and_quantize(&values, &dims, abs, predictor, self.block, round_f32);
-        Ok(codec::assemble(
-            dtype, &dims, abs, predictor, self.block, &qs,
-        ))
+        let qs = codec::predict_and_quantize(&values, &dims, abs, predictor, self.block, round_f32);
+        let out = codec::assemble(dtype, &dims, abs, predictor, self.block, &qs);
+        if pressio_obs::is_enabled() {
+            pressio_obs::add_counter("sz3:compress.bytes_in", input.size_in_bytes() as i64);
+            pressio_obs::add_counter("sz3:compress.bytes_out", out.len() as i64);
+        }
+        Ok(out)
     }
 
     fn decompress(&self, compressed: &[u8], dtype: Dtype, dims: &[usize]) -> Result<Data> {
+        let _span = pressio_obs::span("sz3:decompress");
+        if pressio_obs::is_enabled() {
+            pressio_obs::add_counter("sz3:decompress.bytes_in", compressed.len() as i64);
+        }
         let parsed = codec::parse(compressed)?;
         if parsed.dtype != dtype {
             return Err(Error::UnsupportedData(format!(
@@ -463,7 +464,8 @@ mod tests {
         let small: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.01).sin()).collect();
         let large: Vec<f32> = small.iter().map(|v| v * 1000.0).collect();
         let mut sz = SzCompressor::new();
-        sz.set_options(&Options::new().with("pressio:rel", 1e-4)).unwrap();
+        sz.set_options(&Options::new().with("pressio:rel", 1e-4))
+            .unwrap();
         for (values, range) in [(small, 2.0f64), (large, 2000.0)] {
             let data = Data::from_f32(vec![32, 32], values.clone());
             let c = sz.compress(&data).unwrap();
@@ -474,7 +476,8 @@ mod tests {
             }
         }
         // clearing returns to the absolute bound
-        sz.set_options(&Options::new().with("pressio:rel", 0.0)).unwrap();
+        sz.set_options(&Options::new().with("pressio:rel", 0.0))
+            .unwrap();
         assert_eq!(sz.get_options().get_f64("pressio:rel").unwrap(), 0.0);
         // invalid values rejected
         assert!(sz

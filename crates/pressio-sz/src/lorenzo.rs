@@ -31,7 +31,8 @@ fn at(recon: &[f64], nx: usize, nxy: usize, x: isize, y: isize, z: isize) -> f64
 #[inline]
 fn predict(recon: &[f64], nx: usize, nxy: usize, x: usize, y: usize, z: usize) -> f64 {
     let (xi, yi, zi) = (x as isize, y as isize, z as isize);
-    at(recon, nx, nxy, xi - 1, yi, zi) + at(recon, nx, nxy, xi, yi - 1, zi)
+    at(recon, nx, nxy, xi - 1, yi, zi)
+        + at(recon, nx, nxy, xi, yi - 1, zi)
         + at(recon, nx, nxy, xi, yi, zi - 1)
         - at(recon, nx, nxy, xi - 1, yi - 1, zi)
         - at(recon, nx, nxy, xi - 1, yi, zi - 1)

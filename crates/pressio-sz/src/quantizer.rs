@@ -215,7 +215,11 @@ mod tests {
         }
         assert!(q.unpredictable.len() >= 2);
         // verbatim values are exact
-        for (v, u) in values.iter().filter(|v| v.abs() > 1.0).zip(&q.unpredictable) {
+        for (v, u) in values
+            .iter()
+            .filter(|v| v.abs() > 1.0)
+            .zip(&q.unpredictable)
+        {
             assert_eq!(v, u);
         }
     }

@@ -28,10 +28,11 @@ fn solve4(a: &mut [[f64; 5]; 4]) -> Option<[f64; 4]> {
         }
         a.swap(col, best);
         let pivot = a[col][col];
-        for row in col + 1..4 {
-            let factor = a[row][col] / pivot;
-            for k in col..5 {
-                a[row][k] -= factor * a[col][k];
+        let acol = a[col];
+        for arow in a.iter_mut().skip(col + 1) {
+            let factor = arow[col] / pivot;
+            for (k, &ack) in acol.iter().enumerate().skip(col) {
+                arow[k] -= factor * ack;
             }
         }
     }
@@ -49,6 +50,7 @@ fn solve4(a: &mut [[f64; 5]; 4]) -> Option<[f64; 4]> {
 /// Fit `v ≈ c0 + c1·x + c2·y + c3·z` over one block of original values.
 /// Degenerate blocks (constant coordinates) get ridge-free reduced fits by
 /// zeroing the affected coefficients.
+#[allow(clippy::too_many_arguments)]
 fn fit_block(
     values: &[f64],
     nx: usize,
@@ -180,10 +182,7 @@ pub fn decode(
 pub fn block_count(dims: &[usize], block: usize) -> usize {
     let [nx, ny, nz] = normalize_dims(dims);
     let b = block.max(2);
-    [nx, ny, nz]
-        .iter()
-        .map(|&n| n.max(1).div_ceil(b))
-        .product()
+    [nx, ny, nz].iter().map(|&n| n.max(1).div_ceil(b)).product()
 }
 
 #[cfg(test)]
@@ -230,7 +229,10 @@ mod tests {
         let zero = 32768u32;
         let frac_zero =
             q.symbols.iter().filter(|&&s| s == zero).count() as f64 / q.symbols.len() as f64;
-        assert!(frac_zero > 0.99, "affine fit should be near-exact: {frac_zero}");
+        assert!(
+            frac_zero > 0.99,
+            "affine fit should be near-exact: {frac_zero}"
+        );
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! the ZFP pipeline, supporting fixed-accuracy, fixed-precision, and
 //! fixed-rate modes.
 
-use crate::transform::{
-    degree_order, fwd_xform, int_to_negabinary, inv_xform, negabinary_to_int,
-};
+use crate::transform::{degree_order, fwd_xform, int_to_negabinary, inv_xform, negabinary_to_int};
 use pressio_lossless::{BitReader, BitWriter};
 
 /// Fraction bits of the per-block fixed-point representation. 52 bits
@@ -113,10 +111,7 @@ pub fn encode_block(values: &[f64], d: usize, mode: Mode, w: &mut BitWriter) {
     let mut ints: Vec<i64> = values.iter().map(|&v| (v * scale).round() as i64).collect();
     fwd_xform(&mut ints, d);
     let order = degree_order(d);
-    let coeffs: Vec<u64> = order
-        .iter()
-        .map(|&i| int_to_negabinary(ints[i]))
-        .collect();
+    let coeffs: Vec<u64> = order.iter().map(|&i| int_to_negabinary(ints[i])).collect();
     let k_stop = plane_cutoff(mode, e_max, d);
     encode_planes(&coeffs, k_stop, w, &mut budget);
     pad_to_budget(w, start_bits, mode, d);
@@ -219,11 +214,7 @@ fn consume(budget: &mut Option<usize>) -> bool {
 }
 
 /// Decode one block previously written by [`encode_block`].
-pub fn decode_block(
-    r: &mut BitReader,
-    d: usize,
-    mode: Mode,
-) -> Result<Vec<f64>, BlockError> {
+pub fn decode_block(r: &mut BitReader, d: usize, mode: Mode) -> Result<Vec<f64>, BlockError> {
     let size = 1usize << (2 * d);
     let start_pos = r.bit_position();
     let mut budget = block_bit_budget(mode, d);
@@ -300,9 +291,7 @@ fn decode_planes(
             None => n,
             Some(b) => n.min(*b),
         };
-        let mut x_full = r
-            .read_bits(m as u32)
-            .ok_or(BlockError("truncated plane"))?;
+        let mut x_full = r.read_bits(m as u32).ok_or(BlockError("truncated plane"))?;
         if let Some(b) = budget {
             *b -= m;
         }
@@ -410,7 +399,10 @@ mod tests {
         assert_eq!(w.len_bits(), 2);
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
-        assert_eq!(decode_block(&mut r, 2, Mode::Accuracy(1e-6)).unwrap(), values);
+        assert_eq!(
+            decode_block(&mut r, 2, Mode::Accuracy(1e-6)).unwrap(),
+            values
+        );
     }
 
     #[test]

@@ -198,7 +198,7 @@ impl Compressor for ZfpCompressor {
 
     fn set_options(&mut self, opts: &Options) -> Result<()> {
         if let Some(abs) = opts.get_f64_opt("pressio:abs")? {
-            if !(abs > 0.0) || !abs.is_finite() {
+            if !(abs.is_finite() && abs > 0.0) {
                 return Err(Error::InvalidValue {
                     key: "pressio:abs".into(),
                     reason: "tolerance must be positive and finite".into(),
@@ -237,7 +237,7 @@ impl Compressor for ZfpCompressor {
             self.precision = p as u32;
         }
         if let Some(r) = opts.get_f64_opt("zfp:rate")? {
-            if !(r > 0.0) || r > 64.0 {
+            if !(r > 0.0 && r <= 64.0) {
                 return Err(Error::InvalidValue {
                     key: "zfp:rate".into(),
                     reason: "rate must be in (0, 64] bits/value".into(),
@@ -261,10 +261,7 @@ impl Compressor for ZfpCompressor {
         Options::new()
             .with("pressio:thread_safe", true)
             .with("pressio:stability", "stable")
-            .with(
-                "pressio:dtypes",
-                vec!["f32".to_string(), "f64".to_string()],
-            )
+            .with("pressio:dtypes", vec!["f32".to_string(), "f64".to_string()])
             .with(
                 "predictors:error_dependent_settings",
                 vec![
@@ -282,6 +279,7 @@ impl Compressor for ZfpCompressor {
     }
 
     fn compress(&self, input: &Data) -> Result<Vec<u8>> {
+        let _span = pressio_obs::span("zfp:compress");
         let dtype = input.dtype();
         if !matches!(dtype, Dtype::F32 | Dtype::F64) {
             return Err(Error::UnsupportedData(format!(
@@ -330,10 +328,18 @@ impl Compressor for ZfpCompressor {
         let payload = w.into_bytes();
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&payload);
+        if pressio_obs::is_enabled() {
+            pressio_obs::add_counter("zfp:compress.bytes_in", input.size_in_bytes() as i64);
+            pressio_obs::add_counter("zfp:compress.bytes_out", out.len() as i64);
+        }
         Ok(out)
     }
 
     fn decompress(&self, compressed: &[u8], dtype: Dtype, dims: &[usize]) -> Result<Data> {
+        let _span = pressio_obs::span("zfp:decompress");
+        if pressio_obs::is_enabled() {
+            pressio_obs::add_counter("zfp:decompress.bytes_in", compressed.len() as i64);
+        }
         let mut pos = 0usize;
         let get = |pos: &mut usize, n: usize| -> Result<&[u8]> {
             let s = compressed
@@ -367,8 +373,7 @@ impl Compressor for ZfpCompressor {
         }
         let mut stored_dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            stored_dims
-                .push(u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize);
+            stored_dims.push(u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize);
         }
         if stored_dims != dims {
             return Err(Error::UnsupportedData(format!(
@@ -382,7 +387,7 @@ impl Compressor for ZfpCompressor {
             1 => Mode::Precision(precision),
             2 => Mode::Rate(rate),
             _ => {
-                if !(abs > 0.0) || !abs.is_finite() {
+                if !(abs.is_finite() && abs > 0.0) {
                     return Err(Error::CorruptStream("invalid tolerance".into()));
                 }
                 Mode::Accuracy(abs)
@@ -413,9 +418,7 @@ impl Compressor for ZfpCompressor {
             }
         }
         Ok(match dtype {
-            Dtype::F32 => {
-                Data::from_f32(dims.to_vec(), values.iter().map(|&v| v as f32).collect())
-            }
+            Dtype::F32 => Data::from_f32(dims.to_vec(), values.iter().map(|&v| v as f32).collect()),
             _ => Data::from_f64(dims.to_vec(), values),
         })
     }
@@ -577,7 +580,8 @@ mod tests {
         let small: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.013).sin()).collect();
         let large: Vec<f32> = small.iter().map(|v| v * 500.0).collect();
         let mut zfp = ZfpCompressor::new();
-        zfp.set_options(&Options::new().with("pressio:rel", 1e-4)).unwrap();
+        zfp.set_options(&Options::new().with("pressio:rel", 1e-4))
+            .unwrap();
         for (values, range) in [(small, 2.0f64), (large, 1000.0)] {
             let data = Data::from_f32(vec![32, 32], values.clone());
             let c = zfp.compress(&data).unwrap();

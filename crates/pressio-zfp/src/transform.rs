@@ -188,8 +188,9 @@ mod tests {
             let n = 1usize << (2 * d);
             let mut worst = 0i64;
             for _ in 0..500 {
-                let original: Vec<i64> =
-                    (0..n).map(|_| (xorshift(&mut state) as i64) >> 26).collect();
+                let original: Vec<i64> = (0..n)
+                    .map(|_| (xorshift(&mut state) as i64) >> 26)
+                    .collect();
                 let mut b = original.clone();
                 fwd_xform(&mut b, d);
                 inv_xform(&mut b, d);
@@ -228,7 +229,7 @@ mod tests {
     fn degree_order_3d_starts_at_dc() {
         let o = degree_order(3);
         assert_eq!(o[0], 0); // DC coefficient first
-        // the next three are the three first-order coefficients
+                             // the next three are the three first-order coefficients
         let firsts: std::collections::BTreeSet<usize> = o[1..4].iter().copied().collect();
         assert_eq!(firsts, [1usize, 4, 16].into_iter().collect());
     }

@@ -46,9 +46,8 @@ fn rank(
         }
         let pred_best = (predicted[0] < predicted[1]) as usize;
         let true_best = (field.truth[0] < field.truth[1]) as usize;
-        let tie = (field.truth[0] - field.truth[1]).abs()
-            / field.truth[0].max(field.truth[1])
-            < 0.10;
+        let tie =
+            (field.truth[0] - field.truth[1]).abs() / field.truth[0].max(field.truth[1]) < 0.10;
         if tie || pred_best == true_best {
             ok += 1;
         } else if field.sparse {
@@ -68,7 +67,8 @@ fn main() {
         .iter()
         .map(|name| {
             let mut c = registry.build(name).unwrap();
-            c.set_options(&Options::new().with("pressio:abs", abs)).unwrap();
+            c.set_options(&Options::new().with("pressio:abs", abs))
+                .unwrap();
             c
         })
         .collect();
@@ -94,8 +94,7 @@ fn main() {
 
     // --- fast calculation-based ranking (khan2023, no training) ----------
     let khan = schemes.build("khan2023").unwrap();
-    let khan_predictors: Vec<Box<dyn Predictor>> =
-        (0..2).map(|_| khan.make_predictor()).collect();
+    let khan_predictors: Vec<Box<dyn Predictor>> = (0..2).map(|_| khan.make_predictor()).collect();
     let (ok, sparse_miss, dense_miss) = rank(khan.as_ref(), &khan_predictors, eval, &compressors);
     println!("khan2023 (calculation, no training):");
     println!(

@@ -8,9 +8,9 @@
 //! cargo run --release --example custom_metric
 //! ```
 
+use libpressio_predict::core::error::Result;
 use libpressio_predict::core::metrics::{invalidations, MetricsPlugin};
 use libpressio_predict::core::{Compressor, Data, Dtype, InstrumentedCompressor, Options};
-use libpressio_predict::core::error::Result;
 use libpressio_predict::sz::SzCompressor;
 
 /// A bespoke metric: fraction of sign changes between neighboring values —
@@ -95,7 +95,8 @@ fn main() {
     );
 
     let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-3)).unwrap();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-3))
+        .unwrap();
 
     // attach the custom metric alongside the built-ins, LibPressio-style
     let mut instrumented = InstrumentedCompressor::new(Box::new(sz))

@@ -27,7 +27,8 @@ fn main() {
         })
         .collect();
     let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4)).unwrap();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
 
     // train the bounded estimator on half the chunks (prior timesteps)
     let schemes = standard_schemes();
@@ -69,7 +70,11 @@ fn main() {
         mispredictions += (!fits) as usize;
         println!(
             "| {name} | {predicted_bytes:.0} | {allocation:.0} | {actual_bytes:.0} | {} |",
-            if fits { "yes" } else { "NO — fallback append" }
+            if fits {
+                "yes"
+            } else {
+                "NO — fallback append"
+            }
         );
         offset += allocation as u64;
         allocated_total += allocation as u64;

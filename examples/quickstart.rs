@@ -23,8 +23,12 @@ fn main() {
         .unwrap();
     let meta = hurricane.load_metadata(index).unwrap();
     let data = hurricane.load_data(index).unwrap();
-    println!("dataset: {} {:?} ({} MB)", meta.name, meta.dims,
-        meta.size_in_bytes() as f64 / 1e6);
+    println!(
+        "dataset: {} {:?} ({} MB)",
+        meta.name,
+        meta.dims,
+        meta.size_in_bytes() as f64 / 1e6
+    );
 
     // Figure 4, step by step ------------------------------------------------
     // 1. scheme + predictor for a compressor

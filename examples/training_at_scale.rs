@@ -7,9 +7,7 @@
 //! cargo run --release --example training_at_scale
 //! ```
 
-use libpressio_predict::bench_infra::{
-    run_tasks, CheckpointStore, PoolConfig, Scheduling, Task,
-};
+use libpressio_predict::bench_infra::{run_tasks, CheckpointStore, PoolConfig, Scheduling, Task};
 use libpressio_predict::core::error::Error;
 use libpressio_predict::core::hash::hash_options_hex;
 use libpressio_predict::core::{Compressor, Data, Options};
@@ -51,7 +49,10 @@ fn main() {
             })
             .collect(),
     );
-    println!("training set: {} datasets (3 timesteps x 13 fields)", datasets.len());
+    println!(
+        "training set: {} datasets (3 timesteps x 13 fields)",
+        datasets.len()
+    );
 
     // ---- phase 1: collect ground truth, crashing partway through --------
     let crash_after = datasets.len() / 2;
@@ -122,7 +123,8 @@ fn main() {
     let scheme = schemes.build("rahman2023").unwrap();
     let sz = {
         let mut c = SzCompressor::new();
-        c.set_options(&Options::new().with("pressio:abs", 1e-4)).unwrap();
+        c.set_options(&Options::new().with("pressio:abs", 1e-4))
+            .unwrap();
         c
     };
     let mut feats = Vec::new();
@@ -138,7 +140,10 @@ fn main() {
     }
     let mut predictor = scheme.make_predictor();
     predictor.fit(&feats, &targets).unwrap();
-    let preds: Vec<f64> = feats.iter().map(|f| predictor.predict(f).unwrap()).collect();
+    let preds: Vec<f64> = feats
+        .iter()
+        .map(|f| predictor.predict(f).unwrap())
+        .collect();
     let medape = libpressio_predict::stats::medape(&targets, &preds).unwrap();
     println!("\nfitted rahman2023 from checkpointed truth: in-sample MedAPE {medape:.1}%");
 

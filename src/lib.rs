@@ -20,6 +20,8 @@
 //!   registry, invalidation-aware evaluation.
 //! - [`bench_infra`] — checkpoint store, fault-tolerant task queue, and
 //!   the Table 2 experiment driver.
+//! - [`obs`] — structured tracing and metrics: spans, counters/gauges,
+//!   JSONL event traces, aggregate reports.
 //!
 //! See `examples/quickstart.rs` for the Figure-4 flow end to end, and the
 //! `pressio-bench` crate for the binaries that regenerate every table and
@@ -29,6 +31,7 @@ pub use pressio_bench_infra as bench_infra;
 pub use pressio_core as core;
 pub use pressio_dataset as dataset;
 pub use pressio_lossless as lossless;
+pub use pressio_obs as obs;
 pub use pressio_predict as predict;
 pub use pressio_stats as stats;
 pub use pressio_sz as sz;

@@ -105,8 +105,14 @@ fn table1_metadata_is_complete_for_all_schemes() {
         assert!(!info.citation.is_empty());
         assert!(["fast", "accurate"].contains(&info.goal), "{name}");
         assert!(
-            ["trial-based", "regression", "calculation", "machine learning", "deep learning"]
-                .contains(&info.approach),
+            [
+                "trial-based",
+                "regression",
+                "calculation",
+                "machine learning",
+                "deep learning"
+            ]
+            .contains(&info.approach),
             "{name}"
         );
         assert!(["yes", "no", "partial"].contains(&info.black_box), "{name}");

@@ -4,7 +4,7 @@
 //! only what was lost.
 
 use libpressio_predict::bench_infra::{
-    run_tasks, CheckpointStore, PoolConfig, Scheduling, Task,
+    run_tasks, CheckpointStore, PoolConfig, Scheduling, Task, WorkerFn,
 };
 use libpressio_predict::core::error::Error;
 use libpressio_predict::core::{Compressor, Data, Options};
@@ -37,11 +37,7 @@ fn tasks(n: usize) -> Vec<Task> {
         .collect()
 }
 
-fn worker(
-    data: Arc<Vec<Data>>,
-    poison: Option<Arc<AtomicUsize>>,
-    crash_after: usize,
-) -> Arc<dyn Fn(&Task, usize) -> Result<Options, Error> + Send + Sync> {
+fn worker(data: Arc<Vec<Data>>, poison: Option<Arc<AtomicUsize>>, crash_after: usize) -> WorkerFn {
     Arc::new(move |task: &Task, _w| {
         if let Some(counter) = &poison {
             if counter.fetch_add(1, Ordering::SeqCst) >= crash_after {
@@ -143,8 +139,12 @@ fn torn_checkpoint_write_recovers_on_restart() {
     // a crash mid-append leaves a torn line
     {
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
-        f.write_all(b"{\"key\":\"truth-999\",\"value\":{\"entr").unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"key\":\"truth-999\",\"value\":{\"entr")
+            .unwrap();
     }
     let mut store = CheckpointStore::open(&path).unwrap();
     assert_eq!(store.recovered_torn(), 1);

@@ -10,12 +10,7 @@ use libpressio_predict::predict::{standard_compressors, standard_schemes};
 fn hurricane_fields(n_timesteps: usize) -> Vec<(String, libpressio_predict::core::Data)> {
     let mut h = Hurricane::with_dims(24, 24, 12, n_timesteps);
     (0..h.len())
-        .map(|i| {
-            (
-                h.load_metadata(i).unwrap().name,
-                h.load_data(i).unwrap(),
-            )
-        })
+        .map(|i| (h.load_metadata(i).unwrap().name, h.load_data(i).unwrap()))
         .collect()
 }
 
@@ -47,8 +42,7 @@ fn every_scheme_predicts_every_supported_compressor() {
             for (name, data) in &fields {
                 let mut eval = CachedEvaluator::new(schemes.build(scheme_name).unwrap());
                 let (f, _) = eval.features(name, data, comp.as_ref()).unwrap();
-                let truth = data.size_in_bytes() as f64
-                    / comp.compress(data).unwrap().len() as f64;
+                let truth = data.size_in_bytes() as f64 / comp.compress(data).unwrap().len() as f64;
                 feats.push(f);
                 targets.push(truth);
             }
@@ -56,9 +50,9 @@ fn every_scheme_predicts_every_supported_compressor() {
                 predictor.fit(&feats, &targets).unwrap();
             }
             for (f, truth) in feats.iter().zip(&targets) {
-                let p = predictor.predict(f).unwrap_or_else(|e| {
-                    panic!("{scheme_name}/{comp_name}: predict failed: {e}")
-                });
+                let p = predictor
+                    .predict(f)
+                    .unwrap_or_else(|e| panic!("{scheme_name}/{comp_name}: predict failed: {e}"));
                 assert!(
                     p.is_finite() && p > 0.0,
                     "{scheme_name}/{comp_name}: prediction {p} (truth {truth})"
@@ -92,7 +86,11 @@ fn invalidation_reuse_across_bounds_matches_recompute() {
         let (cached, _) = evaluator.features(name, data, comp.as_ref()).unwrap();
         // fresh computation must agree exactly with the cached path
         let mut fresh = scheme.error_agnostic_features(data).unwrap();
-        fresh.merge_from(&scheme.error_dependent_features(data, comp.as_ref()).unwrap());
+        fresh.merge_from(
+            &scheme
+                .error_dependent_features(data, comp.as_ref())
+                .unwrap(),
+        );
         assert_eq!(cached, fresh, "abs={abs}");
     }
     let counters = evaluator.counters();
@@ -116,9 +114,12 @@ fn trained_state_transfers_between_sessions() {
         let mut targets = Vec::new();
         for (_, data) in &fields {
             let mut f = scheme.error_agnostic_features(data).unwrap();
-            f.merge_from(&scheme.error_dependent_features(data, comp.as_ref()).unwrap());
-            let truth =
-                data.size_in_bytes() as f64 / comp.compress(data).unwrap().len() as f64;
+            f.merge_from(
+                &scheme
+                    .error_dependent_features(data, comp.as_ref())
+                    .unwrap(),
+            );
+            let truth = data.size_in_bytes() as f64 / comp.compress(data).unwrap().len() as f64;
             feats.push(f);
             targets.push(truth);
         }
@@ -132,7 +133,11 @@ fn trained_state_transfers_between_sessions() {
     p2.load_state(&state).unwrap();
     let (_, data) = &fields[0];
     let mut f = scheme2.error_agnostic_features(data).unwrap();
-    f.merge_from(&scheme2.error_dependent_features(data, comp.as_ref()).unwrap());
+    f.merge_from(
+        &scheme2
+            .error_dependent_features(data, comp.as_ref())
+            .unwrap(),
+    );
     let prediction = p2.predict(&f).unwrap();
     assert!(prediction.is_finite() && prediction > 0.0);
 }

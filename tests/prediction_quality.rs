@@ -11,7 +11,9 @@ use libpressio_predict::bench_infra::experiment::{run_table2, Table2Config};
 use libpressio_predict::dataset::Hurricane;
 
 fn run() -> libpressio_predict::bench_infra::Table2 {
-    let mut hurricane = Hurricane::with_dims(24, 24, 12, 3);
+    // 4 timesteps: the trained scheme needs this many samples per fold to
+    // consistently beat the calculation methods at test scale, seed-independent
+    let mut hurricane = Hurricane::with_dims(24, 24, 12, 4);
     let cfg = Table2Config {
         schemes: vec!["khan2023".into(), "jin2022".into(), "rahman2023".into()],
         compressors: vec!["sz3".into(), "zfp".into()],
@@ -63,11 +65,7 @@ fn table2_shape_matches_paper() {
     assert!(!jin_zfp.supported);
 
     // timing shape: khan's error-dependent stage is far below compression
-    let sz_baseline = t
-        .baselines
-        .iter()
-        .find(|b| b.compressor == "sz3")
-        .unwrap();
+    let sz_baseline = t.baselines.iter().find(|b| b.compressor == "sz3").unwrap();
     let khan_row = t
         .methods
         .iter()

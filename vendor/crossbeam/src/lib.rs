@@ -1,0 +1,41 @@
+//! Minimal offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used in this
+//! workspace (the worker-pool queue). `std::sync::mpsc` provides the same
+//! semantics for that surface: clonable senders, blocking `recv`, iteration
+//! that ends when every sender is dropped.
+
+pub mod channel {
+    //! MPMC-ish channel surface backed by `std::sync::mpsc` (MPSC, which is
+    //! all the queue needs: many producers, one consumer per receiver).
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half (clonable).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// Receiving half.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn channel_round_trip_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap());
+        tx.send(2).unwrap();
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! No crate in this workspace currently calls into rayon (the dependency is
+//! declared for future parallelism work), so this stub only provides
+//! [`join`] and [`scope`] with *sequential* semantics. If real parallel
+//! iterators are needed later, extend this crate or restore the real
+//! dependency once the build environment has registry access.
+
+/// Run both closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A scope for spawned work. The stub runs everything inline.
+pub struct Scope<'s> {
+    _marker: std::marker::PhantomData<&'s ()>,
+}
+
+impl<'s> Scope<'s> {
+    /// Run `f` immediately (inline "spawn").
+    pub fn spawn<F: FnOnce(&Scope<'s>)>(&self, f: F) {
+        f(self);
+    }
+}
+
+/// Create a scope; the stub executes spawns inline so the scope-exit
+/// barrier is trivially satisfied.
+pub fn scope<'s, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'s>) -> R,
+{
+    f(&Scope {
+        _marker: std::marker::PhantomData,
+    })
+}
+
+/// Prelude matching `rayon::prelude` imports (empty: no parallel iterator
+/// traits are used in this workspace).
+pub mod prelude {}

@@ -1,0 +1,358 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The real serde pipes values through a visitor-based streaming data model;
+//! this stand-in materializes a [`Content`] tree instead, which is all the
+//! workspace needs (JSON round-trips of plain structs and enums — no
+//! attributes, no generics, no zero-copy). The `Serialize` / `Deserialize`
+//! derive macros come from the sibling `serde_derive` stub and target the
+//! same externally-tagged representation the real serde_json produces:
+//!
+//! - struct           → map of fields
+//! - unit variant     → `"Variant"`
+//! - 1-tuple variant  → `{"Variant": value}`
+//! - n-tuple variant  → `{"Variant": [v0, v1, ...]}`
+//! - struct variant   → `{"Variant": {field: value, ...}}`
+//! - `Option`         → `null` / value
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A materialized serialization tree (the simplified data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys, preserving insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+
+    /// Error for a struct field absent from the input.
+    pub fn missing_field(field: &str, ty: &str) -> Error {
+        Error(format!("missing field `{field}` while deserializing {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into a [`Content`] tree.
+pub trait Serialize {
+    /// Materialize the value.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Rebuild a value from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value, consuming the tree.
+    fn deserialize_content(content: Content) -> Result<Self, Error>;
+}
+
+fn type_error(expected: &str, got: &Content) -> Error {
+    let name = match got {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) | Content::U64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    };
+    Error(format!("expected {expected}, got {name}"))
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: Content) -> Result<bool, Error> {
+        match c {
+            Content::Bool(b) => Ok(b),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: Content) -> Result<$t, Error> {
+                let wide: i128 = match c {
+                    Content::I64(v) => v as i128,
+                    Content::U64(v) => v as i128,
+                    Content::F64(v) if v.fract() == 0.0 && v.abs() < 2f64.powi(63) => v as i128,
+                    other => return Err(type_error("integer", &other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Content::I64(v as i64)
+                } else {
+                    Content::U64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: Content) -> Result<$t, Error> {
+                let wide: u128 = match c {
+                    Content::I64(v) if v >= 0 => v as u128,
+                    Content::U64(v) => v as u128,
+                    Content::F64(v) if v.fract() == 0.0 && v >= 0.0 && v < 2f64.powi(64) => v as u128,
+                    other => return Err(type_error("unsigned integer", &other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: Content) -> Result<f64, Error> {
+        match c {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            other => Err(type_error("float", &other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: Content) -> Result<f32, Error> {
+        f64::deserialize_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: Content) -> Result<String, Error> {
+        match c {
+            Content::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: Content) -> Result<char, Error> {
+        match &c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(type_error("single-character string", other)),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: Content) -> Result<Box<T>, Error> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: Content) -> Result<Option<T>, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: Content) -> Result<Vec<T>, Error> {
+        match c {
+            Content::Seq(items) => items.into_iter().map(T::deserialize_content).collect(),
+            other => Err(type_error("sequence", &other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(c: Content) -> Result<BTreeMap<String, V>, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(type_error("map", &other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        // sort for deterministic output, matching BTreeMap behavior
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_content(c: Content) -> Result<HashMap<String, V>, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(type_error("map", &other)),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: Content) -> Result<($($t,)+), Error> {
+                match c {
+                    Content::Seq(items) => {
+                        let mut it = items.into_iter();
+                        let out = ($(
+                            $t::deserialize_content(
+                                it.next().ok_or_else(|| Error::custom("tuple too short"))?,
+                            )?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(Error::custom("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(type_error("sequence (tuple)", &other)),
+                }
+            }
+        }
+    )+};
+}
+tuple_impls!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));

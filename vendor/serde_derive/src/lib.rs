@@ -1,0 +1,427 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls for the simplified
+//! content-tree model of the vendored `serde` stub. Supports exactly what
+//! this workspace derives on: non-generic structs with named fields and
+//! non-generic enums with unit, tuple, or struct variants — no `#[serde]`
+//! attributes. The item is parsed directly from the raw token stream (no
+//! `syn`/`quote`, which are unavailable offline) and the impl is assembled
+//! as a source string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only).
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip any leading `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len()
+        && is_punct(&tokens[*i], '#')
+        && matches!(&tokens[*i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        *i += 2;
+    }
+}
+
+/// Skip `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len()
+            && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past a type, stopping at a top-level `,` (angle brackets nest).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => depth -= 1,
+            t if is_punct(t, ',') && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        skip_vis(body, &mut i);
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got `{other}`"),
+        };
+        i += 1;
+        assert!(
+            i < body.len() && is_punct(&body[i], ':'),
+            "serde_derive stub: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(body, &mut i);
+        i += 1; // consume the `,` (or run off the end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count top-level comma-separated types inside a tuple-variant payload.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (idx, tt) in body.iter().enumerate() {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            // ignore a trailing comma
+            if idx + 1 < body.len() {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got `{other}`"),
+        };
+        i += 1;
+        let fields = if i < body.len() {
+            match &body[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    Fields::Tuple(count_tuple_fields(&inner))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                _ => Fields::Unit,
+            }
+        } else {
+            Fields::Unit
+        };
+        if i < body.len() && is_punct(&body[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got `{other}`"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        other => panic!(
+            "serde_derive stub: only brace-bodied structs/enums are supported for `{name}`, got `{other}`"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[String], out: &mut String) {
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n\
+         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n"
+    ));
+    for f in fields {
+        out.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize_content(&self.{f})));\n"
+        ));
+    }
+    out.push_str("::serde::Content::Map(__m)\n}\n}\n");
+}
+
+/// Emit the body that rebuilds named fields from a `Vec<(String, Content)>`
+/// binding called `__fields`, producing a struct-literal body string.
+fn gen_named_fields_rebuild(
+    type_label: &str,
+    fields: &[String],
+    constructor: &str,
+    out: &mut String,
+) {
+    for (idx, f) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "let mut __slot{idx}: ::std::option::Option<::serde::Content> = ::std::option::Option::None;\n"
+        ));
+        let _ = f;
+    }
+    out.push_str("for (__k, __v) in __fields {\nmatch __k.as_str() {\n");
+    for (idx, f) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{f}\" => __slot{idx} = ::std::option::Option::Some(__v),\n"
+        ));
+    }
+    out.push_str("_ => {}\n}\n}\n");
+    out.push_str(&format!("::std::result::Result::Ok({constructor} {{\n"));
+    for (idx, f) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "{f}: match __slot{idx} {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize_content(__v)?,\n\
+             ::std::option::Option::None => ::serde::Deserialize::deserialize_content(::serde::Content::Null)\n\
+             .map_err(|_| ::serde::Error::missing_field(\"{f}\", \"{type_label}\"))?,\n\
+             }},\n"
+        ));
+    }
+    out.push_str("})\n");
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String], out: &mut String) {
+    out.push_str(&format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(__c: ::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let __fields = match __c {{\n\
+         ::serde::Content::Map(__m) => __m,\n\
+         _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for struct {name}\")),\n\
+         }};\n"
+    ));
+    gen_named_fields_rebuild(name, fields, name, out);
+    out.push_str("}\n}\n");
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant], out: &mut String) {
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n\
+         match self {{\n"
+    ));
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => out.push_str(&format!(
+                "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),\n"
+            )),
+            Fields::Tuple(1) => out.push_str(&format!(
+                "{name}::{vn}(__a0) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::serialize_content(__a0))]),\n"
+            )),
+            Fields::Tuple(n) => {
+                let pats: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                let sers: Vec<String> = pats
+                    .iter()
+                    .map(|p| format!("::serde::Serialize::serialize_content({p})"))
+                    .collect();
+                out.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Seq(::std::vec![{}]))]),\n",
+                    pats.join(", "),
+                    sers.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let pats = fs.join(", ");
+                let entries: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize_content({f}))"
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{name}::{vn} {{ {pats} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Map(::std::vec![{}]))]),\n",
+                    entries.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str("}\n}\n}\n");
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant], out: &mut String) {
+    out.push_str(&format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(__c: ::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match __c {{\n\
+         ::serde::Content::Str(__s) => match __s.as_str() {{\n"
+    ));
+    for v in variants {
+        if matches!(v.fields, Fields::Unit) {
+            let vn = &v.name;
+            out.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "__other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown unit variant `{{__other}}` for enum {name}\"))),\n\
+         }},\n\
+         ::serde::Content::Map(__m) => {{\n\
+         let mut __it = __m.into_iter();\n\
+         let __pair = __it.next();\n\
+         if __it.next().is_some() {{\n\
+         return ::std::result::Result::Err(::serde::Error::custom(\"expected single-key map for enum {name}\"));\n\
+         }}\n\
+         let (__k, __v) = match __pair {{\n\
+         ::std::option::Option::Some(__p) => __p,\n\
+         ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"expected single-key map for enum {name}\")),\n\
+         }};\n\
+         match __k.as_str() {{\n"
+    ));
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                // also accept {"Variant": null}
+                out.push_str(&format!(
+                    "\"{vn}\" => match __v {{\n\
+                     ::serde::Content::Null => ::std::result::Result::Ok({name}::{vn}),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"unit variant {vn} takes no payload\")),\n\
+                     }},\n"
+                ));
+            }
+            Fields::Tuple(1) => out.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize_content(__v)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let des: Vec<String> = (0..*n)
+                    .map(|_| {
+                        "::serde::Deserialize::deserialize_content(__seq.next().ok_or_else(|| ::serde::Error::custom(\"tuple variant too short\"))?)?".to_string()
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "\"{vn}\" => match __v {{\n\
+                     ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                     let mut __seq = __items.into_iter();\n\
+                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected {n}-element sequence for variant {vn}\")),\n\
+                     }},\n",
+                    des.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                out.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __fields = match __v {{\n\
+                     ::serde::Content::Map(__m2) => __m2,\n\
+                     _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected map payload for variant {vn}\")),\n\
+                     }};\n"
+                ));
+                gen_named_fields_rebuild(
+                    &format!("{name}::{vn}"),
+                    fs,
+                    &format!("{name}::{vn}"),
+                    out,
+                );
+                out.push_str("},\n");
+            }
+        }
+    }
+    out.push_str(&format!(
+        "__other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n\
+         }}\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or map for enum {name}\")),\n\
+         }}\n\
+         }}\n\
+         }}\n"
+    ));
+}
+
+/// Derive `serde::Serialize` (stub content model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_serialize(&name, &fields, &mut out),
+        Item::Enum { name, variants } => gen_enum_serialize(&name, &variants, &mut out),
+    }
+    out.parse()
+        .expect("serde_derive stub: generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize` (stub content model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_deserialize(&name, &fields, &mut out),
+        Item::Enum { name, variants } => gen_enum_deserialize(&name, &variants, &mut out),
+    }
+    out.parse()
+        .expect("serde_derive stub: generated invalid Rust")
+}
