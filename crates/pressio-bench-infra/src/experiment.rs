@@ -156,13 +156,13 @@ fn collect_truth(
             }
             *misses += 1;
             pressio_obs::add_counter("table2:checkpoint.miss", 1);
-            tasks.push(Task {
-                id: key,
-                affinity_key: di as u64,
-                config: Options::new()
+            tasks.push(Task::new(
+                key,
+                di as u64,
+                Options::new()
                     .with("dataset_index", di as u64)
                     .with("pressio:abs", abs),
-            });
+            ));
         }
     }
     if !tasks.is_empty() {

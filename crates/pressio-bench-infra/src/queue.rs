@@ -25,6 +25,30 @@ pub struct Task {
     pub affinity_key: u64,
     /// Task configuration handed to the worker function.
     pub config: Options,
+    /// Id of the task that spawned this one, if it entered the queue as a
+    /// dynamic follow-up. [`run_tasks_dynamic`] stamps this automatically
+    /// on unstamped follow-ups and exports each edge to the trace, so the
+    /// run's dependency graph is reconstructible afterwards.
+    pub parent: Option<String>,
+}
+
+impl Task {
+    /// A root task (no parent).
+    pub fn new(id: impl Into<String>, affinity_key: u64, config: Options) -> Task {
+        Task {
+            id: id.into(),
+            affinity_key,
+            config,
+            parent: None,
+        }
+    }
+
+    /// Set an explicit parent (follow-ups usually get one stamped by the
+    /// pool instead).
+    pub fn with_parent(mut self, parent: impl Into<String>) -> Task {
+        self.parent = Some(parent.into());
+        self
+    }
 }
 
 /// Scheduling policy.
@@ -304,12 +328,20 @@ pub fn run_tasks_dynamic(
             wave,
             config,
             Arc::new(move |task, w| {
-                let out = wf(task, w)?;
+                let mut out = wf(task, w)?;
                 if !out.follow_ups.is_empty() {
                     pressio_obs::add_counter(
                         "queue:follow_up_spawned",
                         out.follow_ups.len() as i64,
                     );
+                    for follow_up in &mut out.follow_ups {
+                        if follow_up.parent.is_none() {
+                            follow_up.parent = Some(task.id.clone());
+                        }
+                        if let Some(parent) = &follow_up.parent {
+                            pressio_obs::task_link(&follow_up.id, parent);
+                        }
+                    }
                     fu.lock().extend(out.follow_ups);
                 }
                 Ok(out.value)
@@ -342,10 +374,12 @@ mod tests {
 
     fn make_tasks(n: usize, keys: usize) -> Vec<Task> {
         (0..n)
-            .map(|i| Task {
-                id: format!("task{i:03}"),
-                affinity_key: (i % keys) as u64,
-                config: Options::new().with("i", i as u64),
+            .map(|i| {
+                Task::new(
+                    format!("task{i:03}"),
+                    (i % keys) as u64,
+                    Options::new().with("i", i as u64),
+                )
             })
             .collect()
     }
@@ -474,11 +508,7 @@ mod tests {
 
     #[test]
     fn retry_moves_to_a_different_worker() {
-        let tasks = vec![Task {
-            id: "t".into(),
-            affinity_key: 0,
-            config: Options::new(),
-        }];
+        let tasks = vec![Task::new("t", 0, Options::new())];
         let first_worker = Arc::new(AtomicUsize::new(usize::MAX));
         let fw = first_worker.clone();
         let (outcomes, _) = run_tasks(
@@ -507,11 +537,7 @@ mod tests {
     #[test]
     fn dynamic_follow_ups_run_in_the_same_pool() {
         // task d00 discovers an invalidation and spawns two recomputations
-        let tasks = vec![Task {
-            id: "d00".into(),
-            affinity_key: 0,
-            config: Options::new().with("spawn", true),
-        }];
+        let tasks = vec![Task::new("d00", 0, Options::new().with("spawn", true))];
         let (outcomes, _) = run_tasks_dynamic(
             tasks,
             PoolConfig {
@@ -524,16 +550,8 @@ mod tests {
                 let spawn = task.config.get_bool_opt("spawn")?.unwrap_or(false);
                 let follow_ups = if spawn {
                     vec![
-                        Task {
-                            id: "d00/recompute-a".into(),
-                            affinity_key: 0,
-                            config: Options::new(),
-                        },
-                        Task {
-                            id: "d00/recompute-b".into(),
-                            affinity_key: 1,
-                            config: Options::new(),
-                        },
+                        Task::new("d00/recompute-a", 0, Options::new()),
+                        Task::new("d00/recompute-b", 1, Options::new()),
                     ]
                 } else {
                     Vec::new()
@@ -550,14 +568,78 @@ mod tests {
     }
 
     #[test]
+    fn follow_ups_are_stamped_with_their_spawner() {
+        // chain d0 -> d0/fix -> d0/fix/verify: each follow-up must arrive
+        // at its worker carrying the id of the task that spawned it
+        let seen: Arc<parking_lot::Mutex<HashMap<String, Option<String>>>> =
+            Arc::new(parking_lot::Mutex::new(HashMap::new()));
+        let seen_in = seen.clone();
+        let tasks = vec![Task::new("d0", 0, Options::new())];
+        let (outcomes, _) = run_tasks_dynamic(
+            tasks,
+            PoolConfig {
+                workers: 2,
+                scheduling: Scheduling::DataAffinity,
+                max_attempts: 1,
+            },
+            100,
+            Arc::new(move |task: &Task, _w| {
+                seen_in.lock().insert(task.id.clone(), task.parent.clone());
+                let follow_ups = match task.id.as_str() {
+                    "d0" => vec![Task::new("d0/fix", 0, Options::new())],
+                    "d0/fix" => vec![Task::new("d0/fix/verify", 1, Options::new())],
+                    _ => Vec::new(),
+                };
+                Ok(DynamicOutcome {
+                    value: Options::new(),
+                    follow_ups,
+                })
+            }),
+        );
+        assert_eq!(outcomes.len(), 3);
+        let seen = seen.lock();
+        assert_eq!(seen["d0"], None);
+        assert_eq!(seen["d0/fix"].as_deref(), Some("d0"));
+        assert_eq!(seen["d0/fix/verify"].as_deref(), Some("d0/fix"));
+    }
+
+    #[test]
+    fn explicit_parent_is_preserved() {
+        // a worker may attribute a follow-up to a different logical parent;
+        // the pool must not overwrite it
+        let parent_seen: Arc<parking_lot::Mutex<Option<String>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let ps = parent_seen.clone();
+        let (outcomes, _) = run_tasks_dynamic(
+            vec![Task::new("root", 0, Options::new())],
+            PoolConfig {
+                workers: 1,
+                scheduling: Scheduling::RoundRobin,
+                max_attempts: 1,
+            },
+            10,
+            Arc::new(move |task: &Task, _w| {
+                let follow_ups = if task.id == "root" {
+                    vec![Task::new("child", 0, Options::new()).with_parent("logical-origin")]
+                } else {
+                    *ps.lock() = task.parent.clone();
+                    Vec::new()
+                };
+                Ok(DynamicOutcome {
+                    value: Options::new(),
+                    follow_ups,
+                })
+            }),
+        );
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(parent_seen.lock().as_deref(), Some("logical-origin"));
+    }
+
+    #[test]
     fn dynamic_task_cap_prevents_runaway_spawning() {
         // every task spawns another: the cap must end the run with errors,
         // not hang forever
-        let tasks = vec![Task {
-            id: "t0000".into(),
-            affinity_key: 0,
-            config: Options::new().with("n", 0u64),
-        }];
+        let tasks = vec![Task::new("t0000", 0, Options::new().with("n", 0u64))];
         let (outcomes, _) = run_tasks_dynamic(
             tasks,
             PoolConfig {
@@ -570,11 +652,11 @@ mod tests {
                 let n = task.config.get_u64("n")?;
                 Ok(DynamicOutcome {
                     value: Options::new(),
-                    follow_ups: vec![Task {
-                        id: format!("t{:04}", n + 1),
-                        affinity_key: 0,
-                        config: Options::new().with("n", n + 1),
-                    }],
+                    follow_ups: vec![Task::new(
+                        format!("t{:04}", n + 1),
+                        0,
+                        Options::new().with("n", n + 1),
+                    )],
                 })
             }),
         );

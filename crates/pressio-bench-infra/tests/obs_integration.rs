@@ -8,13 +8,18 @@
 //! record into whichever collector happens to be installed).
 
 use pressio_bench_infra::experiment::{run_table2, Table2Config};
-use pressio_bench_infra::queue::{run_tasks, PoolConfig, Scheduling, Task};
+use pressio_bench_infra::queue::{
+    run_tasks, run_tasks_dynamic, DynamicOutcome, PoolConfig, Scheduling, Task,
+};
 use pressio_core::error::Error;
 use pressio_core::timing::MeanStd;
 use pressio_core::Options;
 use pressio_dataset::Hurricane;
+use pressio_obs::{TraceEvent, VecSink};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 static GLOBAL_TEST_LOCK: Mutex<()> = Mutex::new(());
 
@@ -109,11 +114,7 @@ fn queue_retry_and_panic_counters_match_outcomes() {
     pressio_obs::install(collector.clone());
 
     let tasks: Vec<Task> = (0..6)
-        .map(|i| Task {
-            id: format!("task{i}"),
-            affinity_key: i as u64,
-            config: Options::new(),
-        })
+        .map(|i| Task::new(format!("task{i}"), i as u64, Options::new()))
         .collect();
     let first_worker = Arc::new(AtomicUsize::new(usize::MAX));
     let fw = first_worker.clone();
@@ -159,4 +160,118 @@ fn queue_retry_and_panic_counters_match_outcomes() {
     assert_eq!(report.counters["queue:panic"], 1);
     let attempts: usize = outcomes.iter().map(|o| o.attempts).sum();
     assert_eq!(report.spans["queue:task"].count(), attempts as u64);
+}
+
+/// Dynamic-dependency linkage: a run where tasks spawn follow-ups (which
+/// spawn further follow-ups) must leave enough `TaskLink` events in the
+/// trace to reconstruct the full spawn graph afterwards.
+#[test]
+fn dynamic_task_graph_is_reconstructible_from_trace() {
+    let _guard = exclusive();
+    let sink = VecSink::default();
+    let events = sink.0.clone();
+    let collector = Arc::new(pressio_obs::Collector::with_sink(Box::new(sink)));
+    pressio_obs::install(collector.clone());
+
+    // two roots; r0 invalidates two metrics, one of which needs a second
+    // level of recomputation
+    let tasks = vec![
+        Task::new("r0", 0, Options::new()),
+        Task::new("r1", 1, Options::new()),
+    ];
+    let (outcomes, _) = run_tasks_dynamic(
+        tasks,
+        PoolConfig {
+            workers: 2,
+            scheduling: Scheduling::DataAffinity,
+            max_attempts: 1,
+        },
+        100,
+        Arc::new(|task: &Task, _w| {
+            let follow_ups = match task.id.as_str() {
+                "r0" => vec![
+                    Task::new("r0/psnr", 0, Options::new()),
+                    Task::new("r0/ssim", 0, Options::new()),
+                ],
+                "r0/ssim" => vec![Task::new("r0/ssim/window", 0, Options::new())],
+                _ => Vec::new(),
+            };
+            Ok(DynamicOutcome {
+                value: Options::new(),
+                follow_ups,
+            })
+        }),
+    );
+    pressio_obs::flush();
+    pressio_obs::uninstall();
+    assert_eq!(outcomes.len(), 5);
+
+    // reconstruct the graph from trace events alone
+    let mut edges: BTreeMap<String, String> = BTreeMap::new();
+    for event in events.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        if let TraceEvent::TaskLink { task, parent, .. } = event {
+            edges.insert(task.clone(), parent.clone());
+        }
+    }
+    let expected: BTreeMap<String, String> = [
+        ("r0/psnr", "r0"),
+        ("r0/ssim", "r0"),
+        ("r0/ssim/window", "r0/ssim"),
+    ]
+    .into_iter()
+    .map(|(t, p)| (t.to_string(), p.to_string()))
+    .collect();
+    assert_eq!(edges, expected);
+    // roots have no incoming edge
+    assert!(!edges.contains_key("r0"));
+    assert!(!edges.contains_key("r1"));
+    // the aggregate report carries the same graph
+    assert_eq!(collector.report().task_parents, expected);
+}
+
+/// Overhead budget: running an instrumented workload with the (sharded)
+/// collector installed must cost within 5% of running it with tracing
+/// disabled. Alternating repetitions and taking the minimum wall denoises
+/// scheduler jitter on shared CI hosts.
+#[test]
+fn traced_run_overhead_stays_within_budget() {
+    let _guard = exclusive();
+    pressio_obs::uninstall();
+
+    // ~200 recorded stages of pure compute, a realistic span-to-work ratio
+    fn workload() -> f64 {
+        let mut acc = 0.0f64;
+        for stage in 0..200u64 {
+            let start = Instant::now();
+            for i in 0..2_000u64 {
+                acc += ((i * stage) as f64).sqrt().sin();
+            }
+            pressio_obs::record_ms("obs_budget:stage", start.elapsed().as_secs_f64() * 1e3);
+        }
+        acc
+    }
+
+    let mut untraced_min = f64::INFINITY;
+    let mut traced_min = f64::INFINITY;
+    for _ in 0..7 {
+        let start = Instant::now();
+        std::hint::black_box(workload());
+        untraced_min = untraced_min.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let collector = Arc::new(pressio_obs::Collector::new());
+        pressio_obs::install(collector.clone());
+        let start = Instant::now();
+        std::hint::black_box(workload());
+        traced_min = traced_min.min(start.elapsed().as_secs_f64() * 1e3);
+        pressio_obs::uninstall();
+        assert_eq!(collector.report().spans["obs_budget:stage"].count(), 200);
+    }
+
+    // 5% relative budget with a small absolute floor so timer quantization
+    // on very fast hosts cannot trip the assert
+    let budget_ms = (untraced_min * 0.05).max(0.5);
+    assert!(
+        traced_min <= untraced_min + budget_ms,
+        "traced {traced_min:.3}ms exceeds untraced {untraced_min:.3}ms + budget {budget_ms:.3}ms"
+    );
 }

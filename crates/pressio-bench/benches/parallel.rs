@@ -1,0 +1,208 @@
+//! Data-parallel kernel bench: chunked ZFP encode/decode and parallel
+//! feature extraction at 1 thread vs N threads, plus a `BENCH_parallel.json`
+//! summary (mean ± std per configuration) written to the repo root so the
+//! CI acceptance check can read the speedup without parsing bench output.
+//!
+//! Determinism note: the 1-thread and N-thread encodes are byte-identical
+//! by construction (chunk boundaries are format constants), so this bench
+//! measures the same work under both configurations.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use pressio_core::timing::MeanStd;
+use pressio_core::{Compressor, Data, Options};
+use pressio_dataset::{DatasetPlugin, Hurricane};
+use pressio_predict::features;
+use pressio_zfp::ZfpCompressor;
+use std::time::Instant;
+
+/// Threads for the parallel configuration: the acceptance criterion is
+/// stated at 4 threads, so pin it there and record the host's cores.
+const PAR_THREADS: usize = 4;
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn load_field() -> Data {
+    let mut hurricane = Hurricane::with_dims(64, 64, 32, 1);
+    let p_index = pressio_dataset::FIELDS
+        .iter()
+        .position(|&f| f == "P")
+        .unwrap();
+    hurricane.load_data(p_index).unwrap()
+}
+
+fn zfp_with_threads(threads: usize) -> ZfpCompressor {
+    let mut zfp = ZfpCompressor::new();
+    zfp.set_options(
+        &Options::new()
+            .with("pressio:abs", 1e-4)
+            .with("pressio:nthreads", threads as u64),
+    )
+    .unwrap();
+    zfp
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let data = load_field();
+    let bytes = data.size_in_bytes() as u64;
+
+    let mut group = c.benchmark_group("parallel_kernels");
+    group.throughput(Throughput::Bytes(bytes));
+    for threads in [1usize, PAR_THREADS] {
+        let zfp = zfp_with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("zfp_encode", threads), &threads, |b, _| {
+            b.iter(|| zfp.compress(&data).unwrap())
+        });
+        let stream = zfp.compress(&data).unwrap();
+        group.bench_with_input(BenchmarkId::new("zfp_decode", threads), &threads, |b, _| {
+            b.iter(|| zfp.decompress(&stream, data.dtype(), data.dims()).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("feature_extract", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    pressio_core::threads::set_global_threads(threads);
+                    features::error_agnostic_all(&data)
+                })
+            },
+        );
+        pressio_core::threads::set_global_threads(0);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel
+}
+
+// ---- BENCH_parallel.json summary -------------------------------------------
+
+#[derive(serde::Serialize)]
+struct Stat {
+    mean_ms: f64,
+    std_ms: f64,
+    samples: u64,
+}
+
+impl From<&MeanStd> for Stat {
+    fn from(m: &MeanStd) -> Stat {
+        Stat {
+            mean_ms: m.mean(),
+            std_ms: m.std(),
+            samples: m.count(),
+        }
+    }
+}
+
+#[derive(serde::Serialize)]
+struct Entry {
+    name: String,
+    bytes: u64,
+    sequential: Stat,
+    parallel: Stat,
+    /// sequential mean / parallel mean (> 1 means the parallel path wins).
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Summary {
+    host_cores: usize,
+    parallel_threads: usize,
+    entries: Vec<Entry>,
+}
+
+fn measure(samples: usize, mut f: impl FnMut()) -> MeanStd {
+    f(); // warm-up
+    let mut agg = MeanStd::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        agg.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    agg
+}
+
+fn write_summary() {
+    let data = load_field();
+    let bytes = data.size_in_bytes() as u64;
+    let samples = 10;
+
+    let mut entries = Vec::new();
+    {
+        let seq = zfp_with_threads(1);
+        let par = zfp_with_threads(PAR_THREADS);
+        let s = measure(samples, || {
+            criterion::black_box(seq.compress(&data).unwrap());
+        });
+        let p = measure(samples, || {
+            criterion::black_box(par.compress(&data).unwrap());
+        });
+        entries.push(Entry {
+            name: "zfp_encode".into(),
+            bytes,
+            speedup: s.mean() / p.mean(),
+            sequential: Stat::from(&s),
+            parallel: Stat::from(&p),
+        });
+
+        let stream = seq.compress(&data).unwrap();
+        let s = measure(samples, || {
+            criterion::black_box(seq.decompress(&stream, data.dtype(), data.dims()).unwrap());
+        });
+        let p = measure(samples, || {
+            criterion::black_box(par.decompress(&stream, data.dtype(), data.dims()).unwrap());
+        });
+        entries.push(Entry {
+            name: "zfp_decode".into(),
+            bytes,
+            speedup: s.mean() / p.mean(),
+            sequential: Stat::from(&s),
+            parallel: Stat::from(&p),
+        });
+    }
+    {
+        pressio_core::threads::set_global_threads(1);
+        let s = measure(samples, || {
+            criterion::black_box(features::error_agnostic_all(&data));
+        });
+        pressio_core::threads::set_global_threads(PAR_THREADS);
+        let p = measure(samples, || {
+            criterion::black_box(features::error_agnostic_all(&data));
+        });
+        pressio_core::threads::set_global_threads(0);
+        entries.push(Entry {
+            name: "feature_extract".into(),
+            bytes,
+            speedup: s.mean() / p.mean(),
+            sequential: Stat::from(&s),
+            parallel: Stat::from(&p),
+        });
+    }
+
+    let summary = Summary {
+        host_cores: host_cores(),
+        parallel_threads: PAR_THREADS,
+        entries,
+    };
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_parallel.json");
+    println!("\nwrote {}", path.display());
+    for e in &summary.entries {
+        println!(
+            "  {:<16} seq {:8.3} ms  par({}) {:8.3} ms  speedup {:.2}x",
+            e.name, e.sequential.mean_ms, PAR_THREADS, e.parallel.mean_ms, e.speedup
+        );
+    }
+}
+
+fn main() {
+    benches();
+    write_summary();
+}

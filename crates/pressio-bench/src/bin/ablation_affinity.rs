@@ -27,12 +27,14 @@ fn main() {
     let bounds = [1e-6, 1e-5, 1e-4, 1e-3];
     let tasks: Vec<Task> = (0..n_data)
         .flat_map(|di| {
-            bounds.iter().enumerate().map(move |(bi, &abs)| Task {
-                id: format!("d{di:02}b{bi}"),
-                affinity_key: di as u64,
-                config: Options::new()
-                    .with("dataset", di as u64)
-                    .with("pressio:abs", abs),
+            bounds.iter().enumerate().map(move |(bi, &abs)| {
+                Task::new(
+                    format!("d{di:02}b{bi}"),
+                    di as u64,
+                    Options::new()
+                        .with("dataset", di as u64)
+                        .with("pressio:abs", abs),
+                )
             })
         })
         .collect();

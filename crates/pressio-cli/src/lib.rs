@@ -172,6 +172,16 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
                     .map_err(|_| usage_error("--workers needs a number"))?;
             }
             "--trace" => trace = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
+            "--threads" => {
+                let v: usize = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--threads needs a number"))?;
+                // one knob everywhere: the per-compressor option plus the
+                // process-wide override (feature extraction, bulk dataset
+                // loads). 0 restores auto-detection.
+                options.set("pressio:nthreads", v as u64);
+                pressio_core::threads::set_global_threads(v);
+            }
             other => return Err(usage_error(&format!("unknown flag '{other}'"))),
         }
     }
@@ -461,6 +471,29 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("sz3"));
         assert!(text.contains("zfp"));
+    }
+
+    #[test]
+    fn threads_flag_sets_option_and_global_override() {
+        let cmd = parse(&[
+            "compress",
+            "-i",
+            "U_4x4.f32",
+            "-o",
+            "U.szr",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Compress { options, .. } => {
+                assert_eq!(options.get_u64("pressio:nthreads").unwrap(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(pressio_core::threads::resolve(None), 3);
+        pressio_core::threads::set_global_threads(0);
+        assert!(parse(&["bench", "--threads", "none"]).is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod hash;
 pub mod metrics;
 pub mod options;
 pub mod registry;
+pub mod threads;
 pub mod timing;
 pub mod value;
 

@@ -84,6 +84,18 @@ impl DatasetPlugin for FolderLoader {
         read_raw(path)
     }
 
+    /// Bulk load reads fields concurrently: entries carry their own paths,
+    /// so per-file reads are independent and go through the thread pool.
+    /// Results stay in entry order (identical to the sequential default).
+    fn load_data_all(&mut self) -> Result<Vec<Data>> {
+        let nthreads = pressio_core::threads::resolve(None);
+        pressio_core::threads::par_map_indexed(nthreads, self.entries.len(), |i| {
+            read_raw(&self.entries[i].0)
+        })
+        .into_iter()
+        .collect()
+    }
+
     fn get_options(&self) -> Options {
         let mut o = Options::new().with("folder:root", self.root.display().to_string());
         if let Some(p) = &self.pattern {
@@ -130,6 +142,18 @@ mod tests {
             .get_str("source:path")
             .unwrap()
             .contains("QRAIN"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_matches_per_index_loads() {
+        let dir = setup("pressio_folder_bulk_test");
+        let mut loader = FolderLoader::open(&dir, None).unwrap();
+        let bulk = loader.load_data_all().unwrap();
+        assert_eq!(bulk.len(), loader.len());
+        for (i, d) in bulk.iter().enumerate() {
+            assert_eq!(*d, loader.load_data(i).unwrap());
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

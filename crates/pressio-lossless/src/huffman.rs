@@ -297,7 +297,15 @@ fn huffman_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
 /// Convenience: build a codebook and encode in one pass, emitting a
 /// self-describing stream `[table][count:u64][codes...]`.
 pub fn compress_symbols(symbols: &[u32]) -> Vec<u8> {
-    let freqs = histogram(symbols);
+    compress_symbols_par(symbols, 1)
+}
+
+/// [`compress_symbols`] with a thread count: the histogram is built from
+/// per-shard counts merged at the end. Counter addition commutes and the
+/// result is sorted, so the codebook — and therefore the output stream —
+/// is identical at any thread count.
+pub fn compress_symbols_par(symbols: &[u32], nthreads: usize) -> Vec<u8> {
+    let freqs = histogram_par(symbols, nthreads);
     let book = Codebook::from_frequencies(&freqs);
     let mut w = BitWriter::new();
     book.write_table(&mut w);
@@ -327,9 +335,32 @@ pub fn decompress_symbols(bytes: &[u8]) -> Result<Vec<u32>, HuffmanError> {
 
 /// Histogram of a symbol stream as sorted `(symbol, count)` pairs.
 pub fn histogram(symbols: &[u32]) -> Vec<(u32, u64)> {
+    histogram_par(symbols, 1)
+}
+
+/// Symbols per histogram shard; granularity only, never affects output.
+const HIST_SHARD: usize = 1 << 16;
+
+/// [`histogram`] built from per-shard counts merged at the end.
+pub fn histogram_par(symbols: &[u32], nthreads: usize) -> Vec<(u32, u64)> {
     let mut map = std::collections::HashMap::new();
-    for &s in symbols {
-        *map.entry(s).or_insert(0u64) += 1;
+    if nthreads <= 1 || symbols.len() <= HIST_SHARD {
+        for &s in symbols {
+            *map.entry(s).or_insert(0u64) += 1;
+        }
+    } else {
+        let shards = rayon::par_chunks(symbols, HIST_SHARD, |_, shard| {
+            let mut m = std::collections::HashMap::new();
+            for &s in shard {
+                *m.entry(s).or_insert(0u64) += 1;
+            }
+            m
+        });
+        for shard in shards {
+            for (s, c) in shard {
+                *map.entry(s).or_insert(0u64) += c;
+            }
+        }
     }
     let mut v: Vec<(u32, u64)> = map.into_iter().collect();
     v.sort_unstable();
@@ -453,6 +484,20 @@ mod tests {
         let book2 = Codebook::read_table(&mut r).unwrap();
         for s in 0..20u32 {
             assert_eq!(book.code_length(s), book2.code_length(s));
+        }
+    }
+
+    #[test]
+    fn parallel_histogram_and_encode_match_sequential() {
+        let symbols: Vec<u32> = (0..300_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 512)
+            .collect();
+        for threads in [2usize, 3, 7] {
+            assert_eq!(histogram(&symbols), histogram_par(&symbols, threads));
+            assert_eq!(
+                compress_symbols(&symbols),
+                compress_symbols_par(&symbols, threads)
+            );
         }
     }
 

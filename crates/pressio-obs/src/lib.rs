@@ -125,6 +125,14 @@ pub fn set_gauge(name: &str, value: f64) {
     }
 }
 
+/// Record that `task` was dynamically spawned by `parent` (a dependency
+/// edge; exported as a [`TraceEvent::TaskLink`] when a sink is attached).
+pub fn task_link(task: &str, parent: &str) {
+    if let Some(c) = global() {
+        c.record_task_link(task, parent);
+    }
+}
+
 /// Flush the global collector's event sink, if any.
 pub fn flush() {
     if let Some(c) = global() {

@@ -44,15 +44,29 @@ pub enum TraceEvent {
         /// Event time, microseconds since collector creation.
         at_us: u64,
     },
+    /// A dynamic-dependency edge: `task` was spawned as a follow-up of
+    /// `parent` (the paper's §3 "dynamically add dependencies to currently
+    /// running jobs"). The full spawn graph of a run is reconstructible
+    /// from these events alone.
+    TaskLink {
+        /// The spawned task's id.
+        task: String,
+        /// The id of the task that spawned it.
+        parent: String,
+        /// Event time, microseconds since collector creation.
+        at_us: u64,
+    },
 }
 
 impl TraceEvent {
-    /// The event's name, whichever variant it is.
+    /// The event's name, whichever variant it is (the spawned task's id
+    /// for a [`TraceEvent::TaskLink`]).
     pub fn name(&self) -> &str {
         match self {
             TraceEvent::Span { name, .. }
             | TraceEvent::Counter { name, .. }
             | TraceEvent::Gauge { name, .. } => name,
+            TraceEvent::TaskLink { task, .. } => task,
         }
     }
 }
@@ -258,6 +272,27 @@ mod tests {
         collector.record_ms("x", 1.0);
         collector.add_counter("c", 1);
         assert_eq!(events.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn task_links_round_trip_through_jsonl() {
+        let path = temp("task_links.jsonl");
+        let collector =
+            Collector::with_sink(Box::new(JsonlSink::create(&path).unwrap().with_batch(1)));
+        collector.record_task_link("d00/recompute-a", "d00");
+        collector.record_task_link("d00/recompute-b", "d00");
+        collector.flush();
+        let (events, skipped) = read_trace(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            TraceEvent::TaskLink { task, parent, .. } => {
+                assert_eq!(task, "d00/recompute-a");
+                assert_eq!(parent, "d00");
+            }
+            other => panic!("expected task link, got {other:?}"),
+        }
+        assert_eq!(events[1].name(), "d00/recompute-b");
     }
 
     #[test]

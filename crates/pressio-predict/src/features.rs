@@ -77,10 +77,12 @@ pub fn svd_features(data: &Data) -> Options {
         let m = Matrix::from_rows(side, side, values[..side * side].to_vec());
         return Options::new().with("svd:truncation", svd_truncation_fraction(&m, 0.99));
     }
-    // average over up to 4 evenly spaced z-slices
+    // average over up to 4 evenly spaced z-slices; slices are independent,
+    // so they run through the pool, and the per-slice results are summed in
+    // slice order — bit-identical to the sequential loop
     let slices = nz.min(4);
-    let mut acc = 0.0;
-    for s in 0..slices {
+    let nthreads = pressio_core::threads::resolve(None);
+    let fractions = pressio_core::threads::par_map_indexed(nthreads, slices, |s| {
         let z = s * nz / slices;
         let mut m = Matrix::zeros(ny, nx);
         for y in 0..ny {
@@ -89,9 +91,26 @@ pub fn svd_features(data: &Data) -> Options {
                 m.set(y, x, if v.is_finite() { v } else { 0.0 });
             }
         }
-        acc += svd_truncation_fraction(&m, 0.99);
-    }
+        svd_truncation_fraction(&m, 0.99)
+    });
+    let acc: f64 = fractions.iter().sum();
     Options::new().with("svd:truncation", acc / slices as f64)
+}
+
+/// All three error-agnostic feature groups ([`global_stats`],
+/// [`variogram_features`], [`svd_features`]) computed concurrently and
+/// merged into one [`Options`]. Each group's values are identical to its
+/// standalone call; only wall-clock changes with the thread count.
+pub fn error_agnostic_all(data: &Data) -> Options {
+    let nthreads = pressio_core::threads::resolve(None);
+    let groups: [fn(&Data) -> Options; 3] = [global_stats, variogram_features, svd_features];
+    let results =
+        pressio_core::threads::par_map_indexed(nthreads, groups.len(), |i| groups[i](data));
+    let mut merged = Options::new();
+    for r in &results {
+        merged.merge_from(r);
+    }
+    merged
 }
 
 /// Error-dependent quantized entropy (`qent:entropy`), Krasowska's first
@@ -349,6 +368,22 @@ mod tests {
         let ef = full.get_f64("quant:code_entropy").unwrap();
         let es = sampled.get_f64("quant:code_entropy").unwrap();
         assert!(es >= ef * 0.5 && es <= ef * 4.0 + 1.0, "{ef} vs {es}");
+    }
+
+    #[test]
+    fn error_agnostic_all_matches_standalone_groups() {
+        let data = smooth_3d(16);
+        let merged = error_agnostic_all(&data);
+        for group in [global_stats, variogram_features, svd_features] {
+            let standalone = group(&data);
+            for key in standalone.keys() {
+                assert_eq!(
+                    merged.get_f64(key).ok(),
+                    standalone.get_f64(key).ok(),
+                    "{key}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -97,6 +97,23 @@ pub fn predict_and_quantize(
     block: usize,
     round_f32: bool,
 ) -> QuantizedStream {
+    predict_and_quantize_par(values, dims, eb, predictor, block, round_f32, 1)
+}
+
+/// [`predict_and_quantize`] with a thread count. Only the regression
+/// predictor parallelizes (its blocks are independent); Lorenzo, interp,
+/// and hybrid carry reconstruction feedback between elements and stay
+/// sequential. Output is byte-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_and_quantize_par(
+    values: &[f64],
+    dims: &[usize],
+    eb: f64,
+    predictor: Predictor,
+    block: usize,
+    round_f32: bool,
+    nthreads: usize,
+) -> QuantizedStream {
     let mut q = Quantizer::new(eb, RADIUS, round_f32, values.len());
     let (reconstruction, coefficients, block_modes) = match predictor {
         Predictor::Lorenzo => (
@@ -105,7 +122,7 @@ pub fn predict_and_quantize(
             Vec::new(),
         ),
         Predictor::Regression => {
-            let (r, c) = regression::encode(values, dims, block, &mut q);
+            let (r, c) = regression::encode_par(values, dims, block, &mut q, nthreads);
             (r, c, Vec::new())
         }
         Predictor::Interp => (interp::encode(values, dims, &mut q), Vec::new(), Vec::new()),
@@ -150,6 +167,20 @@ pub fn assemble(
     block: usize,
     stream: &QuantizedStream,
 ) -> Vec<u8> {
+    assemble_par(dtype, dims, eb, predictor, block, stream, 1)
+}
+
+/// [`assemble`] with a thread count for the Huffman histogram build
+/// (sharded counts merged at the end — identical output at any count).
+pub fn assemble_par(
+    dtype: Dtype,
+    dims: &[usize],
+    eb: f64,
+    predictor: Predictor,
+    block: usize,
+    stream: &QuantizedStream,
+    nthreads: usize,
+) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -182,7 +213,7 @@ pub fn assemble(
     push_u64(&mut out, stream.block_modes.len() as u64);
     out.extend_from_slice(&stream.block_modes);
     // entropy-coded symbols, then the dictionary backend if it helps
-    let huff = huffman::compress_symbols(&stream.symbols);
+    let huff = huffman::compress_symbols_par(&stream.symbols, nthreads);
     let dict = lzss::compress(&huff);
     if dict.len() < huff.len() {
         out.push(1);

@@ -40,7 +40,9 @@ pub mod lorenzo;
 pub mod quantizer;
 pub mod regression;
 
-pub use codec::{predict_and_quantize, Predictor, QuantizedStream, RADIUS};
+pub use codec::{
+    predict_and_quantize, predict_and_quantize_par, Predictor, QuantizedStream, RADIUS,
+};
 
 use pressio_core::error::{Error, Result};
 use pressio_core::metrics::invalidations;
@@ -57,12 +59,15 @@ use pressio_core::{Compressor, Data, Dtype, Options};
 /// - `sz3:predictor` (`"auto" | "lorenzo" | "regression" | "interp" | "hybrid"`,
 ///   default `"auto"`).
 /// - `sz3:block_size` (`u64`, default 6) — regression block edge.
+/// - `pressio:nthreads` (`u64`, default 0 = auto) — intra-task threads;
+///   `1` forces the sequential path, output is identical either way.
 #[derive(Clone, Debug)]
 pub struct SzCompressor {
     abs: f64,
     rel: Option<f64>,
     predictor: String,
     block: usize,
+    nthreads: Option<usize>,
 }
 
 impl Default for SzCompressor {
@@ -72,6 +77,7 @@ impl Default for SzCompressor {
             rel: None,
             predictor: "auto".to_string(),
             block: regression::DEFAULT_BLOCK,
+            nthreads: None,
         }
     }
 }
@@ -232,6 +238,9 @@ impl Compressor for SzCompressor {
             }
             self.block = b as usize;
         }
+        if let Some(n) = opts.get_u64_opt("pressio:nthreads")? {
+            self.nthreads = if n == 0 { None } else { Some(n as usize) };
+        }
         Ok(())
     }
 
@@ -241,6 +250,7 @@ impl Compressor for SzCompressor {
             .with("pressio:rel", self.rel.unwrap_or(0.0))
             .with("sz3:predictor", self.predictor.as_str())
             .with("sz3:block_size", self.block as u64)
+            .with("pressio:nthreads", self.nthreads.unwrap_or(0) as u64)
     }
 
     fn get_configuration(&self) -> Options {
@@ -281,8 +291,11 @@ impl Compressor for SzCompressor {
             "auto" => self.select_predictor(&values, &dims, abs, round_f32),
             other => Predictor::parse(other)?,
         };
-        let qs = codec::predict_and_quantize(&values, &dims, abs, predictor, self.block, round_f32);
-        let out = codec::assemble(dtype, &dims, abs, predictor, self.block, &qs);
+        let nthreads = pressio_core::threads::resolve(self.nthreads);
+        let qs = codec::predict_and_quantize_par(
+            &values, &dims, abs, predictor, self.block, round_f32, nthreads,
+        );
+        let out = codec::assemble_par(dtype, &dims, abs, predictor, self.block, &qs, nthreads);
         if pressio_obs::is_enabled() {
             pressio_obs::add_counter("sz3:compress.bytes_in", input.size_in_bytes() as i64);
             pressio_obs::add_counter("sz3:compress.bytes_out", out.len() as i64);

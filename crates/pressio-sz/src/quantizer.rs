@@ -72,6 +72,21 @@ impl Quantizer {
         recon
     }
 
+    /// An empty quantizer with the same parameters. Parallel encoders
+    /// quantize disjoint regions through forks and splice the streams back
+    /// in canonical order with [`Quantizer::absorb`]; because `quantize`
+    /// has no cross-call state, the spliced streams are identical to a
+    /// single sequential pass.
+    pub fn fork(&self, capacity: usize) -> Quantizer {
+        Quantizer::new(self.eb, self.radius, self.round_f32, capacity)
+    }
+
+    /// Append another quantizer's symbol and verbatim streams.
+    pub fn absorb(&mut self, other: Quantizer) {
+        self.symbols.extend_from_slice(&other.symbols);
+        self.unpredictable.extend_from_slice(&other.unpredictable);
+    }
+
     /// Fraction of points that escaped quantization.
     pub fn unpredictable_ratio(&self) -> f64 {
         if self.symbols.is_empty() {

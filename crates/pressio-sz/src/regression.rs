@@ -138,6 +138,91 @@ pub fn encode(
     (recon, coeffs)
 }
 
+/// Blocks per parallel work item. This only sets scheduling granularity —
+/// the encoded output never depends on it or on the thread count.
+const PAR_GROUP_BLOCKS: usize = 64;
+
+/// Parallel [`encode`]: regression blocks are independent (the fit uses
+/// original values and the prediction uses only the block's own
+/// coefficients), so groups of blocks are quantized through forked
+/// quantizers and the streams spliced back in canonical block order.
+/// Output is byte-identical to the sequential path at any thread count;
+/// `nthreads <= 1` runs [`encode`] directly.
+pub fn encode_par(
+    values: &[f64],
+    dims: &[usize],
+    block: usize,
+    q: &mut Quantizer,
+    nthreads: usize,
+) -> (Vec<f64>, Vec<f32>) {
+    if nthreads <= 1 {
+        return encode(values, dims, block, q);
+    }
+    let [nx, ny, nz] = normalize_dims(dims);
+    debug_assert_eq!(nx * ny * nz, values.len());
+    let nxy = nx * ny;
+    let b = block.max(2);
+    let mut origins = Vec::new();
+    for oz in (0..nz.max(1)).step_by(b) {
+        for oy in (0..ny.max(1)).step_by(b) {
+            for ox in (0..nx.max(1)).step_by(b) {
+                origins.push((ox, oy, oz));
+            }
+        }
+    }
+    let groups = pressio_core::threads::par_chunks(
+        nthreads,
+        &origins,
+        PAR_GROUP_BLOCKS,
+        |_, group: &[(usize, usize, usize)]| {
+            let mut lq = q.fork(group.len() * b * b * b);
+            let mut coeffs = Vec::with_capacity(4 * group.len());
+            let mut entries = Vec::with_capacity(group.len() * b * b * b);
+            for &(ox, oy, oz) in group {
+                let bx = b.min(nx - ox);
+                let by = b.min(ny - oy);
+                let bz = b.min(nz - oz);
+                let c = fit_block(values, nx, nxy, ox, oy, oz, bx, by, bz);
+                coeffs.extend_from_slice(&c);
+                for z in 0..bz {
+                    for y in 0..by {
+                        for x in 0..bx {
+                            let idx = (oz + z) * nxy + (oy + y) * nx + (ox + x);
+                            let pred = c[0] as f64
+                                + c[1] as f64 * x as f64
+                                + c[2] as f64 * y as f64
+                                + c[3] as f64 * z as f64;
+                            entries.push(lq.quantize(pred, values[idx]));
+                        }
+                    }
+                }
+            }
+            (coeffs, lq, entries)
+        },
+    );
+    let mut recon = vec![0.0f64; values.len()];
+    let mut coeffs = Vec::with_capacity(4 * origins.len());
+    for (origin_group, (c, lq, entries)) in origins.chunks(PAR_GROUP_BLOCKS).zip(groups) {
+        coeffs.extend_from_slice(&c);
+        q.absorb(lq);
+        let mut it = entries.into_iter();
+        for &(ox, oy, oz) in origin_group {
+            let bx = b.min(nx - ox);
+            let by = b.min(ny - oy);
+            let bz = b.min(nz - oz);
+            for z in 0..bz {
+                for y in 0..by {
+                    for x in 0..bx {
+                        let idx = (oz + z) * nxy + (oy + y) * nx + (ox + x);
+                        recon[idx] = it.next().expect("entry per element");
+                    }
+                }
+            }
+        }
+    }
+    (recon, coeffs)
+}
+
 /// Reconstruct a regression-coded buffer from the coefficient stream.
 pub fn decode(
     dims: &[usize],
@@ -269,6 +354,29 @@ mod tests {
         let (_, coeffs) = encode(&values, &[8, 8], 4, &mut q);
         let mut dq = Dequantizer::new(1e-3, 32768, false, &q.symbols, &q.unpredictable);
         assert!(decode(&[8, 8], 4, &coeffs[..coeffs.len() - 4], &mut dq).is_err());
+    }
+
+    #[test]
+    fn parallel_encode_matches_sequential() {
+        let (nx, ny, nz) = (25, 19, 5);
+        let values: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| {
+                let x = (i % nx) as f64;
+                let y = ((i / nx) % ny) as f64;
+                (x * 0.31).sin() + (y * 0.17).cos() * 0.4 + (i as f64) * 1e-4
+            })
+            .collect();
+        let dims = [nx, ny, nz];
+        let mut sq = Quantizer::new(1e-3, 32768, false, values.len());
+        let (srecon, scoef) = encode(&values, &dims, 6, &mut sq);
+        for threads in [2usize, 3, 7] {
+            let mut pq = Quantizer::new(1e-3, 32768, false, values.len());
+            let (precon, pcoef) = encode_par(&values, &dims, 6, &mut pq, threads);
+            assert_eq!(srecon, precon, "threads={threads}");
+            assert_eq!(scoef, pcoef, "threads={threads}");
+            assert_eq!(sq.symbols, pq.symbols, "threads={threads}");
+            assert_eq!(sq.unpredictable, pq.unpredictable, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property-based parity for the parallel SZ encode path: for arbitrary
+//! dims/dtypes/bounds/predictors, compressing with 2/3/7 intra-task
+//! threads must produce **byte-identical** output to the sequential path
+//! (group boundaries are format constants, not thread-count-dependent),
+//! and the error bound must hold on the round trip.
+
+use pressio_core::{Compressor, Data, Dtype, Options};
+use pressio_sz::SzCompressor;
+use proptest::prelude::*;
+use proptest::strategy;
+
+fn dims_strategy() -> strategy::OneOf<Vec<usize>> {
+    prop_oneof![
+        (100usize..3000).prop_map(|n| vec![n]),
+        ((5usize..50), (5usize..50)).prop_map(|(a, b)| vec![a, b]),
+        ((3usize..14), (3usize..14), (3usize..14)).prop_map(|(a, b, c)| vec![a, b, c]),
+    ]
+}
+
+/// Deterministic synthetic field: smooth signal plus seeded noise.
+fn synth(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|i| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (i as f64 * 0.017).cos() * 5.0 + noise * 0.3
+        })
+        .collect()
+}
+
+fn make_data(dims: &[usize], seed: u64, f32_input: bool) -> (Data, Dtype) {
+    let n: usize = dims.iter().product();
+    let values = synth(n, seed);
+    if f32_input {
+        (
+            Data::from_f32(
+                dims.to_vec(),
+                values.into_iter().map(|v| v as f32).collect(),
+            ),
+            Dtype::F32,
+        )
+    } else {
+        (Data::from_f64(dims.to_vec(), values), Dtype::F64)
+    }
+}
+
+fn sz_with(predictor: &str, abs: f64, threads: u64) -> SzCompressor {
+    let mut sz = SzCompressor::new();
+    sz.set_options(
+        &Options::new()
+            .with("sz3:predictor", predictor)
+            .with("pressio:abs", abs)
+            .with("pressio:nthreads", threads),
+    )
+    .unwrap();
+    sz
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_encode_is_byte_identical(
+        dims in dims_strategy(),
+        seed in any::<u64>(),
+        f32_input in any::<bool>(),
+        eb_exp in 2u32..6,
+        predictor_pick in 0usize..4,
+    ) {
+        let (data, dtype) = make_data(&dims, seed, f32_input);
+        let abs = 10f64.powi(-(eb_exp as i32));
+        // regression is the parallelized predictor; the others must pass
+        // through the thread knob untouched
+        let predictor = ["regression", "lorenzo", "interp", "auto"][predictor_pick];
+
+        let sequential = sz_with(predictor, abs, 1).compress(&data).unwrap();
+        let reference = sz_with(predictor, abs, 1)
+            .decompress(&sequential, dtype, &dims)
+            .unwrap();
+        for threads in [2u64, 3, 7] {
+            let sz = sz_with(predictor, abs, threads);
+            let parallel = sz.compress(&data).unwrap();
+            prop_assert!(
+                parallel == sequential,
+                "{threads}-thread encode differs from sequential \
+                 (dims {dims:?}, predictor {predictor}, {} vs {} bytes)",
+                parallel.len(),
+                sequential.len()
+            );
+            let decoded = sz.decompress(&parallel, dtype, &dims).unwrap();
+            prop_assert!(
+                decoded == reference,
+                "{threads}-thread decode differs (dims {dims:?}, predictor {predictor})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_round_trip_honors_error_bound(
+        dims in dims_strategy(),
+        seed in any::<u64>(),
+        eb_exp in 2u32..5,
+    ) {
+        let (data, dtype) = make_data(&dims, seed, false);
+        let abs = 10f64.powi(-(eb_exp as i32));
+        let sz = sz_with("regression", abs, 3);
+        let bytes = sz.compress(&data).unwrap();
+        let restored = sz.decompress(&bytes, dtype, &dims).unwrap();
+        for (a, b) in data
+            .as_f64()
+            .unwrap()
+            .iter()
+            .zip(restored.as_f64().unwrap())
+        {
+            prop_assert!(
+                (a - b).abs() <= abs * (1.0 + 1e-12),
+                "bound {abs:e} violated: |{a} - {b}| = {:e}",
+                (a - b).abs()
+            );
+        }
+    }
+}

@@ -39,7 +39,15 @@ use pressio_core::{Compressor, Data, Dtype, Options};
 use pressio_lossless::{BitReader, BitWriter};
 
 const MAGIC: &[u8; 4] = b"ZFRS";
-const VERSION: u8 = 1;
+/// Legacy container: one continuous bitstream after the header.
+const VERSION_V1: u8 = 1;
+/// Chunked container: per-chunk payload lengths enable parallel decode.
+const VERSION: u8 = 2;
+
+/// Blocks per chunk in the v2 container. This is a *format* constant —
+/// chunk boundaries never depend on the thread count, which is what makes
+/// parallel and sequential encodes byte-identical.
+pub const CHUNK_BLOCKS: usize = 256;
 
 /// The ZFP-like compressor plugin (`id = "zfp"`).
 ///
@@ -48,6 +56,8 @@ const VERSION: u8 = 1;
 /// - `zfp:mode` (`"accuracy" | "precision" | "rate"`, default `"accuracy"`).
 /// - `zfp:precision` (`u64`, planes, default 24) — precision mode only.
 /// - `zfp:rate` (`f64`, bits/value, default 8.0) — rate mode only.
+/// - `pressio:nthreads` (`u64`, default 0 = auto) — intra-task threads;
+///   `1` forces the sequential path, output is identical either way.
 #[derive(Clone, Debug)]
 pub struct ZfpCompressor {
     abs: f64,
@@ -58,6 +68,7 @@ pub struct ZfpCompressor {
     mode: String,
     precision: u32,
     rate: f64,
+    nthreads: Option<usize>,
 }
 
 impl Default for ZfpCompressor {
@@ -68,6 +79,7 @@ impl Default for ZfpCompressor {
             mode: "accuracy".to_string(),
             precision: 24,
             rate: 8.0,
+            nthreads: None,
         }
     }
 }
@@ -191,6 +203,72 @@ fn mode_tag(mode: &str) -> u8 {
     }
 }
 
+/// Number of 4^d blocks along each collapsed axis.
+fn block_grid(nd: &[usize]) -> (usize, usize, usize) {
+    (
+        nd[0].div_ceil(4),
+        nd.get(1).map_or(1, |&n| n.div_ceil(4)),
+        nd.get(2).map_or(1, |&n| n.div_ceil(4)),
+    )
+}
+
+impl ZfpCompressor {
+    /// Shared header prefix (everything before the payload layout, which is
+    /// where v1 and v2 diverge).
+    fn write_header(&self, out: &mut Vec<u8>, version: u8, input: &Data, header_abs: f64) {
+        out.extend_from_slice(MAGIC);
+        out.push(version);
+        out.push(if input.dtype() == Dtype::F32 { 0 } else { 1 });
+        out.push(mode_tag(&self.mode));
+        out.push(input.dims().len() as u8);
+        for &dim in input.dims() {
+            out.extend_from_slice(&(dim as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&header_abs.to_le_bytes());
+        out.extend_from_slice(&(self.precision as u64).to_le_bytes());
+        out.extend_from_slice(&self.rate.to_le_bytes());
+    }
+
+    /// Encode with the legacy v1 container (one continuous bitstream).
+    /// Kept so compatibility tests can mint v1-era streams; new code always
+    /// writes v2.
+    pub fn compress_v1(&self, input: &Data) -> Result<Vec<u8>> {
+        let dtype = input.dtype();
+        if !matches!(dtype, Dtype::F32 | Dtype::F64) {
+            return Err(Error::UnsupportedData(format!(
+                "zfp supports f32/f64, got {}",
+                dtype.name()
+            )));
+        }
+        let values = input.to_f64_vec();
+        let nd = collapse_dims(input.dims());
+        let d = nd.len().clamp(1, 3);
+        let mode = self.effective_mode(&values);
+        let header_abs = match mode {
+            Mode::Accuracy(a) => a,
+            _ => self.abs,
+        };
+        let mut out = Vec::new();
+        self.write_header(&mut out, VERSION_V1, input, header_abs);
+        let mut w = BitWriter::with_capacity(values.len());
+        if !values.is_empty() {
+            let (bx_n, by_n, bz_n) = block_grid(&nd);
+            for bz in 0..bz_n {
+                for by in 0..by_n {
+                    for bx in 0..bx_n {
+                        let blk = gather_block(&values, &nd, d, bx, by, bz);
+                        block::encode_block(&blk, d, mode, &mut w);
+                    }
+                }
+            }
+        }
+        let payload = w.into_bytes();
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+}
+
 impl Compressor for ZfpCompressor {
     fn id(&self) -> &'static str {
         "zfp"
@@ -245,6 +323,9 @@ impl Compressor for ZfpCompressor {
             }
             self.rate = r;
         }
+        if let Some(n) = opts.get_u64_opt("pressio:nthreads")? {
+            self.nthreads = if n == 0 { None } else { Some(n as usize) };
+        }
         Ok(())
     }
 
@@ -255,6 +336,7 @@ impl Compressor for ZfpCompressor {
             .with("zfp:mode", self.mode.as_str())
             .with("zfp:precision", self.precision as u64)
             .with("zfp:rate", self.rate)
+            .with("pressio:nthreads", self.nthreads.unwrap_or(0) as u64)
     }
 
     fn get_configuration(&self) -> Options {
@@ -299,35 +381,42 @@ impl Compressor for ZfpCompressor {
         };
 
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(VERSION);
-        out.push(if dtype == Dtype::F32 { 0 } else { 1 });
-        out.push(mode_tag(&self.mode));
-        out.push(input.dims().len() as u8);
-        for &dim in input.dims() {
-            out.extend_from_slice(&(dim as u64).to_le_bytes());
-        }
-        out.extend_from_slice(&header_abs.to_le_bytes());
-        out.extend_from_slice(&(self.precision as u64).to_le_bytes());
-        out.extend_from_slice(&self.rate.to_le_bytes());
+        self.write_header(&mut out, VERSION, input, header_abs);
 
-        let mut w = BitWriter::with_capacity(values.len());
-        if !values.is_empty() {
-            let bx_n = nd[0].div_ceil(4);
-            let by_n = nd.get(1).map_or(1, |&n| n.div_ceil(4));
-            let bz_n = nd.get(2).map_or(1, |&n| n.div_ceil(4));
-            for bz in 0..bz_n {
-                for by in 0..by_n {
-                    for bx in 0..bx_n {
-                        let blk = gather_block(&values, &nd, d, bx, by, bz);
-                        block::encode_block(&blk, d, mode, &mut w);
-                    }
+        // v2 chunked layout: blocks in canonical linear order are grouped
+        // into fixed-size chunks, each encoded into its own byte-aligned
+        // bitstream. Chunk boundaries are format constants, so the stream
+        // is identical at any thread count.
+        let (bx_n, by_n, bz_n) = block_grid(&nd);
+        let total_blocks = if values.is_empty() {
+            0
+        } else {
+            bx_n * by_n * bz_n
+        };
+        let n_chunks = total_blocks.div_ceil(CHUNK_BLOCKS);
+        let nthreads = pressio_core::threads::resolve(self.nthreads);
+        let chunks: Vec<Vec<u8>> =
+            pressio_core::threads::par_map_indexed(nthreads, n_chunks, |c| {
+                let lo = c * CHUNK_BLOCKS;
+                let hi = ((c + 1) * CHUNK_BLOCKS).min(total_blocks);
+                let mut w = BitWriter::with_capacity(hi - lo);
+                for i in lo..hi {
+                    let bx = i % bx_n;
+                    let by = (i / bx_n) % by_n;
+                    let bz = i / (bx_n * by_n);
+                    let blk = gather_block(&values, &nd, d, bx, by, bz);
+                    block::encode_block(&blk, d, mode, &mut w);
                 }
-            }
+                w.into_bytes()
+            });
+        out.extend_from_slice(&(CHUNK_BLOCKS as u64).to_le_bytes());
+        out.extend_from_slice(&(n_chunks as u64).to_le_bytes());
+        for c in &chunks {
+            out.extend_from_slice(&(c.len() as u64).to_le_bytes());
         }
-        let payload = w.into_bytes();
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&payload);
+        for c in &chunks {
+            out.extend_from_slice(c);
+        }
         if pressio_obs::is_enabled() {
             pressio_obs::add_counter("zfp:compress.bytes_in", input.size_in_bytes() as i64);
             pressio_obs::add_counter("zfp:compress.bytes_out", out.len() as i64);
@@ -351,7 +440,8 @@ impl Compressor for ZfpCompressor {
         if get(&mut pos, 4)? != MAGIC {
             return Err(Error::CorruptStream("bad zfp magic".into()));
         }
-        if get(&mut pos, 1)?[0] != VERSION {
+        let version = get(&mut pos, 1)?[0];
+        if version != VERSION_V1 && version != VERSION {
             return Err(Error::CorruptStream("unknown zfp version".into()));
         }
         let stored_dtype = if get(&mut pos, 1)?[0] == 0 {
@@ -393,27 +483,72 @@ impl Compressor for ZfpCompressor {
                 Mode::Accuracy(abs)
             }
         };
-        let payload_len = u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize;
-        let payload = compressed
-            .get(pos..pos + payload_len)
-            .ok_or_else(|| Error::CorruptStream("truncated zfp payload".into()))?;
-
         let nd = collapse_dims(dims);
         let d = nd.len().clamp(1, 3);
         let n: usize = dims.iter().product();
         let mut values = vec![0.0f64; n];
-        if n > 0 {
-            let mut r = BitReader::new(payload);
-            let bx_n = nd[0].div_ceil(4);
-            let by_n = nd.get(1).map_or(1, |&v| v.div_ceil(4));
-            let bz_n = nd.get(2).map_or(1, |&v| v.div_ceil(4));
-            for bz in 0..bz_n {
-                for by in 0..by_n {
-                    for bx in 0..bx_n {
-                        let blk = block::decode_block(&mut r, d, mode)
-                            .map_err(|e| Error::CorruptStream(e.to_string()))?;
-                        scatter_block(&blk, &mut values, &nd, d, bx, by, bz);
+        let (bx_n, by_n, bz_n) = block_grid(&nd);
+        if version == VERSION_V1 {
+            let payload_len = u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize;
+            let payload = compressed
+                .get(pos..pos + payload_len)
+                .ok_or_else(|| Error::CorruptStream("truncated zfp payload".into()))?;
+            if n > 0 {
+                let mut r = BitReader::new(payload);
+                for bz in 0..bz_n {
+                    for by in 0..by_n {
+                        for bx in 0..bx_n {
+                            let blk = block::decode_block(&mut r, d, mode)
+                                .map_err(|e| Error::CorruptStream(e.to_string()))?;
+                            scatter_block(&blk, &mut values, &nd, d, bx, by, bz);
+                        }
                     }
+                }
+            }
+        } else {
+            // v2: per-chunk payload lengths let every chunk decode
+            // independently (and therefore in parallel)
+            let chunk_blocks = u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize;
+            let n_chunks = u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize;
+            let total_blocks = if n == 0 { 0 } else { bx_n * by_n * bz_n };
+            if chunk_blocks == 0 || n_chunks != total_blocks.div_ceil(chunk_blocks) {
+                return Err(Error::CorruptStream("bad zfp chunk table".into()));
+            }
+            let mut offsets = Vec::with_capacity(n_chunks + 1);
+            offsets.push(0usize);
+            for _ in 0..n_chunks {
+                let len = u64::from_le_bytes(get(&mut pos, 8)?.try_into().unwrap()) as usize;
+                let next = offsets
+                    .last()
+                    .unwrap()
+                    .checked_add(len)
+                    .ok_or_else(|| Error::CorruptStream("zfp chunk table overflow".into()))?;
+                offsets.push(next);
+            }
+            let payload = compressed
+                .get(pos..pos + offsets[n_chunks])
+                .ok_or_else(|| Error::CorruptStream("truncated zfp payload".into()))?;
+            let nthreads = pressio_core::threads::resolve(self.nthreads);
+            let decoded: Vec<Result<Vec<Vec<f64>>>> =
+                pressio_core::threads::par_map_indexed(nthreads, n_chunks, |c| {
+                    let lo = c * chunk_blocks;
+                    let hi = ((c + 1) * chunk_blocks).min(total_blocks);
+                    let mut r = BitReader::new(&payload[offsets[c]..offsets[c + 1]]);
+                    (lo..hi)
+                        .map(|_| {
+                            block::decode_block(&mut r, d, mode)
+                                .map_err(|e| Error::CorruptStream(e.to_string()))
+                        })
+                        .collect()
+                });
+            for (c, chunk) in decoded.into_iter().enumerate() {
+                let lo = c * chunk_blocks;
+                for (k, blk) in chunk?.into_iter().enumerate() {
+                    let i = lo + k;
+                    let bx = i % bx_n;
+                    let by = (i / bx_n) % by_n;
+                    let bz = i / (bx_n * by_n);
+                    scatter_block(&blk, &mut values, &nd, d, bx, by, bz);
                 }
             }
         }
@@ -594,6 +729,53 @@ mod tests {
         assert!(zfp
             .set_options(&Options::new().with("pressio:rel", f64::NAN))
             .is_err());
+    }
+
+    #[test]
+    fn v1_streams_still_decode() {
+        // 64×64×16 → 1024 blocks → 4 chunks in v2; both containers must
+        // reconstruct the same values
+        let data = field(64, 64, 16);
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(&Options::new().with("pressio:abs", 1e-3))
+            .unwrap();
+        let v1 = zfp.compress_v1(&data).unwrap();
+        let v2 = zfp.compress(&data).unwrap();
+        assert_eq!(v1[4], 1);
+        assert_eq!(v2[4], 2);
+        let out1 = zfp.decompress(&v1, Dtype::F32, data.dims()).unwrap();
+        let out2 = zfp.decompress(&v2, Dtype::F32, data.dims()).unwrap();
+        assert_eq!(out1.as_f32().unwrap(), out2.as_f32().unwrap());
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical() {
+        let data = field(33, 29, 9);
+        let mut zfp = ZfpCompressor::new();
+        zfp.set_options(
+            &Options::new()
+                .with("pressio:abs", 1e-4)
+                .with("pressio:nthreads", 1u64),
+        )
+        .unwrap();
+        let seq = zfp.compress(&data).unwrap();
+        zfp.set_options(&Options::new().with("pressio:nthreads", 3u64))
+            .unwrap();
+        let par = zfp.compress(&data).unwrap();
+        assert_eq!(seq, par);
+        let out = zfp.decompress(&par, Dtype::F32, data.dims()).unwrap();
+        assert_eq!(out.dims(), data.dims());
+    }
+
+    #[test]
+    fn corrupt_chunk_table_errors() {
+        let data = field(8, 8, 4);
+        let zfp = ZfpCompressor::new();
+        let mut c = zfp.compress(&data).unwrap();
+        // chunk_blocks field sits right after the fixed header; zero it
+        let chunk_off = 4 + 1 + 1 + 1 + 1 + 3 * 8 + 8 + 8 + 8;
+        c[chunk_off..chunk_off + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(zfp.decompress(&c, Dtype::F32, data.dims()).is_err());
     }
 
     #[test]

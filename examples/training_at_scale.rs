@@ -21,15 +21,17 @@ fn truth_tasks(datasets: &[(String, Data)]) -> Vec<Task> {
     datasets
         .iter()
         .enumerate()
-        .map(|(i, (name, _))| Task {
-            id: hash_options_hex(
-                &Options::new()
-                    .with("task", "truth")
-                    .with("dataset", name.as_str())
-                    .with("pressio:abs", 1e-4),
-            ),
-            affinity_key: i as u64,
-            config: Options::new().with("index", i as u64),
+        .map(|(i, (name, _))| {
+            Task::new(
+                hash_options_hex(
+                    &Options::new()
+                        .with("task", "truth")
+                        .with("dataset", name.as_str())
+                        .with("pressio:abs", 1e-4),
+                ),
+                i as u64,
+                Options::new().with("index", i as u64),
+            )
         })
         .collect()
 }

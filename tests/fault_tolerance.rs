@@ -29,10 +29,12 @@ fn fields(n: usize) -> Arc<Vec<Data>> {
 
 fn tasks(n: usize) -> Vec<Task> {
     (0..n)
-        .map(|i| Task {
-            id: format!("truth-{i:03}"),
-            affinity_key: i as u64,
-            config: Options::new().with("index", i as u64),
+        .map(|i| {
+            Task::new(
+                format!("truth-{i:03}"),
+                i as u64,
+                Options::new().with("index", i as u64),
+            )
         })
         .collect()
 }

@@ -1,43 +1,389 @@
-//! Minimal offline stand-in for `rayon`.
+//! Minimal offline stand-in for `rayon`, now thread-backed.
 //!
-//! No crate in this workspace currently calls into rayon (the dependency is
-//! declared for future parallelism work), so this stub only provides
-//! [`join`] and [`scope`] with *sequential* semantics. If real parallel
-//! iterators are needed later, extend this crate or restore the real
-//! dependency once the build environment has registry access.
+//! Provides a real work-splitting implementation of the small API surface
+//! this workspace uses: [`join`], [`scope`], plus the convenience helpers
+//! [`par_chunks`] and [`par_map`]. Work runs on a lazily-created global
+//! pool (`available_parallelism() - 1` workers plus the calling thread),
+//! scopes block until every spawned job finishes (work-helping while they
+//! wait, so nested scopes cannot deadlock the fixed-size pool), and panics
+//! from spawned jobs propagate to the scope caller via `resume_unwind`.
+//!
+//! The API intentionally mirrors rayon's `join`/`scope` shape so callers
+//! don't change if the real dependency is ever restored.
 
-/// Run both closures (sequentially here) and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool state: a FIFO queue drained by the workers and by threads
+/// blocked in [`scope`] (work-helping).
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
 }
 
-/// A scope for spawned work. The stub runs everything inline.
+struct Pool {
+    state: Arc<PoolState>,
+    workers: usize,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Pool {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let state = state.clone();
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawn rayon worker");
+        }
+        Pool { state, workers }
+    }
+
+    fn push(&self, job: Job) {
+        let mut q = self.state.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job);
+        drop(q);
+        self.state.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        let mut q = self.state.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut q = state.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = state.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // A panicking job must not kill the worker; the panic payload is
+        // captured by the owning scope's latch before the job box runs.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Pool::new(n.saturating_sub(1))
+    })
+}
+
+/// Number of threads that can make progress concurrently: the pool workers
+/// plus the calling thread (which work-helps while blocked in a scope).
+pub fn current_num_threads() -> usize {
+    pool().workers + 1
+}
+
+/// Completion latch for one scope: counts outstanding jobs and stores the
+/// first panic payload observed.
+struct Latch {
+    remaining: AtomicUsize,
+    done: Condvar,
+    lock: Mutex<()>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            remaining: AtomicUsize::new(0),
+            done: Condvar::new(),
+            lock: Mutex::new(()),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn job_finished(&self, payload: Option<Box<dyn Any + Send>>) {
+        if let Some(p) = payload {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A scope for spawned work; every spawn is guaranteed to complete before
+/// [`scope`] returns, which is what makes the `'s` borrows sound.
 pub struct Scope<'s> {
+    latch: Arc<Latch>,
     _marker: std::marker::PhantomData<&'s ()>,
 }
 
 impl<'s> Scope<'s> {
-    /// Run `f` immediately (inline "spawn").
-    pub fn spawn<F: FnOnce(&Scope<'s>)>(&self, f: F) {
-        f(self);
+    /// Queue `f` on the pool. The closure may borrow from the enclosing
+    /// scope (`'s`): the lifetime is erased when boxing the job, which is
+    /// sound because `scope` blocks until the latch drains.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'s>) + Send + 's,
+    {
+        self.latch.remaining.fetch_add(1, Ordering::AcqRel);
+        let latch = self.latch.clone();
+        let scope_copy = Scope {
+            latch: self.latch.clone(),
+            _marker: std::marker::PhantomData,
+        };
+        let job: Box<dyn FnOnce() + Send + 's> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| f(&scope_copy)));
+            latch.job_finished(result.err());
+        });
+        // SAFETY: `scope` does not return until `latch.remaining` hits zero,
+        // so every borrow with lifetime `'s` inside the job outlives the job.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        pool().push(job);
     }
 }
 
-/// Create a scope; the stub executes spawns inline so the scope-exit
-/// barrier is trivially satisfied.
+/// Create a scope, run `f`, and block until all spawned jobs complete.
+/// While blocked, the calling thread helps drain the pool queue so nested
+/// scopes on a saturated pool still make progress. The first panic from
+/// `f` or any spawned job is re-raised here.
 pub fn scope<'s, F, R>(f: F) -> R
 where
     F: FnOnce(&Scope<'s>) -> R,
 {
-    f(&Scope {
+    let latch = Arc::new(Latch::new());
+    let s = Scope {
+        latch: latch.clone(),
         _marker: std::marker::PhantomData,
-    })
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+
+    // Work-help until every spawned job has finished.
+    while latch.remaining.load(Ordering::Acquire) > 0 {
+        if let Some(job) = pool().try_pop() {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        } else {
+            let g = latch.lock.lock().unwrap_or_else(|e| e.into_inner());
+            if latch.remaining.load(Ordering::Acquire) > 0 {
+                // Short timeout: a job we could help with may appear in the
+                // queue without this latch being notified.
+                let _ = latch
+                    .done
+                    .wait_timeout(g, Duration::from_millis(1))
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    let panicked = latch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match result {
+        Ok(r) => {
+            if let Some(p) = panicked {
+                resume_unwind(p);
+            }
+            r
+        }
+        Err(p) => resume_unwind(p),
+    }
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join: spawned half completed"))
+}
+
+/// Map `f` over fixed-size chunks of `items` in parallel; results come back
+/// in chunk order. `f` receives `(chunk_index, chunk)`. Chunk boundaries
+/// are exactly `items.chunks(chunk_len)` regardless of thread count, so a
+/// caller that splices the results reproduces the sequential output.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = items.len().div_ceil(chunk_len);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n_chunks);
+    out.resize_with(n_chunks, || None);
+    scope(|s| {
+        for ((i, chunk), slot) in items.chunks(chunk_len).enumerate().zip(out.iter_mut()) {
+            let f = &f;
+            s.spawn(move |_| *slot = Some(f(i, chunk)));
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("par_chunks: chunk completed"))
+        .collect()
+}
+
+/// Map `f` over indices `0..n` in parallel, returning results in index
+/// order. Splitting is depth-capped: at most `4 × current_num_threads()`
+/// tasks are created, each covering a contiguous index range.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_tasks = current_num_threads() * 4;
+    let per_task = n.div_ceil(max_tasks).max(1);
+    let n_tasks = n.div_ceil(per_task);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(n_tasks);
+    out.resize_with(n_tasks, Vec::new);
+    scope(|s| {
+        for (t, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                let lo = t * per_task;
+                let hi = ((t + 1) * per_task).min(n);
+                *slot = (lo..hi).map(f).collect();
+            });
+        }
+    });
+    out.into_iter().flatten().collect()
 }
 
 /// Prelude matching `rayon::prelude` imports (empty: no parallel iterator
 /// traits are used in this workspace).
 pub mod prelude {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nested() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn scope_runs_all_spawns() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_spawns_can_nest() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 4];
+        scope(|s| {
+            for (slot, &v) in sums.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = v * 10);
+            }
+        });
+        assert_eq!(sums, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn spawn_panic_propagates() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // the pool must still be usable afterwards
+        let (a, b) = join(|| 5, || 6);
+        assert_eq!(a + b, 11);
+    }
+
+    #[test]
+    fn par_chunks_preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let sums = par_chunks(&items, 64, |i, c| (i, c.iter().sum::<u32>()));
+        assert_eq!(sums.len(), 16);
+        for (k, (i, _)) in sums.iter().enumerate() {
+            assert_eq!(k, *i);
+        }
+        let total: u32 = sums.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let par = par_map(257, |i| i * i);
+        let seq: Vec<usize> = (0..257).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u8> = par_map(0, |_| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn deep_nesting_does_not_deadlock() {
+        // more nested scopes than pool threads: work-helping must drain them
+        fn recurse(depth: usize) -> usize {
+            if depth == 0 {
+                return 1;
+            }
+            let (a, b) = join(|| recurse(depth - 1), || recurse(depth - 1));
+            a + b
+        }
+        assert_eq!(recurse(6), 64);
+    }
+}
