@@ -11,6 +11,9 @@
 //!   single-node analog of the LibDistributed MPI queue).
 //! - [`experiment`] — the k-fold cross-validated Table 2 driver with
 //!   per-stage timing and checkpointed ground-truth collection.
+//! - [`affinity`] — the data-affinity vs round-robin scheduling ablation,
+//!   shared by the `ablation_affinity` binary and `pressio bench
+//!   --ablation affinity`.
 //!
 //! ```no_run
 //! use pressio_bench_infra::experiment::{format_table2, run_table2, Table2Config};
@@ -23,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod experiment;
 pub mod queue;
 pub mod store;
 
+pub use affinity::{format_affinity, run_affinity_ablation, AffinityConfig, AffinityReport};
 pub use experiment::{format_table2, run_table2, BaselineRow, MethodRow, Table2, Table2Config};
 pub use queue::{
     run_tasks, run_tasks_dynamic, DynamicOutcome, DynamicWorkerFn, PoolConfig, PoolStats,

@@ -1,0 +1,223 @@
+//! Serving-path bench: cold prediction latency (feature extraction on
+//! every request) vs cache-hit latency (content-hash hit in the prediction
+//! cache), plus multi-client batched throughput. Writes a
+//! `BENCH_serve.json` summary to the repo root so CI and readers get the
+//! cache speedup without parsing bench output.
+
+use criterion::{criterion_group, Criterion};
+use pressio_core::timing::MeanStd;
+use pressio_core::{Data, Options};
+use pressio_dataset::{DatasetPlugin, Hurricane};
+use pressio_serve::{Client, Endpoint, ServeConfig, Server, ServerHandle};
+use std::cell::Cell;
+use std::time::Instant;
+
+const DIMS: (usize, usize, usize) = (16, 16, 8);
+
+fn start_server() -> ServerHandle {
+    let dir = std::env::temp_dir().join(format!("pressio_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = ServeConfig::new(Endpoint::Tcp("127.0.0.1:0".into()), dir.join("models"));
+    config.workers = 2;
+    let handle = Server::start(config).expect("start server");
+    // train once: every predict below goes through this resident model
+    let mut client = Client::connect(handle.endpoint()).expect("connect");
+    let trained = client
+        .call(
+            &Options::new()
+                .with("serve:op", "train")
+                .with("serve:model", "bench")
+                .with("serve:scheme", "rahman2023")
+                .with("serve:dims", vec![8u64, 8, 4])
+                .with("serve:timesteps", 1u64)
+                .with("serve:bounds", vec![1e-4]),
+        )
+        .expect("train");
+    assert_eq!(
+        trained.get_str("serve:type").unwrap(),
+        "trained",
+        "{trained}"
+    );
+    handle
+}
+
+fn sample_field() -> Data {
+    Hurricane::with_dims(DIMS.0, DIMS.1, DIMS.2, 1)
+        .load_data(0)
+        .unwrap()
+}
+
+/// A fresh buffer per call: unique content hash, so every request is a
+/// full cold miss (feature extraction runs).
+fn perturbed(base: &Data, salt: u64) -> Data {
+    let mut values = base.to_f64_vec();
+    values[0] += 1e-3 * (salt as f64 + 1.0);
+    Data::from_f64(base.dims().to_vec(), values)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let handle = start_server();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    let base = sample_field();
+    let extra = Options::new().with("pressio:abs", 1e-4);
+
+    let mut group = c.benchmark_group("serve");
+    let salt = Cell::new(0u64);
+    group.bench_function("predict_cold", |b| {
+        b.iter(|| {
+            salt.set(salt.get() + 1);
+            let data = perturbed(&base, salt.get());
+            let resp = client.predict("bench", &data, &extra).unwrap();
+            assert_eq!(resp.get_str("serve:type").unwrap(), "prediction");
+        })
+    });
+    // warm the caches once, then every request is a prediction-cache hit
+    client.predict("bench", &base, &extra).unwrap();
+    group.bench_function("predict_cache_hit", |b| {
+        b.iter(|| {
+            let resp = client.predict("bench", &base, &extra).unwrap();
+            assert!(resp.get_bool("serve:cached").unwrap());
+        })
+    });
+    group.finish();
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+
+// ---- BENCH_serve.json summary ----------------------------------------------
+
+#[derive(serde::Serialize)]
+struct Stat {
+    mean_ms: f64,
+    std_ms: f64,
+    samples: u64,
+}
+
+impl From<&MeanStd> for Stat {
+    fn from(m: &MeanStd) -> Stat {
+        Stat {
+            mean_ms: m.mean(),
+            std_ms: m.std(),
+            samples: m.count(),
+        }
+    }
+}
+
+#[derive(serde::Serialize)]
+struct Throughput {
+    clients: usize,
+    requests: u64,
+    elapsed_s: f64,
+    requests_per_s: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Summary {
+    transport: String,
+    dims: Vec<usize>,
+    workers: usize,
+    cold: Stat,
+    cache_hit: Stat,
+    /// cold mean / cache-hit mean (> 1: the cache pays for itself).
+    cache_speedup: f64,
+    throughput: Throughput,
+}
+
+fn measure(samples: usize, mut f: impl FnMut()) -> MeanStd {
+    f(); // warm-up
+    let mut agg = MeanStd::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        agg.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    agg
+}
+
+fn write_summary() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    let base = sample_field();
+    let extra = Options::new().with("pressio:abs", 1e-4);
+    let samples = 20;
+
+    let mut salt = 0u64;
+    let cold = measure(samples, || {
+        salt += 1;
+        let data = perturbed(&base, salt);
+        criterion::black_box(client.predict("bench", &data, &extra).unwrap());
+    });
+
+    client.predict("bench", &base, &extra).unwrap(); // warm the caches
+    let hit = measure(samples, || {
+        criterion::black_box(client.predict("bench", &base, &extra).unwrap());
+    });
+
+    // batched throughput: several clients hammering one model; same-model
+    // requests batch inside the pipeline
+    let clients = 4usize;
+    let per_client = 50u64;
+    let endpoint = handle.endpoint().clone();
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|ci| {
+            let endpoint = endpoint.clone();
+            let base = base.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&endpoint).unwrap();
+                let extra = Options::new().with("pressio:abs", 1e-4);
+                for i in 0..per_client {
+                    // small working set: mostly cache hits, some misses
+                    let data = perturbed(&base, (ci as u64 * per_client + i) % 8);
+                    let resp = client.predict("bench", &data, &extra).unwrap();
+                    assert_eq!(resp.get_str("serve:type").unwrap(), "prediction");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let requests = clients as u64 * per_client;
+
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+
+    let summary = Summary {
+        transport: "tcp".into(),
+        dims: vec![DIMS.0, DIMS.1, DIMS.2],
+        workers: 2,
+        cache_speedup: cold.mean() / hit.mean(),
+        cold: Stat::from(&cold),
+        cache_hit: Stat::from(&hit),
+        throughput: Throughput {
+            clients,
+            requests,
+            elapsed_s,
+            requests_per_s: requests as f64 / elapsed_s,
+        },
+    };
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_serve.json");
+    println!("\nwrote {}", path.display());
+    println!(
+        "  cold {:8.3} ms  cache-hit {:8.3} ms  speedup {:.1}x  throughput {:.0} req/s",
+        summary.cold.mean_ms,
+        summary.cache_hit.mean_ms,
+        summary.cache_speedup,
+        summary.throughput.requests_per_s
+    );
+}
+
+fn main() {
+    benches();
+    write_summary();
+}

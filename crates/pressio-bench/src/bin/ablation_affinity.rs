@@ -1,96 +1,17 @@
-//! Ablation: data-affinity scheduling vs round-robin (paper §4.3 — "we
-//! attempt to schedule as many jobs with the same data to the same
-//! workers"). Tasks simulate a load-then-compute pattern where each worker
-//! pays a load cost the first time it touches a dataset; the report shows
-//! distinct-load counts and wall time under both policies.
+//! Ablation: data-affinity scheduling vs round-robin (paper §4.3). Thin
+//! wrapper over [`pressio_bench_infra::affinity`], which `pressio bench
+//! --ablation affinity` also drives.
 
 use pressio_bench::BenchArgs;
-use pressio_bench_infra::queue::{run_tasks, PoolConfig, Scheduling, Task};
-use pressio_core::{Data, Options};
-use pressio_dataset::{DatasetPlugin, Hurricane};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use pressio_bench_infra::affinity::{format_affinity, run_affinity_ablation, AffinityConfig};
 
 fn main() {
-    let mut args = BenchArgs::parse(std::env::args().skip(1));
-    // scheduling semantics need several workers even on a single core
-    args.workers = args.workers.max(4);
-    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, 2);
-    let n_data = hurricane.len().min(if args.quick { 6 } else { 13 });
-    let datasets: Arc<Vec<Data>> = Arc::new(
-        (0..n_data)
-            .map(|i| hurricane.load_data(i).unwrap())
-            .collect(),
-    );
-    // several error bounds per dataset: the repeated-data workload
-    let bounds = [1e-6, 1e-5, 1e-4, 1e-3];
-    let tasks: Vec<Task> = (0..n_data)
-        .flat_map(|di| {
-            bounds.iter().enumerate().map(move |(bi, &abs)| {
-                Task::new(
-                    format!("d{di:02}b{bi}"),
-                    di as u64,
-                    Options::new()
-                        .with("dataset", di as u64)
-                        .with("pressio:abs", abs),
-                )
-            })
-        })
-        .collect();
-
-    println!("# Ablation: data-affinity vs round-robin scheduling\n");
-    println!(
-        "{} tasks = {} datasets x {} bounds, {} workers",
-        tasks.len(),
-        n_data,
-        bounds.len(),
-        args.workers
-    );
-    for scheduling in [Scheduling::DataAffinity, Scheduling::RoundRobin] {
-        // per-worker "loaded dataset" caches: first touch costs a deep copy
-        let caches: Arc<Vec<Mutex<HashMap<u64, Data>>>> = Arc::new(
-            (0..args.workers)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
-        );
-        let ds = datasets.clone();
-        let cs = caches.clone();
-        let t0 = Instant::now();
-        let (outcomes, stats) = run_tasks(
-            tasks.clone(),
-            PoolConfig {
-                workers: args.workers,
-                scheduling,
-                max_attempts: 1,
-            },
-            Arc::new(move |task: &Task, w| {
-                let di = task.config.get_u64("dataset")? as usize;
-                let abs = task.config.get_f64("pressio:abs")?;
-                let mut cache = cs[w].lock().unwrap();
-                // simulated load: deep-copy into the worker-local cache
-                let data = cache
-                    .entry(di as u64)
-                    .or_insert_with(|| ds[di].clone())
-                    .clone();
-                // the compute: a khan-style fast estimate
-                let scheme = pressio_predict::schemes::KhanScheme::default();
-                let mut sz = pressio_sz::SzCompressor::new();
-                pressio_core::Compressor::set_options(
-                    &mut sz,
-                    &Options::new().with("pressio:abs", abs),
-                )?;
-                pressio_predict::Scheme::error_dependent_features(&scheme, &data, &sz)
-            }),
-        );
-        let elapsed = t0.elapsed().as_secs_f64();
-        assert!(outcomes.iter().all(|o| o.result.is_ok()));
-        println!(
-            "{scheduling:?}: {:.2}s, distinct dataset loads = {} (per-worker {:?})",
-            elapsed,
-            stats.total_loads(),
-            stats.distinct_keys_per_worker
-        );
-    }
-    println!("\nshape check: affinity performs ~1 load per dataset; round-robin up to workers x datasets");
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    let report = run_affinity_ablation(&AffinityConfig {
+        dims: args.dims,
+        workers: args.workers,
+        quick: args.quick,
+    })
+    .expect("affinity ablation failed");
+    print!("{}", format_affinity(&report));
 }

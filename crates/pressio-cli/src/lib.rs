@@ -12,6 +12,9 @@
 //! pressio decompress -i U.szr -o restored_64x64x32.f32 -c sz3
 //! pressio predict -i U_64x64x32.f32 -c sz3 --scheme khan2023 --abs 1e-4
 //! pressio bench --dims 32,32,16 --timesteps 2 --trace /tmp/bench.jsonl
+//! pressio bench --ablation affinity --dims 16,16,8    # scheduling ablation
+//! pressio serve --socket /tmp/pressio.sock --models /tmp/models
+//! pressio query --socket /tmp/pressio.sock --op ping
 //! ```
 //!
 //! Raw files carry their shape in the filename (`NAME_NXxNY[...].f32`), so
@@ -80,7 +83,8 @@ pub enum Command {
         verify: bool,
     },
     /// Run the Table-2 benchmark pipeline on a synthetic hurricane,
-    /// optionally writing a structured JSONL trace.
+    /// optionally writing a structured JSONL trace — or one of the
+    /// ablations via `--ablation`.
     Bench {
         /// Grid dims.
         dims: (usize, usize, usize),
@@ -90,6 +94,49 @@ pub enum Command {
         workers: usize,
         /// Observability trace output path.
         trace: Option<PathBuf>,
+        /// Named ablation to run instead of the Table-2 pipeline
+        /// (currently: `affinity`).
+        ablation: Option<String>,
+    },
+    /// Run the online prediction daemon.
+    Serve {
+        /// Where to listen.
+        endpoint: pressio_serve::Endpoint,
+        /// Model store directory.
+        models: PathBuf,
+        /// Prediction worker threads.
+        workers: usize,
+        /// Bounded request-queue capacity.
+        queue: usize,
+        /// Largest same-model batch.
+        batch: usize,
+        /// Entry bound for each cache.
+        cache: usize,
+        /// Default per-request deadline in milliseconds.
+        deadline_ms: u64,
+        /// Observability trace output path.
+        trace: Option<PathBuf>,
+    },
+    /// Send one request to a running daemon and print the JSON response.
+    Query {
+        /// Daemon to talk to.
+        endpoint: pressio_serve::Endpoint,
+        /// Operation: ping, stats, models, load, train, predict, shutdown.
+        op: String,
+        /// Model reference `name[@version]` (load/train/predict).
+        model: Option<String>,
+        /// Scheme name (train, or model-less predict).
+        scheme: Option<String>,
+        /// Compressor id.
+        compressor: String,
+        /// Raw input file for predict.
+        input: Option<PathBuf>,
+        /// Compressor options (abs/rel/...) forwarded in the request.
+        options: Options,
+        /// Training grid dims.
+        dims: (usize, usize, usize),
+        /// Training timesteps.
+        timesteps: usize,
     },
 }
 
@@ -117,6 +164,16 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let mut workers = 2usize;
     let mut trace: Option<PathBuf> = None;
     let mut options = Options::new();
+    let mut ablation: Option<String> = None;
+    let mut endpoint: Option<pressio_serve::Endpoint> = None;
+    let mut models: Option<PathBuf> = None;
+    let mut queue = 64usize;
+    let mut batch = 8usize;
+    let mut cache = 1024usize;
+    let mut deadline_ms = 10_000u64;
+    let mut op: Option<String> = None;
+    let mut model: Option<String> = None;
+    let mut scheme_given = false;
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
             "-i" | "--input" => input = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
@@ -124,7 +181,10 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
                 output = Some(PathBuf::from(flag_value(&mut args, &arg)?))
             }
             "-c" | "--compressor" => compressor = flag_value(&mut args, &arg)?,
-            "--scheme" => scheme = flag_value(&mut args, &arg)?,
+            "--scheme" => {
+                scheme = flag_value(&mut args, &arg)?;
+                scheme_given = true;
+            }
             "--state" => state = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
             "--verify" => verify = true,
             "--abs" => {
@@ -172,6 +232,41 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
                     .map_err(|_| usage_error("--workers needs a number"))?;
             }
             "--trace" => trace = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
+            "--ablation" => ablation = Some(flag_value(&mut args, &arg)?),
+            "--socket" => {
+                #[cfg(unix)]
+                {
+                    endpoint = Some(pressio_serve::Endpoint::Unix(PathBuf::from(flag_value(
+                        &mut args, &arg,
+                    )?)));
+                }
+                #[cfg(not(unix))]
+                return Err(usage_error("--socket needs a Unix platform; use --tcp"));
+            }
+            "--tcp" => endpoint = Some(pressio_serve::Endpoint::Tcp(flag_value(&mut args, &arg)?)),
+            "--models" => models = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
+            "--queue" => {
+                queue = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--queue needs a number"))?;
+            }
+            "--batch" => {
+                batch = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--batch needs a number"))?;
+            }
+            "--cache" => {
+                cache = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--cache needs a number"))?;
+            }
+            "--deadline" => {
+                deadline_ms = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--deadline needs milliseconds"))?;
+            }
+            "--op" => op = Some(flag_value(&mut args, &arg)?),
+            "--model" => model = Some(flag_value(&mut args, &arg)?),
             "--threads" => {
                 let v: usize = flag_value(&mut args, &arg)?
                     .parse()
@@ -220,6 +315,28 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             timesteps,
             workers,
             trace,
+            ablation,
+        }),
+        "serve" => Ok(Command::Serve {
+            endpoint: endpoint.ok_or_else(|| usage_error("serve requires --socket or --tcp"))?,
+            models: models.ok_or_else(|| usage_error("serve requires --models <dir>"))?,
+            workers,
+            queue,
+            batch,
+            cache,
+            deadline_ms,
+            trace,
+        }),
+        "query" => Ok(Command::Query {
+            endpoint: endpoint.ok_or_else(|| usage_error("query requires --socket or --tcp"))?,
+            op: op.ok_or_else(|| usage_error("query requires --op <operation>"))?,
+            model,
+            scheme: scheme_given.then_some(scheme),
+            compressor,
+            input,
+            options,
+            dims,
+            timesteps,
         }),
         other => Err(usage_error(&format!("unknown subcommand '{other}'"))),
     }
@@ -229,7 +346,7 @@ fn usage_error(msg: &str) -> Error {
     Error::InvalidValue {
         key: "cli".into(),
         reason: format!(
-            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict|bench> [flags]"
+            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict|bench|serve|query> [flags]"
         ),
     }
 }
@@ -367,7 +484,30 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             timesteps,
             workers,
             trace,
+            ablation,
         } => {
+            if let Some(name) = &ablation {
+                return match name.as_str() {
+                    "affinity" => {
+                        let report = pressio_bench_infra::affinity::run_affinity_ablation(
+                            &pressio_bench_infra::affinity::AffinityConfig {
+                                dims,
+                                workers,
+                                quick: timesteps <= 1,
+                            },
+                        )?;
+                        write!(
+                            out,
+                            "{}",
+                            pressio_bench_infra::affinity::format_affinity(&report)
+                        )?;
+                        Ok(())
+                    }
+                    other => Err(usage_error(&format!(
+                        "unknown ablation '{other}' (available: affinity)"
+                    ))),
+                };
+            }
             let collector = match &trace {
                 Some(path) => {
                     let sink = pressio_obs::JsonlSink::create(path)?;
@@ -402,6 +542,92 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                 if let Some(path) = &trace {
                     writeln!(out, "\ntrace written to {}", path.display())?;
                 }
+            }
+            Ok(())
+        }
+        Command::Serve {
+            endpoint,
+            models,
+            workers,
+            queue,
+            batch,
+            cache,
+            deadline_ms,
+            trace,
+        } => {
+            let collector = match &trace {
+                Some(path) => {
+                    let sink = pressio_obs::JsonlSink::create(path)?;
+                    let c = std::sync::Arc::new(pressio_obs::Collector::with_sink(Box::new(sink)));
+                    pressio_obs::install(c.clone());
+                    Some(c)
+                }
+                None => None,
+            };
+            let mut config = pressio_serve::ServeConfig::new(endpoint, models);
+            config.workers = workers;
+            config.queue_capacity = queue;
+            config.batch_max = batch;
+            config.cache_entries = cache;
+            config.default_deadline_ms = deadline_ms;
+            let handle = pressio_serve::Server::start(config)?;
+            writeln!(out, "pressio-serve listening on {}", handle.endpoint())?;
+            out.flush()?;
+            let result = handle.wait();
+            if let Some(c) = collector {
+                c.flush();
+                let _ = pressio_obs::uninstall();
+            }
+            result?;
+            writeln!(out, "pressio-serve drained and exited")?;
+            Ok(())
+        }
+        Command::Query {
+            endpoint,
+            op,
+            model,
+            scheme,
+            compressor,
+            input,
+            options,
+            dims,
+            timesteps,
+        } => {
+            let mut request = options
+                .clone()
+                .with("serve:op", op.as_str())
+                .with("serve:compressor", compressor.as_str());
+            if let Some(model) = &model {
+                request.set("serve:model", model.as_str());
+            }
+            if let Some(scheme) = &scheme {
+                request.set("serve:scheme", scheme.as_str());
+            }
+            match op.as_str() {
+                "train" => {
+                    request.set(
+                        "serve:dims",
+                        vec![dims.0 as u64, dims.1 as u64, dims.2 as u64],
+                    );
+                    request.set("serve:timesteps", timesteps as u64);
+                }
+                "predict" => {
+                    let input =
+                        input.ok_or_else(|| usage_error("query --op predict requires --input"))?;
+                    let data = read_raw(&input)?;
+                    pressio_serve::protocol::data_into_request(&mut request, &data);
+                }
+                _ => {}
+            }
+            let mut client = pressio_serve::Client::connect(&endpoint)?;
+            let response = client.call(&request)?;
+            writeln!(out, "{}", response.to_json()?)?;
+            if response.get_str_opt("serve:type")? == Some("error") {
+                return Err(Error::TaskFailed(format!(
+                    "server answered {}: {}",
+                    response.get_str_opt("serve:code")?.unwrap_or("error"),
+                    response.get_str_opt("serve:message")?.unwrap_or("")
+                )));
             }
             Ok(())
         }
@@ -517,8 +743,75 @@ mod tests {
                 timesteps: 2,
                 workers: 3,
                 trace: Some(PathBuf::from("/tmp/t.jsonl")),
+                ablation: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_bench_ablation_and_serve_and_query() {
+        let cmd = parse(&["bench", "--ablation", "affinity", "--workers", "4"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Bench { ablation: Some(ref a), workers: 4, .. } if a == "affinity"
+        ));
+        let cmd = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--models",
+            "/tmp/m",
+            "--queue",
+            "16",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                endpoint,
+                models,
+                queue,
+                ..
+            } => {
+                assert_eq!(endpoint, pressio_serve::Endpoint::Tcp("127.0.0.1:0".into()));
+                assert_eq!(models, PathBuf::from("/tmp/m"));
+                assert_eq!(queue, 16);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "query",
+            "--tcp",
+            "127.0.0.1:9",
+            "--op",
+            "predict",
+            "--model",
+            "m@1",
+            "-i",
+            "U_4x4.f32",
+            "--abs",
+            "1e-3",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Query {
+                op,
+                model,
+                scheme,
+                input,
+                options,
+                ..
+            } => {
+                assert_eq!(op, "predict");
+                assert_eq!(model.as_deref(), Some("m@1"));
+                assert_eq!(scheme, None, "scheme must be None unless given");
+                assert_eq!(input, Some(PathBuf::from("U_4x4.f32")));
+                assert_eq!(options.get_f64("pressio:abs").unwrap(), 1e-3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // serve/query without an endpoint is a usage error
+        assert!(parse(&["serve", "--models", "/tmp/m"]).is_err());
+        assert!(parse(&["query", "--op", "ping"]).is_err());
     }
 
     #[test]
@@ -534,6 +827,7 @@ mod tests {
                 timesteps: 1,
                 workers: 2,
                 trace: Some(trace.clone()),
+                ablation: None,
             },
             &mut buf,
         )

@@ -55,8 +55,8 @@ pub mod schemes;
 pub use bandwidth::{bandwidth_features, BandwidthModel};
 pub use evaluator::{CacheCounters, CachedEvaluator, FeatureTimes};
 pub use predictor::{
-    ConformalForestPredictor, ForestPredictor, IdentityPredictor, LinearPredictor, Predictor,
-    SplinePredictor,
+    ConformalForestPredictor, ForestPredictor, GpPredictor, IdentityPredictor, LinearPredictor,
+    MlpPredictor, Predictor, SplinePredictor,
 };
 pub use registry::{standard_compressors, standard_schemes};
 pub use scheme::{format_table1, Scheme, SchemeInfo, StageTimes};

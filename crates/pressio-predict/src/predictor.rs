@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// estimate. State must round-trip through `state`/`load_state` so trained
 /// predictors can be checkpointed and shipped (the paper requires predictor
 /// state to be serializable like every other LibPressio object).
-pub trait Predictor: Send {
+pub trait Predictor: Send + Sync {
     /// Whether `fit` must be called before `predict`.
     fn requires_training(&self) -> bool;
 
@@ -38,6 +38,37 @@ pub trait Predictor: Send {
 
     /// Restore trained state.
     fn load_state(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Persist [`Predictor::state`] to `path` atomically: the bytes are
+    /// written to a sibling temp file, fsynced, and renamed into place, so
+    /// a crash mid-save can never leave a torn file under the target name.
+    fn save_to(&self, path: &std::path::Path) -> Result<()> {
+        let state = self.state()?;
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| Error::Io(format!("bad predictor path {}", path.display())))?;
+        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&state)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Restore state saved by [`Predictor::save_to`].
+    fn load_from(&mut self, path: &std::path::Path) -> Result<()> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| Error::Io(format!("predictor state {}: {e}", path.display())))?;
+        self.load_state(&bytes)
+    }
 }
 
 /// The "simple" predictor module from the paper: the prediction *is* the

@@ -1,0 +1,145 @@
+//! File-level persistence property: for every predictor type, `save_to`
+//! followed by `load_from` into a fresh instance reproduces the trained
+//! predictor exactly — identical predictions on arbitrary probe points.
+
+use pressio_core::Options;
+use pressio_predict::{
+    ConformalForestPredictor, ForestPredictor, GpPredictor, IdentityPredictor, LinearPredictor,
+    MlpPredictor, Predictor, SplinePredictor,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn keys() -> Vec<String> {
+    vec!["k0".into(), "k1".into(), "k2".into()]
+}
+
+fn row(values: &[f64]) -> Options {
+    let mut o = Options::new();
+    for (k, v) in keys().iter().zip(values) {
+        o.set(k.clone(), *v);
+    }
+    o
+}
+
+/// Every bundled predictor, fresh and untrained.
+fn all_predictors() -> Vec<(&'static str, Box<dyn Predictor>)> {
+    vec![
+        ("identity", Box::new(IdentityPredictor::new("k0"))),
+        ("linear", Box::new(LinearPredictor::new(keys()))),
+        (
+            "spline",
+            Box::new(SplinePredictor::new("k0", vec!["k1".into(), "k2".into()])),
+        ),
+        ("forest", Box::new(ForestPredictor::new(keys()))),
+        (
+            "conformal_forest",
+            Box::new(ConformalForestPredictor::new(keys())),
+        ),
+        ("gp", Box::new(GpPredictor::new(keys()))),
+        ("mlp", Box::new(MlpPredictor::new(keys()))),
+    ]
+}
+
+fn fresh(name: &str) -> Box<dyn Predictor> {
+    all_predictors()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, p)| p)
+        .unwrap()
+}
+
+fn save_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pressio_predictor_persistence");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn save_load_round_trips_for_every_predictor(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.1f64..100.0, 3), 12..20),
+        probes in prop::collection::vec(
+            prop::collection::vec(0.1f64..100.0, 3), 1..5),
+    ) {
+        let features: Vec<Options> = rows.iter().map(|r| row(r)).collect();
+        // a smooth positive target so every model family can fit it
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| 1.0 + r[0] * 0.5 + r[1] * 0.1 + (r[2] * 0.01).sin().abs())
+            .collect();
+        for (name, mut predictor) in all_predictors() {
+            predictor.fit(&features, &targets).unwrap();
+            let path = save_dir().join(format!(
+                "{name}-{}-{}.state",
+                std::process::id(),
+                FILE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            predictor.save_to(&path).unwrap();
+            let mut restored = fresh(name);
+            restored.load_from(&path).unwrap();
+            for probe in &probes {
+                let f = row(probe);
+                let a = predictor.predict(&f).unwrap();
+                let b = restored.predict(&f).unwrap();
+                prop_assert!(
+                    a == b || (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "{name}: {a} != {b} after save/load"
+                );
+                // conformal intervals must survive persistence too
+                if let (Some(ia), Some(ib)) = (
+                    predictor.predict_interval(&f, 0.1),
+                    restored.predict_interval(&f, 0.1),
+                ) {
+                    prop_assert_eq!(ia.lo.to_bits(), ib.lo.to_bits());
+                    prop_assert_eq!(ia.hi.to_bits(), ib.hi.to_bits());
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn save_is_atomic_no_temp_residue() {
+    let dir = save_dir().join("atomic");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut p = LinearPredictor::new(keys());
+    let features: Vec<Options> = (0..8).map(|i| row(&[i as f64, 1.0, 2.0])).collect();
+    let targets: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+    p.fit(&features, &targets).unwrap();
+    let path = dir.join("model.state");
+    p.save_to(&path).unwrap();
+    assert!(path.is_file());
+    // no dotfile temp residue next to the artifact
+    let residue: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with('.'))
+        .collect();
+    assert!(residue.is_empty(), "{residue:?}");
+    let mut restored = LinearPredictor::new(keys());
+    restored.load_from(&path).unwrap();
+    assert_eq!(
+        p.predict(&row(&[3.0, 1.0, 2.0])).unwrap(),
+        restored.predict(&row(&[3.0, 1.0, 2.0])).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_from_missing_file_is_a_clear_error() {
+    let mut p = LinearPredictor::new(keys());
+    let err = p
+        .load_from(std::path::Path::new("/nonexistent/predictor.state"))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("/nonexistent/predictor.state"),
+        "{err}"
+    );
+}

@@ -1,0 +1,92 @@
+//! Blocking client for the serve protocol, used by `pressio query`, the
+//! end-to-end tests, and the serve benchmark.
+
+use crate::net::{Conn, Endpoint};
+use crate::protocol::{self, op, read_frame, write_frame};
+use pressio_core::error::{Error, Result};
+use pressio_core::{Data, Options};
+
+/// One connection to a `pressio-serve` daemon; requests are strictly
+/// serial per client (pipeline parallelism comes from multiple clients).
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client> {
+        Ok(Client {
+            conn: endpoint.connect()?,
+        })
+    }
+
+    /// Send one request frame and wait for its response frame.
+    pub fn call(&mut self, request: &Options) -> Result<Options> {
+        write_frame(&mut self.conn, request)?;
+        read_frame(&mut self.conn)?
+            .ok_or_else(|| Error::Io("server closed the connection before replying".into()))
+    }
+
+    /// `ping` → expects `pong`.
+    pub fn ping(&mut self) -> Result<Options> {
+        self.call(&Options::new().with("serve:op", op::PING))
+    }
+
+    /// `stats` → cache/queue/model counters.
+    pub fn stats(&mut self) -> Result<Options> {
+        self.call(&Options::new().with("serve:op", op::STATS))
+    }
+
+    /// `models` → every persisted `name@version`.
+    pub fn models(&mut self) -> Result<Options> {
+        self.call(&Options::new().with("serve:op", op::MODELS))
+    }
+
+    /// `load` → make `name[@version]` resident.
+    pub fn load(&mut self, model_ref: &str) -> Result<Options> {
+        self.call(
+            &Options::new()
+                .with("serve:op", op::LOAD)
+                .with("serve:model", model_ref),
+        )
+    }
+
+    /// `shutdown` → graceful daemon drain; the `bye` response is the last
+    /// frame the server sends.
+    pub fn shutdown(&mut self) -> Result<Options> {
+        self.call(&Options::new().with("serve:op", op::SHUTDOWN))
+    }
+
+    /// Build a `predict` request for `data` against a trained model. Extra
+    /// compressor knobs (e.g. `pressio:abs`) ride along in `extra`.
+    pub fn predict_request(model_ref: &str, data: &Data, extra: &Options) -> Options {
+        let mut req = extra
+            .clone()
+            .with("serve:op", op::PREDICT)
+            .with("serve:model", model_ref);
+        protocol::data_into_request(&mut req, data);
+        req
+    }
+
+    /// `predict` against a trained model; returns the full response (use
+    /// `serve:prediction` / `serve:cached`).
+    pub fn predict(&mut self, model_ref: &str, data: &Data, extra: &Options) -> Result<Options> {
+        self.call(&Self::predict_request(model_ref, data, extra))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_request_embeds_data_and_model() {
+        let data = Data::from_f32(vec![4, 4], (0..16).map(|i| i as f32).collect());
+        let req = Client::predict_request("m@3", &data, &Options::new().with("pressio:abs", 1e-4));
+        assert_eq!(req.get_str("serve:op").unwrap(), op::PREDICT);
+        assert_eq!(req.get_str("serve:model").unwrap(), "m@3");
+        assert_eq!(req.get_f64("pressio:abs").unwrap(), 1e-4);
+        let back = protocol::data_from_request(&req).unwrap();
+        assert_eq!(back.dims(), data.dims());
+    }
+}

@@ -1,0 +1,36 @@
+//! # pressio-serve
+//!
+//! An online prediction service for compression-performance models: the
+//! daemon answers "how well will this compressor do on this buffer?"
+//! without re-running training or (when cached) even feature extraction.
+//!
+//! - [`protocol`] — length-prefixed JSON frames over a byte stream; every
+//!   message is an [`pressio_core::Options`] structure, so the wire format
+//!   reuses the same serialization as checkpoints and the CLI.
+//! - [`net`] — one [`net::Endpoint`] covering Unix-domain sockets and TCP.
+//! - [`store`] — versioned, checksummed model artifacts
+//!   (`<name>/<version>.pmodel`), written atomically.
+//! - [`cache`] — sharded, content-hash-keyed LRU for features and
+//!   predictions, with hit/miss counters in `pressio-obs`.
+//! - [`pipeline`] — bounded batching queue with per-request deadlines and
+//!   explicit `overloaded` backpressure.
+//! - [`server`] — the daemon: accept loop, per-model request batching,
+//!   hot model reload, graceful draining shutdown.
+//! - [`client`] — the blocking client used by `pressio query`, the tests,
+//!   and the serve benchmark.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod net;
+pub mod pipeline;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use cache::{CacheStats, ShardedLru};
+pub use client::Client;
+pub use net::Endpoint;
+pub use server::{serve, ServeConfig, Server, ServerHandle};
+pub use store::{ModelArtifact, ModelStore};

@@ -1,0 +1,341 @@
+//! Bounded, batching request pipeline.
+//!
+//! Connection threads submit work items into a bounded queue; a fixed pool
+//! of worker threads drains them in **batches grouped by batch key** (the
+//! model reference for predictions), so requests for the same model amortize
+//! model resolution and run their feature extraction together on the
+//! `pressio_core::threads` pool. Backpressure is explicit: when the queue
+//! is full, [`Pipeline::submit`] fails immediately and the caller answers
+//! `overloaded` — the queue can never grow without bound.
+//!
+//! Every accepted item is guaranteed exactly one reply: workers answer
+//! expired items with `deadline_exceeded` before processing, and shutdown
+//! drains the queue before the workers exit.
+
+use crate::protocol::{self, code};
+use pressio_core::Options;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued request.
+pub struct WorkItem {
+    /// Requests sharing a batch key may be processed in one batch.
+    pub batch_key: String,
+    /// The decoded request frame.
+    pub request: Options,
+    /// Absolute deadline; items popped after it answer `deadline_exceeded`.
+    pub deadline: Instant,
+    /// Reply channel back to the connection thread (capacity ≥ 1, so
+    /// workers never block on a slow connection).
+    pub reply: SyncSender<Options>,
+}
+
+impl WorkItem {
+    /// Send the reply, ignoring a connection that already went away.
+    pub fn respond(&self, response: Options) {
+        let _ = self.reply.send(response);
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<WorkItem>>,
+    /// Signals workers that the queue gained an item or state changed.
+    cond: Condvar,
+    capacity: usize,
+    batch_max: usize,
+    /// New submissions are rejected once draining starts.
+    draining: AtomicBool,
+}
+
+/// Handle to the worker pool; dropping without [`Pipeline::shutdown`] joins
+/// nothing (the server owns shutdown ordering explicitly).
+pub struct Pipeline {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pipeline {
+    /// Spawn `workers` threads processing batches with `handler`. The
+    /// handler receives 1..=`batch_max` items sharing one batch key and
+    /// must reply to every one of them.
+    pub fn start(
+        capacity: usize,
+        batch_max: usize,
+        workers: usize,
+        handler: Arc<dyn Fn(Vec<WorkItem>) + Send + Sync>,
+    ) -> Pipeline {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+            batch_max: batch_max.max(1),
+            draining: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|w| {
+                let shared = shared.clone();
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("pressio-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, handler.as_ref()))
+                    .expect("spawn pipeline worker")
+            })
+            .collect();
+        Pipeline {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Enqueue an item, or reject it immediately when the queue is at
+    /// capacity or the pipeline is draining. On rejection the item is
+    /// handed back so the caller can answer `overloaded` itself.
+    pub fn submit(&self, item: WorkItem) -> std::result::Result<(), WorkItem> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(item);
+        }
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= self.shared.capacity {
+                pressio_obs::add_counter("serve:queue.rejected", 1);
+                return Err(item);
+            }
+            queue.push_back(item);
+            pressio_obs::set_gauge("serve:queue.depth", queue.len() as f64);
+        }
+        self.shared.cond.notify_one();
+        Ok(())
+    }
+
+    /// Queued (not yet claimed) items.
+    pub fn depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Graceful shutdown: stop accepting, let workers drain everything
+    /// already queued, then join them. Idempotent — later calls find the
+    /// handle list already empty.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.cond.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, handler: &(dyn Fn(Vec<WorkItem>) + Send + Sync)) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(first) = queue.pop_front() {
+                    // gather up to batch_max - 1 more items with the same
+                    // batch key, preserving the arrival order of the rest
+                    let mut batch = vec![first];
+                    let key = batch[0].batch_key.clone();
+                    let mut i = 0;
+                    while batch.len() < shared.batch_max && i < queue.len() {
+                        if queue[i].batch_key == key {
+                            batch.push(queue.remove(i).expect("index in range"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    pressio_obs::set_gauge("serve:queue.depth", queue.len() as f64);
+                    break batch;
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.cond.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        pressio_obs::add_counter("serve:batch.count", 1);
+        pressio_obs::set_gauge("serve:batch.size", batch.len() as f64);
+        let now = Instant::now();
+        let (live, expired): (Vec<WorkItem>, Vec<WorkItem>) =
+            batch.into_iter().partition(|item| now <= item.deadline);
+        for item in expired {
+            pressio_obs::add_counter("serve:deadline.exceeded", 1);
+            item.respond(protocol::error_response(
+                code::DEADLINE_EXCEEDED,
+                "request expired while queued",
+            ));
+        }
+        if !live.is_empty() {
+            handler(live);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+    use std::time::Duration;
+
+    fn item(key: &str, deadline_ms: u64) -> (WorkItem, std::sync::mpsc::Receiver<Options>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            WorkItem {
+                batch_key: key.to_string(),
+                request: Options::new().with("k", key),
+                deadline: Instant::now() + Duration::from_millis(deadline_ms),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn every_submitted_item_gets_exactly_one_reply() {
+        let handler: Arc<dyn Fn(Vec<WorkItem>) + Send + Sync> = Arc::new(|batch| {
+            for it in batch {
+                let echo = it.request.clone().with("serve:type", "echo");
+                it.respond(echo);
+            }
+        });
+        let p = Pipeline::start(64, 4, 2, handler);
+        let receivers: Vec<_> = (0..20)
+            .map(|i| {
+                let (it, rx) = item(&format!("m{}", i % 3), 5_000);
+                p.submit(it).map_err(|_| ()).unwrap();
+                rx
+            })
+            .collect();
+        for rx in receivers {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.get_str("serve:type").unwrap(), "echo");
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        // a handler that parks until released
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = gate.clone();
+        let handler: Arc<dyn Fn(Vec<WorkItem>) + Send + Sync> = Arc::new(move |batch| {
+            let (lock, cond) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cond.wait(open).unwrap();
+            }
+            for it in batch {
+                it.respond(Options::new().with("serve:type", "late"));
+            }
+        });
+        let p = Pipeline::start(2, 1, 1, handler);
+        let mut receivers = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..10 {
+            let (it, rx) = item("m", 10_000);
+            match p.submit(it) {
+                Ok(()) => receivers.push(rx),
+                Err(it) => {
+                    rejected += 1;
+                    it.respond(protocol::error_response(code::OVERLOADED, "full"));
+                }
+            }
+        }
+        assert!(rejected >= 7, "capacity 2 + one in-flight: got {rejected}");
+        let (lock, cond) = &*gate;
+        *lock.lock().unwrap() = true;
+        cond.notify_all();
+        for rx in receivers {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn expired_items_answer_deadline_exceeded() {
+        let handler: Arc<dyn Fn(Vec<WorkItem>) + Send + Sync> = Arc::new(|batch| {
+            for it in batch {
+                std::thread::sleep(Duration::from_millis(50));
+                it.respond(Options::new().with("serve:type", "done"));
+            }
+        });
+        let p = Pipeline::start(16, 1, 1, handler);
+        let (slow, slow_rx) = item("a", 5_000);
+        p.submit(slow).map_err(|_| ()).unwrap();
+        let (doomed, doomed_rx) = item("b", 1); // expires while 'a' runs
+        p.submit(doomed).map_err(|_| ()).unwrap();
+        assert_eq!(
+            slow_rx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .get_str("serve:type")
+                .unwrap(),
+            "done"
+        );
+        let resp = doomed_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(protocol::is_error(&resp, code::DEADLINE_EXCEEDED), "{resp}");
+        p.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_items() {
+        let handler: Arc<dyn Fn(Vec<WorkItem>) + Send + Sync> = Arc::new(|batch| {
+            for it in batch {
+                it.respond(Options::new().with("serve:type", "drained"));
+            }
+        });
+        let p = Pipeline::start(64, 8, 1, handler);
+        let receivers: Vec<_> = (0..16)
+            .map(|_| {
+                let (it, rx) = item("m", 10_000);
+                p.submit(it).map_err(|_| ()).unwrap();
+                rx
+            })
+            .collect();
+        p.shutdown(); // must not drop queued work
+        for rx in receivers {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.get_str("serve:type").unwrap(), "drained");
+        }
+    }
+
+    #[test]
+    fn batches_group_by_key() {
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let s = sizes.clone();
+        let handler: Arc<dyn Fn(Vec<WorkItem>) + Send + Sync> = Arc::new(move |batch| {
+            assert!(batch.iter().all(|i| i.batch_key == batch[0].batch_key));
+            s.lock().unwrap().push(batch.len());
+            for it in batch {
+                it.respond(Options::new());
+            }
+        });
+        // one worker, started idle; fill the queue before it can drain it
+        let p = Pipeline::start(64, 8, 1, handler);
+        let mut receivers = Vec::new();
+        {
+            let mut q = p.shared.queue.lock().unwrap();
+            for i in 0..12 {
+                let (it, rx) = item(if i % 2 == 0 { "even" } else { "odd" }, 10_000);
+                q.push_back(it);
+                receivers.push(rx);
+            }
+        }
+        p.shared.cond.notify_all();
+        for rx in receivers {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let sizes = sizes.lock().unwrap().clone();
+        assert!(
+            sizes.iter().any(|&s| s > 1),
+            "same-key items must batch: {sizes:?}"
+        );
+        p.shutdown();
+    }
+}

@@ -1,0 +1,205 @@
+//! Wire protocol: length-prefixed JSON frames carrying [`Options`].
+//!
+//! Every message — request or response — is one [`Options`] structure
+//! serialized to JSON and framed as a 4-byte big-endian length followed by
+//! the UTF-8 payload. Reusing `Options` as the envelope keeps the protocol
+//! self-describing the same way every other LibPressio object is: no
+//! schema negotiation, unknown keys are ignored, and the existing
+//! `to_json`/`from_json` round trip is the codec.
+//!
+//! Requests carry a `serve:op` key naming the operation; responses carry a
+//! `serve:type` key (`prediction`, `trained`, `stats`, `pong`, `bye`,
+//! `slept`, `models`, or `error`). Errors additionally carry `serve:code`
+//! — notably `overloaded` (bounded queue full; retry later) and
+//! `deadline_exceeded` (the request waited past its deadline).
+
+use pressio_core::error::{Error, Result};
+use pressio_core::Options;
+use std::io::{Read, Write};
+
+/// Largest accepted frame (64 MiB): bounds per-connection memory so a
+/// malformed length prefix cannot trigger an unbounded allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request operations (`serve:op` values).
+pub mod op {
+    /// Liveness check; responds `pong`.
+    pub const PING: &str = "ping";
+    /// Train a predictor on synthetic data, persist it, and hot-load it.
+    pub const TRAIN: &str = "train";
+    /// Load a persisted model into the hot catalog without predicting.
+    pub const LOAD: &str = "load";
+    /// Predict compression performance for an inline data buffer.
+    pub const PREDICT: &str = "predict";
+    /// Cache/queue/model statistics.
+    pub const STATS: &str = "stats";
+    /// List persisted models and versions.
+    pub const MODELS: &str = "models";
+    /// Graceful shutdown: drain in-flight requests, then exit.
+    pub const SHUTDOWN: &str = "shutdown";
+    /// Occupy a pipeline worker for `serve:ms` milliseconds (testing and
+    /// backpressure demonstrations).
+    pub const SLEEP: &str = "sleep";
+}
+
+/// Error codes (`serve:code` values on `serve:type = "error"` responses).
+pub mod code {
+    /// The bounded request queue is full; the request was rejected
+    /// immediately instead of queueing unboundedly.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request sat past its deadline before a worker reached it.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// The request was missing or had malformed fields.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The referenced model/scheme does not exist.
+    pub const NOT_FOUND: &str = "not_found";
+    /// The server failed internally while processing.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// Write one frame: 4-byte big-endian length, then the JSON payload.
+pub fn write_frame(w: &mut impl Write, msg: &Options) -> Result<()> {
+    let json = msg.to_json()?;
+    let bytes = json.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(Error::Serialization(format!(
+            "frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+            bytes.len()
+        )));
+    }
+    // one contiguous write: a separate 4-byte prefix write would interact
+    // with Nagle + delayed ACK on TCP, stalling every frame ~40 ms
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed the connection); a mid-frame EOF is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Options>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean close between frames
+            }
+            return Err(Error::Io("connection closed mid-frame header".into()));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(Error::CorruptStream(format!(
+            "frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| Error::Io(format!("reading {len}-byte frame body: {e}")))?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| Error::CorruptStream(format!("frame is not UTF-8: {e}")))?;
+    Options::from_json(text).map(Some)
+}
+
+/// Build an error response.
+pub fn error_response(error_code: &str, message: impl Into<String>) -> Options {
+    Options::new()
+        .with("serve:type", "error")
+        .with("serve:code", error_code)
+        .with("serve:message", message.into())
+}
+
+/// Whether a response is an error with the given code.
+pub fn is_error(resp: &Options, error_code: &str) -> bool {
+    resp.get_str_opt("serve:type").ok().flatten() == Some("error")
+        && resp.get_str_opt("serve:code").ok().flatten() == Some(error_code)
+}
+
+/// Embed a data buffer into a request (`data:bytes`/`data:dims`/
+/// `data:dtype`), the inverse of [`data_from_request`].
+pub fn data_into_request(req: &mut Options, data: &pressio_core::Data) {
+    req.set("data:bytes", data.to_le_bytes());
+    req.set(
+        "data:dims",
+        data.dims().iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+    );
+    req.set("data:dtype", data.dtype().name());
+}
+
+/// Reconstruct the data buffer embedded in a request.
+pub fn data_from_request(req: &Options) -> Result<pressio_core::Data> {
+    let bytes = req.get_bytes("data:bytes")?;
+    let dims: Vec<usize> = req
+        .get_u64_slice("data:dims")?
+        .iter()
+        .map(|&d| d as usize)
+        .collect();
+    let dtype = pressio_core::Dtype::parse(req.get_str("data:dtype")?)?;
+    pressio_core::Data::from_le_bytes(dtype, dims, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pressio_core::Data;
+
+    #[test]
+    fn frames_round_trip() {
+        let msg = Options::new()
+            .with("serve:op", op::PREDICT)
+            .with("pressio:abs", 1e-4)
+            .with("data:bytes", vec![0u8, 1, 255]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, msg);
+        // the next read sees a clean EOF
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_a_hang() {
+        let msg = Options::new().with("serve:op", op::PING);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        buf.truncate(buf.len() - 2); // mid-body close
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+        // mid-header close
+        let mut short = Vec::new();
+        write_frame(&mut short, &msg).unwrap();
+        short.truncate(2);
+        assert!(read_frame(&mut std::io::Cursor::new(short)).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn data_embedding_round_trips() {
+        let data = Data::from_f32(vec![4, 3], (0..12).map(|i| i as f32 * 0.5).collect());
+        let mut req = Options::new().with("serve:op", op::PREDICT);
+        data_into_request(&mut req, &data);
+        let back = data_from_request(&req).unwrap();
+        assert_eq!(back.dims(), data.dims());
+        assert_eq!(back.dtype(), data.dtype());
+        assert_eq!(back.to_f64_vec(), data.to_f64_vec());
+    }
+
+    #[test]
+    fn error_helpers_agree() {
+        let resp = error_response(code::OVERLOADED, "queue full");
+        assert!(is_error(&resp, code::OVERLOADED));
+        assert!(!is_error(&resp, code::NOT_FOUND));
+        assert!(!is_error(&Options::new(), code::OVERLOADED));
+    }
+}

@@ -1,0 +1,881 @@
+//! The `pressio-serve` daemon: accept loop, per-connection handlers, and
+//! the prediction worker pool.
+//!
+//! Lifecycle: [`Server::start`] binds the endpoint, spawns the accept
+//! thread, and returns a [`ServerHandle`]. A `shutdown` request (or
+//! [`ServerHandle::trigger_shutdown`]) flips the shutdown flag, unblocks
+//! the accept loop, lets every connection finish its in-flight request,
+//! drains the bounded pipeline queue, joins all threads, and removes the
+//! Unix socket file — a graceful drain, never a drop.
+//!
+//! Request flow for `predict`: the connection thread computes only the
+//! batch key and deadline, then submits to the [`Pipeline`]; workers batch
+//! same-model requests, probe the prediction cache (content-hash keyed),
+//! then the two feature caches, and only on a full miss run feature
+//! extraction — in parallel across the batch on the
+//! `pressio_core::threads` pool. `train` runs inline on the connection
+//! thread so long fits never starve the prediction workers.
+
+use crate::cache::ShardedLru;
+use crate::net::{Conn, Endpoint, Listener};
+use crate::pipeline::{Pipeline, WorkItem};
+use crate::protocol::{self, code, op, write_frame};
+use crate::store::{parse_model_ref, ModelStore};
+use pressio_core::error::{Error, Result};
+use pressio_core::hash::{to_hex, Sha256};
+use pressio_core::timing::time_ms;
+use pressio_core::{threads, Data, Options};
+use pressio_dataset::DatasetPlugin;
+use pressio_predict::evaluator::CachedEvaluator;
+use pressio_predict::{standard_compressors, standard_schemes, Predictor};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Where to listen.
+    pub listen: Endpoint,
+    /// Model store root directory.
+    pub model_dir: PathBuf,
+    /// Prediction worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it answer `overloaded`.
+    pub queue_capacity: usize,
+    /// Largest same-model batch a worker claims at once.
+    pub batch_max: usize,
+    /// Default per-request deadline (overridable per request via
+    /// `serve:deadline_ms`).
+    pub default_deadline_ms: u64,
+    /// Entry bound for each of the feature and prediction caches.
+    pub cache_entries: usize,
+    /// Shard count for each cache.
+    pub cache_shards: usize,
+}
+
+impl ServeConfig {
+    /// Defaults tuned for a local daemon.
+    pub fn new(listen: Endpoint, model_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            listen,
+            model_dir: model_dir.into(),
+            workers: threads::available().min(4),
+            queue_capacity: 64,
+            batch_max: 8,
+            default_deadline_ms: 10_000,
+            cache_entries: 1024,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// A trained model resident in memory.
+struct LoadedModel {
+    name: String,
+    version: u64,
+    scheme: String,
+    predictor: Box<dyn Predictor>,
+}
+
+/// Shared server state.
+struct ServerState {
+    config: ServeConfig,
+    store: ModelStore,
+    catalog: RwLock<HashMap<(String, u64), Arc<LoadedModel>>>,
+    feature_cache: ShardedLru<Options>,
+    prediction_cache: ShardedLru<f64>,
+    /// Feature extractions actually executed (cache hits skip these).
+    features_computed: AtomicU64,
+    predictions_served: AtomicU64,
+}
+
+impl ServerState {
+    fn new(config: ServeConfig) -> Result<ServerState> {
+        let store = ModelStore::open(&config.model_dir)?;
+        Ok(ServerState {
+            feature_cache: ShardedLru::new(
+                "serve:cache.feature",
+                config.cache_shards,
+                config.cache_entries,
+            ),
+            prediction_cache: ShardedLru::new(
+                "serve:cache.prediction",
+                config.cache_shards,
+                config.cache_entries,
+            ),
+            config,
+            store,
+            catalog: RwLock::new(HashMap::new()),
+            features_computed: AtomicU64::new(0),
+            predictions_served: AtomicU64::new(0),
+        })
+    }
+
+    /// Resolve `name[@version]` to a resident model, loading (and
+    /// verifying) the artifact on first use. An unversioned reference
+    /// re-resolves the latest store version every time, so a model
+    /// re-trained under the same name is picked up hot.
+    fn resolve_model(&self, model_ref: &str) -> Result<Arc<LoadedModel>> {
+        let (name, version) = parse_model_ref(model_ref)?;
+        let version = match version {
+            Some(v) => v,
+            None => *self
+                .store
+                .versions(&name)?
+                .last()
+                .ok_or_else(|| Error::UnknownPlugin {
+                    kind: "model",
+                    name: name.clone(),
+                })?,
+        };
+        let key = (name.clone(), version);
+        if let Some(model) = self
+            .catalog
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            return Ok(model.clone());
+        }
+        let artifact = self.store.load(&name, Some(version))?;
+        let scheme = standard_schemes().build(&artifact.scheme)?;
+        let mut predictor = scheme.make_predictor();
+        predictor.load_state(&artifact.state)?;
+        let model = Arc::new(LoadedModel {
+            name: artifact.name,
+            version: artifact.version,
+            scheme: artifact.scheme,
+            predictor,
+        });
+        self.catalog
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, model.clone());
+        pressio_obs::add_counter("serve:model.loaded", 1);
+        Ok(model)
+    }
+
+    fn install_model(&self, model: LoadedModel) {
+        self.catalog
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((model.name.clone(), model.version), Arc::new(model));
+    }
+}
+
+/// Shutdown coordination: a flag plus a self-connect to unblock `accept`.
+struct ShutdownSignal {
+    flag: AtomicBool,
+    endpoint: Endpoint,
+}
+
+impl ShutdownSignal {
+    fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::AcqRel) {
+            // wake the accept loop; the accepted no-op connection closes
+            // immediately when the loop breaks
+            let _ = self.endpoint.connect();
+        }
+    }
+}
+
+/// A running server.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    signal: Arc<ShutdownSignal>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The concrete endpoint (with a real port for `port 0` TCP binds).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Request a graceful shutdown without a client connection.
+    pub fn trigger_shutdown(&self) {
+        self.signal.trigger();
+    }
+
+    /// Block until the server has fully drained and exited.
+    pub fn wait(mut self) -> Result<()> {
+        if let Some(t) = self.accept.take() {
+            t.join()
+                .map_err(|_| Error::TaskFailed("server accept thread panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+/// The daemon entry point used by `pressio serve`: start and block until
+/// a graceful shutdown completes.
+pub fn serve(config: ServeConfig) -> Result<()> {
+    Server::start(config)?.wait()
+}
+
+/// Constructor namespace for the daemon.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the accept loop, and return immediately.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle> {
+        let listener = config.listen.bind()?;
+        let endpoint = listener.local_endpoint()?;
+        let state = Arc::new(ServerState::new(config)?);
+        let signal = Arc::new(ShutdownSignal {
+            flag: AtomicBool::new(false),
+            endpoint: endpoint.clone(),
+        });
+        let accept_state = state.clone();
+        let accept_signal = signal.clone();
+        let accept = std::thread::Builder::new()
+            .name("pressio-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_state, accept_signal))
+            .map_err(|e| Error::Io(format!("spawning accept thread: {e}")))?;
+        Ok(ServerHandle {
+            endpoint,
+            signal,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn accept_loop(listener: Listener, state: Arc<ServerState>, signal: Arc<ShutdownSignal>) {
+    let worker_state = state.clone();
+    let pipeline = Arc::new(Pipeline::start(
+        state.config.queue_capacity,
+        state.config.batch_max,
+        state.config.workers,
+        Arc::new(move |batch| handle_batch(&worker_state, batch)),
+    ));
+    let seq = Arc::new(AtomicU64::new(0));
+    let mut connections = Vec::new();
+    while !signal.flag.load(Ordering::Acquire) {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if signal.flag.load(Ordering::Acquire) {
+            break; // the shutdown self-connect
+        }
+        let state = state.clone();
+        let pipeline = pipeline.clone();
+        let signal = signal.clone();
+        let seq = seq.clone();
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("pressio-serve-conn".into())
+            .spawn(move || connection_loop(conn, &state, &pipeline, &signal, &seq))
+        {
+            connections.push(handle);
+        }
+        // reap finished connection threads so the list stays bounded
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    pipeline.shutdown();
+    pressio_obs::flush();
+    #[cfg(unix)]
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Like [`protocol::read_frame`], but tolerant of read timeouts so an
+/// idle connection can notice the shutdown flag. Returns `Ok(None)` on a
+/// clean close or on shutdown-while-idle; mid-frame timeouts keep reading
+/// (the frame is already in flight).
+fn read_frame_polled(conn: &mut Conn, stop: &AtomicBool) -> Result<Option<Options>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match std::io::Read::read(conn, &mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(Error::Io("connection closed mid-frame header".into()))
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if filled == 0 && stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > protocol::MAX_FRAME {
+        return Err(Error::CorruptStream(format!(
+            "frame length {len} exceeds MAX_FRAME"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match std::io::Read::read(conn, &mut payload[got..]) {
+            Ok(0) => return Err(Error::Io("connection closed mid-frame body".into())),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| Error::CorruptStream(format!("frame is not UTF-8: {e}")))?;
+    Options::from_json(text).map(Some)
+}
+
+fn connection_loop(
+    mut conn: Conn,
+    state: &ServerState,
+    pipeline: &Pipeline,
+    signal: &ShutdownSignal,
+    seq: &AtomicU64,
+) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+    loop {
+        let request = match read_frame_polled(&mut conn, &signal.flag) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(_) => break, // torn frame / protocol violation: drop the peer
+        };
+        let op_name = request
+            .get_str_opt("serve:op")
+            .ok()
+            .flatten()
+            .unwrap_or("")
+            .to_string();
+        let _span = pressio_obs::span(format!("serve:op.{op_name}"));
+        let started = Instant::now();
+        let mut shutting_down = false;
+        let response = match op_name.as_str() {
+            op::PING => Options::new().with("serve:type", "pong"),
+            op::STATS => stats_response(state, pipeline),
+            op::MODELS => models_response(state),
+            op::LOAD => respond(handle_load(state, &request)),
+            op::TRAIN => respond(handle_train(state, &request)),
+            op::SHUTDOWN => {
+                shutting_down = true;
+                Options::new().with("serve:type", "bye")
+            }
+            op::PREDICT | op::SLEEP => submit_and_wait(state, pipeline, seq, request),
+            other => {
+                protocol::error_response(code::BAD_REQUEST, format!("unknown serve:op '{other}'"))
+            }
+        };
+        let response = response.with("serve:elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+        let write_ok = write_frame(&mut conn, &response).is_ok();
+        if shutting_down {
+            signal.trigger();
+            break;
+        }
+        if !write_ok {
+            break;
+        }
+    }
+}
+
+fn respond(result: Result<Options>) -> Options {
+    result.unwrap_or_else(|e| {
+        let error_code = match &e {
+            Error::UnknownPlugin { .. } => code::NOT_FOUND,
+            Error::MissingOption(_) | Error::InvalidValue { .. } | Error::TypeMismatch { .. } => {
+                code::BAD_REQUEST
+            }
+            _ => code::INTERNAL,
+        };
+        protocol::error_response(error_code, e.to_string())
+    })
+}
+
+fn stats_response(state: &ServerState, pipeline: &Pipeline) -> Options {
+    let f = state.feature_cache.stats();
+    let p = state.prediction_cache.stats();
+    Options::new()
+        .with("serve:type", "stats")
+        .with("serve:feature_cache.hits", f.hits)
+        .with("serve:feature_cache.misses", f.misses)
+        .with("serve:feature_cache.evictions", f.evictions)
+        .with("serve:feature_cache.len", f.len as u64)
+        .with("serve:prediction_cache.hits", p.hits)
+        .with("serve:prediction_cache.misses", p.misses)
+        .with("serve:prediction_cache.evictions", p.evictions)
+        .with("serve:prediction_cache.len", p.len as u64)
+        .with("serve:queue.depth", pipeline.depth() as u64)
+        .with(
+            "serve:features.computed",
+            state.features_computed.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:predictions.served",
+            state.predictions_served.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:models.resident",
+            state
+                .catalog
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .len() as u64,
+        )
+}
+
+fn models_response(state: &ServerState) -> Options {
+    match state.store.models() {
+        Ok(models) => {
+            let refs: Vec<String> = models
+                .iter()
+                .flat_map(|(name, versions)| versions.iter().map(move |v| format!("{name}@{v}")))
+                .collect();
+            Options::new()
+                .with("serve:type", "models")
+                .with("serve:models", refs)
+        }
+        Err(e) => protocol::error_response(code::INTERNAL, e.to_string()),
+    }
+}
+
+fn handle_load(state: &ServerState, request: &Options) -> Result<Options> {
+    let model_ref = request.get_str("serve:model")?;
+    let model = state.resolve_model(model_ref)?;
+    Ok(Options::new()
+        .with("serve:type", "loaded")
+        .with("serve:model", model.name.as_str())
+        .with("serve:version", model.version)
+        .with("serve:scheme", model.scheme.as_str()))
+}
+
+/// Train a predictor on a synthetic Hurricane sweep, persist it, and make
+/// it hot. Runs on the connection thread: training is minutes-scale work
+/// and must not occupy a prediction worker.
+fn handle_train(state: &ServerState, request: &Options) -> Result<Options> {
+    let _span = pressio_obs::span("serve:train");
+    let scheme_name = request.get_str("serve:scheme")?.to_string();
+    let model_name = request.get_str("serve:model")?.to_string();
+    let comp_id = request
+        .get_str_opt("serve:compressor")?
+        .unwrap_or("sz3")
+        .to_string();
+    let dims: Vec<usize> = match request.get_u64_slice("serve:dims") {
+        Ok(d) if d.len() == 3 => d.iter().map(|&x| x as usize).collect(),
+        Ok(_) => {
+            return Err(Error::InvalidValue {
+                key: "serve:dims".into(),
+                reason: "need exactly 3 dims".into(),
+            })
+        }
+        Err(_) => vec![16, 16, 8],
+    };
+    let timesteps = request.get_u64_opt("serve:timesteps")?.unwrap_or(2) as usize;
+    let bounds: Vec<f64> = match request.get_f64_slice("serve:bounds") {
+        Ok(b) if !b.is_empty() => b.to_vec(),
+        _ => vec![1e-5, 1e-4, 1e-3],
+    };
+    let scheme = standard_schemes().build(&scheme_name)?;
+    if !scheme.supports(&comp_id) {
+        return Err(Error::Unsupported(format!(
+            "scheme '{scheme_name}' does not support compressor '{comp_id}'"
+        )));
+    }
+    let mut hurricane =
+        pressio_dataset::Hurricane::with_dims(dims[0], dims[1], dims[2], timesteps.max(1));
+    let mut features = Vec::new();
+    let mut targets = Vec::new();
+    for i in 0..hurricane.len() {
+        let data = hurricane.load_data(i)?;
+        let agnostic = scheme.error_agnostic_features(&data)?;
+        for &abs in &bounds {
+            let mut comp = standard_compressors().build(&comp_id)?;
+            comp.set_options(request)?; // pass through compressor knobs
+            comp.set_options(&Options::new().with("pressio:abs", abs))?;
+            let mut sample = agnostic.clone();
+            sample.merge_from(&scheme.error_dependent_features(&data, comp.as_ref())?);
+            let target = scheme.training_observation(&data, comp.as_ref())?;
+            features.push(sample);
+            targets.push(target);
+        }
+    }
+    let mut predictor = scheme.make_predictor();
+    let (fit_result, fit_ms) = time_ms(|| predictor.fit(&features, &targets));
+    fit_result?;
+    pressio_obs::record_ms("serve:train.fit", fit_ms);
+    let predictor_state = predictor.state()?;
+    let version = state
+        .store
+        .save(&model_name, &scheme_name, &predictor_state)?;
+    state.install_model(LoadedModel {
+        name: model_name.clone(),
+        version,
+        scheme: scheme_name.clone(),
+        predictor,
+    });
+    Ok(Options::new()
+        .with("serve:type", "trained")
+        .with("serve:model", model_name)
+        .with("serve:version", version)
+        .with("serve:scheme", scheme_name)
+        .with("serve:samples", features.len() as u64)
+        .with("serve:fit_ms", fit_ms))
+}
+
+/// Compute the batch key for a queued op, then submit and wait for the
+/// worker's reply (or answer `overloaded` immediately).
+fn submit_and_wait(
+    state: &ServerState,
+    pipeline: &Pipeline,
+    seq: &AtomicU64,
+    request: Options,
+) -> Options {
+    let op_name = request.get_str("serve:op").unwrap_or("").to_string();
+    let batch_key = if op_name == op::SLEEP {
+        // sleeps never batch together: each occupies a worker alone
+        format!("sleep:{}", seq.fetch_add(1, Ordering::Relaxed))
+    } else if let Ok(Some(model)) = request.get_str_opt("serve:model") {
+        format!("model:{model}")
+    } else if let Ok(Some(scheme)) = request.get_str_opt("serve:scheme") {
+        format!("scheme:{scheme}")
+    } else {
+        return protocol::error_response(
+            code::BAD_REQUEST,
+            "predict needs serve:model or serve:scheme",
+        );
+    };
+    let deadline_ms = request
+        .get_u64_opt("serve:deadline_ms")
+        .ok()
+        .flatten()
+        .unwrap_or(state.config.default_deadline_ms);
+    let (reply, rx) = sync_channel(1);
+    let item = WorkItem {
+        batch_key,
+        request,
+        deadline: Instant::now() + Duration::from_millis(deadline_ms),
+        reply,
+    };
+    match pipeline.submit(item) {
+        Err(_) => {
+            pressio_obs::add_counter("serve:overloaded", 1);
+            protocol::error_response(
+                code::OVERLOADED,
+                format!(
+                    "queue at capacity ({}); retry later",
+                    state.config.queue_capacity
+                ),
+            )
+        }
+        Ok(()) => rx
+            .recv_timeout(Duration::from_millis(deadline_ms) + Duration::from_secs(60))
+            .unwrap_or_else(|_| {
+                protocol::error_response(code::INTERNAL, "worker dropped the request")
+            }),
+    }
+}
+
+// ---- worker side -----------------------------------------------------------
+
+fn handle_batch(state: &ServerState, batch: Vec<WorkItem>) {
+    let op_name = batch[0]
+        .request
+        .get_str_opt("serve:op")
+        .ok()
+        .flatten()
+        .unwrap_or("")
+        .to_string();
+    match op_name.as_str() {
+        op::SLEEP => {
+            for item in batch {
+                let ms = item
+                    .request
+                    .get_u64_opt("serve:ms")
+                    .ok()
+                    .flatten()
+                    .unwrap_or(100);
+                std::thread::sleep(Duration::from_millis(ms));
+                item.respond(
+                    Options::new()
+                        .with("serve:type", "slept")
+                        .with("serve:ms", ms),
+                );
+            }
+        }
+        _ => handle_predict_batch(state, batch),
+    }
+}
+
+/// A request past the prediction-cache probe, waiting on features.
+struct Prep {
+    item: WorkItem,
+    data: Data,
+    comp_id: String,
+    pred_key: String,
+    agnostic_key: String,
+    dependent_key: String,
+    /// Cached error-agnostic features (`None` = must compute).
+    agnostic: Option<Options>,
+    /// Cached error-dependent features (`None` = must compute).
+    dependent: Option<Options>,
+}
+
+/// Stable content hash of the embedded data buffer (dtype + dims + raw
+/// bytes), so identical buffers sent by different clients share cache
+/// entries.
+fn data_content_hash(request: &Options) -> Result<String> {
+    let bytes = request.get_bytes("data:bytes")?;
+    let dims = request.get_u64_slice("data:dims")?;
+    let dtype = request.get_str("data:dtype")?;
+    let mut h = Sha256::new();
+    h.update(dtype.as_bytes());
+    for d in dims {
+        h.update(&d.to_le_bytes());
+    }
+    h.update(bytes);
+    Ok(to_hex(&h.finalize()))
+}
+
+fn prediction_response(value: f64, cached: bool, scheme: &str, model_tag: &str) -> Options {
+    pressio_obs::add_counter("serve:prediction", 1);
+    let mut resp = Options::new()
+        .with("serve:type", "prediction")
+        .with("serve:prediction", value)
+        .with("serve:cached", cached)
+        .with("serve:scheme", scheme);
+    if !model_tag.is_empty() {
+        resp = resp.with("serve:model", model_tag);
+    }
+    resp
+}
+
+fn handle_predict_batch(state: &ServerState, batch: Vec<WorkItem>) {
+    let _span = pressio_obs::span("serve:predict.batch");
+    // Resolve the shared model/scheme once per batch (items share the
+    // batch key by construction, so they share the model reference too).
+    let first = &batch[0].request;
+    let model = match first.get_str_opt("serve:model").ok().flatten() {
+        Some(model_ref) => match state.resolve_model(model_ref) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                let resp = respond(Err(e));
+                for item in batch {
+                    item.respond(resp.clone());
+                }
+                return;
+            }
+        },
+        None => None,
+    };
+    let scheme_name = match &model {
+        Some(m) => m.scheme.clone(),
+        None => match first.get_str_opt("serve:scheme").ok().flatten() {
+            Some(s) => s.to_string(),
+            None => {
+                let resp = protocol::error_response(
+                    code::BAD_REQUEST,
+                    "predict needs serve:model or serve:scheme",
+                );
+                for item in batch {
+                    item.respond(resp.clone());
+                }
+                return;
+            }
+        },
+    };
+    // A model-less request runs the scheme's untrained predictor; that only
+    // works for analytic schemes whose predictor needs no fit.
+    let direct_predictor: Option<Box<dyn Predictor>> = if model.is_none() {
+        match standard_schemes().build(&scheme_name) {
+            Ok(scheme) => {
+                let p = scheme.make_predictor();
+                if p.requires_training() {
+                    let resp = protocol::error_response(
+                        code::NOT_FOUND,
+                        format!(
+                            "scheme '{scheme_name}' needs a trained model; \
+                             train one and pass serve:model"
+                        ),
+                    );
+                    for item in batch {
+                        item.respond(resp.clone());
+                    }
+                    return;
+                }
+                Some(p)
+            }
+            Err(e) => {
+                let resp = respond(Err(e));
+                for item in batch {
+                    item.respond(resp.clone());
+                }
+                return;
+            }
+        }
+    } else {
+        None
+    };
+    let model_tag = model
+        .as_ref()
+        .map(|m| format!("{}@{}", m.name, m.version))
+        .unwrap_or_default();
+
+    // Serial prepare: decode, hash, probe caches. Prediction-cache hits
+    // answer here and never reach feature extraction.
+    struct MissPrep {
+        data: Data,
+        comp_id: String,
+        pred_key: String,
+        agnostic_key: String,
+        dependent_key: String,
+        agnostic: Option<Options>,
+        dependent: Option<Options>,
+    }
+    enum PrepOutcome {
+        CachedPrediction(f64),
+        Miss(Box<MissPrep>),
+    }
+    let prepare = |request: &Options| -> Result<PrepOutcome> {
+        let data = protocol::data_from_request(request)?;
+        let data_sha = data_content_hash(request)?;
+        let comp_id = request
+            .get_str_opt("serve:compressor")?
+            .unwrap_or("sz3")
+            .to_string();
+        let mut comp = standard_compressors().build(&comp_id)?;
+        comp.set_options(request)?;
+        let settings_key = CachedEvaluator::error_settings_key(comp.as_ref());
+        let pred_key = format!("p:{scheme_name}:{model_tag}:{settings_key}:{data_sha}");
+        if let Some(value) = state.prediction_cache.get(&pred_key) {
+            return Ok(PrepOutcome::CachedPrediction(value));
+        }
+        let agnostic_key = format!("a:{scheme_name}:{data_sha}");
+        let dependent_key = format!("d:{scheme_name}:{settings_key}:{data_sha}");
+        Ok(PrepOutcome::Miss(Box::new(MissPrep {
+            agnostic: state.feature_cache.get(&agnostic_key),
+            dependent: state.feature_cache.get(&dependent_key),
+            data,
+            comp_id,
+            pred_key,
+            agnostic_key,
+            dependent_key,
+        })))
+    };
+    let mut preps: Vec<Prep> = Vec::new();
+    for item in batch {
+        match prepare(&item.request) {
+            Err(e) => item.respond(respond(Err(e))),
+            Ok(PrepOutcome::CachedPrediction(value)) => {
+                state.predictions_served.fetch_add(1, Ordering::Relaxed);
+                item.respond(prediction_response(value, true, &scheme_name, &model_tag));
+            }
+            Ok(PrepOutcome::Miss(miss)) => preps.push(Prep {
+                item,
+                data: miss.data,
+                comp_id: miss.comp_id,
+                pred_key: miss.pred_key,
+                agnostic_key: miss.agnostic_key,
+                dependent_key: miss.dependent_key,
+                agnostic: miss.agnostic,
+                dependent: miss.dependent,
+            }),
+        }
+    }
+
+    if preps.is_empty() {
+        return;
+    }
+
+    // Parallel feature extraction for the cache misses only, on the
+    // pressio thread pool. Scheme/compressor instances are rebuilt inside
+    // the closure (both are cheap registry constructions) so the closure
+    // stays `Sync`.
+    let nthreads = threads::resolve(None).min(preps.len());
+    let extracted: Vec<Result<(Option<Options>, Option<Options>)>> =
+        threads::par_map_indexed(nthreads, preps.len(), |i| {
+            let p = &preps[i];
+            let scheme = standard_schemes().build(&scheme_name)?;
+            let agnostic = match &p.agnostic {
+                Some(_) => None,
+                None => Some(scheme.error_agnostic_features(&p.data)?),
+            };
+            let dependent = match &p.dependent {
+                Some(_) => None,
+                None => {
+                    let mut comp = standard_compressors().build(&p.comp_id)?;
+                    comp.set_options(&p.item.request)?;
+                    Some(scheme.error_dependent_features(&p.data, comp.as_ref())?)
+                }
+            };
+            Ok((agnostic, dependent))
+        });
+
+    // Serial finalize: fill caches, predict, reply.
+    let predictor: &dyn Predictor = match &model {
+        Some(m) => m.predictor.as_ref(),
+        None => direct_predictor
+            .as_deref()
+            .expect("model-less batch built a direct predictor"),
+    };
+    for (prep, features) in preps.into_iter().zip(extracted) {
+        let response = (|| -> Result<Options> {
+            let (new_agnostic, new_dependent) = features?;
+            let mut computed = 0u64;
+            let agnostic = match prep.agnostic {
+                Some(a) => a,
+                None => {
+                    let a = new_agnostic.expect("computed on cache miss");
+                    state
+                        .feature_cache
+                        .insert(prep.agnostic_key.clone(), a.clone());
+                    computed += 1;
+                    a
+                }
+            };
+            let dependent = match prep.dependent {
+                Some(d) => d,
+                None => {
+                    let d = new_dependent.expect("computed on cache miss");
+                    state
+                        .feature_cache
+                        .insert(prep.dependent_key.clone(), d.clone());
+                    computed += 1;
+                    d
+                }
+            };
+            if computed > 0 {
+                state
+                    .features_computed
+                    .fetch_add(computed, Ordering::Relaxed);
+            }
+            let mut features = agnostic;
+            features.merge_from(&dependent);
+            let value = predictor.predict(&features)?;
+            state.prediction_cache.insert(prep.pred_key.clone(), value);
+            state.predictions_served.fetch_add(1, Ordering::Relaxed);
+            let mut resp = prediction_response(value, false, &scheme_name, &model_tag);
+            if let Ok(Some(alpha)) = prep.item.request.get_f64_opt("serve:alpha") {
+                if let Some(interval) = predictor.predict_interval(&features, alpha) {
+                    resp = resp
+                        .with("serve:interval.lo", interval.lo)
+                        .with("serve:interval.hi", interval.hi)
+                        .with("serve:interval.coverage", interval.coverage);
+                }
+            }
+            Ok(resp)
+        })();
+        prep.item.respond(respond(response));
+    }
+}

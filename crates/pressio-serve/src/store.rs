@@ -1,0 +1,321 @@
+//! Versioned, checksummed model store.
+//!
+//! Trained predictor state is persisted as one artifact file per version
+//! under `<root>/<model-name>/<version>.pmodel`. The on-disk format is:
+//!
+//! ```text
+//! "PSRV" magic (4 bytes) | format version (1 byte, = 1)
+//! header length (u32 BE) | header JSON
+//! predictor state bytes
+//! ```
+//!
+//! The header records the model name, version, scheme, state length, and a
+//! SHA-256 of the state bytes. Writes follow the torn-write-tolerant
+//! conventions of the bench `CheckpointStore`: the artifact is written to a
+//! dot-prefixed temp file, fsynced, and renamed into place, so a crash can
+//! never leave a partially written file under a live name; loads verify
+//! the magic, length, and checksum, so a corrupted artifact is a clear
+//! error rather than a silently wrong model. Version listing skips
+//! unparseable file names (including leftover temp files).
+
+use pressio_core::error::{Error, Result};
+use pressio_core::hash::{to_hex, Sha256};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"PSRV";
+const FORMAT_VERSION: u8 = 1;
+
+/// A persisted (or to-be-persisted) trained model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelArtifact {
+    /// Store name (directory component; `[A-Za-z0-9._-]+`).
+    pub name: String,
+    /// Monotonically increasing version within the name.
+    pub version: u64,
+    /// Registry name of the scheme whose predictor produced the state.
+    pub scheme: String,
+    /// Serialized predictor state (`Predictor::state`).
+    pub state: Vec<u8>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    name: String,
+    version: u64,
+    scheme: String,
+    state_len: u64,
+    state_sha256: String,
+}
+
+/// Directory-backed store of model artifacts.
+pub struct ModelStore {
+    root: PathBuf,
+}
+
+/// Split a `name[@version]` model reference.
+pub fn parse_model_ref(spec: &str) -> Result<(String, Option<u64>)> {
+    match spec.split_once('@') {
+        None => Ok((spec.to_string(), None)),
+        Some((name, ver)) => {
+            let version = ver.parse::<u64>().map_err(|_| Error::InvalidValue {
+                key: "serve:model".into(),
+                reason: format!("version in '{spec}' must be an integer"),
+            })?;
+            Ok((name.to_string(), Some(version)))
+        }
+    }
+}
+
+fn validate_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::InvalidValue {
+            key: "serve:model".into(),
+            reason: format!("model name '{name}' must match [A-Za-z0-9._-]+ (no leading dot)"),
+        })
+    }
+}
+
+impl ModelStore {
+    /// Open (creating if needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ModelStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(ModelStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn artifact_path(&self, name: &str, version: u64) -> PathBuf {
+        self.root.join(name).join(format!("{version:06}.pmodel"))
+    }
+
+    /// Persist `state` as the next version of `name`, returning that
+    /// version. The write is atomic (temp + fsync + rename).
+    pub fn save(&self, name: &str, scheme: &str, state: &[u8]) -> Result<u64> {
+        validate_name(name)?;
+        let dir = self.root.join(name);
+        std::fs::create_dir_all(&dir)?;
+        let version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
+        let header = Header {
+            name: name.to_string(),
+            version,
+            scheme: scheme.to_string(),
+            state_len: state.len() as u64,
+            state_sha256: to_hex(&Sha256::digest(state)),
+        };
+        let header_json =
+            serde_json::to_vec(&header).map_err(|e| Error::Serialization(e.to_string()))?;
+        let tmp = dir.join(format!(".tmp-{version:06}-{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&[FORMAT_VERSION])?;
+            f.write_all(&(header_json.len() as u32).to_be_bytes())?;
+            f.write_all(&header_json)?;
+            f.write_all(state)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.artifact_path(name, version))?;
+        Ok(version)
+    }
+
+    /// Load `name` at `version`, or the latest version when `None`.
+    pub fn load(&self, name: &str, version: Option<u64>) -> Result<ModelArtifact> {
+        validate_name(name)?;
+        let version = match version {
+            Some(v) => v,
+            None => *self
+                .versions(name)?
+                .last()
+                .ok_or_else(|| Error::UnknownPlugin {
+                    kind: "model",
+                    name: name.to_string(),
+                })?,
+        };
+        let path = self.artifact_path(name, version);
+        let bytes = std::fs::read(&path).map_err(|e| {
+            Error::Io(format!(
+                "model '{name}@{version}' ({}): {e}",
+                path.display()
+            ))
+        })?;
+        let corrupt =
+            |why: &str| Error::CorruptStream(format!("model artifact {}: {why}", path.display()));
+        if bytes.len() < MAGIC.len() + 1 + 4 || &bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic or truncated prologue"));
+        }
+        if bytes[4] != FORMAT_VERSION {
+            return Err(corrupt(&format!("unsupported format version {}", bytes[4])));
+        }
+        let header_len = u32::from_be_bytes(bytes[5..9].try_into().unwrap()) as usize;
+        let state_off = 9 + header_len;
+        if bytes.len() < state_off {
+            return Err(corrupt("truncated header"));
+        }
+        let header: Header = serde_json::from_slice(&bytes[9..state_off])
+            .map_err(|_| corrupt("unparseable header"))?;
+        let state = &bytes[state_off..];
+        if state.len() as u64 != header.state_len {
+            return Err(corrupt(&format!(
+                "state length {} != header {}",
+                state.len(),
+                header.state_len
+            )));
+        }
+        if to_hex(&Sha256::digest(state)) != header.state_sha256 {
+            return Err(corrupt("state checksum mismatch"));
+        }
+        Ok(ModelArtifact {
+            name: header.name,
+            version: header.version,
+            scheme: header.scheme,
+            state: state.to_vec(),
+        })
+    }
+
+    /// Sorted versions persisted for `name` (empty if none).
+    pub fn versions(&self, name: &str) -> Result<Vec<u64>> {
+        validate_name(name)?;
+        let dir = self.root.join(name);
+        if !dir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let mut versions = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let file_name = entry?.file_name();
+            let Some(s) = file_name.to_str() else {
+                continue;
+            };
+            // ignore temp files and anything not NNNNNN.pmodel
+            if let Some(stem) = s.strip_suffix(".pmodel") {
+                if let Ok(v) = stem.parse::<u64>() {
+                    versions.push(v);
+                }
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// All model names with their versions, sorted by name.
+    pub fn models(&self) -> Result<Vec<(String, Vec<u64>)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Some(name) = entry.file_name().to_str().map(String::from) else {
+                continue;
+            };
+            if validate_name(&name).is_err() {
+                continue;
+            }
+            let versions = self.versions(&name)?;
+            if !versions.is_empty() {
+                out.push((name, versions));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str) -> ModelStore {
+        let dir = std::env::temp_dir()
+            .join("pressio_model_store_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_and_versioning() {
+        let s = temp_store("roundtrip");
+        let v1 = s.save("m", "rahman2023", b"state-one").unwrap();
+        let v2 = s.save("m", "rahman2023", b"state-two").unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        let latest = s.load("m", None).unwrap();
+        assert_eq!(latest.version, 2);
+        assert_eq!(latest.state, b"state-two");
+        assert_eq!(latest.scheme, "rahman2023");
+        let pinned = s.load("m", Some(1)).unwrap();
+        assert_eq!(pinned.state, b"state-one");
+    }
+
+    #[test]
+    fn missing_model_is_a_clear_error() {
+        let s = temp_store("missing");
+        assert!(matches!(
+            s.load("nope", None),
+            Err(Error::UnknownPlugin { kind: "model", .. })
+        ));
+        assert!(s.load("nope", Some(3)).is_err());
+    }
+
+    #[test]
+    fn corrupted_state_fails_checksum() {
+        let s = temp_store("corrupt");
+        s.save("m", "lu2018", b"good state bytes").unwrap();
+        let path = s.root().join("m").join("000001.pmodel");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = s.load("m", None).unwrap_err();
+        assert!(matches!(err, Error::CorruptStream(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_artifact_is_rejected() {
+        let s = temp_store("truncated");
+        s.save("m", "lu2018", b"0123456789").unwrap();
+        let path = s.root().join("m").join("000001.pmodel");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(s.load("m", None).is_err());
+    }
+
+    #[test]
+    fn temp_files_invisible_to_version_listing() {
+        let s = temp_store("tempfiles");
+        s.save("m", "lu2018", b"x").unwrap();
+        std::fs::write(s.root().join("m").join(".tmp-000002-99"), b"partial").unwrap();
+        std::fs::write(s.root().join("m").join("junk.txt"), b"?").unwrap();
+        assert_eq!(s.versions("m").unwrap(), vec![1]);
+        assert_eq!(s.models().unwrap(), vec![("m".to_string(), vec![1])]);
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let s = temp_store("names");
+        assert!(s.save("../evil", "x", b"s").is_err());
+        assert!(s.save("a/b", "x", b"s").is_err());
+        assert!(s.save("", "x", b"s").is_err());
+        assert!(s.save(".hidden", "x", b"s").is_err());
+        assert!(s.save("ok-name_1.2", "x", b"s").is_ok());
+    }
+
+    #[test]
+    fn model_refs_parse() {
+        assert_eq!(parse_model_ref("m").unwrap(), ("m".to_string(), None));
+        assert_eq!(parse_model_ref("m@7").unwrap(), ("m".to_string(), Some(7)));
+        assert!(parse_model_ref("m@x").is_err());
+    }
+}

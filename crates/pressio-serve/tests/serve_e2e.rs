@@ -1,0 +1,253 @@
+//! End-to-end daemon tests over a real socket: train → persist → load →
+//! predict, cache-hit fast path, overload backpressure, deadlines, and
+//! persistence across a daemon restart.
+
+use pressio_core::Options;
+use pressio_dataset::{DatasetPlugin, Hurricane};
+use pressio_serve::protocol::{self, code, op};
+use pressio_serve::{Client, Endpoint, ServeConfig, Server};
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pressio_serve_e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn local_config(dir: &std::path::Path) -> ServeConfig {
+    ServeConfig::new(Endpoint::Tcp("127.0.0.1:0".into()), dir.join("models"))
+}
+
+fn train_request(model: &str, scheme: &str) -> Options {
+    Options::new()
+        .with("serve:op", op::TRAIN)
+        .with("serve:model", model)
+        .with("serve:scheme", scheme)
+        .with("serve:dims", vec![8u64, 8, 4])
+        .with("serve:timesteps", 1u64)
+        .with("serve:bounds", vec![1e-4])
+}
+
+fn sample_data(index: usize) -> pressio_core::Data {
+    Hurricane::with_dims(8, 8, 4, 1).load_data(index).unwrap()
+}
+
+#[test]
+fn train_persist_load_predict_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let handle = Server::start(local_config(&dir)).unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+
+    assert_eq!(
+        client.ping().unwrap().get_str("serve:type").unwrap(),
+        "pong"
+    );
+
+    // train a model on the trainable Rahman scheme
+    let trained = client.call(&train_request("hurr", "rahman2023")).unwrap();
+    assert_eq!(
+        trained.get_str("serve:type").unwrap(),
+        "trained",
+        "{trained}"
+    );
+    assert_eq!(trained.get_u64("serve:version").unwrap(), 1);
+    assert!(trained.get_u64("serve:samples").unwrap() > 0);
+
+    // the artifact is on disk and listed
+    let models = client.models().unwrap();
+    let listed = models.get_str_slice("serve:models").unwrap().to_vec();
+    assert_eq!(listed, vec!["hurr@1".to_string()]);
+
+    // predict: first call computes features, second is a pure cache hit
+    let data = sample_data(0);
+    let extra = Options::new().with("pressio:abs", 1e-4);
+    let cold = client.predict("hurr", &data, &extra).unwrap();
+    assert_eq!(cold.get_str("serve:type").unwrap(), "prediction", "{cold}");
+    let prediction = cold.get_f64("serve:prediction").unwrap();
+    assert!(prediction.is_finite() && prediction > 0.0, "{prediction}");
+    assert!(!cold.get_bool("serve:cached").unwrap());
+
+    let computed_after_cold = client
+        .stats()
+        .unwrap()
+        .get_u64("serve:features.computed")
+        .unwrap();
+    assert!(computed_after_cold >= 2, "agnostic + dependent features");
+
+    let warm = client.predict("hurr", &data, &extra).unwrap();
+    assert!(warm.get_bool("serve:cached").unwrap(), "{warm}");
+    assert_eq!(warm.get_f64("serve:prediction").unwrap(), prediction);
+
+    // the cache hit must have skipped feature extraction entirely
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get_u64("serve:features.computed").unwrap(),
+        computed_after_cold,
+        "cache hit recomputed features"
+    );
+    assert!(stats.get_u64("serve:prediction_cache.hits").unwrap() >= 1);
+
+    // a different bound shares the agnostic features but not the
+    // error-dependent ones or the prediction
+    let other = client
+        .predict("hurr", &data, &Options::new().with("pressio:abs", 1e-3))
+        .unwrap();
+    assert!(!other.get_bool("serve:cached").unwrap());
+    let stats2 = client.stats().unwrap();
+    assert_eq!(
+        stats2.get_u64("serve:features.computed").unwrap(),
+        computed_after_cold + 1,
+        "only the error-dependent features should be recomputed"
+    );
+
+    // graceful shutdown drains and exits cleanly
+    assert_eq!(
+        client.shutdown().unwrap().get_str("serve:type").unwrap(),
+        "bye"
+    );
+    handle.wait().unwrap();
+
+    // a fresh daemon over the same store serves the persisted model
+    let handle = Server::start(local_config(&dir)).unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    let loaded = client.load("hurr").unwrap();
+    assert_eq!(loaded.get_str("serve:type").unwrap(), "loaded", "{loaded}");
+    assert_eq!(loaded.get_u64("serve:version").unwrap(), 1);
+    let again = client.predict("hurr", &data, &extra).unwrap();
+    assert_eq!(again.get_f64("serve:prediction").unwrap(), prediction);
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calculation_scheme_predicts_without_a_model() {
+    let dir = temp_dir("schemeless");
+    let handle = Server::start(local_config(&dir)).unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    let mut req = Options::new()
+        .with("serve:op", op::PREDICT)
+        .with("serve:scheme", "khan2023")
+        .with("pressio:abs", 1e-3);
+    protocol::data_into_request(&mut req, &sample_data(0));
+    let resp = client.call(&req).unwrap();
+    assert_eq!(resp.get_str("serve:type").unwrap(), "prediction", "{resp}");
+    assert!(resp.get_f64("serve:prediction").unwrap().is_finite());
+    // a trainable scheme without a model is a clear not-found error
+    let mut req = Options::new()
+        .with("serve:op", op::PREDICT)
+        .with("serve:scheme", "rahman2023")
+        .with("pressio:abs", 1e-3);
+    protocol::data_into_request(&mut req, &sample_data(0));
+    let resp = client.call(&req).unwrap();
+    assert!(protocol::is_error(&resp, code::NOT_FOUND), "{resp}");
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_answers_overloaded_not_unbounded_queueing() {
+    let dir = temp_dir("overload");
+    let mut config = local_config(&dir);
+    config.workers = 1;
+    config.queue_capacity = 1;
+    let handle = Server::start(config).unwrap();
+    // 8 concurrent sleeps against 1 worker + queue of 1: most must be
+    // rejected immediately rather than queued without bound.
+    let endpoint = handle.endpoint().clone();
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&endpoint).unwrap();
+                client
+                    .call(
+                        &Options::new()
+                            .with("serve:op", op::SLEEP)
+                            .with("serve:ms", 300u64),
+                    )
+                    .unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<Options> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let slept = responses
+        .iter()
+        .filter(|r| r.get_str("serve:type") == Ok("slept"))
+        .count();
+    let overloaded = responses
+        .iter()
+        .filter(|r| protocol::is_error(r, code::OVERLOADED))
+        .count();
+    assert_eq!(slept + overloaded, 8, "{responses:?}");
+    assert!(slept >= 1, "at least the first sleep must run");
+    assert!(
+        overloaded >= 5,
+        "1 worker + queue of 1 cannot absorb 8 sleeps: {responses:?}"
+    );
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queued_request_past_deadline_answers_deadline_exceeded() {
+    let dir = temp_dir("deadline");
+    let mut config = local_config(&dir);
+    config.workers = 1;
+    config.queue_capacity = 8;
+    let handle = Server::start(config).unwrap();
+    let endpoint = handle.endpoint().clone();
+    // occupy the single worker
+    let blocker = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&endpoint).unwrap();
+            client
+                .call(
+                    &Options::new()
+                        .with("serve:op", op::SLEEP)
+                        .with("serve:ms", 400u64),
+                )
+                .unwrap()
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // this one expires while queued behind the sleeper
+    let mut client = Client::connect(&endpoint).unwrap();
+    let resp = client
+        .call(
+            &Options::new()
+                .with("serve:op", op::SLEEP)
+                .with("serve:ms", 1u64)
+                .with("serve:deadline_ms", 50u64),
+        )
+        .unwrap();
+    assert!(protocol::is_error(&resp, code::DEADLINE_EXCEEDED), "{resp}");
+    blocker.join().unwrap();
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_op_is_bad_request_and_connection_survives() {
+    let dir = temp_dir("badop");
+    let handle = Server::start(local_config(&dir)).unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    let resp = client
+        .call(&Options::new().with("serve:op", "frobnicate"))
+        .unwrap();
+    assert!(protocol::is_error(&resp, code::BAD_REQUEST), "{resp}");
+    // the connection is still usable afterwards
+    assert_eq!(
+        client.ping().unwrap().get_str("serve:type").unwrap(),
+        "pong"
+    );
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
