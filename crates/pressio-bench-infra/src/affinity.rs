@@ -103,6 +103,7 @@ pub fn run_affinity_ablation(config: &AffinityConfig) -> Result<AffinityReport> 
                 workers,
                 scheduling,
                 max_attempts: 1,
+                retry_backoff_ms: 0,
             },
             Arc::new(move |task: &Task, w| {
                 let di = task.config.get_u64("dataset")? as usize;

@@ -199,7 +199,22 @@ fn collect_truth(
         for o in outcomes {
             let v = o.result?;
             if let Some(store) = store.as_mut() {
-                store.put(&o.id, v.clone())?;
+                // Checkpointing is an optimization: a put that keeps
+                // failing after spaced retries costs recomputation on the
+                // next run, never the campaign. The truth value itself is
+                // already in hand.
+                let mut attempt = 1;
+                while let Err(e) = store.put(&o.id, v.clone()) {
+                    attempt += 1;
+                    if attempt > 3 {
+                        pressio_obs::add_counter("table2:checkpoint.put_failed", 1);
+                        eprintln!("warning: checkpoint put for {} failed: {e}", o.id);
+                        break;
+                    }
+                    pressio_obs::add_counter("table2:checkpoint.put_retried", 1);
+                    let wait = pressio_faults::backoff_ms(5, 80, attempt, &o.id);
+                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                }
             }
             truths.push(Truth {
                 dataset: v.get_usize("dataset_index")?,
@@ -226,7 +241,22 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
     let metas = dataset.load_metadata_all()?;
     let mut loaded = Vec::with_capacity(metas.len());
     for (i, meta) in metas.iter().enumerate() {
-        loaded.push((meta.name.clone(), dataset.load_data(i)?));
+        // transient load failures (busy filesystem, injected faults) get
+        // spaced retries before they can kill the campaign
+        let mut attempt = 1;
+        let data = loop {
+            match dataset.load_data(i) {
+                Ok(d) => break d,
+                Err(_) if attempt < 3 => {
+                    attempt += 1;
+                    pressio_obs::add_counter("table2:load.retried", 1);
+                    let wait = pressio_faults::backoff_ms(5, 80, attempt, &meta.name);
+                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        loaded.push((meta.name.clone(), data));
     }
     drop(load_span);
     let datasets = Arc::new(loaded);
@@ -239,7 +269,24 @@ pub fn run_table2(dataset: &mut dyn DatasetPlugin, cfg: &Table2Config) -> Result
     }
 
     let mut store = match &cfg.checkpoint {
-        Some(path) => Some(CheckpointStore::open(path)?),
+        Some(path) => match CheckpointStore::open(path) {
+            Ok(s) => {
+                if let Some(q) = s.quarantined() {
+                    eprintln!(
+                        "warning: corrupt checkpoint log quarantined to {}; resuming from {} surviving records",
+                        q.display(),
+                        s.len()
+                    );
+                }
+                Some(s)
+            }
+            Err(e) => {
+                // run uncheckpointed rather than aborting the campaign
+                pressio_obs::add_counter("table2:checkpoint.open_failed", 1);
+                eprintln!("warning: checkpoint store unavailable ({e}); running without resume");
+                None
+            }
+        },
         None => None,
     };
     let mut hits = 0usize;

@@ -29,6 +29,7 @@
 pub mod affinity;
 pub mod experiment;
 pub mod queue;
+pub mod restart;
 pub mod store;
 
 pub use affinity::{format_affinity, run_affinity_ablation, AffinityConfig, AffinityReport};
@@ -37,4 +38,5 @@ pub use queue::{
     run_tasks, run_tasks_dynamic, DynamicOutcome, DynamicWorkerFn, PoolConfig, PoolStats,
     Scheduling, Task, TaskOutcome, WorkerFn,
 };
+pub use restart::{format_checkpoint, run_checkpoint_ablation, RestartConfig, RestartReport};
 pub use store::CheckpointStore;

@@ -7,9 +7,15 @@
 //! workers". Here each task carries an `affinity_key` (normally the dataset
 //! index) and, in affinity mode, lands on worker `key % workers`.
 //! Fault tolerance: a panicking or erroring task is retried (up to a cap)
-//! on a different worker; results are reported per task, never lost.
+//! on a different worker, with optional exponential backoff between
+//! attempts; a worker thread that dies outright (simulating a crashed
+//! node) is detected by a supervisor in the collector loop, restarted,
+//! and its in-flight tasks are requeued — results are reported per task,
+//! never lost. Failpoints (`queue:task.err` / `queue:task.panic` /
+//! `queue:task.delay` / `queue:worker.crash`) let chaos tests drive every
+//! one of those paths deterministically.
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use pressio_core::error::Error;
 use pressio_core::Options;
 use std::collections::HashMap;
@@ -69,6 +75,11 @@ pub struct PoolConfig {
     pub scheduling: Scheduling,
     /// Attempts per task before reporting failure (≥ 1).
     pub max_attempts: usize,
+    /// Base delay before retry attempts (0 = retry immediately). Attempt
+    /// `n` waits `backoff_ms(base, 32·base, n, task-id)` — exponential
+    /// with deterministic jitter, so transient faults (overloaded disk,
+    /// racing writers) see spaced-out retries instead of a hot loop.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for PoolConfig {
@@ -77,6 +88,7 @@ impl Default for PoolConfig {
             workers: 4,
             scheduling: Scheduling::DataAffinity,
             max_attempts: 3,
+            retry_backoff_ms: 0,
         }
     }
 }
@@ -131,6 +143,7 @@ pub fn run_tasks(
 ) -> (Vec<TaskOutcome>, PoolStats) {
     let workers = config.workers.max(1);
     let max_attempts = config.max_attempts.max(1);
+    let backoff_base = config.retry_backoff_ms;
 
     struct Attempt {
         task: Task,
@@ -138,24 +151,43 @@ pub fn run_tasks(
         exclude_worker: Option<usize>,
     }
 
-    let pool_start = std::time::Instant::now();
-    let (result_tx, result_rx) = unbounded::<(TaskOutcome, Option<Attempt>)>();
-    let mut worker_txs: Vec<Sender<Attempt>> = Vec::with_capacity(workers);
-    let mut handles = Vec::with_capacity(workers);
-    for w in 0..workers {
+    // Worker threads return the wall time spent inside tasks, so the pool
+    // can report per-worker utilization gauges. A worker that hits the
+    // `queue:worker.crash` failpoint dies without reporting its current
+    // attempt — exactly what a crashed node looks like to the collector.
+    fn spawn_worker(
+        w: usize,
+        worker_fn: WorkerFn,
+        result_tx: Sender<(TaskOutcome, Option<Attempt>)>,
+        max_attempts: usize,
+        backoff_base: u64,
+    ) -> (Sender<Attempt>, std::thread::JoinHandle<f64>) {
         let (tx, rx) = unbounded::<Attempt>();
-        worker_txs.push(tx);
-        let result_tx = result_tx.clone();
-        let worker_fn = worker_fn.clone();
-        // each worker returns the wall time it spent inside tasks, so the
-        // pool can report per-worker utilization gauges
-        handles.push(std::thread::spawn(move || -> f64 {
+        let handle = std::thread::spawn(move || -> f64 {
             let mut busy_ms = 0.0f64;
             for attempt in rx {
+                if pressio_faults::check("queue:worker.crash").is_some() {
+                    pressio_obs::add_counter("queue:worker.crashed", 1);
+                    return busy_ms; // die with `attempt` unreported
+                }
+                let wait = pressio_faults::backoff_ms(
+                    backoff_base,
+                    backoff_base.saturating_mul(32),
+                    attempt.attempt,
+                    &attempt.task.id,
+                );
+                if wait > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                }
                 let task_start = std::time::Instant::now();
                 let outcome = {
                     let _span = pressio_obs::span("queue:task");
-                    std::panic::catch_unwind(AssertUnwindSafe(|| worker_fn(&attempt.task, w)))
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        pressio_faults::inject("queue:task.delay")?; // straggler
+                        pressio_faults::inject("queue:task.panic")?;
+                        pressio_faults::inject("queue:task.err")?;
+                        worker_fn(&attempt.task, w)
+                    }))
                 };
                 busy_ms += task_start.elapsed().as_secs_f64() * 1e3;
                 let result = match outcome {
@@ -191,33 +223,61 @@ pub fn run_tasks(
                 }
             }
             busy_ms
-        }));
+        });
+        (tx, handle)
     }
-    drop(result_tx);
 
-    // dispatch
+    let pool_start = std::time::Instant::now();
+    let (result_tx, result_rx) = unbounded::<(TaskOutcome, Option<Attempt>)>();
+    let mut worker_txs: Vec<Sender<Attempt>> = Vec::with_capacity(workers);
+    // One live handle per slot; reaped handles accumulate their busy time
+    // into `busy_acc` so restarts don't lose utilization data.
+    let mut handles: Vec<Option<std::thread::JoinHandle<f64>>> = Vec::with_capacity(workers);
+    let mut busy_acc = vec![0.0f64; workers];
+    for w in 0..workers {
+        let (tx, handle) = spawn_worker(
+            w,
+            worker_fn.clone(),
+            result_tx.clone(),
+            max_attempts,
+            backoff_base,
+        );
+        worker_txs.push(tx);
+        handles.push(Some(handle));
+    }
+
+    // dispatch — every in-flight attempt is remembered in `assigned` so a
+    // crashed worker's tasks can be requeued by the supervisor below
     let total = tasks.len();
     let mut key_seen: Vec<std::collections::HashSet<u64>> =
         (0..workers).map(|_| Default::default()).collect();
     let mut rr = 0usize;
-    let dispatch =
-        |attempt: Attempt, rr: &mut usize, key_seen: &mut Vec<std::collections::HashSet<u64>>| {
-            let mut w = match config.scheduling {
-                Scheduling::DataAffinity => (attempt.task.affinity_key % workers as u64) as usize,
-                Scheduling::RoundRobin => {
-                    let v = *rr % workers;
-                    *rr += 1;
-                    v
-                }
-            };
-            if Some(w) == attempt.exclude_worker && workers > 1 {
-                w = (w + 1) % workers;
+    let mut assigned: HashMap<String, (usize, Task, usize)> = HashMap::new(); // id -> (worker, task, attempt)
+    let dispatch = |attempt: Attempt,
+                    rr: &mut usize,
+                    key_seen: &mut Vec<std::collections::HashSet<u64>>,
+                    worker_txs: &[Sender<Attempt>],
+                    assigned: &mut HashMap<String, (usize, Task, usize)>| {
+        let mut w = match config.scheduling {
+            Scheduling::DataAffinity => (attempt.task.affinity_key % workers as u64) as usize,
+            Scheduling::RoundRobin => {
+                let v = *rr % workers;
+                *rr += 1;
+                v
             }
-            key_seen[w].insert(attempt.task.affinity_key);
-            worker_txs[w]
-                .send(attempt)
-                .expect("worker channel closed prematurely");
         };
+        if Some(w) == attempt.exclude_worker && workers > 1 {
+            w = (w + 1) % workers;
+        }
+        key_seen[w].insert(attempt.task.affinity_key);
+        assigned.insert(
+            attempt.task.id.clone(),
+            (w, attempt.task.clone(), attempt.attempt),
+        );
+        worker_txs[w]
+            .send(attempt)
+            .expect("worker channel closed prematurely");
+    };
     for task in tasks {
         dispatch(
             Attempt {
@@ -227,31 +287,88 @@ pub fn run_tasks(
             },
             &mut rr,
             &mut key_seen,
+            &worker_txs,
+            &mut assigned,
         );
     }
 
-    // collect, re-dispatching retries
+    // collect, re-dispatching retries; double as supervisor — a worker
+    // slot whose thread finished while work remains has crashed, so
+    // restart it and requeue whatever it held
     let mut final_outcomes: HashMap<String, TaskOutcome> = HashMap::new();
     let mut retries = 0usize;
     let mut done = 0usize;
     while done < total {
-        let (outcome, retry) = result_rx.recv().expect("all workers died");
-        match retry {
-            Some(attempt) => {
-                retries += 1;
-                pressio_obs::add_counter("queue:retry", 1);
-                dispatch(attempt, &mut rr, &mut key_seen);
+        let msg = result_rx.recv_timeout(std::time::Duration::from_millis(25));
+        match msg {
+            Ok((outcome, retry)) => {
+                assigned.remove(&outcome.id);
+                match retry {
+                    Some(attempt) => {
+                        retries += 1;
+                        pressio_obs::add_counter("queue:retry", 1);
+                        dispatch(attempt, &mut rr, &mut key_seen, &worker_txs, &mut assigned);
+                    }
+                    None => {
+                        // insert-once: a report racing a crash-requeue can
+                        // complete the same id twice; count it once
+                        if final_outcomes.insert(outcome.id.clone(), outcome).is_none() {
+                            done += 1;
+                        }
+                    }
+                }
             }
-            None => {
-                final_outcomes.insert(outcome.id.clone(), outcome);
-                done += 1;
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                for w in 0..workers {
+                    let dead = handles[w].as_ref().is_some_and(|h| h.is_finished());
+                    if !dead {
+                        continue;
+                    }
+                    if let Some(h) = handles[w].take() {
+                        busy_acc[w] += h.join().unwrap_or(0.0);
+                    }
+                    pressio_obs::add_counter("queue:worker.restarted", 1);
+                    let (tx, handle) = spawn_worker(
+                        w,
+                        worker_fn.clone(),
+                        result_tx.clone(),
+                        max_attempts,
+                        backoff_base,
+                    );
+                    worker_txs[w] = tx;
+                    handles[w] = Some(handle);
+                    // requeue every attempt the dead worker still held
+                    // (same attempt number — a crash is not the task's
+                    // fault), spread away from the restarted slot
+                    let orphans: Vec<(Task, usize)> = assigned
+                        .values()
+                        .filter(|(ow, _, _)| *ow == w)
+                        .map(|(_, task, attempt)| (task.clone(), *attempt))
+                        .collect();
+                    for (task, attempt) in orphans {
+                        pressio_obs::add_counter("queue:task.requeued", 1);
+                        dispatch(
+                            Attempt {
+                                task,
+                                attempt,
+                                exclude_worker: None,
+                            },
+                            &mut rr,
+                            &mut key_seen,
+                            &worker_txs,
+                            &mut assigned,
+                        );
+                    }
+                }
             }
         }
     }
+    drop(result_tx);
     drop(worker_txs);
     let busy: Vec<f64> = handles
         .into_iter()
-        .map(|h| h.join().unwrap_or(0.0))
+        .zip(busy_acc)
+        .map(|(h, acc)| acc + h.and_then(|h| h.join().ok()).unwrap_or(0.0))
         .collect();
     if pressio_obs::is_enabled() {
         let wall_ms = pool_start.elapsed().as_secs_f64() * 1e3;
@@ -411,6 +528,7 @@ mod tests {
             workers: 4,
             scheduling: Scheduling::DataAffinity,
             max_attempts: 1,
+            retry_backoff_ms: 0,
         };
         let (_, affinity_stats) =
             run_tasks(tasks.clone(), cfg, Arc::new(|_t, _w| Ok(Options::new())));
@@ -439,6 +557,7 @@ mod tests {
                 workers: 3,
                 scheduling: Scheduling::DataAffinity,
                 max_attempts: 3,
+                retry_backoff_ms: 0,
             },
             Arc::new(move |t: &Task, _w| {
                 // task 4 fails on its first attempt only
@@ -463,6 +582,7 @@ mod tests {
                 workers: 2,
                 scheduling: Scheduling::RoundRobin,
                 max_attempts: 3,
+                retry_backoff_ms: 0,
             },
             Arc::new(|t: &Task, _w| {
                 if t.id == "task002" {
@@ -488,6 +608,7 @@ mod tests {
                 workers: 2,
                 scheduling: Scheduling::DataAffinity,
                 max_attempts: 2,
+                retry_backoff_ms: 0,
             },
             Arc::new(|t: &Task, _w| {
                 if t.id == "task003" {
@@ -517,6 +638,7 @@ mod tests {
                 workers: 2,
                 scheduling: Scheduling::DataAffinity,
                 max_attempts: 2,
+                retry_backoff_ms: 0,
             },
             Arc::new(move |_t, w| {
                 if fw
@@ -544,6 +666,7 @@ mod tests {
                 workers: 2,
                 scheduling: Scheduling::DataAffinity,
                 max_attempts: 1,
+                retry_backoff_ms: 0,
             },
             100,
             Arc::new(|task: &Task, _w| {
@@ -581,6 +704,7 @@ mod tests {
                 workers: 2,
                 scheduling: Scheduling::DataAffinity,
                 max_attempts: 1,
+                retry_backoff_ms: 0,
             },
             100,
             Arc::new(move |task: &Task, _w| {
@@ -616,6 +740,7 @@ mod tests {
                 workers: 1,
                 scheduling: Scheduling::RoundRobin,
                 max_attempts: 1,
+                retry_backoff_ms: 0,
             },
             10,
             Arc::new(move |task: &Task, _w| {
@@ -646,6 +771,7 @@ mod tests {
                 workers: 1,
                 scheduling: Scheduling::RoundRobin,
                 max_attempts: 1,
+                retry_backoff_ms: 0,
             },
             10,
             Arc::new(|task: &Task, _w| {
@@ -673,6 +799,7 @@ mod tests {
                 workers: 1,
                 scheduling: Scheduling::DataAffinity,
                 max_attempts: 1,
+                retry_backoff_ms: 0,
             },
             Arc::new(|_t, _w| Ok(Options::new())),
         );

@@ -5,9 +5,18 @@
 //! state (restore exactly the metrics results that finished). This store
 //! provides both with an append-only JSON-lines log: every record is one
 //! line, appends are flushed, and a torn trailing line (the only artifact a
-//! crash can produce) is detected and ignored on open. Records are keyed by
-//! the stable SHA-256 option hash from `pressio-core`, so restarted jobs
-//! find their results across executions.
+//! crash can produce) is detected and ignored on open. Corruption *beyond*
+//! a torn tail — a bad line with good records after it, which no crash of
+//! ours produces — quarantines the damaged log (rename to `.quarantined`)
+//! and resumes from the records that survived, so a flaky disk degrades a
+//! campaign instead of aborting it. Records are keyed by the stable
+//! SHA-256 option hash from `pressio-core`, so restarted jobs find their
+//! results across executions.
+//!
+//! Failpoints: `store:open.io`, `store:put.io`, `store:put.torn`,
+//! `store:sync.io`, `store:compact.io`, and `store:compact.crash` (dies
+//! after writing the temp file, before the rename — the log must survive
+//! untouched).
 
 use pressio_core::error::{Error, Result};
 use pressio_core::Options;
@@ -22,6 +31,11 @@ pub struct CheckpointStore {
     index: HashMap<String, Options>,
     /// Records skipped at open because they were torn or malformed.
     recovered_torn: usize,
+    /// Where the damaged log went if open() quarantined it.
+    quarantined: Option<PathBuf>,
+    /// A previous append ended mid-line (torn write); heal before the
+    /// next append so records never merge.
+    tail_dirty: bool,
     /// Puts acknowledged since the last `sync_data`.
     unsynced: usize,
     /// Fsync after this many puts (1 = every put is durable on return).
@@ -34,14 +48,69 @@ struct Record {
     value: Options,
 }
 
+/// Fsync `path`'s parent directory so a rename into it survives power
+/// loss (the rename itself only becomes durable with the directory).
+fn fsync_parent(path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Serialize `index` (sorted by key, deterministic) into `tmp`, fsynced.
+fn write_records_atomic(tmp: &Path, index: &HashMap<String, Options>) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(tmp)?);
+    let mut keys: Vec<&String> = index.keys().collect();
+    keys.sort();
+    for key in keys {
+        let rec = Record {
+            key: key.clone(),
+            value: index[key].clone(),
+        };
+        let line = serde_json::to_string(&rec).map_err(|e| Error::Serialization(e.to_string()))?;
+        writeln!(f, "{line}")?;
+    }
+    f.flush()?;
+    f.get_ref().sync_data()?;
+    Ok(())
+}
+
+/// Atomically replace `path` with a clean log of `index`.
+fn write_clean_log(path: &Path, index: &HashMap<String, Options>) -> Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("log");
+    let tmp = path.with_file_name(format!(".{name}.rewrite-{}.tmp", std::process::id()));
+    write_records_atomic(&tmp, index)?;
+    std::fs::rename(&tmp, path)?;
+    fsync_parent(path)?;
+    Ok(())
+}
+
+/// First free `<name>.quarantined[.N]` sibling of `path`.
+fn quarantine_destination(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("log");
+    let base = path.with_file_name(format!("{name}.quarantined"));
+    if !base.exists() {
+        return base;
+    }
+    (1u32..)
+        .map(|n| path.with_file_name(format!("{name}.quarantined.{n}")))
+        .find(|p| !p.exists())
+        .expect("some quarantine suffix is free")
+}
+
 impl CheckpointStore {
-    /// Open (or create) the store at `path`, replaying the log.
+    /// Open (or create) the store at `path`, replaying the log. A torn
+    /// *trailing* line (the one artifact our own crash can produce) is
+    /// skipped; damage anywhere else means the log was corrupted under us,
+    /// so the file is quarantined and rewritten from the surviving records.
     pub fn open(path: &Path) -> Result<CheckpointStore> {
+        pressio_faults::inject("store:open.io")?;
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut index = HashMap::new();
-        let mut recovered_torn = 0usize;
+        let mut records: Vec<Record> = Vec::new();
+        let mut bad_lines = 0usize;
+        let mut trailing_bad = false; // was the *last* non-empty line bad?
         if path.is_file() {
             let reader = BufReader::new(std::fs::File::open(path)?);
             for line in reader.lines() {
@@ -51,14 +120,29 @@ impl CheckpointStore {
                 }
                 match serde_json::from_str::<Record>(&line) {
                     Ok(rec) => {
-                        index.insert(rec.key, rec.value);
+                        records.push(rec);
+                        trailing_bad = false;
                     }
                     Err(_) => {
-                        // torn or corrupt line (crash mid-append): skip
-                        recovered_torn += 1;
+                        bad_lines += 1;
+                        trailing_bad = true;
                     }
                 }
             }
+        }
+        let mut index = HashMap::new();
+        for rec in records {
+            index.insert(rec.key, rec.value);
+        }
+        let mut quarantined = None;
+        if bad_lines > 1 || (bad_lines == 1 && !trailing_bad) {
+            // mid-file corruption: preserve the damaged log for forensics
+            // and rewrite a clean one from the records that parsed
+            let dest = quarantine_destination(path);
+            std::fs::rename(path, &dest)?;
+            write_clean_log(path, &index)?;
+            pressio_obs::add_counter("store:quarantined", 1);
+            quarantined = Some(dest);
         }
         let file = std::fs::OpenOptions::new()
             .create(true)
@@ -68,7 +152,9 @@ impl CheckpointStore {
             path: path.to_path_buf(),
             file,
             index,
-            recovered_torn,
+            recovered_torn: bad_lines,
+            quarantined,
+            tail_dirty: false,
             unsynced: 0,
             sync_every: 1,
         })
@@ -98,6 +184,11 @@ impl CheckpointStore {
         self.recovered_torn
     }
 
+    /// Where open() moved a mid-file-corrupted log, if it had to.
+    pub fn quarantined(&self) -> Option<&Path> {
+        self.quarantined.as_deref()
+    }
+
     /// Whether `key` has a committed result.
     pub fn contains(&self, key: &str) -> bool {
         self.index.contains_key(key)
@@ -122,7 +213,24 @@ impl CheckpointStore {
         let mut line =
             serde_json::to_string(&rec).map_err(|e| Error::Serialization(e.to_string()))?;
         line.push('\n');
-        self.file.write_all(line.as_bytes())?;
+        pressio_faults::inject("store:put.io")?;
+        if self.tail_dirty {
+            // a previous append failed mid-line; terminate that fragment
+            // so it parses as one bad line instead of merging with ours
+            self.file.write_all(b"\n")?;
+            self.tail_dirty = false;
+        }
+        if pressio_faults::check("store:put.torn").is_some() {
+            // persist only a prefix, as a crash mid-append would
+            self.file.write_all(&line.as_bytes()[..line.len() / 2])?;
+            self.file.flush()?;
+            self.tail_dirty = true;
+            return Err(pressio_faults::injected_error("store:put.torn"));
+        }
+        if let Err(e) = self.file.write_all(line.as_bytes()) {
+            self.tail_dirty = true; // unknown how much hit the file
+            return Err(e.into());
+        }
         self.file.flush()?;
         self.unsynced += 1;
         if self.unsynced >= self.sync_every {
@@ -134,34 +242,38 @@ impl CheckpointStore {
 
     /// Force any batched appends down to stable storage now.
     pub fn sync(&mut self) -> Result<()> {
+        pressio_faults::inject("store:sync.io")?;
         self.file.sync_data()?;
         self.unsynced = 0;
         Ok(())
     }
 
-    /// Rewrite the log with only the live records (tmp + rename, atomic).
-    /// Useful after many overwrites of the same keys.
+    /// Rewrite the log with only the live records. The rewrite goes to a
+    /// uniquely named temp file which is fsynced and renamed over the log,
+    /// and the parent directory is fsynced after the rename — a crash at
+    /// any point leaves either the complete old log or the complete new
+    /// one, never a truncated or missing log.
     pub fn compact(&mut self) -> Result<()> {
-        let tmp = self.path.with_extension("compact.tmp");
-        {
-            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-            let mut keys: Vec<&String> = self.index.keys().collect();
-            keys.sort(); // deterministic output
-            for key in keys {
-                let rec = Record {
-                    key: key.clone(),
-                    value: self.index[key].clone(),
-                };
-                let line =
-                    serde_json::to_string(&rec).map_err(|e| Error::Serialization(e.to_string()))?;
-                writeln!(f, "{line}")?;
-            }
-            f.flush()?;
-            f.get_ref().sync_data()?;
+        pressio_faults::inject("store:compact.io")?;
+        let name = self
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("log");
+        let tmp = self
+            .path
+            .with_file_name(format!(".{name}.compact-{}.tmp", std::process::id()));
+        write_records_atomic(&tmp, &self.index)?;
+        if pressio_faults::check("store:compact.crash").is_some() {
+            // simulate dying between temp write and rename: the live log
+            // must still be intact, with only the temp file leaked
+            return Err(pressio_faults::injected_error("store:compact.crash"));
         }
         std::fs::rename(&tmp, &self.path)?;
+        fsync_parent(&self.path)?;
         self.file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
         self.unsynced = 0;
+        self.tail_dirty = false;
         Ok(())
     }
 
@@ -329,6 +441,78 @@ mod tests {
         let mut sz: Vec<&str> = s.keys_with_prefix("sz3/").collect();
         sz.sort_unstable();
         assert_eq!(sz, vec!["sz3/f1", "sz3/f2"]);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_quarantined_with_good_records_kept() {
+        let path = temp("quarantine.jsonl");
+        {
+            let mut s = CheckpointStore::open(&path).unwrap();
+            s.put("a", Options::new().with("v", 1.0)).unwrap();
+            s.put("b", Options::new().with("v", 2.0)).unwrap();
+            s.put("c", Options::new().with("v", 3.0)).unwrap();
+        }
+        // corrupt the middle record (bit rot, not a torn tail)
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"key\":\"b\",GARBAGE";
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let s = CheckpointStore::open(&path).unwrap();
+        let qpath = s.quarantined().expect("must quarantine").to_path_buf();
+        assert!(qpath.exists(), "damaged log preserved at {qpath:?}");
+        assert!(qpath.to_str().unwrap().contains(".quarantined"));
+        assert_eq!(s.len(), 2, "good records survive");
+        assert!(s.contains("a") && s.contains("c"));
+        assert_eq!(s.recovered_torn(), 1);
+        drop(s);
+        // the rewritten log is clean on the next open
+        let s = CheckpointStore::open(&path).unwrap();
+        assert!(s.quarantined().is_none());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn repeated_quarantines_get_distinct_names() {
+        let path = temp("quarantine_twice.jsonl");
+        // drop quarantined leftovers from earlier runs; temp() only
+        // removes the log itself
+        for entry in std::fs::read_dir(path.parent().unwrap()).unwrap() {
+            let entry = entry.unwrap();
+            if entry
+                .file_name()
+                .to_str()
+                .unwrap()
+                .starts_with("quarantine_twice.jsonl.quarantined")
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        for round in 0..2 {
+            {
+                let mut s = CheckpointStore::open(&path).unwrap();
+                s.put(format!("k{round}"), Options::new().with("v", round as f64))
+                    .unwrap();
+                s.put("tail", Options::new()).unwrap();
+            }
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, format!("BROKEN\n{text}")).unwrap();
+            let s = CheckpointStore::open(&path).unwrap();
+            assert!(s.quarantined().is_some(), "round {round}");
+        }
+        let dir = path.parent().unwrap();
+        let quarantined = std::fs::read_dir(dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_str()
+                    .unwrap()
+                    .starts_with("quarantine_twice.jsonl.quarantined")
+            })
+            .count();
+        assert_eq!(quarantined, 2);
     }
 
     #[test]

@@ -124,6 +124,7 @@ fn queue_retry_and_panic_counters_match_outcomes() {
             workers: 2,
             scheduling: Scheduling::DataAffinity,
             max_attempts: 3,
+            retry_backoff_ms: 0,
         },
         Arc::new(move |t: &Task, w| {
             if t.id == "task2" {
@@ -185,6 +186,7 @@ fn dynamic_task_graph_is_reconstructible_from_trace() {
             workers: 2,
             scheduling: Scheduling::DataAffinity,
             max_attempts: 1,
+            retry_backoff_ms: 0,
         },
         100,
         Arc::new(|task: &Task, _w| {

@@ -1,51 +1,19 @@
 //! Ablation: checkpoint-restart speedup (paper §3/§4.3 — "fine-grained
 //! checkpoint restart allows us to re-run only the affected results
-//! quickly"). Runs the ground-truth collection of the Table 2 experiment
-//! twice against the same store and reports the restart speedup.
+//! quickly"). Thin wrapper over `pressio_bench_infra::restart`, which is
+//! shared with `pressio bench --ablation checkpoint`.
 
 use pressio_bench::BenchArgs;
-use pressio_bench_infra::experiment::{run_table2, Table2Config};
-use std::time::Instant;
+use pressio_bench_infra::restart::{format_checkpoint, run_checkpoint_ablation, RestartConfig};
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
-    let ckpt = std::env::temp_dir().join("pressio_ablation_checkpoint.jsonl");
-    let _ = std::fs::remove_file(&ckpt);
-    let cfg = Table2Config {
-        schemes: vec!["khan2023".into()],
-        compressors: vec!["sz3".into(), "zfp".into()],
-        abs_bounds: vec![1e-6, 1e-4],
-        folds: 3,
-        seed: 1,
+    let report = run_checkpoint_ablation(&RestartConfig {
+        dims: args.dims,
         workers: args.workers,
-        checkpoint: Some(ckpt.clone()),
-    };
-    let mut hurricane = if args.quick {
-        args.hurricane()
-    } else {
-        pressio_dataset::Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, 8)
-    };
-
-    println!("# Ablation: checkpointed restart vs recompute-all\n");
-    let t0 = Instant::now();
-    let first = run_table2(&mut hurricane, &cfg).unwrap();
-    let cold = t0.elapsed().as_secs_f64();
-    println!(
-        "cold run:    {cold:.2}s ({} truth results computed)",
-        first.checkpoint_misses
-    );
-
-    let t0 = Instant::now();
-    let second = run_table2(&mut hurricane, &cfg).unwrap();
-    let warm = t0.elapsed().as_secs_f64();
-    println!(
-        "restart run: {warm:.2}s ({} reused, {} recomputed)",
-        second.checkpoint_hits, second.checkpoint_misses
-    );
-    println!(
-        "restart speedup on truth collection: {:.1}x",
-        cold / warm.max(1e-9)
-    );
-    assert_eq!(second.checkpoint_misses, 0, "restart recomputed truth!");
-    let _ = std::fs::remove_file(&ckpt);
+        quick: args.quick,
+        checkpoint: Some(std::env::temp_dir().join("pressio_ablation_checkpoint.jsonl")),
+    })
+    .unwrap();
+    print!("{}", format_checkpoint(&report));
 }

@@ -13,6 +13,8 @@
 //! pressio predict -i U_64x64x32.f32 -c sz3 --scheme khan2023 --abs 1e-4
 //! pressio bench --dims 32,32,16 --timesteps 2 --trace /tmp/bench.jsonl
 //! pressio bench --ablation affinity --dims 16,16,8    # scheduling ablation
+//! pressio bench --ablation checkpoint --dims 16,16,8  # restart-speedup ablation
+//! pressio bench --faults 'store:put.io=err,times=1'   # fault injection (pressio-faults)
 //! pressio serve --socket /tmp/pressio.sock --models /tmp/models
 //! pressio query --socket /tmp/pressio.sock --op ping
 //! ```
@@ -267,6 +269,13 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             }
             "--op" => op = Some(flag_value(&mut args, &arg)?),
             "--model" => model = Some(flag_value(&mut args, &arg)?),
+            "--faults" => {
+                // fault-injection schedule (see pressio-faults), activated
+                // process-wide at parse time like --threads; also exported
+                // to PRESSIO_FAULTS-style option plumbing via configure
+                let spec = flag_value(&mut args, &arg)?;
+                pressio_faults::configure(&spec)?;
+            }
             "--threads" => {
                 let v: usize = flag_value(&mut args, &arg)?
                     .parse()
@@ -503,8 +512,24 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                         )?;
                         Ok(())
                     }
+                    "checkpoint" => {
+                        let report = pressio_bench_infra::restart::run_checkpoint_ablation(
+                            &pressio_bench_infra::restart::RestartConfig {
+                                dims,
+                                workers,
+                                quick: timesteps <= 1,
+                                checkpoint: None,
+                            },
+                        )?;
+                        write!(
+                            out,
+                            "{}",
+                            pressio_bench_infra::restart::format_checkpoint(&report)
+                        )?;
+                        Ok(())
+                    }
                     other => Err(usage_error(&format!(
-                        "unknown ablation '{other}' (available: affinity)"
+                        "unknown ablation '{other}' (available: affinity, checkpoint)"
                     ))),
                 };
             }
@@ -700,6 +725,18 @@ mod tests {
     }
 
     #[test]
+    fn faults_flag_activates_the_registry_and_rejects_bad_specs() {
+        // a site no real code path hits, so concurrent tests are unaffected
+        let cmd = parse(&["bench", "--faults", "clitest:site=err,times=1"]).unwrap();
+        assert!(matches!(cmd, Command::Bench { .. }));
+        assert!(pressio_faults::enabled());
+        assert!(pressio_faults::inject("clitest:site").is_err());
+        pressio_faults::clear();
+        assert!(parse(&["bench", "--faults", "not a valid spec"]).is_err());
+        assert!(parse(&["bench", "--faults"]).is_err(), "missing value");
+    }
+
+    #[test]
     fn threads_flag_sets_option_and_global_override() {
         let cmd = parse(&[
             "compress",
@@ -754,6 +791,11 @@ mod tests {
         assert!(matches!(
             cmd,
             Command::Bench { ablation: Some(ref a), workers: 4, .. } if a == "affinity"
+        ));
+        let cmd = parse(&["bench", "--ablation", "checkpoint"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Bench { ablation: Some(ref a), .. } if a == "checkpoint"
         ));
         let cmd = parse(&[
             "serve",

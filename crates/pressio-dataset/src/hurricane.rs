@@ -261,6 +261,7 @@ impl DatasetPlugin for Hurricane {
     }
 
     fn load_data(&mut self, index: usize) -> Result<Data> {
+        pressio_faults::inject("dataset:load")?;
         if index >= self.len() {
             return Err(index_error(index, self.len()));
         }

@@ -74,6 +74,7 @@ pub fn write_raw(dir: &Path, name: &str, data: &Data) -> Result<PathBuf> {
 
 /// Read a raw file whose shape/dtype come from its filename.
 pub fn read_raw(path: &Path) -> Result<Data> {
+    pressio_faults::inject("dataset:load")?;
     let (_, dims, dtype) = parse_filename(path)?;
     let expected = dims.iter().product::<usize>() * dtype.size();
     let mut bytes = Vec::with_capacity(expected);

@@ -1,0 +1,217 @@
+//! Load-shedding circuit breaker for the request pipeline.
+//!
+//! When the pipeline is saturated, every queued request that will
+//! eventually be rejected (`overloaded`) or expire (`deadline_exceeded`)
+//! still costs queue slots, wakeups, and client-perceived latency. The
+//! breaker converts sustained saturation into *fast* rejection: after
+//! `threshold` consecutive overload-class failures it opens and sheds
+//! incoming requests immediately, without touching the queue. After
+//! `cooldown` it moves to half-open and lets a single probe request
+//! through; the probe's outcome decides whether the breaker closes
+//! (recovered) or re-opens (still saturated).
+//!
+//! Only *overload-class* outcomes (queue full, deadline exceeded) count as
+//! failures — a `bad_request` or `not_found` says nothing about capacity.
+//! A `threshold` of 0 disables the breaker entirely: [`allow`] is then a
+//! single atomic load.
+//!
+//! [`allow`]: CircuitBreaker::allow
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// A consecutive-failure circuit breaker (closed → open → half-open).
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    /// CLOSED / OPEN / HALF_OPEN; mirrored outside `inner` so the common
+    /// closed-state `allow` check is one atomic load, no lock.
+    state: AtomicU8,
+    inner: Mutex<Inner>,
+    trips: AtomicU64,
+    shed: AtomicU64,
+}
+
+struct Inner {
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// In half-open, whether the single probe slot has been handed out.
+    probe_in_flight: bool,
+}
+
+impl CircuitBreaker {
+    /// Breaker that opens after `threshold` consecutive overload-class
+    /// failures and probes again after `cooldown_ms`. `threshold == 0`
+    /// disables it (every request allowed).
+    pub fn new(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+            state: AtomicU8::new(CLOSED),
+            inner: Mutex::new(Inner {
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+            trips: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this request may proceed to the queue. `false` means shed
+    /// it now with `overloaded`. In half-open, exactly one caller gets
+    /// `true` (the probe) until its outcome is reported.
+    pub fn allow(&self) -> bool {
+        if self.threshold == 0 || self.state.load(Ordering::Relaxed) == CLOSED {
+            return true;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        match self.state.load(Ordering::Relaxed) {
+            CLOSED => true, // closed while we waited for the lock
+            OPEN => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|t| t.elapsed() >= self.cooldown);
+                if cooled {
+                    self.state.store(HALF_OPEN, Ordering::Relaxed);
+                    inner.probe_in_flight = true;
+                    true
+                } else {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+            _ => {
+                if inner.probe_in_flight {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    inner.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Report a successful (non-overload) outcome.
+    pub fn on_success(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures = 0;
+        inner.probe_in_flight = false;
+        if self.state.load(Ordering::Relaxed) != CLOSED {
+            self.state.store(CLOSED, Ordering::Relaxed);
+            inner.opened_at = None;
+        }
+    }
+
+    /// Report an overload-class failure (queue full or deadline exceeded).
+    pub fn on_failure(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        match self.state.load(Ordering::Relaxed) {
+            OPEN => {} // already open; nothing to count
+            HALF_OPEN => {
+                // failed probe: back to open, restart the cooldown clock
+                inner.probe_in_flight = false;
+                inner.opened_at = Some(Instant::now());
+                self.state.store(OPEN, Ordering::Relaxed);
+                self.trips.fetch_add(1, Ordering::Relaxed);
+                pressio_obs::add_counter("serve:breaker.trips", 1);
+            }
+            _ => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    inner.consecutive_failures = 0;
+                    inner.opened_at = Some(Instant::now());
+                    self.state.store(OPEN, Ordering::Relaxed);
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    pressio_obs::add_counter("serve:breaker.trips", 1);
+                }
+            }
+        }
+    }
+
+    /// Current state as a stable string: `closed`, `open`, or `half_open`.
+    pub fn state_name(&self) -> &'static str {
+        match self.state.load(Ordering::Relaxed) {
+            OPEN => "open",
+            HALF_OPEN => "half_open",
+            _ => "closed",
+        }
+    }
+
+    /// Times the breaker has tripped open (including failed probes).
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed without queueing while open/half-open.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_breaker_always_allows() {
+        let b = CircuitBreaker::new(0, 10);
+        for _ in 0..100 {
+            b.on_failure();
+            assert!(b.allow());
+        }
+        assert_eq!(b.trips(), 0);
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, 10_000);
+        b.on_failure();
+        b.on_failure();
+        assert!(b.allow(), "below threshold stays closed");
+        b.on_success(); // resets the streak
+        b.on_failure();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow());
+        assert!(b.shed() >= 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(1, 0); // cooldown 0: next allow is the probe
+        b.on_failure();
+        assert_eq!(b.state_name(), "open");
+        assert!(b.allow(), "cooldown elapsed: probe goes through");
+        assert_eq!(b.state_name(), "half_open");
+        assert!(!b.allow(), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(1, 0);
+        b.on_failure();
+        assert!(b.allow());
+        b.on_failure(); // probe failed
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.trips(), 2);
+    }
+}

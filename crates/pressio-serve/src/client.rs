@@ -1,15 +1,46 @@
 //! Blocking client for the serve protocol, used by `pressio query`, the
 //! end-to-end tests, and the serve benchmark.
+//!
+//! [`Client::call_resilient`] layers fault tolerance over the bare
+//! [`Client::call`]: transport errors (dropped connection, torn frame)
+//! trigger a reconnect, transient server errors (`overloaded`,
+//! `deadline_exceeded` — see [`protocol::is_retryable`]) trigger a resend,
+//! both under a [`RetryPolicy`] budget with deterministic exponential
+//! backoff + jitter (`pressio_faults::backoff_ms`). Fatal server errors
+//! (`bad_request`, `not_found`, `internal`) return immediately: resending
+//! those reproduces the same answer.
 
 use crate::net::{Conn, Endpoint};
 use crate::protocol::{self, op, read_frame, write_frame};
 use pressio_core::error::{Error, Result};
 use pressio_core::{Data, Options};
 
+/// Retry budget and backoff shape for [`Client::call_resilient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: usize,
+    /// Backoff before the second attempt, doubling per attempt after.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_ms: 10,
+            max_ms: 500,
+        }
+    }
+}
+
 /// One connection to a `pressio-serve` daemon; requests are strictly
 /// serial per client (pipeline parallelism comes from multiple clients).
 pub struct Client {
     conn: Conn,
+    endpoint: Endpoint,
 }
 
 impl Client {
@@ -17,6 +48,7 @@ impl Client {
     pub fn connect(endpoint: &Endpoint) -> Result<Client> {
         Ok(Client {
             conn: endpoint.connect()?,
+            endpoint: endpoint.clone(),
         })
     }
 
@@ -25,6 +57,64 @@ impl Client {
         write_frame(&mut self.conn, request)?;
         read_frame(&mut self.conn)?
             .ok_or_else(|| Error::Io("server closed the connection before replying".into()))
+    }
+
+    /// [`call`](Self::call) with retries: reconnects on transport errors,
+    /// resends on retryable server errors, backs off deterministically
+    /// between attempts. Returns the last outcome when the budget runs out.
+    ///
+    /// Only safe for idempotent requests (`predict`, `ping`, `stats`,
+    /// `models`, `load`); a retried `train` would persist a second model
+    /// version.
+    pub fn call_resilient(&mut self, request: &Options, policy: &RetryPolicy) -> Result<Options> {
+        let op_key = request.get_str_opt("serve:op").ok().flatten().unwrap_or("");
+        let mut attempt = 1usize;
+        loop {
+            let outcome = self.call(request);
+            let reconnect = match &outcome {
+                Ok(resp) if protocol::is_retryable(resp) => false,
+                Ok(_) => return outcome,
+                // transport-level failure: the connection is in an unknown
+                // state (possibly mid-frame), so it must be re-established
+                Err(Error::Io(_)) | Err(Error::CorruptStream(_)) => true,
+                Err(_) => return outcome,
+            };
+            if attempt >= policy.max_attempts {
+                return outcome;
+            }
+            attempt += 1;
+            pressio_obs::add_counter("serve:client.retry", 1);
+            let wait = pressio_faults::backoff_ms(policy.base_ms, policy.max_ms, attempt, op_key);
+            if wait > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(wait));
+            }
+            if reconnect {
+                // a dead connection must be replaced before the next call;
+                // failed reconnects burn attempts from the same budget
+                loop {
+                    match self.endpoint.connect() {
+                        Ok(conn) => {
+                            self.conn = conn;
+                            break;
+                        }
+                        Err(e) => {
+                            if attempt >= policy.max_attempts {
+                                return Err(e);
+                            }
+                            attempt += 1;
+                            pressio_obs::add_counter("serve:client.retry", 1);
+                            let wait = pressio_faults::backoff_ms(
+                                policy.base_ms,
+                                policy.max_ms,
+                                attempt,
+                                op_key,
+                            );
+                            std::thread::sleep(std::time::Duration::from_millis(wait));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// `ping` → expects `pong`.

@@ -14,6 +14,8 @@
 //!   predictions, with hit/miss counters in `pressio-obs`.
 //! - [`pipeline`] — bounded batching queue with per-request deadlines and
 //!   explicit `overloaded` backpressure.
+//! - [`breaker`] — load-shedding circuit breaker: sustained overload trips
+//!   it open so excess requests are rejected without queue churn.
 //! - [`server`] — the daemon: accept loop, per-model request batching,
 //!   hot model reload, graceful draining shutdown.
 //! - [`client`] — the blocking client used by `pressio query`, the tests,
@@ -21,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod net;
@@ -29,8 +32,9 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 
+pub use breaker::CircuitBreaker;
 pub use cache::{CacheStats, ShardedLru};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use net::Endpoint;
 pub use server::{serve, ServeConfig, Server, ServerHandle};
 pub use store::{ModelArtifact, ModelStore};

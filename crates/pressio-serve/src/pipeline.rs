@@ -38,6 +38,28 @@ impl WorkItem {
     pub fn respond(&self, response: Options) {
         let _ = self.reply.send(response);
     }
+
+    /// Whether the item's deadline has already passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() > self.deadline
+    }
+
+    /// Send the reply unless the deadline passed while it was being
+    /// computed: the client has stopped waiting by contract, so a late
+    /// success is replaced with `deadline_exceeded` (error responses pass
+    /// through — they carry diagnostics worth delivering either way).
+    pub fn respond_checked(&self, response: Options) {
+        let is_error = response.get_str_opt("serve:type").ok().flatten() == Some("error");
+        if self.expired() && !is_error {
+            pressio_obs::add_counter("serve:deadline.exceeded_late", 1);
+            self.respond(protocol::error_response(
+                code::DEADLINE_EXCEEDED,
+                "deadline passed during compute",
+            ));
+            return;
+        }
+        self.respond(response);
+    }
 }
 
 struct Shared {
@@ -303,6 +325,29 @@ mod tests {
             let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(resp.get_str("serve:type").unwrap(), "drained");
         }
+    }
+
+    #[test]
+    fn respond_checked_replaces_late_success_with_deadline_exceeded() {
+        // expired item: a late success becomes deadline_exceeded ...
+        let (it, rx) = item("m", 1);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(it.expired());
+        it.respond_checked(Options::new().with("serve:type", "prediction"));
+        let resp = rx.recv().unwrap();
+        assert!(protocol::is_error(&resp, code::DEADLINE_EXCEEDED), "{resp}");
+        // ... but an error response keeps its diagnostics
+        let (it, rx) = item("m", 1);
+        std::thread::sleep(Duration::from_millis(10));
+        it.respond_checked(protocol::error_response(code::NOT_FOUND, "no model"));
+        assert!(protocol::is_error(&rx.recv().unwrap(), code::NOT_FOUND));
+        // a live item passes successes through untouched
+        let (it, rx) = item("m", 10_000);
+        it.respond_checked(Options::new().with("serve:type", "prediction"));
+        assert_eq!(
+            rx.recv().unwrap().get_str("serve:type").unwrap(),
+            "prediction"
+        );
     }
 
     #[test]

@@ -57,8 +57,27 @@ pub mod code {
     pub const INTERNAL: &str = "internal";
 }
 
-/// Write one frame: 4-byte big-endian length, then the JSON payload.
-pub fn write_frame(w: &mut impl Write, msg: &Options) -> Result<()> {
+/// Whether an error code marks a *transient* condition a client should
+/// retry (with backoff) versus a fatal one where retrying is useless:
+/// `overloaded` and `deadline_exceeded` pass — the server was healthy but
+/// busy; `bad_request`/`not_found`/`internal` fail — resending the same
+/// request reproduces the same answer.
+pub fn is_retryable_code(error_code: &str) -> bool {
+    matches!(error_code, code::OVERLOADED | code::DEADLINE_EXCEEDED)
+}
+
+/// Whether a response is an error a client should retry.
+pub fn is_retryable(resp: &Options) -> bool {
+    resp.get_str_opt("serve:type").ok().flatten() == Some("error")
+        && resp
+            .get_str_opt("serve:code")
+            .ok()
+            .flatten()
+            .is_some_and(is_retryable_code)
+}
+
+/// Serialize one frame (length prefix + JSON payload) without writing it.
+pub fn frame_bytes(msg: &Options) -> Result<Vec<u8>> {
     let json = msg.to_json()?;
     let bytes = json.as_bytes();
     if bytes.len() > MAX_FRAME {
@@ -67,12 +86,17 @@ pub fn write_frame(w: &mut impl Write, msg: &Options) -> Result<()> {
             bytes.len()
         )));
     }
-    // one contiguous write: a separate 4-byte prefix write would interact
+    // one contiguous buffer: a separate 4-byte prefix write would interact
     // with Nagle + delayed ACK on TCP, stalling every frame ~40 ms
     let mut frame = Vec::with_capacity(4 + bytes.len());
     frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
     frame.extend_from_slice(bytes);
-    w.write_all(&frame)?;
+    Ok(frame)
+}
+
+/// Write one frame: 4-byte big-endian length, then the JSON payload.
+pub fn write_frame(w: &mut impl Write, msg: &Options) -> Result<()> {
+    w.write_all(&frame_bytes(msg)?)?;
     w.flush()?;
     Ok(())
 }
@@ -201,5 +225,19 @@ mod tests {
         assert!(is_error(&resp, code::OVERLOADED));
         assert!(!is_error(&resp, code::NOT_FOUND));
         assert!(!is_error(&Options::new(), code::OVERLOADED));
+    }
+
+    #[test]
+    fn retryable_classification_separates_transient_from_fatal() {
+        for c in [code::OVERLOADED, code::DEADLINE_EXCEEDED] {
+            assert!(is_retryable_code(c), "{c}");
+            assert!(is_retryable(&error_response(c, "busy")));
+        }
+        for c in [code::BAD_REQUEST, code::NOT_FOUND, code::INTERNAL] {
+            assert!(!is_retryable_code(c), "{c}");
+            assert!(!is_retryable(&error_response(c, "broken")));
+        }
+        // non-error responses are never "retryable"
+        assert!(!is_retryable(&Options::new().with("serve:type", "pong")));
     }
 }

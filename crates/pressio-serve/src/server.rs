@@ -16,6 +16,7 @@
 //! `pressio_core::threads` pool. `train` runs inline on the connection
 //! thread so long fits never starve the prediction workers.
 
+use crate::breaker::CircuitBreaker;
 use crate::cache::ShardedLru;
 use crate::net::{Conn, Endpoint, Listener};
 use crate::pipeline::{Pipeline, WorkItem};
@@ -55,6 +56,11 @@ pub struct ServeConfig {
     pub cache_entries: usize,
     /// Shard count for each cache.
     pub cache_shards: usize,
+    /// Consecutive overload-class failures (queue full / deadline
+    /// exceeded) before the load-shedding breaker opens; 0 disables it.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before probing with one request.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl ServeConfig {
@@ -69,6 +75,8 @@ impl ServeConfig {
             default_deadline_ms: 10_000,
             cache_entries: 1024,
             cache_shards: 16,
+            breaker_threshold: 16,
+            breaker_cooldown_ms: 1_000,
         }
     }
 }
@@ -88,6 +96,7 @@ struct ServerState {
     catalog: RwLock<HashMap<(String, u64), Arc<LoadedModel>>>,
     feature_cache: ShardedLru<Options>,
     prediction_cache: ShardedLru<f64>,
+    breaker: CircuitBreaker,
     /// Feature extractions actually executed (cache hits skip these).
     features_computed: AtomicU64,
     predictions_served: AtomicU64,
@@ -107,6 +116,7 @@ impl ServerState {
                 config.cache_shards,
                 config.cache_entries,
             ),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown_ms),
             config,
             store,
             catalog: RwLock::new(HashMap::new()),
@@ -118,10 +128,12 @@ impl ServerState {
     /// Resolve `name[@version]` to a resident model, loading (and
     /// verifying) the artifact on first use. An unversioned reference
     /// re-resolves the latest store version every time, so a model
-    /// re-trained under the same name is picked up hot.
+    /// re-trained under the same name is picked up hot — and a corrupt
+    /// latest artifact is quarantined with fallback to the previous
+    /// version ([`ModelStore::load_resilient`]) instead of an outage.
     fn resolve_model(&self, model_ref: &str) -> Result<Arc<LoadedModel>> {
-        let (name, version) = parse_model_ref(model_ref)?;
-        let version = match version {
+        let (name, version_req) = parse_model_ref(model_ref)?;
+        let version = match version_req {
             Some(v) => v,
             None => *self
                 .store
@@ -132,16 +144,15 @@ impl ServerState {
                     name: name.clone(),
                 })?,
         };
-        let key = (name.clone(), version);
         if let Some(model) = self
             .catalog
             .read()
             .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
+            .get(&(name.clone(), version))
         {
             return Ok(model.clone());
         }
-        let artifact = self.store.load(&name, Some(version))?;
+        let artifact = self.store.load_resilient(&name, version_req)?;
         let scheme = standard_schemes().build(&artifact.scheme)?;
         let mut predictor = scheme.make_predictor();
         predictor.load_state(&artifact.state)?;
@@ -151,10 +162,12 @@ impl ServerState {
             scheme: artifact.scheme,
             predictor,
         });
+        // keyed by the version actually loaded: on quarantine fallback
+        // that differs from the latest-version probe above
         self.catalog
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(key, model.clone());
+            .insert((model.name.clone(), model.version), model.clone());
         pressio_obs::add_counter("serve:model.loaded", 1);
         Ok(model)
     }
@@ -380,7 +393,24 @@ fn connection_loop(
             }
         };
         let response = response.with("serve:elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-        let write_ok = write_frame(&mut conn, &response).is_ok();
+        // failpoint: a stalled client holds the response in flight
+        if let Some(
+            pressio_faults::FaultAction::Stall(ms) | pressio_faults::FaultAction::Delay(ms),
+        ) = pressio_faults::check("serve:conn.stall")
+        {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        // failpoint: sever the connection mid-frame — the client sees a
+        // torn frame / EOF and must reconnect and retry
+        let write_ok = if pressio_faults::check("serve:conn.drop").is_some() {
+            if let Ok(frame) = protocol::frame_bytes(&response) {
+                let _ = std::io::Write::write_all(&mut conn, &frame[..frame.len() / 2]);
+                let _ = std::io::Write::flush(&mut conn);
+            }
+            false
+        } else {
+            write_frame(&mut conn, &response).is_ok()
+        };
         if shutting_down {
             signal.trigger();
             break;
@@ -434,6 +464,9 @@ fn stats_response(state: &ServerState, pipeline: &Pipeline) -> Options {
                 .unwrap_or_else(|e| e.into_inner())
                 .len() as u64,
         )
+        .with("serve:breaker.state", state.breaker.state_name())
+        .with("serve:breaker.trips", state.breaker.trips())
+        .with("serve:breaker.shed", state.breaker.shed())
 }
 
 fn models_response(state: &ServerState) -> Options {
@@ -561,6 +594,15 @@ fn submit_and_wait(
         .ok()
         .flatten()
         .unwrap_or(state.config.default_deadline_ms);
+    // load shedding: while the breaker is open, reject before touching the
+    // queue at all — sustained saturation must not cost queue churn
+    if !state.breaker.allow() {
+        pressio_obs::add_counter("serve:breaker.shed", 1);
+        return protocol::error_response(
+            code::OVERLOADED,
+            "shedding load (circuit breaker open); retry later",
+        );
+    }
     let (reply, rx) = sync_channel(1);
     let item = WorkItem {
         batch_key,
@@ -570,6 +612,7 @@ fn submit_and_wait(
     };
     match pipeline.submit(item) {
         Err(_) => {
+            state.breaker.on_failure();
             pressio_obs::add_counter("serve:overloaded", 1);
             protocol::error_response(
                 code::OVERLOADED,
@@ -579,11 +622,23 @@ fn submit_and_wait(
                 ),
             )
         }
-        Ok(()) => rx
-            .recv_timeout(Duration::from_millis(deadline_ms) + Duration::from_secs(60))
-            .unwrap_or_else(|_| {
-                protocol::error_response(code::INTERNAL, "worker dropped the request")
-            }),
+        Ok(()) => {
+            let resp = rx
+                .recv_timeout(Duration::from_millis(deadline_ms) + Duration::from_secs(60))
+                .unwrap_or_else(|_| {
+                    protocol::error_response(code::INTERNAL, "worker dropped the request")
+                });
+            // overload-class outcomes feed the breaker; anything else
+            // (success or a request-specific error) counts as capacity
+            if protocol::is_error(&resp, code::OVERLOADED)
+                || protocol::is_error(&resp, code::DEADLINE_EXCEEDED)
+            {
+                state.breaker.on_failure();
+            } else {
+                state.breaker.on_success();
+            }
+            resp
+        }
     }
 }
 
@@ -607,7 +662,7 @@ fn handle_batch(state: &ServerState, batch: Vec<WorkItem>) {
                     .flatten()
                     .unwrap_or(100);
                 std::thread::sleep(Duration::from_millis(ms));
-                item.respond(
+                item.respond_checked(
                     Options::new()
                         .with("serve:type", "slept")
                         .with("serve:ms", ms),
@@ -876,6 +931,8 @@ fn handle_predict_batch(state: &ServerState, batch: Vec<WorkItem>) {
             }
             Ok(resp)
         })();
-        prep.item.respond(respond(response));
+        // deadline re-check after compute: the client stopped waiting at
+        // the deadline, so a slow extraction must not pretend to succeed
+        prep.item.respond_checked(respond(response));
     }
 }

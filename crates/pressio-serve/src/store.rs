@@ -4,19 +4,33 @@
 //! under `<root>/<model-name>/<version>.pmodel`. The on-disk format is:
 //!
 //! ```text
-//! "PSRV" magic (4 bytes) | format version (1 byte, = 1)
+//! "PSRV" magic (4 bytes) | format version (1 byte, = 2)
 //! header length (u32 BE) | header JSON
 //! predictor state bytes
+//! SHA-256 of everything above (32 bytes)   -- format version 2 only
 //! ```
 //!
 //! The header records the model name, version, scheme, state length, and a
-//! SHA-256 of the state bytes. Writes follow the torn-write-tolerant
-//! conventions of the bench `CheckpointStore`: the artifact is written to a
-//! dot-prefixed temp file, fsynced, and renamed into place, so a crash can
-//! never leave a partially written file under a live name; loads verify
-//! the magic, length, and checksum, so a corrupted artifact is a clear
-//! error rather than a silently wrong model. Version listing skips
-//! unparseable file names (including leftover temp files).
+//! SHA-256 of the state bytes. Format 2 adds a whole-file checksum trailer
+//! so corruption anywhere — including the header, which format 1 left
+//! unprotected — is detected; format 1 artifacts remain loadable. Writes
+//! follow the torn-write-tolerant conventions of the bench
+//! `CheckpointStore`: the artifact is written to a dot-prefixed temp file,
+//! fsynced, and renamed into place, so a crash can never leave a partially
+//! written file under a live name; loads verify the magic, length, and
+//! checksums, so a corrupted artifact is a clear error rather than a
+//! silently wrong model. Version listing skips unparseable file names
+//! (including leftover temp files and `.quarantined` artifacts).
+//!
+//! [`load_resilient`](ModelStore::load_resilient) adds quarantine: a
+//! corrupt artifact is renamed to `<file>.quarantined` (never deleted, so
+//! an operator can inspect it) and, for unpinned references, the previous
+//! version is tried — a corrupted latest model degrades to the last good
+//! one instead of an outage.
+//!
+//! Failpoints (see `pressio-faults`): `serve:store.save` (save IO error),
+//! `serve:store.load` (load IO error), `serve:store.load.corrupt`
+//! (artifact bytes corrupted after read, exercising the checksum path).
 
 use pressio_core::error::{Error, Result};
 use pressio_core::hash::{to_hex, Sha256};
@@ -25,7 +39,11 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"PSRV";
-const FORMAT_VERSION: u8 = 1;
+const FORMAT_VERSION: u8 = 2;
+/// Prologue: magic + format byte + header length.
+const PROLOGUE: usize = 4 + 1 + 4;
+/// Length of the format-2 whole-file checksum trailer.
+const TRAILER: usize = 32;
 
 /// A persisted (or to-be-persisted) trained model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +122,7 @@ impl ModelStore {
     /// Persist `state` as the next version of `name`, returning that
     /// version. The write is atomic (temp + fsync + rename).
     pub fn save(&self, name: &str, scheme: &str, state: &[u8]) -> Result<u64> {
+        pressio_faults::inject("serve:store.save")?;
         validate_name(name)?;
         let dir = self.root.join(name);
         std::fs::create_dir_all(&dir)?;
@@ -119,12 +138,16 @@ impl ModelStore {
             serde_json::to_vec(&header).map_err(|e| Error::Serialization(e.to_string()))?;
         let tmp = dir.join(format!(".tmp-{version:06}-{}", std::process::id()));
         {
+            let mut body = Vec::with_capacity(PROLOGUE + header_json.len() + state.len() + TRAILER);
+            body.extend_from_slice(MAGIC);
+            body.push(FORMAT_VERSION);
+            body.extend_from_slice(&(header_json.len() as u32).to_be_bytes());
+            body.extend_from_slice(&header_json);
+            body.extend_from_slice(state);
+            let file_sha = Sha256::digest(&body);
+            body.extend_from_slice(&file_sha);
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(MAGIC)?;
-            f.write_all(&[FORMAT_VERSION])?;
-            f.write_all(&(header_json.len() as u32).to_be_bytes())?;
-            f.write_all(&header_json)?;
-            f.write_all(state)?;
+            f.write_all(&body)?;
             f.sync_all()?;
         }
         std::fs::rename(&tmp, self.artifact_path(name, version))?;
@@ -133,6 +156,7 @@ impl ModelStore {
 
     /// Load `name` at `version`, or the latest version when `None`.
     pub fn load(&self, name: &str, version: Option<u64>) -> Result<ModelArtifact> {
+        pressio_faults::inject("serve:store.load")?;
         validate_name(name)?;
         let version = match version {
             Some(v) => v,
@@ -145,28 +169,46 @@ impl ModelStore {
                 })?,
         };
         let path = self.artifact_path(name, version);
-        let bytes = std::fs::read(&path).map_err(|e| {
+        let mut bytes = std::fs::read(&path).map_err(|e| {
             Error::Io(format!(
                 "model '{name}@{version}' ({}): {e}",
                 path.display()
             ))
         })?;
+        if pressio_faults::check("serve:store.load.corrupt").is_some() {
+            if let Some(b) = bytes.last_mut() {
+                *b ^= 0xff;
+            }
+        }
         let corrupt =
             |why: &str| Error::CorruptStream(format!("model artifact {}: {why}", path.display()));
-        if bytes.len() < MAGIC.len() + 1 + 4 || &bytes[..4] != MAGIC {
+        if bytes.len() < PROLOGUE || &bytes[..4] != MAGIC {
             return Err(corrupt("bad magic or truncated prologue"));
         }
-        if bytes[4] != FORMAT_VERSION {
-            return Err(corrupt(&format!("unsupported format version {}", bytes[4])));
+        let format = bytes[4];
+        if format == 0 || format > FORMAT_VERSION {
+            return Err(corrupt(&format!("unsupported format version {format}")));
         }
+        // format 2: the trailer checksums everything before it, so header
+        // corruption (which format 1 cannot detect) fails here
+        let body_end = if format >= 2 {
+            let Some(body_end) = bytes.len().checked_sub(TRAILER).filter(|&e| e >= PROLOGUE) else {
+                return Err(corrupt("truncated checksum trailer"));
+            };
+            if Sha256::digest(&bytes[..body_end])[..] != bytes[body_end..] {
+                return Err(corrupt("whole-file checksum mismatch"));
+            }
+            body_end
+        } else {
+            bytes.len()
+        };
         let header_len = u32::from_be_bytes(bytes[5..9].try_into().unwrap()) as usize;
-        let state_off = 9 + header_len;
-        if bytes.len() < state_off {
+        let Some(state_off) = PROLOGUE.checked_add(header_len).filter(|&o| o <= body_end) else {
             return Err(corrupt("truncated header"));
-        }
-        let header: Header = serde_json::from_slice(&bytes[9..state_off])
+        };
+        let header: Header = serde_json::from_slice(&bytes[PROLOGUE..state_off])
             .map_err(|_| corrupt("unparseable header"))?;
-        let state = &bytes[state_off..];
+        let state = &bytes[state_off..body_end];
         if state.len() as u64 != header.state_len {
             return Err(corrupt(&format!(
                 "state length {} != header {}",
@@ -183,6 +225,64 @@ impl ModelStore {
             scheme: header.scheme,
             state: state.to_vec(),
         })
+    }
+
+    /// Rename the artifact for `name@version` to `<file>.quarantined`
+    /// (suffixing `.1`, `.2`, … if that name is taken), removing it from
+    /// version listings while preserving the bytes for inspection.
+    pub fn quarantine(&self, name: &str, version: u64) -> Result<PathBuf> {
+        validate_name(name)?;
+        let path = self.artifact_path(name, version);
+        let mut dest = path.with_extension("pmodel.quarantined");
+        let mut n = 0;
+        while dest.exists() {
+            n += 1;
+            dest = path.with_extension(format!("pmodel.quarantined.{n}"));
+        }
+        std::fs::rename(&path, &dest)?;
+        pressio_obs::add_counter("serve:model.quarantined", 1);
+        Ok(dest)
+    }
+
+    /// Like [`load`](Self::load), but corrupt artifacts are quarantined
+    /// instead of left in place. For a pinned `name@version` reference the
+    /// corruption is still an error (silently serving a different version
+    /// than the caller pinned would be worse); for an unpinned reference
+    /// the next-newest version is tried until one loads or none remain.
+    pub fn load_resilient(&self, name: &str, version: Option<u64>) -> Result<ModelArtifact> {
+        if let Some(v) = version {
+            return match self.load(name, Some(v)) {
+                Err(e @ Error::CorruptStream(_)) => {
+                    let dest = self.quarantine(name, v)?;
+                    eprintln!(
+                        "warning: quarantined corrupt model '{name}@{v}' to {}",
+                        dest.display()
+                    );
+                    Err(e)
+                }
+                other => other,
+            };
+        }
+        loop {
+            let latest = *self
+                .versions(name)?
+                .last()
+                .ok_or_else(|| Error::UnknownPlugin {
+                    kind: "model",
+                    name: name.to_string(),
+                })?;
+            match self.load(name, Some(latest)) {
+                Err(Error::CorruptStream(why)) => {
+                    let dest = self.quarantine(name, latest)?;
+                    eprintln!(
+                        "warning: quarantined corrupt model '{name}@{latest}' to {} ({why}); \
+                         falling back to previous version",
+                        dest.display()
+                    );
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Sorted versions persisted for `name` (empty if none).
@@ -310,6 +410,94 @@ mod tests {
         assert!(s.save("", "x", b"s").is_err());
         assert!(s.save(".hidden", "x", b"s").is_err());
         assert!(s.save("ok-name_1.2", "x", b"s").is_ok());
+    }
+
+    /// Hand-roll a format-1 artifact (no whole-file trailer).
+    fn write_v1(s: &ModelStore, name: &str, version: u64, scheme: &str, state: &[u8]) {
+        let header = serde_json::to_vec(&Header {
+            name: name.to_string(),
+            version,
+            scheme: scheme.to_string(),
+            state_len: state.len() as u64,
+            state_sha256: to_hex(&Sha256::digest(state)),
+        })
+        .unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(1);
+        bytes.extend_from_slice(&(header.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&header);
+        bytes.extend_from_slice(state);
+        let dir = s.root().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{version:06}.pmodel")), bytes).unwrap();
+    }
+
+    #[test]
+    fn format_1_artifacts_remain_loadable() {
+        let s = temp_store("v1compat");
+        write_v1(&s, "m", 1, "lu2018", b"legacy state");
+        let art = s.load("m", None).unwrap();
+        assert_eq!(art.state, b"legacy state");
+        assert_eq!(art.scheme, "lu2018");
+        // saving appends a format-2 version on top
+        let v2 = s.save("m", "lu2018", b"new state").unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(s.load("m", None).unwrap().state, b"new state");
+    }
+
+    #[test]
+    fn header_corruption_is_detected_by_the_trailer() {
+        let s = temp_store("headercorrupt");
+        s.save("m", "lu2018", b"some state").unwrap();
+        let path = s.root().join("m").join("000001.pmodel");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // flip a byte inside the header JSON — format 1 could not catch this
+        bytes[PROLOGUE + 2] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = s.load("m", None).unwrap_err();
+        assert!(matches!(err, Error::CorruptStream(_)), "{err}");
+    }
+
+    #[test]
+    fn load_resilient_quarantines_and_falls_back_to_previous_version() {
+        let s = temp_store("fallback");
+        s.save("m", "lu2018", b"good v1").unwrap();
+        s.save("m", "lu2018", b"bad v2").unwrap();
+        let path = s.root().join("m").join("000002.pmodel");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        // unpinned: corrupt latest is quarantined, previous version served
+        let art = s.load_resilient("m", None).unwrap();
+        assert_eq!(art.version, 1);
+        assert_eq!(art.state, b"good v1");
+        assert_eq!(s.versions("m").unwrap(), vec![1]);
+        assert!(s
+            .root()
+            .join("m")
+            .join("000002.pmodel.quarantined")
+            .exists());
+        // the quarantined file no longer blocks a fresh save of version 2
+        assert_eq!(s.save("m", "lu2018", b"fresh v2").unwrap(), 2);
+    }
+
+    #[test]
+    fn load_resilient_pinned_version_errors_but_still_quarantines() {
+        let s = temp_store("pinned");
+        s.save("m", "lu2018", b"v1").unwrap();
+        let path = s.root().join("m").join("000001.pmodel");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(s.load_resilient("m", Some(1)).is_err());
+        assert!(s
+            .root()
+            .join("m")
+            .join("000001.pmodel.quarantined")
+            .exists());
+        assert!(s.versions("m").unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property tests for model-artifact corruption handling: any truncation
+//! or single-bit flip of a persisted PSRV artifact must be *rejected* on
+//! load (an error, never a panic, never a silently-wrong model) and
+//! quarantined by `load_resilient` so later loads fall back cleanly.
+
+use pressio_core::error::Error;
+use pressio_serve::ModelStore;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_store() -> (ModelStore, PathBuf) {
+    let dir = std::env::temp_dir()
+        .join("pressio_store_corruption")
+        .join(format!(
+            "{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    (ModelStore::open(&dir).unwrap(), dir)
+}
+
+fn artifact_path(dir: &std::path::Path, name: &str, version: u64) -> PathBuf {
+    dir.join(name).join(format!("{version:06}.pmodel"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Truncating the artifact at any point yields a load error and a
+    // quarantine — never a panic, never a model.
+    #[test]
+    fn truncated_artifacts_are_rejected_and_quarantined(cut_fraction in 0.0f64..1.0) {
+        let (store, dir) = fresh_store();
+        let state: Vec<u8> = (0u16..256).map(|i| (i % 251) as u8).collect();
+        store.save("m", "rahman2023", &state).unwrap();
+
+        let path = artifact_path(&dir, "m", 1);
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() as f64 * cut_fraction) as usize).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let err = store.load("m", Some(1)).unwrap_err();
+        prop_assert!(
+            matches!(err, Error::CorruptStream(_) | Error::Io(_)),
+            "unexpected error class: {err}"
+        );
+        // pinned resilient load quarantines rather than serving junk
+        prop_assert!(store.load_resilient("m", Some(1)).is_err());
+        prop_assert!(path.with_extension("pmodel.quarantined").exists());
+        prop_assert!(store.versions("m").unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Flipping any single bit anywhere in the artifact is caught by the
+    // checksums (header sha for the state, trailer sha for everything).
+    #[test]
+    fn bit_flips_anywhere_are_rejected_and_fall_back(offset_fraction in 0.0f64..1.0, bit in 0u8..8) {
+        let (store, dir) = fresh_store();
+        let state: Vec<u8> = (0u16..256).map(|i| (i % 251) as u8).collect();
+        store.save("m", "rahman2023", &state).unwrap();
+        store.save("m", "rahman2023", &state).unwrap(); // version 2
+
+        let path = artifact_path(&dir, "m", 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = ((bytes.len() as f64 * offset_fraction) as usize).min(bytes.len() - 1);
+        bytes[offset] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = store.load("m", Some(2)).unwrap_err();
+        prop_assert!(matches!(err, Error::CorruptStream(_)), "{err}");
+        // unpinned resilient load quarantines v2 and serves v1
+        let artifact = store.load_resilient("m", None).unwrap();
+        prop_assert_eq!(artifact.version, 1);
+        prop_assert_eq!(artifact.state.as_slice(), state.as_slice());
+        prop_assert!(path.with_extension("pmodel.quarantined").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

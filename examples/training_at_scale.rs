@@ -77,6 +77,7 @@ fn main() {
                 workers: 4,
                 scheduling: Scheduling::DataAffinity,
                 max_attempts: 2,
+                retry_backoff_ms: 0,
             },
             Arc::new(move |task: &Task, _w| {
                 if inject_crash && counter.fetch_add(1, Ordering::SeqCst) >= crash_after {

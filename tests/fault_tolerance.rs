@@ -72,6 +72,7 @@ fn run_to_store(
             workers: 3,
             scheduling: Scheduling::DataAffinity,
             max_attempts: 1,
+            retry_backoff_ms: 0,
         },
         worker(data, poison, crash_after),
     );

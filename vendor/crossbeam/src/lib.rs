@@ -9,7 +9,7 @@ pub mod channel {
     //! MPMC-ish channel surface backed by `std::sync::mpsc` (MPSC, which is
     //! all the queue needs: many producers, one consumer per receiver).
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half (clonable).
     pub type Sender<T> = std::sync::mpsc::Sender<T>;
