@@ -1,16 +1,29 @@
 //! Serving-path bench: cold prediction latency (feature extraction on
 //! every request) vs cache-hit latency (content-hash hit in the prediction
-//! cache), plus multi-client batched throughput. Writes a
-//! `BENCH_serve.json` summary to the repo root so CI and readers get the
-//! cache speedup without parsing bench output.
+//! cache), multi-client batched throughput, and a shard scaling curve
+//! (1..=3 shards behind a supervisor, load driven by topology-aware
+//! clients). Writes a `BENCH_serve.json` summary to the repo root so CI's
+//! perf gate and readers get the numbers without parsing bench output.
+//!
+//! `PRESSIO_BENCH_QUICK=1` skips the criterion wall and shrinks sample
+//! counts: that is the PR-speed mode the CI `perf` job runs.
 
 use criterion::{criterion_group, Criterion};
 use pressio_core::timing::MeanStd;
 use pressio_core::{Data, Options};
 use pressio_dataset::{DatasetPlugin, Hurricane};
-use pressio_serve::{Client, Endpoint, ServeConfig, Server, ServerHandle};
+use pressio_serve::shard::InProcessSpawner;
+use pressio_serve::{
+    Client, Endpoint, ServeConfig, Server, ServerHandle, ShardedClient, Supervisor,
+    SupervisorConfig,
+};
 use std::cell::Cell;
+use std::sync::Arc;
 use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var("PRESSIO_BENCH_QUICK").is_ok_and(|v| !v.trim().is_empty() && v != "0")
+}
 
 const DIMS: (usize, usize, usize) = (16, 16, 8);
 
@@ -118,15 +131,30 @@ struct Throughput {
 }
 
 #[derive(serde::Serialize)]
+struct ScalePoint {
+    shards: usize,
+    clients: usize,
+    requests: u64,
+    elapsed_s: f64,
+    requests_per_s: f64,
+    /// This point's throughput over the 1-shard point's.
+    speedup_vs_single: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Summary {
     transport: String,
     dims: Vec<usize>,
     workers: usize,
+    cores: usize,
+    quick: bool,
     cold: Stat,
     cache_hit: Stat,
     /// cold mean / cache-hit mean (> 1: the cache pays for itself).
     cache_speedup: f64,
     throughput: Throughput,
+    /// Supervisor + N shards, content-hash-routed load.
+    scaling: Vec<ScalePoint>,
 }
 
 fn measure(samples: usize, mut f: impl FnMut()) -> MeanStd {
@@ -140,12 +168,74 @@ fn measure(samples: usize, mut f: impl FnMut()) -> MeanStd {
     agg
 }
 
+/// One point of the scaling curve: a supervisor with `shards` in-process
+/// shards over a fresh model store, hammered by `clients` topology-aware
+/// clients whose requests route directly to their content-hash home
+/// shard. Two passes over a shared working set: the first is cold, the
+/// second hits each shard's now-warm prediction cache.
+fn measure_scaling(shards: usize, clients: usize, per_client: u64, base: &Data) -> (u64, f64) {
+    let dir = std::env::temp_dir().join(format!(
+        "pressio_serve_bench_scale_{}_{}",
+        std::process::id(),
+        shards
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut template = ServeConfig::new(Endpoint::Tcp("127.0.0.1:0".into()), dir.join("models"));
+    template.workers = 1; // per shard; parallelism comes from the shards
+    let sup = Supervisor::start(
+        SupervisorConfig::new(Endpoint::Tcp("127.0.0.1:0".into()), template, shards),
+        Arc::new(InProcessSpawner),
+    )
+    .expect("start supervisor");
+    let mut admin = Client::connect(sup.endpoint()).expect("connect supervisor");
+    let trained = admin
+        .call(
+            &Options::new()
+                .with("serve:op", "train")
+                .with("serve:model", "bench")
+                .with("serve:scheme", "rahman2023")
+                .with("serve:dims", vec![8u64, 8, 4])
+                .with("serve:timesteps", 1u64)
+                .with("serve:bounds", vec![1e-4]),
+        )
+        .expect("train via supervisor");
+    assert_eq!(trained.get_str("serve:type").unwrap(), "trained");
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|ci| {
+            let endpoint = sup.endpoint().clone();
+            let base = base.clone();
+            std::thread::spawn(move || {
+                let mut client = ShardedClient::connect(&endpoint).expect("sharded client");
+                let extra = Options::new().with("pressio:abs", 1e-4);
+                for i in 0..per_client {
+                    // 16-buffer working set shared across clients: hashes
+                    // spread over shards, repeats hit warm caches
+                    let data = perturbed(&base, (ci as u64 * per_client + i) % 16);
+                    let resp = client.predict("bench", &data, &extra).unwrap();
+                    assert_eq!(resp.get_str("serve:type").unwrap(), "prediction");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    sup.trigger_shutdown();
+    sup.wait().expect("supervisor drain");
+    let _ = std::fs::remove_dir_all(&dir);
+    (clients as u64 * per_client, elapsed_s)
+}
+
 fn write_summary() {
+    let quick = quick_mode();
     let handle = start_server();
     let mut client = Client::connect(handle.endpoint()).unwrap();
     let base = sample_field();
     let extra = Options::new().with("pressio:abs", 1e-4);
-    let samples = 20;
+    let samples = if quick { 8 } else { 20 };
 
     let mut salt = 0u64;
     let cold = measure(samples, || {
@@ -162,7 +252,7 @@ fn write_summary() {
     // batched throughput: several clients hammering one model; same-model
     // requests batch inside the pipeline
     let clients = 4usize;
-    let per_client = 50u64;
+    let per_client = if quick { 20u64 } else { 50u64 };
     let endpoint = handle.endpoint().clone();
     let t0 = Instant::now();
     let threads: Vec<_> = (0..clients)
@@ -190,10 +280,34 @@ fn write_summary() {
     client.shutdown().unwrap();
     handle.wait().unwrap();
 
+    // shard scaling curve: same load shape against 1, 2, 3 shards. On a
+    // single core the curve documents parity (routing overhead stays flat);
+    // on multi-core boxes the aggregate climbs with the shard count.
+    let scale_per_client = if quick { 16u64 } else { 40u64 };
+    let mut scaling = Vec::new();
+    let mut single_rps = 0.0f64;
+    for shards in 1..=3usize {
+        let (reqs, secs) = measure_scaling(shards, 4, scale_per_client, &base);
+        let rps = reqs as f64 / secs;
+        if shards == 1 {
+            single_rps = rps;
+        }
+        scaling.push(ScalePoint {
+            shards,
+            clients: 4,
+            requests: reqs,
+            elapsed_s: secs,
+            requests_per_s: rps,
+            speedup_vs_single: rps / single_rps,
+        });
+    }
+
     let summary = Summary {
         transport: "tcp".into(),
         dims: vec![DIMS.0, DIMS.1, DIMS.2],
         workers: 2,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        quick,
         cache_speedup: cold.mean() / hit.mean(),
         cold: Stat::from(&cold),
         cache_hit: Stat::from(&hit),
@@ -203,6 +317,7 @@ fn write_summary() {
             elapsed_s,
             requests_per_s: requests as f64 / elapsed_s,
         },
+        scaling,
     };
     let json = serde_json::to_string(&summary).expect("summary serializes");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
@@ -215,9 +330,17 @@ fn write_summary() {
         summary.cache_speedup,
         summary.throughput.requests_per_s
     );
+    for p in &summary.scaling {
+        println!(
+            "  shards={}  {:7.0} req/s  ({:.2}x vs single, {} cores)",
+            p.shards, p.requests_per_s, p.speedup_vs_single, summary.cores
+        );
+    }
 }
 
 fn main() {
-    benches();
+    if !quick_mode() {
+        benches();
+    }
     write_summary();
 }

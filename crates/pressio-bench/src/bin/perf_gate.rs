@@ -1,0 +1,164 @@
+//! CI perf/regression gate for the serving path.
+//!
+//! Compares the freshly generated `BENCH_serve.json` (from
+//! `cargo bench -p pressio-bench --bench serve`, typically in
+//! `PRESSIO_BENCH_QUICK=1` mode on PRs) against the committed baseline in
+//! `ci/serve_baseline.json`, and fails when single-shard throughput drops
+//! or cache-hit latency rises beyond the baseline's tolerances. CI
+//! runners are noisy, so the tolerances are deliberately generous: the
+//! gate exists to catch structural regressions (a lost cache, an
+//! accidental serialization point), not 5% jitter.
+//!
+//! Usage:
+//!   perf_gate            compare and exit non-zero on regression
+//!   perf_gate --update   rewrite the baseline's metrics from the current
+//!                        bench results (tolerances are preserved)
+
+use serde::{Deserialize, Serialize};
+use serde_json::parse_content;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(Serialize, Deserialize)]
+struct SingleShard {
+    requests_per_s: f64,
+    cache_hit_mean_ms: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Tolerance {
+    /// Allowed fractional throughput drop before the gate fails.
+    throughput_drop_frac: f64,
+    /// Allowed fractional cache-hit latency rise before the gate fails.
+    cache_hit_rise_frac: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    comment: String,
+    single_shard: SingleShard,
+    tolerance: Tolerance,
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read_text(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Walk a `Content` tree by map keys / sequence indices.
+fn lookup<'a>(mut node: &'a serde::Content, path: &[&str]) -> Option<&'a serde::Content> {
+    for step in path {
+        node = match node {
+            serde::Content::Map(entries) => &entries.iter().find(|(k, _)| k == step)?.1,
+            serde::Content::Seq(items) => items.get(step.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(node)
+}
+
+fn as_f64(node: &serde::Content) -> Option<f64> {
+    match node {
+        serde::Content::F64(v) => Some(*v),
+        serde::Content::I64(v) => Some(*v as f64),
+        serde::Content::U64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+fn metric(bench: &serde::Content, path: &[&str]) -> f64 {
+    lookup(bench, path)
+        .and_then(as_f64)
+        .unwrap_or_else(|| panic!("BENCH_serve.json: missing numeric field {}", path.join(".")))
+}
+
+/// Single-shard throughput from the scaling curve (falls back to the
+/// multi-client throughput block for pre-scaling bench files).
+fn single_shard_rps(bench: &serde::Content) -> f64 {
+    if let Some(serde::Content::Seq(points)) = lookup(bench, &["scaling"]) {
+        for p in points {
+            if lookup(p, &["shards"]).and_then(as_f64) == Some(1.0) {
+                return lookup(p, &["requests_per_s"])
+                    .and_then(as_f64)
+                    .expect("scaling point without requests_per_s");
+            }
+        }
+    }
+    metric(bench, &["throughput", "requests_per_s"])
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|a| a == "--update");
+    let bench_path = repo_root().join("BENCH_serve.json");
+    let baseline_path = repo_root().join("ci/serve_baseline.json");
+    let bench = parse_content(&read_text(&bench_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", bench_path.display()));
+
+    let rps = single_shard_rps(&bench);
+    let hit_ms = metric(&bench, &["cache_hit", "mean_ms"]);
+
+    if update {
+        let old: Baseline = serde_json::from_str(&read_text(&baseline_path))
+            .unwrap_or_else(|e| panic!("parsing {}: {e}", baseline_path.display()));
+        let refreshed = Baseline {
+            comment: old.comment,
+            single_shard: SingleShard {
+                requests_per_s: rps,
+                cache_hit_mean_ms: hit_ms,
+            },
+            tolerance: old.tolerance,
+        };
+        let json = serde_json::to_string(&refreshed).expect("baseline serializes");
+        std::fs::write(&baseline_path, json + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", baseline_path.display()));
+        println!("baseline refreshed: {rps:.0} req/s single-shard, {hit_ms:.3} ms cache-hit");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline: Baseline = serde_json::from_str(&read_text(&baseline_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", baseline_path.display()));
+    let base = &baseline.single_shard;
+    let tol = &baseline.tolerance;
+    let rps_floor = base.requests_per_s * (1.0 - tol.throughput_drop_frac);
+    let hit_ceiling = base.cache_hit_mean_ms * (1.0 + tol.cache_hit_rise_frac);
+
+    println!(
+        "single-shard throughput: {rps:.0} req/s (baseline {:.0}, floor {rps_floor:.0})",
+        base.requests_per_s
+    );
+    println!(
+        "cache-hit latency:       {hit_ms:.3} ms (baseline {:.3}, ceiling {hit_ceiling:.3})",
+        base.cache_hit_mean_ms
+    );
+
+    let mut failed = false;
+    if rps < rps_floor {
+        eprintln!(
+            "FAIL: single-shard throughput regressed {:.0}% below baseline (tolerance {:.0}%)",
+            (1.0 - rps / base.requests_per_s) * 100.0,
+            tol.throughput_drop_frac * 100.0
+        );
+        failed = true;
+    }
+    if hit_ms > hit_ceiling {
+        eprintln!(
+            "FAIL: cache-hit latency regressed {:.0}% above baseline (tolerance {:.0}%)",
+            (hit_ms / base.cache_hit_mean_ms - 1.0) * 100.0,
+            tol.cache_hit_rise_frac * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        eprintln!(
+            "if this change intentionally trades serve performance, refresh the baseline:\n  \
+             PRESSIO_BENCH_QUICK=1 cargo bench -p pressio-bench --bench serve\n  \
+             cargo run -p pressio-bench --bin perf_gate -- --update"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf gate passed");
+    ExitCode::SUCCESS
+}

@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod spawn;
+
 use pressio_core::error::{Error, Result};
 use pressio_core::{Compressor, Options};
 use pressio_dataset::io::{parse_filename, read_raw};
@@ -100,7 +102,8 @@ pub enum Command {
         /// (currently: `affinity`).
         ablation: Option<String>,
     },
-    /// Run the online prediction daemon.
+    /// Run the online prediction daemon (single process, or a sharded
+    /// supervisor with `--shards N`).
     Serve {
         /// Where to listen.
         endpoint: pressio_serve::Endpoint,
@@ -118,12 +121,21 @@ pub enum Command {
         deadline_ms: u64,
         /// Observability trace output path.
         trace: Option<PathBuf>,
+        /// Shard processes to supervise (0 = plain single-process server).
+        shards: usize,
+        /// Internal: which shard this child process is (set by the
+        /// supervisor when it spawns shard workers).
+        shard_index: Option<usize>,
+        /// Shared `SO_REUSEPORT` TCP data address all shards also accept
+        /// on (Linux only; needs a concrete port).
+        shared_tcp: Option<String>,
     },
     /// Send one request to a running daemon and print the JSON response.
     Query {
         /// Daemon to talk to.
         endpoint: pressio_serve::Endpoint,
-        /// Operation: ping, stats, models, load, train, predict, shutdown.
+        /// Operation: ping, stats, models, load, train, predict, shutdown,
+        /// topology, reload.
         op: String,
         /// Model reference `name[@version]` (load/train/predict).
         model: Option<String>,
@@ -139,6 +151,10 @@ pub enum Command {
         dims: (usize, usize, usize),
         /// Training timesteps.
         timesteps: usize,
+        /// Route shard-aware: fetch the topology and send the request
+        /// straight to its home shard (with failover) instead of through
+        /// the supervisor proxy.
+        route: bool,
     },
 }
 
@@ -176,6 +192,10 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let mut op: Option<String> = None;
     let mut model: Option<String> = None;
     let mut scheme_given = false;
+    let mut shards = 0usize;
+    let mut shard_index: Option<usize> = None;
+    let mut shared_tcp: Option<String> = None;
+    let mut route = false;
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
             "-i" | "--input" => input = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
@@ -269,6 +289,20 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             }
             "--op" => op = Some(flag_value(&mut args, &arg)?),
             "--model" => model = Some(flag_value(&mut args, &arg)?),
+            "--shards" => {
+                shards = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--shards needs a number"))?;
+            }
+            "--shard-index" => {
+                shard_index = Some(
+                    flag_value(&mut args, &arg)?
+                        .parse()
+                        .map_err(|_| usage_error("--shard-index needs a number"))?,
+                );
+            }
+            "--shared-tcp" => shared_tcp = Some(flag_value(&mut args, &arg)?),
+            "--route" => route = true,
             "--faults" => {
                 // fault-injection schedule (see pressio-faults), activated
                 // process-wide at parse time like --threads; also exported
@@ -335,6 +369,9 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             cache,
             deadline_ms,
             trace,
+            shards,
+            shard_index,
+            shared_tcp,
         }),
         "query" => Ok(Command::Query {
             endpoint: endpoint.ok_or_else(|| usage_error("query requires --socket or --tcp"))?,
@@ -346,6 +383,7 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             options,
             dims,
             timesteps,
+            route,
         }),
         other => Err(usage_error(&format!("unknown subcommand '{other}'"))),
     }
@@ -579,6 +617,9 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             cache,
             deadline_ms,
             trace,
+            shards,
+            shard_index,
+            shared_tcp,
         } => {
             let collector = match &trace {
                 Some(path) => {
@@ -595,10 +636,39 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             config.batch_max = batch;
             config.cache_entries = cache;
             config.default_deadline_ms = deadline_ms;
-            let handle = pressio_serve::Server::start(config)?;
-            writeln!(out, "pressio-serve listening on {}", handle.endpoint())?;
-            out.flush()?;
-            let result = handle.wait();
+            config.shard_index = shard_index;
+            if let Some(addr) = &shared_tcp {
+                config.extra_listeners.push(pressio_serve::ExtraListener {
+                    endpoint: pressio_serve::Endpoint::Tcp(addr.clone()),
+                    reuseport: true,
+                });
+            }
+            let result = if shards > 0 {
+                // supervisor mode: re-execute this binary as N shard
+                // workers and run the control plane / routing proxy here
+                let exe = std::env::current_exe()
+                    .map_err(|e| Error::Io(format!("resolving current executable: {e}")))?;
+                let base = config.listen.clone();
+                let mut sup = pressio_serve::SupervisorConfig::new(base, config, shards);
+                sup.shared_data_addr = shared_tcp;
+                let spawner = std::sync::Arc::new(spawn::ProcessSpawner {
+                    exe,
+                    trace: trace.clone(),
+                });
+                let handle = pressio_serve::Supervisor::start(sup, spawner)?;
+                writeln!(out, "pressio-serve listening on {}", handle.endpoint())?;
+                let topology = handle.topology();
+                for (i, shard) in topology.shards.iter().enumerate() {
+                    writeln!(out, "pressio-serve shard {i} on {shard}")?;
+                }
+                out.flush()?;
+                handle.wait()
+            } else {
+                let handle = pressio_serve::Server::start(config)?;
+                writeln!(out, "pressio-serve listening on {}", handle.endpoint())?;
+                out.flush()?;
+                handle.wait()
+            };
             if let Some(c) = collector {
                 c.flush();
                 let _ = pressio_obs::uninstall();
@@ -617,6 +687,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             options,
             dims,
             timesteps,
+            route,
         } => {
             let mut request = options
                 .clone()
@@ -644,8 +715,15 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                 }
                 _ => {}
             }
-            let mut client = pressio_serve::Client::connect(&endpoint)?;
-            let response = client.call(&request)?;
+            let response = if route {
+                // topology-aware: fetch the shard layout from the base
+                // endpoint and send straight to the home shard
+                let mut client = pressio_serve::ShardedClient::connect(&endpoint)?;
+                client.call(&request)?
+            } else {
+                let mut client = pressio_serve::Client::connect(&endpoint)?;
+                client.call(&request)?
+            };
             writeln!(out, "{}", response.to_json()?)?;
             if response.get_str_opt("serve:type")? == Some("error") {
                 return Err(Error::TaskFailed(format!(
@@ -854,6 +932,64 @@ mod tests {
         // serve/query without an endpoint is a usage error
         assert!(parse(&["serve", "--models", "/tmp/m"]).is_err());
         assert!(parse(&["query", "--op", "ping"]).is_err());
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let cmd = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:9000",
+            "--models",
+            "/tmp/m",
+            "--shards",
+            "3",
+            "--shared-tcp",
+            "127.0.0.1:9100",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                shards,
+                shard_index,
+                shared_tcp,
+                ..
+            } => {
+                assert_eq!(shards, 3);
+                assert_eq!(shard_index, None);
+                assert_eq!(shared_tcp.as_deref(), Some("127.0.0.1:9100"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--models",
+            "/tmp/m",
+            "--shard-index",
+            "2",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                shards: 0,
+                shard_index: Some(2),
+                ..
+            }
+        ));
+        let cmd = parse(&[
+            "query",
+            "--tcp",
+            "127.0.0.1:9",
+            "--op",
+            "topology",
+            "--route",
+        ])
+        .unwrap();
+        assert!(matches!(cmd, Command::Query { route: true, .. }));
+        assert!(parse(&["serve", "--tcp", "x:1", "--models", "m", "--shards", "no"]).is_err());
     }
 
     #[test]

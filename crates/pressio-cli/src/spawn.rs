@@ -1,0 +1,126 @@
+//! Process-backed shard spawning for `pressio serve --shards N`.
+//!
+//! The supervisor in `pressio-serve` is spawner-agnostic; this module
+//! backs it with real child processes: each shard is `pressio serve
+//! --shard-index i` re-executed from the current binary, its concrete
+//! endpoint recovered by parsing the `pressio-serve listening on …` line
+//! the daemon prints on startup (which is how port-0 TCP binds resolve
+//! across the process boundary).
+
+use pressio_core::error::{Error, Result};
+use pressio_serve::shard::{ShardHandle, ShardSpawner};
+use pressio_serve::{Client, Endpoint, ServeConfig};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Spawns each shard as a child `pressio serve --shard-index i` process.
+pub struct ProcessSpawner {
+    /// The binary to re-execute (normally `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// When set, shard `i` writes its trace to `<trace>.s<i>`.
+    pub trace: Option<PathBuf>,
+}
+
+struct ProcessShard {
+    child: Child,
+    endpoint: Endpoint,
+    /// Kept open so the child never blocks on a full stdout pipe.
+    _stdout: Option<std::io::BufReader<std::process::ChildStdout>>,
+}
+
+impl ShardHandle for ProcessShard {
+    fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    fn shutdown(&mut self) {
+        // graceful drain first; only a deaf shard gets killed
+        let graceful = Client::connect(&self.endpoint)
+            .and_then(|mut c| c.shutdown())
+            .is_ok();
+        if graceful {
+            let _ = self.child.wait();
+        } else {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+impl Drop for ProcessShard {
+    fn drop(&mut self) {
+        if matches!(self.child.try_wait(), Ok(None)) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+fn endpoint_args(endpoint: &Endpoint) -> Vec<String> {
+    match endpoint {
+        #[cfg(unix)]
+        Endpoint::Unix(path) => vec!["--socket".into(), path.display().to_string()],
+        Endpoint::Tcp(addr) => vec!["--tcp".into(), addr.clone()],
+    }
+}
+
+impl ShardSpawner for ProcessSpawner {
+    fn spawn(&self, config: ServeConfig) -> Result<Box<dyn ShardHandle>> {
+        let index = config.shard_index.unwrap_or(0);
+        let mut cmd = Command::new(&self.exe);
+        cmd.arg("serve")
+            .args(endpoint_args(&config.listen))
+            .arg("--models")
+            .arg(&config.model_dir)
+            .args(["--workers", &config.workers.to_string()])
+            .args(["--queue", &config.queue_capacity.to_string()])
+            .args(["--batch", &config.batch_max.to_string()])
+            .args(["--cache", &config.cache_entries.to_string()])
+            .args(["--deadline", &config.default_deadline_ms.to_string()])
+            .args(["--shard-index", &index.to_string()])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for extra in &config.extra_listeners {
+            if let (Endpoint::Tcp(addr), true) = (&extra.endpoint, extra.reuseport) {
+                cmd.args(["--shared-tcp", addr]);
+            }
+        }
+        if let Some(trace) = &self.trace {
+            cmd.arg("--trace")
+                .arg(format!("{}.s{index}", trace.display()));
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| Error::Io(format!("spawning shard {index}: {e}")))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut reader = std::io::BufReader::new(stdout);
+        // the daemon's first line announces the concrete endpoint
+        let endpoint = loop {
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| Error::Io(format!("reading shard {index} startup: {e}")))?;
+            if n == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(Error::TaskFailed(format!(
+                    "shard {index} exited before announcing its endpoint"
+                )));
+            }
+            if let Some(spec) = line.trim().strip_prefix("pressio-serve listening on ") {
+                break Endpoint::parse(spec)?;
+            }
+        };
+        Ok(Box::new(ProcessShard {
+            child,
+            endpoint,
+            _stdout: Some(reader),
+        }))
+    }
+}

@@ -30,6 +30,7 @@ pub mod compressor;
 pub mod data;
 pub mod error;
 pub mod external;
+pub mod fuzz;
 pub mod hash;
 pub mod metrics;
 pub mod options;

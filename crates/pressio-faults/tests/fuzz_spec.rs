@@ -1,0 +1,113 @@
+//! Fuzz the failpoint-spec parser: `configure` must reject malformed
+//! schedules with an error — never a panic — and must accept every spec
+//! the grammar can produce. Cases derive deterministically from a seed
+//! (see `pressio_core::fuzz`); `PRESSIO_FUZZ_ITERS` deepens nightly runs.
+
+use pressio_core::fuzz::{Fuzzer, Rng};
+
+/// The failpoint registry is process-global; these tests must not
+/// interleave their configure/report cycles.
+static REGISTRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Valid schedules covering every action and modifier the parser knows.
+fn corpus() -> Vec<Vec<u8>> {
+    [
+        "store.write=err",
+        "queue.pop=delay,ms=25",
+        "net.accept=torn,times=3,after=2",
+        "pipeline.batch=corrupt,every=4,seed=99",
+        "store.read=drop,p=0.25,seed=7",
+        "worker.claim=panic,times=1",
+        "conn.read=stall,ms=50;conn.write=err,every=2",
+        "a=err;b=delay,ms=1;c=crash,after=10,times=2,every=3,seed=42",
+        "  spaced.site = error , times=2 ; other=torn ",
+        "",
+    ]
+    .into_iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+#[test]
+fn configure_never_panics_on_mutated_specs() {
+    let _guard = lock();
+    let corpus = corpus();
+    Fuzzer::from_env(800).run(&corpus, |case| {
+        let spec = String::from_utf8_lossy(case);
+        // Ok or Err are both fine; what matters is that a hostile
+        // PRESSIO_FAULTS value can never take the process down
+        let _ = pressio_faults::configure(&spec);
+    });
+    pressio_faults::clear();
+}
+
+/// Grammar-directed generator: every spec it emits is valid by
+/// construction, so `configure` accepting all of them pins the grammar.
+fn generate_valid_spec(rng: &mut Rng) -> String {
+    const ACTIONS: [&str; 9] = [
+        "err", "error", "panic", "delay", "torn", "corrupt", "drop", "crash", "stall",
+    ];
+    const SITES: [&str; 5] = ["store.write", "queue.pop", "net.accept", "conn.read", "w"];
+    let entries = 1 + rng.below(4);
+    let mut spec = String::new();
+    for e in 0..entries {
+        if e > 0 {
+            spec.push(';');
+        }
+        spec.push_str(SITES[rng.below(SITES.len())]);
+        spec.push('=');
+        spec.push_str(ACTIONS[rng.below(ACTIONS.len())]);
+        for _ in 0..rng.below(4) {
+            match rng.below(6) {
+                0 => spec.push_str(&format!(",ms={}", rng.below(1000))),
+                1 => spec.push_str(&format!(",times={}", rng.below(10))),
+                2 => spec.push_str(&format!(",after={}", rng.below(10))),
+                3 => spec.push_str(&format!(",every={}", rng.below(10))),
+                4 => spec.push_str(&format!(",seed={}", rng.next_u64() % 10_000)),
+                _ => spec.push_str(&format!(",p=0.{}", rng.below(10))),
+            }
+        }
+    }
+    spec
+}
+
+#[test]
+fn every_generated_valid_spec_is_accepted() {
+    let _guard = lock();
+    let fuzzer = Fuzzer::from_env(400);
+    let mut rng = Rng::new(fuzzer.seed);
+    for i in 0..fuzzer.iters {
+        let spec = generate_valid_spec(&mut rng);
+        pressio_faults::configure(&spec)
+            .unwrap_or_else(|e| panic!("valid spec rejected at iteration {i}: '{spec}': {e}"));
+    }
+    pressio_faults::clear();
+}
+
+#[test]
+fn rejected_specs_leave_previous_schedule_untouched() {
+    let _guard = lock();
+    // the documented contract: an invalid spec is atomic — it must not
+    // half-apply or clobber the active schedule
+    let fuzzer = Fuzzer::from_env(200);
+    let mut rng = Rng::new(fuzzer.seed ^ 0xdead);
+    for _ in 0..fuzzer.iters {
+        let good = generate_valid_spec(&mut rng);
+        pressio_faults::configure(&good).unwrap();
+        let before = pressio_faults::report();
+        let bad = format!("{good};broken spec with no equals sign");
+        assert!(pressio_faults::configure(&bad).is_err());
+        assert_eq!(
+            pressio_faults::report(),
+            before,
+            "failed configure must not alter the active schedule"
+        );
+    }
+    pressio_faults::clear();
+}

@@ -155,6 +155,38 @@ impl<V: Clone> ShardedLru<V> {
         }
     }
 
+    /// Remove every entry whose key satisfies `predicate`, returning how
+    /// many were removed. Used by model hot-reload: predictions cached
+    /// under a superseded model version are invalidated in one sweep
+    /// instead of lingering until LRU eviction.
+    pub fn purge_where(&self, predicate: impl Fn(&str) -> bool) -> usize {
+        let mut removed = 0usize;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let victims: Vec<(u64, String)> = shard
+                .entries
+                .iter()
+                .filter(|(k, _)| predicate(k))
+                .map(|(k, (tick, _))| (*tick, k.clone()))
+                .collect();
+            for (tick, key) in victims {
+                shard.order.remove(&tick);
+                shard.entries.remove(&key);
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+            pressio_obs::add_counter(&self.eviction_counter, removed as i64);
+        }
+        removed
+    }
+
+    /// Drop every entry (counts as evictions).
+    pub fn clear(&self) -> usize {
+        self.purge_where(|_| true)
+    }
+
     /// Live entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -238,6 +270,28 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.insertions, 10_000);
         assert_eq!(s.evictions as usize + s.len, 10_000);
+    }
+
+    #[test]
+    fn purge_where_removes_only_matching_keys() {
+        let c: ShardedLru<u32> = ShardedLru::new("t", 4, 64);
+        for i in 0..20 {
+            c.insert(format!("p:m@1:{i}"), i);
+            c.insert(format!("p:m@2:{i}"), i);
+        }
+        let removed = c.purge_where(|k| k.starts_with("p:m@1:"));
+        assert_eq!(removed, 20);
+        assert_eq!(c.len(), 20);
+        assert!(c.get("p:m@1:3").is_none());
+        assert_eq!(c.get("p:m@2:3"), Some(3));
+        // purged slots are reusable and recency stays consistent
+        for i in 0..20 {
+            c.insert(format!("p:m@3:{i}"), i);
+        }
+        assert!(c.len() <= c.capacity());
+        let live = c.len();
+        assert_eq!(c.clear(), live, "clear reports what it removed");
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -165,6 +165,141 @@ impl Client {
     }
 }
 
+/// A topology-aware client: fetches the shard [`Topology`] once from the
+/// base endpoint, then routes every request *directly* to its home shard
+/// by content hash, bypassing the supervisor proxy on the hot path. On a
+/// transport failure it walks the rendezvous failover order, and on any
+/// failover (or periodically) refetches the topology in case shards were
+/// restarted under a new generation.
+pub struct ShardedClient {
+    base: Endpoint,
+    topology: Topology,
+    /// One cached connection per shard index, opened lazily.
+    conns: Vec<Option<Client>>,
+    policy: RetryPolicy,
+}
+
+use crate::shard::{routing_key, Topology};
+
+impl ShardedClient {
+    /// Connect to `base` (a supervisor or standalone server) and fetch the
+    /// topology.
+    pub fn connect(base: &Endpoint) -> Result<ShardedClient> {
+        let topology = Self::fetch_topology(base)?;
+        let conns = (0..topology.shards.len()).map(|_| None).collect();
+        Ok(ShardedClient {
+            base: base.clone(),
+            topology,
+            conns,
+            policy: RetryPolicy::default(),
+        })
+    }
+
+    fn fetch_topology(base: &Endpoint) -> Result<Topology> {
+        let mut client = Client::connect(base)?;
+        let resp = client.call(&Options::new().with("serve:op", op::TOPOLOGY))?;
+        Topology::from_options(&resp)
+    }
+
+    /// The topology this client is routing against.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Refetch the topology from the base endpoint (after failover, or
+    /// when a response carries an unexpected shard).
+    pub fn refresh(&mut self) -> Result<()> {
+        let topology = Self::fetch_topology(&self.base)?;
+        if topology.generation != self.topology.generation
+            || topology.shards != self.topology.shards
+        {
+            self.conns = (0..topology.shards.len()).map(|_| None).collect();
+            self.topology = topology;
+        }
+        Ok(())
+    }
+
+    fn shard_call(&mut self, index: usize, request: &Options) -> Result<Options> {
+        if self.conns[index].is_none() {
+            self.conns[index] = Some(Client::connect(&self.topology.shards[index])?);
+        }
+        let client = self.conns[index].as_mut().expect("connected above");
+        let outcome = client.call(request);
+        if matches!(&outcome, Err(Error::Io(_)) | Err(Error::CorruptStream(_))) {
+            // poisoned connection: drop it so the next attempt reconnects
+            self.conns[index] = None;
+        }
+        outcome
+    }
+
+    /// Route one request to its home shard, failing over along the
+    /// rendezvous order when shards are unreachable. Transient server
+    /// errors (`overloaded`, `deadline_exceeded`) retry on the *same*
+    /// shard under the retry policy — they signal load, not death.
+    pub fn call(&mut self, request: &Options) -> Result<Options> {
+        let key = routing_key(request).unwrap_or_default();
+        let order: Vec<usize> = self
+            .topology
+            .failover_order(&key)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let mut last: Option<Result<Options>> = None;
+        for (attempt, &index) in order.iter().enumerate() {
+            match self.shard_call(index, request) {
+                Ok(resp) if protocol::is_retryable(&resp) => {
+                    // busy shard: bounded retry in place, then give up on
+                    // the whole call (spilling load to another shard would
+                    // dilute its cache)
+                    let mut retried = Ok(resp);
+                    for extra in 2..=self.policy.max_attempts {
+                        let wait = pressio_faults::backoff_ms(
+                            self.policy.base_ms,
+                            self.policy.max_ms,
+                            extra,
+                            &key,
+                        );
+                        std::thread::sleep(std::time::Duration::from_millis(wait));
+                        retried = self.shard_call(index, request);
+                        match &retried {
+                            Ok(r) if protocol::is_retryable(r) => continue,
+                            _ => break,
+                        }
+                    }
+                    return retried;
+                }
+                Ok(resp) => {
+                    if attempt > 0 {
+                        pressio_obs::add_counter("serve:client.failover", attempt as i64);
+                        // shards changed under us; pick up the new layout
+                        let _ = self.refresh();
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => last = Some(Err(e)),
+            }
+        }
+        let _ = self.refresh();
+        last.unwrap_or_else(|| {
+            Err(Error::Io(format!(
+                "no shard reachable via {} (topology generation {})",
+                self.base, self.topology.generation
+            )))
+        })
+    }
+
+    /// `predict` routed by the data buffer's content hash.
+    pub fn predict(&mut self, model_ref: &str, data: &Data, extra: &Options) -> Result<Options> {
+        self.call(&Client::predict_request(model_ref, data, extra))
+    }
+
+    /// Aggregate `stats` from the base endpoint (the supervisor sums
+    /// across shards).
+    pub fn stats(&mut self) -> Result<Options> {
+        Client::connect(&self.base)?.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,12 @@
 //!   it open so excess requests are rejected without queue churn.
 //! - [`server`] — the daemon: accept loop, per-model request batching,
 //!   hot model reload, graceful draining shutdown.
+//! - [`shard`] — multi-process scale-out: rendezvous (consistent-hash)
+//!   routing by content hash, the shard topology file, and the
+//!   acceptor/supervisor that restarts dead shards.
 //! - [`client`] — the blocking client used by `pressio query`, the tests,
-//!   and the serve benchmark.
+//!   and the serve benchmark; [`client::ShardedClient`] routes directly to
+//!   shards by content hash with failover.
 
 #![warn(missing_docs)]
 
@@ -30,11 +34,13 @@ pub mod net;
 pub mod pipeline;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod store;
 
 pub use breaker::CircuitBreaker;
 pub use cache::{CacheStats, ShardedLru};
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, RetryPolicy, ShardedClient};
 pub use net::Endpoint;
-pub use server::{serve, ServeConfig, Server, ServerHandle};
+pub use server::{serve, ExtraListener, ServeConfig, Server, ServerHandle};
+pub use shard::{InProcessSpawner, ShardSpawner, Supervisor, SupervisorConfig, Topology};
 pub use store::{ModelArtifact, ModelStore};

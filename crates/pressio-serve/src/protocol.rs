@@ -40,6 +40,13 @@ pub mod op {
     /// Occupy a pipeline worker for `serve:ms` milliseconds (testing and
     /// backpressure demonstrations).
     pub const SLEEP: &str = "sleep";
+    /// Describe the shard topology (multi-shard deployments): shard
+    /// endpoints plus a generation counter that bumps on every restart.
+    pub const TOPOLOGY: &str = "topology";
+    /// Re-resolve models against the store and invalidate anything cached
+    /// under a superseded version. Broadcast by the supervisor after a
+    /// train so every shard picks the new version up immediately.
+    pub const RELOAD: &str = "reload";
 }
 
 /// Error codes (`serve:code` values on `serve:type = "error"` responses).
@@ -153,6 +160,26 @@ pub fn data_into_request(req: &mut Options, data: &pressio_core::Data) {
         data.dims().iter().map(|&d| d as u64).collect::<Vec<u64>>(),
     );
     req.set("data:dtype", data.dtype().name());
+}
+
+/// Stable content hash of the data buffer embedded in a request (dtype +
+/// dims + raw bytes). This is the routing AND cache key root: identical
+/// buffers sent by different clients share cache entries, and the
+/// supervisor/sharded client route on the same hash the shard caches are
+/// keyed by, so every buffer has exactly one home shard whose LRU stays
+/// hot for it.
+pub fn data_content_hash(req: &Options) -> Result<String> {
+    use pressio_core::hash::{to_hex, Sha256};
+    let bytes = req.get_bytes("data:bytes")?;
+    let dims = req.get_u64_slice("data:dims")?;
+    let dtype = req.get_str("data:dtype")?;
+    let mut h = Sha256::new();
+    h.update(dtype.as_bytes());
+    for d in dims {
+        h.update(&d.to_le_bytes());
+    }
+    h.update(bytes);
+    Ok(to_hex(&h.finalize()))
 }
 
 /// Reconstruct the data buffer embedded in a request.

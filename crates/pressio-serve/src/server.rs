@@ -23,7 +23,6 @@ use crate::pipeline::{Pipeline, WorkItem};
 use crate::protocol::{self, code, op, write_frame};
 use crate::store::{parse_model_ref, ModelStore};
 use pressio_core::error::{Error, Result};
-use pressio_core::hash::{to_hex, Sha256};
 use pressio_core::timing::time_ms;
 use pressio_core::{threads, Data, Options};
 use pressio_dataset::DatasetPlugin;
@@ -61,6 +60,29 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// How long the breaker stays open before probing with one request.
     pub breaker_cooldown_ms: u64,
+    /// Additional endpoints to accept on, all feeding the same pipeline.
+    /// Used by shard processes to bind the shared `SO_REUSEPORT` data
+    /// port next to their private routed endpoint; `reuseport: true`
+    /// entries bind with `SO_REUSEPORT` set.
+    pub extra_listeners: Vec<ExtraListener>,
+    /// Which shard this server is in a multi-shard deployment (stamped
+    /// into stats and prediction responses so routing is observable).
+    pub shard_index: Option<usize>,
+    /// How long a resolved "latest version" for an unversioned model
+    /// reference stays trusted before the store is re-probed. Bounds the
+    /// staleness window of hot traffic to a re-trained model without a
+    /// directory scan per request; a `reload` op invalidates it
+    /// immediately.
+    pub latest_ttl_ms: u64,
+}
+
+/// One extra accept endpoint (see [`ServeConfig::extra_listeners`]).
+#[derive(Debug, Clone)]
+pub struct ExtraListener {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Bind with `SO_REUSEPORT` (shared data port across shards).
+    pub reuseport: bool,
 }
 
 impl ServeConfig {
@@ -77,6 +99,9 @@ impl ServeConfig {
             cache_shards: 16,
             breaker_threshold: 16,
             breaker_cooldown_ms: 1_000,
+            extra_listeners: Vec::new(),
+            shard_index: None,
+            latest_ttl_ms: 2_000,
         }
     }
 }
@@ -93,17 +118,28 @@ struct LoadedModel {
 struct ServerState {
     config: ServeConfig,
     store: ModelStore,
+    /// The concrete primary endpoint (port-0 binds resolved).
+    endpoint: Endpoint,
     catalog: RwLock<HashMap<(String, u64), Arc<LoadedModel>>>,
+    /// name → (latest version, when the store told us so). Unversioned
+    /// references trust this within `latest_ttl_ms`, so hot traffic does
+    /// not pay a directory scan per request; `reload` clears it.
+    latest: RwLock<HashMap<String, (u64, Instant)>>,
     feature_cache: ShardedLru<Options>,
     prediction_cache: ShardedLru<f64>,
     breaker: CircuitBreaker,
     /// Feature extractions actually executed (cache hits skip these).
     features_computed: AtomicU64,
     predictions_served: AtomicU64,
+    /// Extractions avoided because an identical buffer was already being
+    /// extracted in the same batch (cross-connection coalescing).
+    coalesced: AtomicU64,
+    /// `reload` ops handled.
+    reloads: AtomicU64,
 }
 
 impl ServerState {
-    fn new(config: ServeConfig) -> Result<ServerState> {
+    fn new(config: ServeConfig, endpoint: Endpoint) -> Result<ServerState> {
         let store = ModelStore::open(&config.model_dir)?;
         Ok(ServerState {
             feature_cache: ShardedLru::new(
@@ -119,30 +155,56 @@ impl ServerState {
             breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown_ms),
             config,
             store,
+            endpoint,
             catalog: RwLock::new(HashMap::new()),
+            latest: RwLock::new(HashMap::new()),
             features_computed: AtomicU64::new(0),
             predictions_served: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
         })
+    }
+
+    /// The latest store version of `name`, via the TTL cache.
+    fn latest_version(&self, name: &str) -> Result<u64> {
+        let now = Instant::now();
+        if let Some(&(version, fetched)) = self
+            .latest
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            if now.duration_since(fetched) < Duration::from_millis(self.config.latest_ttl_ms) {
+                return Ok(version);
+            }
+        }
+        let version = *self
+            .store
+            .versions(name)?
+            .last()
+            .ok_or_else(|| Error::UnknownPlugin {
+                kind: "model",
+                name: name.to_string(),
+            })?;
+        self.latest
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), (version, now));
+        Ok(version)
     }
 
     /// Resolve `name[@version]` to a resident model, loading (and
     /// verifying) the artifact on first use. An unversioned reference
-    /// re-resolves the latest store version every time, so a model
-    /// re-trained under the same name is picked up hot — and a corrupt
-    /// latest artifact is quarantined with fallback to the previous
-    /// version ([`ModelStore::load_resilient`]) instead of an outage.
+    /// resolves the latest store version (through the TTL cache), so a
+    /// model re-trained under the same name is picked up hot — and a
+    /// corrupt latest artifact is quarantined with fallback to the
+    /// previous version ([`ModelStore::load_resilient`]) instead of an
+    /// outage.
     fn resolve_model(&self, model_ref: &str) -> Result<Arc<LoadedModel>> {
         let (name, version_req) = parse_model_ref(model_ref)?;
         let version = match version_req {
             Some(v) => v,
-            None => *self
-                .store
-                .versions(&name)?
-                .last()
-                .ok_or_else(|| Error::UnknownPlugin {
-                    kind: "model",
-                    name: name.clone(),
-                })?,
+            None => self.latest_version(&name)?,
         };
         if let Some(model) = self
             .catalog
@@ -153,6 +215,14 @@ impl ServerState {
             return Ok(model.clone());
         }
         let artifact = self.store.load_resilient(&name, version_req)?;
+        if version_req.is_none() && artifact.version != version {
+            // quarantine fallback loaded an older version: the cached
+            // "latest" points at a file that no longer exists
+            self.latest
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(name.clone(), (artifact.version, Instant::now()));
+        }
         let scheme = standard_schemes().build(&artifact.scheme)?;
         let mut predictor = scheme.make_predictor();
         predictor.load_state(&artifact.state)?;
@@ -173,25 +243,81 @@ impl ServerState {
     }
 
     fn install_model(&self, model: LoadedModel) {
+        // a freshly trained version is the latest by construction; make it
+        // visible without waiting out the TTL
+        self.latest
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(model.name.clone(), (model.version, Instant::now()));
         self.catalog
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .insert((model.name.clone(), model.version), Arc::new(model));
     }
+
+    /// `reload`: forget every cached "latest version", re-resolve each
+    /// resident model name against the store, drop catalog entries that
+    /// are no longer the latest, and purge predictions cached under
+    /// superseded versions. After this returns, no response can be served
+    /// from state that predates the reload.
+    fn reload(&self) -> Result<Options> {
+        self.latest
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        let names: Vec<String> = {
+            let catalog = self.catalog.read().unwrap_or_else(|e| e.into_inner());
+            let mut names: Vec<String> = catalog.keys().map(|(n, _)| n.clone()).collect();
+            names.sort();
+            names.dedup();
+            names
+        };
+        let mut stale_tags: Vec<String> = Vec::new();
+        let mut dropped = 0usize;
+        for name in &names {
+            // a name whose artifacts vanished entirely drops all versions
+            let latest = self.store.versions(name)?.last().copied();
+            let mut catalog = self.catalog.write().unwrap_or_else(|e| e.into_inner());
+            catalog.retain(|(n, v), _| {
+                if n != name || Some(*v) == latest {
+                    return true;
+                }
+                // colon-delimited so `m@1` cannot match inside `mm@12`
+                stale_tags.push(format!(":{n}@{v}:"));
+                dropped += 1;
+                false
+            });
+        }
+        let purged = if stale_tags.is_empty() {
+            0
+        } else {
+            self.prediction_cache
+                .purge_where(|key| stale_tags.iter().any(|tag| key.contains(tag.as_str())))
+        };
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        pressio_obs::add_counter("serve:reload", 1);
+        Ok(Options::new()
+            .with("serve:type", "reloaded")
+            .with("serve:models.dropped", dropped as u64)
+            .with("serve:predictions.purged", purged as u64))
+    }
 }
 
-/// Shutdown coordination: a flag plus a self-connect to unblock `accept`.
+/// Shutdown coordination: a flag plus a self-connect per listener to
+/// unblock every blocked `accept`.
 struct ShutdownSignal {
     flag: AtomicBool,
-    endpoint: Endpoint,
+    endpoints: Vec<Endpoint>,
 }
 
 impl ShutdownSignal {
     fn trigger(&self) {
         if !self.flag.swap(true, Ordering::AcqRel) {
-            // wake the accept loop; the accepted no-op connection closes
-            // immediately when the loop breaks
-            let _ = self.endpoint.connect();
+            // wake each accept loop; the accepted no-op connections close
+            // immediately when the loops break
+            for endpoint in &self.endpoints {
+                let _ = endpoint.connect();
+            }
         }
     }
 }
@@ -214,6 +340,12 @@ impl ServerHandle {
         self.signal.trigger();
     }
 
+    /// Whether the server is still accepting (false once shut down or
+    /// crashed). The supervisor's liveness probe.
+    pub fn is_running(&self) -> bool {
+        self.accept.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
     /// Block until the server has fully drained and exited.
     pub fn wait(mut self) -> Result<()> {
         if let Some(t) = self.accept.take() {
@@ -234,21 +366,63 @@ pub fn serve(config: ServeConfig) -> Result<()> {
 pub struct Server;
 
 impl Server {
-    /// Bind, spawn the accept loop, and return immediately.
+    /// Bind every listener, spawn the accept loops, and return
+    /// immediately. All listeners feed one pipeline and share one cache,
+    /// so a shard reached over its private routed endpoint and over the
+    /// shared `SO_REUSEPORT` data port answers identically.
     pub fn start(config: ServeConfig) -> Result<ServerHandle> {
         let listener = config.listen.bind()?;
         let endpoint = listener.local_endpoint()?;
-        let state = Arc::new(ServerState::new(config)?);
+        let mut listeners = vec![listener];
+        for extra in &config.extra_listeners {
+            let bound = if extra.reuseport {
+                extra.endpoint.bind_reuseport()?
+            } else {
+                extra.endpoint.bind()?
+            };
+            listeners.push(bound);
+        }
+        let mut endpoints = vec![endpoint.clone()];
+        for l in &listeners[1..] {
+            endpoints.push(l.local_endpoint()?);
+        }
+        let state = Arc::new(ServerState::new(config, endpoint.clone())?);
         let signal = Arc::new(ShutdownSignal {
             flag: AtomicBool::new(false),
-            endpoint: endpoint.clone(),
+            endpoints,
         });
-        let accept_state = state.clone();
-        let accept_signal = signal.clone();
+        let worker_state = state.clone();
+        let pipeline = Arc::new(Pipeline::start(
+            state.config.queue_capacity,
+            state.config.batch_max,
+            state.config.workers,
+            Arc::new(move |batch| handle_batch(&worker_state, batch)),
+        ));
+        let seq = Arc::new(AtomicU64::new(0));
+        let mut accept_threads = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let state = state.clone();
+            let signal = signal.clone();
+            let pipeline = pipeline.clone();
+            let seq = seq.clone();
+            let t = std::thread::Builder::new()
+                .name(format!("pressio-serve-accept-{i}"))
+                .spawn(move || accept_loop(listener, state, pipeline, signal, seq))
+                .map_err(|e| Error::Io(format!("spawning accept thread: {e}")))?;
+            accept_threads.push(t);
+        }
+        // coordinator: join every accept loop, then drain the shared
+        // pipeline exactly once
         let accept = std::thread::Builder::new()
-            .name("pressio-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_state, accept_signal))
-            .map_err(|e| Error::Io(format!("spawning accept thread: {e}")))?;
+            .name("pressio-serve-coord".into())
+            .spawn(move || {
+                for t in accept_threads {
+                    let _ = t.join();
+                }
+                pipeline.shutdown();
+                pressio_obs::flush();
+            })
+            .map_err(|e| Error::Io(format!("spawning coordinator thread: {e}")))?;
         Ok(ServerHandle {
             endpoint,
             signal,
@@ -257,15 +431,13 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: Listener, state: Arc<ServerState>, signal: Arc<ShutdownSignal>) {
-    let worker_state = state.clone();
-    let pipeline = Arc::new(Pipeline::start(
-        state.config.queue_capacity,
-        state.config.batch_max,
-        state.config.workers,
-        Arc::new(move |batch| handle_batch(&worker_state, batch)),
-    ));
-    let seq = Arc::new(AtomicU64::new(0));
+fn accept_loop(
+    listener: Listener,
+    state: Arc<ServerState>,
+    pipeline: Arc<Pipeline>,
+    signal: Arc<ShutdownSignal>,
+    seq: Arc<AtomicU64>,
+) {
     let mut connections = Vec::new();
     while !signal.flag.load(Ordering::Acquire) {
         let conn = match listener.accept() {
@@ -291,8 +463,6 @@ fn accept_loop(listener: Listener, state: Arc<ServerState>, signal: Arc<Shutdown
     for handle in connections {
         let _ = handle.join();
     }
-    pipeline.shutdown();
-    pressio_obs::flush();
     #[cfg(unix)]
     if let Listener::Unix(_, path) = &listener {
         let _ = std::fs::remove_file(path);
@@ -383,6 +553,8 @@ fn connection_loop(
             op::MODELS => models_response(state),
             op::LOAD => respond(handle_load(state, &request)),
             op::TRAIN => respond(handle_train(state, &request)),
+            op::RELOAD => respond(state.reload()),
+            op::TOPOLOGY => respond(topology_response(state)),
             op::SHUTDOWN => {
                 shutting_down = true;
                 Options::new().with("serve:type", "bye")
@@ -434,11 +606,25 @@ fn respond(result: Result<Options>) -> Options {
     })
 }
 
+/// Serve the shard topology: the supervisor-written `.topology.json` next
+/// to the model store when one exists, else a synthesized single-shard
+/// topology for standalone servers.
+fn topology_response(state: &ServerState) -> Result<Options> {
+    let topology = match crate::shard::Topology::load(&state.config.model_dir)? {
+        Some(t) => t,
+        None => crate::shard::Topology::single(state.endpoint.clone()),
+    };
+    Ok(topology.to_options())
+}
+
 fn stats_response(state: &ServerState, pipeline: &Pipeline) -> Options {
     let f = state.feature_cache.stats();
     let p = state.prediction_cache.stats();
-    Options::new()
-        .with("serve:type", "stats")
+    let mut resp = Options::new();
+    if let Some(shard) = state.config.shard_index {
+        resp.set("serve:shard", shard as u64);
+    }
+    resp.with("serve:type", "stats")
         .with("serve:feature_cache.hits", f.hits)
         .with("serve:feature_cache.misses", f.misses)
         .with("serve:feature_cache.evictions", f.evictions)
@@ -456,6 +642,8 @@ fn stats_response(state: &ServerState, pipeline: &Pipeline) -> Options {
             "serve:predictions.served",
             state.predictions_served.load(Ordering::Relaxed),
         )
+        .with("serve:coalesced", state.coalesced.load(Ordering::Relaxed))
+        .with("serve:reloads", state.reloads.load(Ordering::Relaxed))
         .with(
             "serve:models.resident",
             state
@@ -687,23 +875,13 @@ struct Prep {
     dependent: Option<Options>,
 }
 
-/// Stable content hash of the embedded data buffer (dtype + dims + raw
-/// bytes), so identical buffers sent by different clients share cache
-/// entries.
-fn data_content_hash(request: &Options) -> Result<String> {
-    let bytes = request.get_bytes("data:bytes")?;
-    let dims = request.get_u64_slice("data:dims")?;
-    let dtype = request.get_str("data:dtype")?;
-    let mut h = Sha256::new();
-    h.update(dtype.as_bytes());
-    for d in dims {
-        h.update(&d.to_le_bytes());
-    }
-    h.update(bytes);
-    Ok(to_hex(&h.finalize()))
-}
-
-fn prediction_response(value: f64, cached: bool, scheme: &str, model_tag: &str) -> Options {
+fn prediction_response(
+    value: f64,
+    cached: bool,
+    scheme: &str,
+    model_tag: &str,
+    shard: Option<usize>,
+) -> Options {
     pressio_obs::add_counter("serve:prediction", 1);
     let mut resp = Options::new()
         .with("serve:type", "prediction")
@@ -712,6 +890,9 @@ fn prediction_response(value: f64, cached: bool, scheme: &str, model_tag: &str) 
         .with("serve:scheme", scheme);
     if !model_tag.is_empty() {
         resp = resp.with("serve:model", model_tag);
+    }
+    if let Some(shard) = shard {
+        resp = resp.with("serve:shard", shard as u64);
     }
     resp
 }
@@ -804,7 +985,7 @@ fn handle_predict_batch(state: &ServerState, batch: Vec<WorkItem>) {
     }
     let prepare = |request: &Options| -> Result<PrepOutcome> {
         let data = protocol::data_from_request(request)?;
-        let data_sha = data_content_hash(request)?;
+        let data_sha = protocol::data_content_hash(request)?;
         let comp_id = request
             .get_str_opt("serve:compressor")?
             .unwrap_or("sz3")
@@ -834,7 +1015,13 @@ fn handle_predict_batch(state: &ServerState, batch: Vec<WorkItem>) {
             Err(e) => item.respond(respond(Err(e))),
             Ok(PrepOutcome::CachedPrediction(value)) => {
                 state.predictions_served.fetch_add(1, Ordering::Relaxed);
-                item.respond(prediction_response(value, true, &scheme_name, &model_tag));
+                item.respond(prediction_response(
+                    value,
+                    true,
+                    &scheme_name,
+                    &model_tag,
+                    state.config.shard_index,
+                ));
             }
             Ok(PrepOutcome::Miss(miss)) => preps.push(Prep {
                 item,
@@ -853,75 +1040,122 @@ fn handle_predict_batch(state: &ServerState, batch: Vec<WorkItem>) {
         return;
     }
 
-    // Parallel feature extraction for the cache misses only, on the
-    // pressio thread pool. Scheme/compressor instances are rebuilt inside
-    // the closure (both are cheap registry constructions) so the closure
-    // stays `Sync`.
-    let nthreads = threads::resolve(None).min(preps.len());
-    let extracted: Vec<Result<(Option<Options>, Option<Options>)>> =
-        threads::par_map_indexed(nthreads, preps.len(), |i| {
-            let p = &preps[i];
-            let scheme = standard_schemes().build(&scheme_name)?;
-            let agnostic = match &p.agnostic {
-                Some(_) => None,
-                None => Some(scheme.error_agnostic_features(&p.data)?),
-            };
-            let dependent = match &p.dependent {
-                Some(_) => None,
-                None => {
-                    let mut comp = standard_compressors().build(&p.comp_id)?;
-                    comp.set_options(&p.item.request)?;
-                    Some(scheme.error_dependent_features(&p.data, comp.as_ref())?)
+    // Coalesced parallel extraction: identical buffers submitted by
+    // different connections in the same batch share a cache key, so each
+    // unique (key → extraction) job runs exactly once regardless of how
+    // many requests need it. The first prep needing a key owns the job.
+    enum JobKind {
+        Agnostic,
+        Dependent,
+    }
+    let mut jobs: Vec<(String, usize, JobKind)> = Vec::new();
+    let mut needed = 0u64;
+    {
+        let mut claimed: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (i, p) in preps.iter().enumerate() {
+            if p.agnostic.is_none() {
+                needed += 1;
+                if claimed.insert(&p.agnostic_key) {
+                    jobs.push((p.agnostic_key.clone(), i, JobKind::Agnostic));
                 }
-            };
-            Ok((agnostic, dependent))
-        });
+            }
+            if p.dependent.is_none() {
+                needed += 1;
+                if claimed.insert(&p.dependent_key) {
+                    jobs.push((p.dependent_key.clone(), i, JobKind::Dependent));
+                }
+            }
+        }
+    }
+    let coalesced = needed - jobs.len() as u64;
+    if coalesced > 0 {
+        state.coalesced.fetch_add(coalesced, Ordering::Relaxed);
+        pressio_obs::add_counter("serve:coalesced", coalesced as i64);
+    }
+    // Scheme/compressor instances are rebuilt inside the closure (both are
+    // cheap registry constructions) so the closure stays `Sync`.
+    let nthreads = threads::resolve(None).min(jobs.len().max(1));
+    let extracted: Vec<Result<Options>> = threads::par_map_indexed(nthreads, jobs.len(), |j| {
+        let (_, i, kind) = &jobs[j];
+        let p = &preps[*i];
+        let scheme = standard_schemes().build(&scheme_name)?;
+        match kind {
+            JobKind::Agnostic => scheme.error_agnostic_features(&p.data),
+            JobKind::Dependent => {
+                let mut comp = standard_compressors().build(&p.comp_id)?;
+                comp.set_options(&p.item.request)?;
+                scheme.error_dependent_features(&p.data, comp.as_ref())
+            }
+        }
+    });
+    // key → features, errors pre-rendered to responses so one failed
+    // extraction answers every request that coalesced onto it
+    let mut computed: HashMap<String, std::result::Result<Options, Options>> = HashMap::new();
+    let mut computed_count = 0u64;
+    for ((key, _, _), result) in jobs.iter().zip(extracted) {
+        match result {
+            Ok(features) => {
+                state.feature_cache.insert(key.clone(), features.clone());
+                computed_count += 1;
+                computed.insert(key.clone(), Ok(features));
+            }
+            Err(e) => {
+                computed.insert(key.clone(), Err(respond(Err(e))));
+            }
+        }
+    }
+    if computed_count > 0 {
+        state
+            .features_computed
+            .fetch_add(computed_count, Ordering::Relaxed);
+    }
 
-    // Serial finalize: fill caches, predict, reply.
+    // Serial finalize: assemble features, predict, reply.
     let predictor: &dyn Predictor = match &model {
         Some(m) => m.predictor.as_ref(),
         None => direct_predictor
             .as_deref()
             .expect("model-less batch built a direct predictor"),
     };
-    for (prep, features) in preps.into_iter().zip(extracted) {
-        let response = (|| -> Result<Options> {
-            let (new_agnostic, new_dependent) = features?;
-            let mut computed = 0u64;
-            let agnostic = match prep.agnostic {
-                Some(a) => a,
-                None => {
-                    let a = new_agnostic.expect("computed on cache miss");
-                    state
-                        .feature_cache
-                        .insert(prep.agnostic_key.clone(), a.clone());
-                    computed += 1;
-                    a
-                }
-            };
-            let dependent = match prep.dependent {
-                Some(d) => d,
-                None => {
-                    let d = new_dependent.expect("computed on cache miss");
-                    state
-                        .feature_cache
-                        .insert(prep.dependent_key.clone(), d.clone());
-                    computed += 1;
-                    d
-                }
-            };
-            if computed > 0 {
-                state
-                    .features_computed
-                    .fetch_add(computed, Ordering::Relaxed);
-            }
+    let fetch = |cached: Option<Options>, key: &str| -> std::result::Result<Options, Options> {
+        match cached {
+            Some(f) => Ok(f),
+            None => match computed.get(key) {
+                Some(Ok(f)) => Ok(f.clone()),
+                Some(Err(resp)) => Err(resp.clone()),
+                None => Err(protocol::error_response(
+                    code::INTERNAL,
+                    format!("no extraction job produced feature key {key}"),
+                )),
+            },
+        }
+    };
+    for prep in preps {
+        let Prep {
+            item,
+            pred_key,
+            agnostic_key,
+            dependent_key,
+            agnostic,
+            dependent,
+            ..
+        } = prep;
+        let response = (|| -> std::result::Result<Options, Options> {
+            let agnostic = fetch(agnostic, &agnostic_key)?;
+            let dependent = fetch(dependent, &dependent_key)?;
             let mut features = agnostic;
             features.merge_from(&dependent);
-            let value = predictor.predict(&features)?;
-            state.prediction_cache.insert(prep.pred_key.clone(), value);
+            let value = predictor.predict(&features).map_err(|e| respond(Err(e)))?;
+            state.prediction_cache.insert(pred_key, value);
             state.predictions_served.fetch_add(1, Ordering::Relaxed);
-            let mut resp = prediction_response(value, false, &scheme_name, &model_tag);
-            if let Ok(Some(alpha)) = prep.item.request.get_f64_opt("serve:alpha") {
+            let mut resp = prediction_response(
+                value,
+                false,
+                &scheme_name,
+                &model_tag,
+                state.config.shard_index,
+            );
+            if let Ok(Some(alpha)) = item.request.get_f64_opt("serve:alpha") {
                 if let Some(interval) = predictor.predict_interval(&features, alpha) {
                     resp = resp
                         .with("serve:interval.lo", interval.lo)
@@ -933,6 +1167,6 @@ fn handle_predict_batch(state: &ServerState, batch: Vec<WorkItem>) {
         })();
         // deadline re-check after compute: the client stopped waiting at
         // the deadline, so a slow extraction must not pretend to succeed
-        prep.item.respond_checked(respond(response));
+        item.respond_checked(response.unwrap_or_else(|error| error));
     }
 }

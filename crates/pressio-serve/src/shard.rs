@@ -1,0 +1,905 @@
+//! Multi-process scale-out: consistent-hash routing, the shard topology
+//! file, and the acceptor/supervisor that keeps N shard servers running.
+//!
+//! Routing is rendezvous (highest-random-weight) hashing over the
+//! request's *content hash* ([`crate::protocol::data_content_hash`]), the
+//! same hash the per-shard LRUs are keyed by. Every buffer therefore has
+//! exactly one home shard whose caches stay hot for it: hit rates are
+//! additive across shards instead of diluted by the kernel's arbitrary
+//! `SO_REUSEPORT` connection spreading. Rendezvous hashing also gives the
+//! two properties the tests pin down: growing from N to N+1 shards moves
+//! only ~1/(N+1) of the keys (each key moves only if the new shard wins
+//! its weight contest), and the per-key weight ranking doubles as a
+//! deterministic failover order when a shard dies.
+//!
+//! The [`Supervisor`] owns the *base* endpoint as control plane and
+//! routing proxy — topology-unaware clients keep talking to the same
+//! address they used for a single-process server — while each shard
+//! listens on a private derived endpoint ([`shard_endpoint`]) that
+//! topology-aware clients ([`crate::client::ShardedClient`]) hit
+//! directly. Shards share one read-only model store; `train` is routed to
+//! the model's home shard and followed by a `reload` broadcast so every
+//! shard drops state cached under superseded model versions.
+
+use crate::client::Client;
+use crate::net::{Conn, Endpoint};
+use crate::protocol::{self, code, op};
+use crate::server::{ServeConfig, Server, ServerHandle};
+use pressio_core::error::{Error, Result};
+use pressio_core::Options;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---- rendezvous routing ----------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous weight of `key` on shard `shard`. Deterministic and
+/// independent of the shard count, which is what makes the routing stable
+/// under rebalancing.
+pub fn shard_weight(key: &str, shard: usize) -> u64 {
+    splitmix64(fnv1a(key.as_bytes()) ^ splitmix64(shard as u64 + 1))
+}
+
+/// Shard indices ordered by descending weight for `key`: element 0 is the
+/// home shard, the rest is the failover order.
+pub fn rendezvous_order(key: &str, shards: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..shards).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse((shard_weight(key, s), s)));
+    order
+}
+
+/// The home shard for `key` among `shards` shards.
+pub fn route(key: &str, shards: usize) -> usize {
+    (0..shards)
+        .max_by_key(|&s| (shard_weight(key, s), s))
+        .unwrap_or(0)
+}
+
+/// The routing key for a request: the data content hash when a buffer is
+/// embedded (cache affinity), else the model/scheme reference (so `train`
+/// and `load` for one model always land on the same shard), else `None`
+/// (caller picks any shard).
+pub fn routing_key(request: &Options) -> Option<String> {
+    if let Ok(hash) = protocol::data_content_hash(request) {
+        return Some(hash);
+    }
+    if let Ok(Some(model)) = request.get_str_opt("serve:model") {
+        return Some(format!("model:{model}"));
+    }
+    if let Ok(Some(scheme)) = request.get_str_opt("serve:scheme") {
+        return Some(format!("scheme:{scheme}"));
+    }
+    None
+}
+
+// ---- shard endpoints & topology --------------------------------------------
+
+/// The private routed endpoint of shard `index`, derived from the base
+/// endpoint: `unix:<path>` → `unix:<path>.s<index>`; `tcp:host:port` →
+/// `tcp:host:(port+1+index)` (or `host:0` when the base port is 0, each
+/// shard then resolving its own ephemeral port).
+pub fn shard_endpoint(base: &Endpoint, index: usize) -> Endpoint {
+    match base {
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            Endpoint::Unix(PathBuf::from(format!("{}.s{index}", path.display())))
+        }
+        Endpoint::Tcp(addr) => {
+            let (host, port) = match addr.rsplit_once(':') {
+                Some((h, p)) => (h, p.parse::<u16>().unwrap_or(0)),
+                None => (addr.as_str(), 0u16),
+            };
+            if port == 0 {
+                Endpoint::Tcp(format!("{host}:0"))
+            } else {
+                Endpoint::Tcp(format!("{host}:{}", port as usize + 1 + index))
+            }
+        }
+    }
+}
+
+/// The shard layout of a deployment, persisted as `.topology.json` next to
+/// the model store so shards and clients can discover it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Bumped every time a shard is (re)spawned; clients refetch when the
+    /// generation changes.
+    pub generation: u64,
+    /// The supervisor's control-plane / proxy endpoint.
+    pub base: Endpoint,
+    /// The shared `SO_REUSEPORT` data port, when bound.
+    pub shared: Option<Endpoint>,
+    /// Private routed endpoint of each shard, indexed by shard number.
+    pub shards: Vec<Endpoint>,
+}
+
+impl Topology {
+    /// A synthesized topology for a standalone single-process server.
+    pub fn single(endpoint: Endpoint) -> Topology {
+        Topology {
+            generation: 0,
+            base: endpoint.clone(),
+            shared: None,
+            shards: vec![endpoint],
+        }
+    }
+
+    /// Where the topology file lives for a model store rooted at `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(".topology.json")
+    }
+
+    /// Load the topology file, `Ok(None)` when none has been written.
+    pub fn load(dir: &Path) -> Result<Option<Topology>> {
+        let path = Topology::path(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(Error::Io(format!("reading {}: {e}", path.display()))),
+        };
+        Topology::from_options(&Options::from_json(&text)?).map(Some)
+    }
+
+    /// Atomically write the topology file (tmp + rename, so a concurrent
+    /// reader never sees a torn file).
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let path = Topology::path(dir);
+        std::fs::create_dir_all(dir)?;
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_options().to_json()?)?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| Error::Io(format!("renaming {}: {e}", tmp.display())))?;
+        Ok(())
+    }
+
+    /// The wire/JSON form (a `topology` response).
+    pub fn to_options(&self) -> Options {
+        let mut resp = Options::new()
+            .with("serve:type", "topology")
+            .with("topology:generation", self.generation)
+            .with("topology:base", self.base.to_string())
+            .with(
+                "topology:shards",
+                self.shards
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<String>>(),
+            );
+        if let Some(shared) = &self.shared {
+            resp = resp.with("topology:shared", shared.to_string());
+        }
+        resp
+    }
+
+    /// Parse the wire/JSON form back.
+    pub fn from_options(msg: &Options) -> Result<Topology> {
+        let mut shards = Vec::new();
+        for spec in msg.get_str_slice("topology:shards")? {
+            shards.push(Endpoint::parse(spec)?);
+        }
+        if shards.is_empty() {
+            return Err(Error::InvalidValue {
+                key: "topology:shards".into(),
+                reason: "topology lists no shards".into(),
+            });
+        }
+        Ok(Topology {
+            generation: msg.get_u64_opt("topology:generation")?.unwrap_or(0),
+            base: Endpoint::parse(msg.get_str("topology:base")?)?,
+            shared: match msg.get_str_opt("topology:shared")? {
+                Some(s) => Some(Endpoint::parse(s)?),
+                None => None,
+            },
+            shards,
+        })
+    }
+
+    /// The home shard index for `key`.
+    pub fn route(&self, key: &str) -> usize {
+        route(key, self.shards.len())
+    }
+
+    /// Shard endpoints in failover order for `key` (home shard first).
+    pub fn failover_order(&self, key: &str) -> Vec<(usize, Endpoint)> {
+        rendezvous_order(key, self.shards.len())
+            .into_iter()
+            .map(|i| (i, self.shards[i].clone()))
+            .collect()
+    }
+}
+
+// ---- shard spawning --------------------------------------------------------
+
+/// A running shard as the supervisor sees it.
+pub trait ShardHandle: Send {
+    /// The concrete routed endpoint (port-0 binds resolved).
+    fn endpoint(&self) -> Endpoint;
+    /// Whether the shard is still serving (`&mut` so process-backed
+    /// handles can reap the child with `try_wait`).
+    fn is_alive(&mut self) -> bool;
+    /// Best-effort graceful shutdown (drain, then exit).
+    fn shutdown(&mut self);
+}
+
+/// Starts shard servers. The supervisor is spawner-agnostic so the CLI can
+/// back it with real child processes while tests and benches use
+/// [`InProcessSpawner`] threads — same routing, same topology file, same
+/// restart logic.
+pub trait ShardSpawner: Send + Sync {
+    /// Start a shard with this fully-prepared config (`listen`,
+    /// `shard_index`, and `extra_listeners` already set).
+    fn spawn(&self, config: ServeConfig) -> Result<Box<dyn ShardHandle>>;
+}
+
+/// Runs each shard as an in-process [`Server`] (threads, not processes).
+/// Process isolation is lost, but routing/failover/restart behave the
+/// same, which is what the tests and the scaling bench need.
+pub struct InProcessSpawner;
+
+struct InProcessShard {
+    endpoint: Endpoint,
+    handle: Option<ServerHandle>,
+}
+
+impl ShardHandle for InProcessShard {
+    fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    fn is_alive(&mut self) -> bool {
+        self.handle.as_ref().is_some_and(|h| h.is_running())
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.trigger_shutdown();
+            let _ = handle.wait();
+        }
+    }
+}
+
+impl ShardSpawner for InProcessSpawner {
+    fn spawn(&self, config: ServeConfig) -> Result<Box<dyn ShardHandle>> {
+        let handle = Server::start(config)?;
+        Ok(Box::new(InProcessShard {
+            endpoint: handle.endpoint().clone(),
+            handle: Some(handle),
+        }))
+    }
+}
+
+// ---- supervisor ------------------------------------------------------------
+
+/// Supervisor tunables.
+pub struct SupervisorConfig {
+    /// The base (control-plane / proxy) endpoint.
+    pub listen: Endpoint,
+    /// How many shard servers to run.
+    pub shards: usize,
+    /// Bind every shard to this shared TCP address with `SO_REUSEPORT`
+    /// (Linux only; must carry a concrete port). Topology-unaware clients
+    /// can connect here and let the kernel pick a shard.
+    pub shared_data_addr: Option<String>,
+    /// Restarts allowed per shard slot before it is left dead (requests
+    /// then fail over to the surviving shards).
+    pub restart_max: u32,
+    /// Template for each shard's [`ServeConfig`] (`listen`, `shard_index`,
+    /// and `extra_listeners` are overridden per shard).
+    pub template: ServeConfig,
+}
+
+impl SupervisorConfig {
+    /// Defaults: `shards` shard servers, no shared data port, 3 restarts.
+    pub fn new(listen: Endpoint, template: ServeConfig, shards: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            listen,
+            shards: shards.max(1),
+            shared_data_addr: None,
+            restart_max: 3,
+            template,
+        }
+    }
+}
+
+struct ShardSlot {
+    handle: Box<dyn ShardHandle>,
+    endpoint: Endpoint,
+    restarts: u32,
+}
+
+struct SupervisorState {
+    config: SupervisorConfig,
+    spawner: Arc<dyn ShardSpawner>,
+    slots: Mutex<Vec<ShardSlot>>,
+    generation: AtomicU64,
+    base: Endpoint,
+    shared: Option<Endpoint>,
+    stop: AtomicBool,
+    routed: AtomicU64,
+    failovers: AtomicU64,
+    restarts_total: AtomicU64,
+}
+
+impl SupervisorState {
+    fn shard_config(&self, index: usize) -> ServeConfig {
+        let mut config = self.config.template.clone();
+        config.listen = shard_endpoint(&self.config.listen, index);
+        config.shard_index = Some(index);
+        config.extra_listeners = match &self.config.shared_data_addr {
+            Some(addr) => vec![crate::server::ExtraListener {
+                endpoint: Endpoint::Tcp(addr.clone()),
+                reuseport: true,
+            }],
+            None => Vec::new(),
+        };
+        config
+    }
+
+    fn topology(&self) -> Topology {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        Topology {
+            generation: self.generation.load(Ordering::Acquire),
+            base: self.base.clone(),
+            shared: self.shared.clone(),
+            shards: slots.iter().map(|s| s.endpoint.clone()).collect(),
+        }
+    }
+
+    fn write_topology(&self) {
+        let _ = self.topology().save(&self.config.template.model_dir);
+    }
+
+    /// Forward `request` to the home shard for `key`, walking the
+    /// rendezvous failover order when shards are unreachable.
+    fn forward(&self, key: &str, request: &Options) -> Options {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        let order = self.topology().failover_order(key);
+        for (attempt, (index, endpoint)) in order.iter().enumerate() {
+            let Ok(mut client) = Client::connect(endpoint) else {
+                continue;
+            };
+            match client.call(request) {
+                Ok(resp) => {
+                    if attempt > 0 {
+                        self.failovers.fetch_add(attempt as u64, Ordering::Relaxed);
+                        pressio_obs::add_counter("serve:supervisor.failover", attempt as i64);
+                    }
+                    let _ = index;
+                    return resp;
+                }
+                Err(_) => continue,
+            }
+        }
+        protocol::error_response(code::INTERNAL, "no shard reachable for request")
+    }
+
+    /// Send `request` to every shard, returning per-shard success count.
+    fn broadcast(&self, request: &Options) -> (usize, usize) {
+        let endpoints: Vec<Endpoint> = {
+            let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots.iter().map(|s| s.endpoint.clone()).collect()
+        };
+        let mut ok = 0usize;
+        for endpoint in &endpoints {
+            if let Ok(mut client) = Client::connect(endpoint) {
+                if client.call(request).is_ok() {
+                    ok += 1;
+                }
+            }
+        }
+        (ok, endpoints.len())
+    }
+
+    fn shutdown_shards(&self) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in slots.iter_mut() {
+            slot.handle.shutdown();
+        }
+    }
+}
+
+/// The acceptor/supervisor: spawns shards, restarts the ones that die,
+/// publishes the topology, and proxies requests for topology-unaware
+/// clients.
+pub struct Supervisor;
+
+/// A running supervisor.
+pub struct SupervisorHandle {
+    endpoint: Endpoint,
+    state: Arc<SupervisorState>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// The concrete base endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The current topology (generation, shard endpoints).
+    pub fn topology(&self) -> Topology {
+        self.state.topology()
+    }
+
+    /// Request a full (shards + supervisor) graceful shutdown.
+    pub fn trigger_shutdown(&self) {
+        if !self.state.stop.swap(true, Ordering::AcqRel) {
+            self.state.shutdown_shards();
+            let _ = self.endpoint.connect(); // wake the accept loop
+        }
+    }
+
+    /// Block until the supervisor has exited.
+    pub fn wait(mut self) -> Result<()> {
+        for t in self.threads.drain(..) {
+            t.join()
+                .map_err(|_| Error::TaskFailed("supervisor thread panicked".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Kill shard `index` without draining (testing: simulates a crash the
+    /// monitor must notice and restart).
+    pub fn kill_shard(&self, index: usize) {
+        let mut slots = self.state.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = slots.get_mut(index) {
+            slot.handle.shutdown();
+        }
+    }
+}
+
+impl Supervisor {
+    /// Spawn the shards, write the topology, and start the control plane.
+    pub fn start(
+        config: SupervisorConfig,
+        spawner: Arc<dyn ShardSpawner>,
+    ) -> Result<SupervisorHandle> {
+        if let Some(addr) = &config.shared_data_addr {
+            if addr.ends_with(":0") {
+                return Err(Error::InvalidValue {
+                    key: "serve:shared_data_addr".into(),
+                    reason: "shared SO_REUSEPORT port must be concrete, not 0".into(),
+                });
+            }
+            if !Endpoint::Tcp(addr.clone()).supports_reuseport() {
+                return Err(Error::Unsupported(format!(
+                    "shared data port {addr} needs SO_REUSEPORT (Linux TCP only)"
+                )));
+            }
+        }
+        let listener = config.listen.bind()?;
+        let base = listener.local_endpoint()?;
+        let shared = config
+            .shared_data_addr
+            .as_ref()
+            .map(|a| Endpoint::Tcp(a.clone()));
+        let state = Arc::new(SupervisorState {
+            slots: Mutex::new(Vec::new()),
+            generation: AtomicU64::new(0),
+            base: base.clone(),
+            shared,
+            stop: AtomicBool::new(false),
+            routed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            restarts_total: AtomicU64::new(0),
+            spawner,
+            config,
+        });
+        {
+            let mut slots = state.slots.lock().unwrap_or_else(|e| e.into_inner());
+            for index in 0..state.config.shards {
+                let handle = state.spawner.spawn(state.shard_config(index))?;
+                let endpoint = handle.endpoint();
+                slots.push(ShardSlot {
+                    handle,
+                    endpoint,
+                    restarts: 0,
+                });
+            }
+        }
+        state.generation.store(1, Ordering::Release);
+        state.write_topology();
+        pressio_obs::add_counter("serve:supervisor.started", 1);
+
+        let monitor_state = state.clone();
+        let monitor = std::thread::Builder::new()
+            .name("pressio-serve-monitor".into())
+            .spawn(move || monitor_loop(&monitor_state))
+            .map_err(|e| Error::Io(format!("spawning monitor thread: {e}")))?;
+        let accept_state = state.clone();
+        let accept = std::thread::Builder::new()
+            .name("pressio-serve-supervisor".into())
+            .spawn(move || supervisor_accept_loop(listener, &accept_state))
+            .map_err(|e| Error::Io(format!("spawning supervisor accept thread: {e}")))?;
+        Ok(SupervisorHandle {
+            endpoint: base,
+            state,
+            threads: vec![accept, monitor],
+        })
+    }
+}
+
+/// Poll shard liveness; respawn dead shards (bumping the topology
+/// generation) until their restart budget runs out.
+fn monitor_loop(state: &SupervisorState) {
+    while !state.stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+        if state.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let mut slots = state.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut changed = false;
+        for (index, slot) in slots.iter_mut().enumerate() {
+            if slot.handle.is_alive() || slot.restarts >= state.config.restart_max {
+                continue;
+            }
+            match state.spawner.spawn(state.shard_config(index)) {
+                Ok(handle) => {
+                    slot.endpoint = handle.endpoint();
+                    slot.handle = handle;
+                    slot.restarts += 1;
+                    state.restarts_total.fetch_add(1, Ordering::Relaxed);
+                    pressio_obs::add_counter("serve:supervisor.restart", 1);
+                    changed = true;
+                }
+                Err(_) => {
+                    // spawn failed: burn one restart so a persistent
+                    // failure cannot loop forever
+                    slot.restarts += 1;
+                }
+            }
+        }
+        drop(slots);
+        if changed {
+            state.generation.fetch_add(1, Ordering::AcqRel);
+            state.write_topology();
+        }
+    }
+}
+
+fn supervisor_accept_loop(listener: crate::net::Listener, state: &Arc<SupervisorState>) {
+    let mut connections = Vec::new();
+    while !state.stop.load(Ordering::Acquire) {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if state.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let state = state.clone();
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("pressio-serve-sup-conn".into())
+            .spawn(move || supervisor_connection_loop(conn, &state))
+        {
+            connections.push(handle);
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    #[cfg(unix)]
+    if let crate::net::Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn supervisor_connection_loop(mut conn: Conn, state: &Arc<SupervisorState>) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+    while let Ok(Some(request)) = read_frame_polled(&mut conn, &state.stop) {
+        let op_name = request
+            .get_str_opt("serve:op")
+            .ok()
+            .flatten()
+            .unwrap_or("")
+            .to_string();
+        let started = Instant::now();
+        let mut shutting_down = false;
+        let response = match op_name.as_str() {
+            op::PING => Options::new()
+                .with("serve:type", "pong")
+                .with("serve:role", "supervisor"),
+            op::TOPOLOGY => state.topology().to_options(),
+            op::STATS => supervisor_stats(state),
+            op::RELOAD => {
+                let (ok, total) = state.broadcast(&request);
+                Options::new()
+                    .with("serve:type", "reloaded")
+                    .with("serve:shards.reloaded", ok as u64)
+                    .with("serve:shards.total", total as u64)
+            }
+            op::SHUTDOWN => {
+                shutting_down = true;
+                Options::new().with("serve:type", "bye")
+            }
+            op::TRAIN => {
+                // train on the model's home shard, then tell every other
+                // shard to re-resolve so the new version is hot everywhere
+                let key = routing_key(&request).unwrap_or_default();
+                let resp = state.forward(&key, &request);
+                if resp.get_str_opt("serve:type").ok().flatten() == Some("trained") {
+                    let reload = Options::new().with("serve:op", op::RELOAD);
+                    let _ = state.broadcast(&reload);
+                }
+                resp
+            }
+            op::PREDICT | op::LOAD | op::MODELS | op::SLEEP => {
+                let key = routing_key(&request).unwrap_or_else(|| {
+                    // no routing affinity: spread by request counter
+                    format!("rr:{}", state.routed.load(Ordering::Relaxed))
+                });
+                state.forward(&key, &request)
+            }
+            other => {
+                protocol::error_response(code::BAD_REQUEST, format!("unknown serve:op '{other}'"))
+            }
+        };
+        let response = response.with("serve:elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+        let write_ok = protocol::write_frame(&mut conn, &response).is_ok();
+        if shutting_down {
+            if !state.stop.swap(true, Ordering::AcqRel) {
+                state.shutdown_shards();
+                let _ = state.base.connect(); // wake our own accept loop
+            }
+            break;
+        }
+        if !write_ok {
+            break;
+        }
+    }
+}
+
+/// Aggregate stats across shards plus the supervisor's own counters.
+fn supervisor_stats(state: &SupervisorState) -> Options {
+    let endpoints: Vec<Endpoint> = {
+        let slots = state.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.iter().map(|s| s.endpoint.clone()).collect()
+    };
+    let summed = [
+        "serve:feature_cache.hits",
+        "serve:feature_cache.misses",
+        "serve:prediction_cache.hits",
+        "serve:prediction_cache.misses",
+        "serve:features.computed",
+        "serve:predictions.served",
+        "serve:coalesced",
+        "serve:reloads",
+    ];
+    let mut totals = vec![0u64; summed.len()];
+    let mut live = 0usize;
+    for endpoint in &endpoints {
+        let Ok(mut client) = Client::connect(endpoint) else {
+            continue;
+        };
+        let Ok(stats) = client.stats() else {
+            continue;
+        };
+        live += 1;
+        for (slot, key) in totals.iter_mut().zip(summed.iter()) {
+            *slot += stats.get_u64_opt(key).ok().flatten().unwrap_or(0);
+        }
+    }
+    let mut resp = Options::new()
+        .with("serve:type", "stats")
+        .with("serve:role", "supervisor")
+        .with("serve:shards.total", endpoints.len() as u64)
+        .with("serve:shards.live", live as u64)
+        .with("serve:generation", state.generation.load(Ordering::Acquire))
+        .with("serve:routed", state.routed.load(Ordering::Relaxed))
+        .with("serve:failovers", state.failovers.load(Ordering::Relaxed))
+        .with(
+            "serve:restarts",
+            state.restarts_total.load(Ordering::Relaxed),
+        );
+    for (total, key) in totals.iter().zip(summed.iter()) {
+        resp.set(*key, *total);
+    }
+    resp
+}
+
+/// Frame read tolerant of poll timeouts, mirroring the server's loop so an
+/// idle proxied connection notices shutdown.
+fn read_frame_polled(conn: &mut Conn, stop: &AtomicBool) -> Result<Option<Options>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match std::io::Read::read(conn, &mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(Error::Io("connection closed mid-frame header".into()))
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > protocol::MAX_FRAME {
+        return Err(Error::CorruptStream(format!(
+            "frame length {len} exceeds MAX_FRAME"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match std::io::Read::read(conn, &mut payload[got..]) {
+            Ok(0) => return Err(Error::Io("connection closed mid-frame body".into())),
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| Error::CorruptStream(format!("frame is not UTF-8: {e}")))?;
+    Options::from_json(text).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            for i in 0..64 {
+                let key = format!("key-{i}");
+                let a = route(&key, shards);
+                let b = route(&key, shards);
+                assert_eq!(a, b, "routing must be deterministic");
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_moves_about_one_over_n_keys() {
+        // growing N → N+1 shards must move only the keys the new shard
+        // wins: ~1/(N+1) of them, never a full reshuffle
+        for n in 2..=6 {
+            let keys: Vec<String> = (0..2000).map(|i| format!("buf-{i}")).collect();
+            let moved = keys
+                .iter()
+                .filter(|k| route(k, n) != route(k, n + 1))
+                .count();
+            let expected = keys.len() / (n + 1);
+            assert!(
+                moved as f64 <= expected as f64 * 1.5,
+                "{n}→{} shards moved {moved} keys (expected ≈{expected})",
+                n + 1,
+            );
+            assert!(
+                moved as f64 >= expected as f64 * 0.5,
+                "{n}→{} shards moved only {moved} keys (expected ≈{expected})",
+                n + 1,
+            );
+            // and every moved key lands on the *new* shard
+            for k in &keys {
+                if route(k, n) != route(k, n + 1) {
+                    assert_eq!(route(k, n + 1), n, "moved keys must land on the new shard");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_order_is_a_permutation_with_route_first() {
+        for shards in 1..=6 {
+            for i in 0..32 {
+                let key = format!("k{i}");
+                let order = rendezvous_order(&key, shards);
+                assert_eq!(order.len(), shards);
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..shards).collect::<Vec<_>>());
+                assert_eq!(order[0], route(&key, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_across_shards() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for i in 0..4000 {
+            counts[route(&format!("data-{i}"), shards)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 600 && count < 1400,
+                "shard {shard} got {count}/4000 keys — routing is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_endpoint_derivation() {
+        #[cfg(unix)]
+        {
+            let base = Endpoint::Unix(PathBuf::from("/tmp/s.sock"));
+            assert_eq!(
+                shard_endpoint(&base, 2),
+                Endpoint::Unix(PathBuf::from("/tmp/s.sock.s2"))
+            );
+        }
+        let tcp = Endpoint::Tcp("127.0.0.1:9000".into());
+        assert_eq!(
+            shard_endpoint(&tcp, 0),
+            Endpoint::Tcp("127.0.0.1:9001".into())
+        );
+        assert_eq!(
+            shard_endpoint(&tcp, 3),
+            Endpoint::Tcp("127.0.0.1:9004".into())
+        );
+        // port 0 stays ephemeral per shard
+        let any = Endpoint::Tcp("127.0.0.1:0".into());
+        assert_eq!(shard_endpoint(&any, 5), Endpoint::Tcp("127.0.0.1:0".into()));
+    }
+
+    #[test]
+    fn topology_round_trips_through_json_and_disk() {
+        let dir = std::env::temp_dir().join(format!("pressio_topo_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = Topology {
+            generation: 7,
+            base: Endpoint::Tcp("127.0.0.1:9000".into()),
+            shared: Some(Endpoint::Tcp("127.0.0.1:9100".into())),
+            shards: vec![
+                Endpoint::Tcp("127.0.0.1:9001".into()),
+                Endpoint::Tcp("127.0.0.1:9002".into()),
+            ],
+        };
+        let back = Topology::from_options(&topo.to_options()).unwrap();
+        assert_eq!(back, topo);
+        topo.save(&dir).unwrap();
+        assert_eq!(Topology::load(&dir).unwrap(), Some(topo));
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(Topology::load(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn routing_key_prefers_content_hash() {
+        let data = pressio_core::Data::from_f32(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut req = Options::new().with("serve:model", "m");
+        assert_eq!(routing_key(&req), Some("model:m".into()));
+        protocol::data_into_request(&mut req, &data);
+        let key = routing_key(&req).unwrap();
+        assert_eq!(key, protocol::data_content_hash(&req).unwrap());
+        assert_eq!(routing_key(&Options::new()), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fuzz the wire-protocol frame parser: `read_frame` must never panic on
+//! adversarial input — torn frames, lying length prefixes, non-UTF-8
+//! payloads, malformed JSON — only return `Ok`/`Err`. Cases are seeded
+//! mutations of real frames (see `pressio_core::fuzz`), so every failure
+//! replays from the `seed`/`iteration` pair in the panic message; the
+//! nightly CI tier deepens the run via `PRESSIO_FUZZ_ITERS`.
+
+use pressio_core::fuzz::Fuzzer;
+use pressio_core::{Data, Options};
+use pressio_serve::protocol::{self, error_response, frame_bytes, op, read_frame};
+use pressio_serve::Client;
+
+/// Real frames of every message shape the protocol produces: ops with
+/// and without payloads, an embedded data buffer, and an error response.
+fn corpus() -> Vec<Vec<u8>> {
+    let data = Data::from_f32(vec![4, 4], (0..16).map(|i| i as f32 * 0.5).collect());
+    let messages = vec![
+        Options::new().with("serve:op", op::PING),
+        Options::new().with("serve:op", op::STATS),
+        Options::new().with("serve:op", op::TOPOLOGY),
+        Options::new()
+            .with("serve:op", op::TRAIN)
+            .with("serve:model", "m")
+            .with("serve:scheme", "rahman2023")
+            .with("serve:dims", vec![8u64, 8, 4])
+            .with("serve:timesteps", 1u64)
+            .with("serve:bounds", vec![1e-4]),
+        Client::predict_request("m@1", &data, &Options::new().with("pressio:abs", 1e-4)),
+        error_response("overloaded", "queue full (depth 64)"),
+        Options::new(), // empty payload: the 4-byte prefix dominates
+    ];
+    messages
+        .into_iter()
+        .map(|m| frame_bytes(&m).unwrap())
+        .collect()
+}
+
+#[test]
+fn read_frame_never_panics_on_mutated_frames() {
+    let corpus = corpus();
+    Fuzzer::from_env(600).run(&corpus, |case| {
+        let mut cursor = std::io::Cursor::new(case);
+        // drain the whole stream: a mutated case may contain several
+        // frames (splice/duplicate operators), and frame re-sync after a
+        // successful parse is part of the surface under test
+        while let Ok(Some(_)) = read_frame(&mut cursor) {}
+    });
+}
+
+#[test]
+fn options_json_parser_never_panics_on_mutated_payloads() {
+    // strip the length prefixes: this targets the JSON payload parser
+    // directly, where mutations stay syntactically "almost JSON"
+    let corpus: Vec<Vec<u8>> = corpus().into_iter().map(|f| f[4..].to_vec()).collect();
+    Fuzzer::from_env(600).run(&corpus, |case| {
+        let text = String::from_utf8_lossy(case);
+        let _ = Options::from_json(&text);
+    });
+}
+
+#[test]
+fn surviving_frames_reserialize() {
+    // anything the parser accepts must be writable again: a mutated frame
+    // that parses is a valid Options and must round-trip
+    let corpus = corpus();
+    Fuzzer::from_env(400).run(&corpus, |case| {
+        let mut cursor = std::io::Cursor::new(case);
+        if let Ok(Some(parsed)) = read_frame(&mut cursor) {
+            let bytes = frame_bytes(&parsed).expect("parsed frame must reserialize");
+            let back = read_frame(&mut std::io::Cursor::new(bytes))
+                .expect("reserialized frame must parse")
+                .expect("non-empty stream");
+            assert_eq!(
+                protocol::frame_bytes(&back).unwrap(),
+                protocol::frame_bytes(&parsed).unwrap(),
+                "round-trip through bytes must be stable"
+            );
+        }
+    });
+}
