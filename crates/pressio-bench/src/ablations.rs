@@ -1,0 +1,500 @@
+//! Library entry points for the ablation studies.
+//!
+//! Each ablation is a standalone `--bin ablation_*` for direct invocation
+//! from scripts, but the study bodies live here so `pressio bench
+//! --ablation <name>` can run the same code in-process (the CLI crate
+//! links this module; the bins are thin `main()` wrappers around it).
+//! Every function writes its markdown report to the supplied writer.
+
+use crate::BenchArgs;
+use pressio_core::timing::{time_ms, MeanStd};
+use pressio_core::{Compressor, Options};
+use pressio_dataset::{synthetic::FAMILIES, DatasetPlugin, Hurricane, SyntheticSuite};
+use pressio_predict::bandwidth::{bandwidth_features, BandwidthModel};
+use pressio_predict::evaluator::CachedEvaluator;
+use pressio_predict::registry::standard_schemes;
+use pressio_predict::schemes::{RahmanScheme, TaoScheme};
+use pressio_predict::Scheme;
+use pressio_stats::{k_folds, medape};
+use pressio_sz::SzCompressor;
+use std::io::Write;
+use std::time::Instant;
+
+type Result = std::io::Result<()>;
+
+/// Every ablation reachable through [`run`], in help-text order.
+pub const NAMES: [&str; 6] = [
+    "bandwidth",
+    "datasets",
+    "insample",
+    "invalidation",
+    "rahman",
+    "tao_sweep",
+];
+
+/// Dispatch an ablation by name; callers wanting a friendlier unknown-name
+/// error should check [`NAMES`] first.
+pub fn run(name: &str, args: &BenchArgs, out: &mut dyn Write) -> Result {
+    match name {
+        "bandwidth" => bandwidth(args, out),
+        "datasets" => datasets(args, out),
+        "insample" => insample(args, out),
+        "invalidation" => invalidation(args, out),
+        "rahman" => rahman(args, out),
+        "tao_sweep" => tao_sweep(args, out),
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "unknown ablation '{other}' (available: {})",
+                NAMES.join(", ")
+            ),
+        )),
+    }
+}
+
+fn median_time_ms(comp: &SzCompressor, data: &pressio_core::Data, reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let (r, ms) = time_ms(|| comp.compress(data));
+            r.unwrap();
+            ms
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Future-work item 4 of the paper (§7): bandwidth prediction. Trains the
+/// runtime-class bandwidth model on observed compression timings across
+/// Hurricane fields at several sizes, then validates predicted vs measured
+/// compression time out-of-sample.
+///
+/// Timing is `predictors:runtime` + `predictors:nondeterministic`, so each
+/// observation is the median of several replicates (the refinement to the
+/// validation model the paper's §7 calls for).
+pub fn bandwidth(args: &BenchArgs, out: &mut dyn Write) -> Result {
+    let reps = if args.quick { 2 } else { 3 };
+    let abs = 1e-4;
+    let mut sz = SzCompressor::new();
+    // pin the predictor: "auto" trial-selection adds timing variance that
+    // is about the selection, not the pipeline being modeled
+    sz.set_options(
+        &Options::new()
+            .with("pressio:abs", abs)
+            .with("sz3:predictor", "lorenzo"),
+    )
+    .unwrap();
+
+    // observations across sizes and fields (sizes vary the dominant term)
+    let mut feats = Vec::new();
+    let mut times = Vec::new();
+    let mut tags = Vec::new();
+    for scale in [16usize, 24, 32, 48] {
+        let mut h = Hurricane::with_dims(scale, scale, scale / 2, 1)
+            .with_fields(&["P", "TC", "U", "QRAIN", "QVAPOR", "W"]);
+        for i in 0..h.len() {
+            let meta = h.load_metadata(i).unwrap();
+            let data = h.load_data(i).unwrap();
+            feats.push(bandwidth_features(&data, abs));
+            times.push(median_time_ms(&sz, &data, reps));
+            tags.push(format!("{}@{scale}", meta.name));
+        }
+    }
+    // odd observations train, even validate (interleaves sizes and fields)
+    let (mut tf, mut tt, mut vf, mut vt, mut vtag) = (vec![], vec![], vec![], vec![], vec![]);
+    for i in 0..feats.len() {
+        if i % 2 == 0 {
+            tf.push(feats[i].clone());
+            tt.push(times[i]);
+        } else {
+            vf.push(feats[i].clone());
+            vt.push(times[i]);
+            vtag.push(tags[i].clone());
+        }
+    }
+    let mut model = BandwidthModel::new();
+    model.fit(&tf, &tt).unwrap();
+
+    writeln!(
+        out,
+        "# Bandwidth prediction (sz3 @1e-4, runtime-class metric, median of {reps} reps)\n"
+    )?;
+    writeln!(
+        out,
+        "| dataset | measured (ms) | predicted (ms) | measured MB/s | predicted MB/s |"
+    )?;
+    writeln!(out, "|---|---|---|---|---|")?;
+    let mut preds = Vec::new();
+    for ((f, &t), tag) in vf.iter().zip(&vt).zip(&vtag) {
+        let p = model.predict_time_ms(f).unwrap();
+        preds.push(p);
+        let bytes = f.get_f64("bw:log_bytes").unwrap().exp2();
+        writeln!(
+            out,
+            "| {tag} | {t:.2} | {p:.2} | {:.1} | {:.1} |",
+            bytes / 1e6 / (t / 1e3),
+            bytes / 1e6 / (p / 1e3)
+        )?;
+    }
+    let med = pressio_stats::medape(&vt, &preds).unwrap();
+    writeln!(out, "\nout-of-sample compression-time MedAPE: {med:.1}%")?;
+    writeln!(out, "shape check: predictions track payload size and data roughness; residual error reflects the runtime/nondeterministic invalidation class")
+}
+
+/// Future-work item 2 of the paper (§7): extend the evaluation beyond
+/// weather data. Runs the out-of-sample prediction comparison on four
+/// structurally distinct synthetic families (turbulence, shocks, wave
+/// packets, plateaus) and reports per-family MedAPE for each scheme —
+/// "different datasets have different structural patterns".
+pub fn datasets(args: &BenchArgs, out: &mut dyn Write) -> Result {
+    let realizations = if args.quick { 4 } else { 10 };
+    let mut suite = SyntheticSuite::new(args.dims.0, args.dims.1, args.dims.2, realizations);
+    let n = suite.len();
+    let mut datasets = Vec::new();
+    let mut families = Vec::new();
+    for i in 0..n {
+        let meta = suite.load_metadata(i).unwrap();
+        families.push(
+            meta.attributes
+                .get_str("synthetic:family")
+                .unwrap()
+                .to_string(),
+        );
+        datasets.push(suite.load_data(i).unwrap());
+    }
+    let mut sz = SzCompressor::new();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
+    let truths: Vec<f64> = datasets
+        .iter()
+        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
+        .collect();
+
+    let registry = standard_schemes();
+    writeln!(
+        out,
+        "# Non-weather dataset study: out-of-sample MedAPE by family (sz3 @1e-4)\n"
+    )?;
+    write!(out, "| scheme |")?;
+    for f in FAMILIES {
+        write!(out, " {f} |")?;
+    }
+    writeln!(out, " all |")?;
+    write!(out, "|---|")?;
+    for _ in FAMILIES {
+        write!(out, "---|")?;
+    }
+    writeln!(out, "---|")?;
+    for name in ["khan2023", "jin2022", "rahman2023", "krasowska2021"] {
+        let scheme = registry.build(name).unwrap();
+        let trainable = scheme.make_predictor().requires_training();
+        let feats: Vec<Options> = datasets
+            .iter()
+            .map(|d| {
+                let mut f = scheme.error_agnostic_features(d).unwrap();
+                f.merge_from(&scheme.error_dependent_features(d, &sz).unwrap());
+                f
+            })
+            .collect();
+        let mut preds = vec![0.0f64; n];
+        if trainable {
+            for fold in k_folds(n, 5, 17) {
+                let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
+                let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
+                let mut p = scheme.make_predictor();
+                p.fit(&train_f, &train_t).unwrap();
+                for &i in &fold.validate {
+                    preds[i] = p.predict(&feats[i]).unwrap();
+                }
+            }
+        } else {
+            let p = scheme.make_predictor();
+            for i in 0..n {
+                preds[i] = p.predict(&feats[i]).unwrap();
+            }
+        }
+        write!(out, "| {name} |")?;
+        for family in FAMILIES {
+            let (t, p): (Vec<f64>, Vec<f64>) = truths
+                .iter()
+                .zip(&preds)
+                .zip(&families)
+                .filter(|(_, f)| f.as_str() == family)
+                .map(|((t, p), _)| (*t, *p))
+                .unzip();
+            write!(out, " {:.1} |", medape(&t, &p).unwrap_or(f64::NAN))?;
+        }
+        writeln!(out, " {:.1} |", medape(&truths, &preds).unwrap())?;
+    }
+    writeln!(out, "\nshape check: calculation methods are family-sensitive (shock/plateau stress them differently); trained methods track all families once trained on them")
+}
+
+/// Future-work item 1 of the paper (§7): compare **in-sample** prediction
+/// (train and predict on the same fields — the "best-case" most prior work
+/// reports) against the **out-of-sample** setting the paper insists on
+/// (predict on fields never seen in training). The gap quantifies how much
+/// of published accuracy comes from field similarity.
+pub fn insample(args: &BenchArgs, out: &mut dyn Write) -> Result {
+    let timesteps = if args.quick { 3 } else { 6 };
+    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, timesteps);
+    let n = hurricane.len();
+    let datasets: Vec<_> = (0..n).map(|i| hurricane.load_data(i).unwrap()).collect();
+    let mut sz = SzCompressor::new();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
+    let truths: Vec<f64> = datasets
+        .iter()
+        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
+        .collect();
+
+    let registry = standard_schemes();
+    writeln!(
+        out,
+        "# In-sample (best case) vs out-of-sample (paper setting) MedAPE, sz3 @1e-4\n"
+    )?;
+    writeln!(
+        out,
+        "| scheme | in-sample (%) | out-of-sample (%) | degradation |"
+    )?;
+    writeln!(out, "|---|---|---|---|")?;
+    for name in [
+        "krasowska2021",
+        "underwood2023",
+        "rahman2023",
+        "lu2018",
+        "qin2020",
+        "ganguli2023",
+    ] {
+        let scheme = registry.build(name).unwrap();
+        let feats: Vec<Options> = datasets
+            .iter()
+            .map(|d| {
+                let mut f = scheme.error_agnostic_features(d).unwrap();
+                f.merge_from(&scheme.error_dependent_features(d, &sz).unwrap());
+                f
+            })
+            .collect();
+        // in-sample: fit on everything, predict everything
+        let mut p = scheme.make_predictor();
+        p.fit(&feats, &truths).unwrap();
+        let preds_in: Vec<f64> = feats.iter().map(|f| p.predict(f).unwrap()).collect();
+        let in_sample = medape(&truths, &preds_in).unwrap();
+        // out-of-sample: 5-fold CV
+        let mut preds_out = vec![0.0f64; n];
+        for fold in k_folds(n, 5, 42) {
+            let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
+            let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
+            let mut p = scheme.make_predictor();
+            p.fit(&train_f, &train_t).unwrap();
+            for &i in &fold.validate {
+                preds_out[i] = p.predict(&feats[i]).unwrap();
+            }
+        }
+        let out_sample = medape(&truths, &preds_out).unwrap();
+        writeln!(
+            out,
+            "| {name} | {in_sample:.1} | {out_sample:.1} | {:.1}x |",
+            out_sample / in_sample.max(1e-9)
+        )?;
+    }
+    writeln!(out, "\nshape check: every trained scheme degrades out-of-sample; the paper's evaluation deliberately reports the harder number")
+}
+
+/// Ablation: invalidation-aware metric reuse (the paper's Q1 and §6 —
+/// methods "leverage the ability to compute a subset of error-agnostic
+/// metrics up front, and then use them to conduct many different
+/// predictions"). Predicts at a sweep of error bounds with and without the
+/// cached evaluator and reports the time saved.
+pub fn invalidation(args: &BenchArgs, out: &mut dyn Write) -> Result {
+    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, 1);
+    let n = hurricane.len().min(if args.quick { 4 } else { 13 });
+    let datasets: Vec<_> = (0..n)
+        .map(|i| {
+            (
+                hurricane.load_metadata(i).unwrap().name,
+                hurricane.load_data(i).unwrap(),
+            )
+        })
+        .collect();
+    let bounds = [1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3];
+    let registry = standard_schemes();
+
+    writeln!(
+        out,
+        "# Ablation: error-agnostic metric reuse across an error-bound sweep\n"
+    )?;
+    writeln!(
+        out,
+        "{} datasets x {} bounds, scheme = underwood2023 (expensive SVD agnostic stage)\n",
+        n,
+        bounds.len()
+    )?;
+    // without reuse: recompute every feature for every bound
+    let scheme = registry.build("underwood2023").unwrap();
+    let t0 = Instant::now();
+    for (_, data) in &datasets {
+        for &abs in &bounds {
+            let mut sz = SzCompressor::new();
+            sz.set_options(&Options::new().with("pressio:abs", abs))
+                .unwrap();
+            let _ = scheme.error_agnostic_features(data).unwrap();
+            let _ = scheme.error_dependent_features(data, &sz).unwrap();
+        }
+    }
+    let naive = t0.elapsed().as_secs_f64();
+    writeln!(out, "no reuse (recompute everything):        {naive:.2}s")?;
+
+    // with reuse: the cached evaluator recomputes agnostic features once
+    let scheme = registry.build("underwood2023").unwrap();
+    let mut eval = CachedEvaluator::new(scheme);
+    let t0 = Instant::now();
+    for (name, data) in &datasets {
+        for &abs in &bounds {
+            let mut sz = SzCompressor::new();
+            sz.set_options(&Options::new().with("pressio:abs", abs))
+                .unwrap();
+            let _ = eval.features(name, data, &sz).unwrap();
+        }
+    }
+    let cached = t0.elapsed().as_secs_f64();
+    let counters = eval.counters();
+    writeln!(out, "with invalidation-aware reuse:          {cached:.2}s")?;
+    writeln!(
+        out,
+        "agnostic cache: {} hits / {} misses; dependent cache: {} hits / {} misses",
+        counters.agnostic_hits,
+        counters.agnostic_misses,
+        counters.dependent_hits,
+        counters.dependent_misses
+    )?;
+    writeln!(out, "speedup: {:.1}x", naive / cached.max(1e-9))?;
+    writeln!(
+        out,
+        "\nshape check: the SVD is computed once per dataset instead of once per (dataset, bound)"
+    )
+}
+
+/// Ablation: FXRZ design choices (paper §6 credits the **sparsity
+/// correction** for Rahman's winning MedAPE on mixed sparse/dense
+/// Hurricane data; Rahman 2023 credits **data augmentation** for reducing
+/// training cost). This sweep toggles both and reports out-of-sample
+/// MedAPE split by sparse vs dense fields.
+pub fn rahman(args: &BenchArgs, out: &mut dyn Write) -> Result {
+    let timesteps = if args.quick { 3 } else { 8 };
+    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, timesteps);
+    let n = hurricane.len();
+    let mut datasets = Vec::new();
+    let mut sparse_flags = Vec::new();
+    for i in 0..n {
+        let meta = hurricane.load_metadata(i).unwrap();
+        sparse_flags.push(meta.attributes.get_bool("hurricane:sparse").unwrap());
+        datasets.push(hurricane.load_data(i).unwrap());
+    }
+    let mut sz = SzCompressor::new();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
+    let truths: Vec<f64> = datasets
+        .iter()
+        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
+        .collect();
+
+    writeln!(
+        out,
+        "# Ablation: rahman2023 sparsity correction x data augmentation (sz3, abs=1e-4)\n"
+    )?;
+    writeln!(out, "| sparsity correction | augmentation | MedAPE all (%) | MedAPE sparse (%) | MedAPE dense (%) |")?;
+    writeln!(out, "|---|---|---|---|---|")?;
+    for sparsity in [true, false] {
+        for augmentation in [2.0f64, 0.0] {
+            let scheme = RahmanScheme {
+                sparsity_correction: sparsity,
+                augmentation,
+            };
+            let feats: Vec<Options> = datasets
+                .iter()
+                .map(|d| {
+                    let mut f = scheme.error_agnostic_features(d).unwrap();
+                    f.merge_from(&scheme.error_dependent_features(d, &sz).unwrap());
+                    f
+                })
+                .collect();
+            // out-of-sample via 5 folds
+            let mut pred = vec![0.0f64; n];
+            for fold in k_folds(n, 5, 99) {
+                let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
+                let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
+                let mut p = scheme.make_predictor();
+                p.fit(&train_f, &train_t).unwrap();
+                for &i in &fold.validate {
+                    pred[i] = p.predict(&feats[i]).unwrap();
+                }
+            }
+            let all = pressio_stats::medape(&truths, &pred).unwrap();
+            let (mut st, mut sp, mut dt, mut dp) = (vec![], vec![], vec![], vec![]);
+            for i in 0..n {
+                if sparse_flags[i] {
+                    st.push(truths[i]);
+                    sp.push(pred[i]);
+                } else {
+                    dt.push(truths[i]);
+                    dp.push(pred[i]);
+                }
+            }
+            let sparse = pressio_stats::medape(&st, &sp).unwrap_or(f64::NAN);
+            let dense = pressio_stats::medape(&dt, &dp).unwrap_or(f64::NAN);
+            writeln!(
+                out,
+                "| {} | {} | {all:.1} | {sparse:.1} | {dense:.1} |",
+                if sparsity { "on" } else { "off" },
+                if augmentation > 0.0 { "on" } else { "off" },
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "\nshape check: disabling the sparsity features should hurt most on the sparse fields"
+    )
+}
+
+/// Ablation: Tao (2019) sampling parameters — block size × block count
+/// sweep, reporting estimation time and MedAPE against the true ratio.
+/// The original design tied block size to compressor internals (§2.2);
+/// this sweep shows the accuracy/time trade-off empirically.
+pub fn tao_sweep(args: &BenchArgs, out: &mut dyn Write) -> Result {
+    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, 2);
+    let n = hurricane.len().min(if args.quick { 6 } else { 13 });
+    let datasets: Vec<_> = (0..n).map(|i| hurricane.load_data(i).unwrap()).collect();
+    let mut sz = SzCompressor::new();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
+    let truths: Vec<f64> = datasets
+        .iter()
+        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
+        .collect();
+
+    writeln!(
+        out,
+        "# Ablation: tao2019 block-size / block-count sweep (sz3, abs=1e-4)\n"
+    )?;
+    writeln!(out, "| block edge | blocks | est. time (ms) | MedAPE (%) |")?;
+    writeln!(out, "|---|---|---|---|")?;
+    for edge in [4usize, 8, 16, 24] {
+        for count in [2usize, 8, 24] {
+            let scheme = TaoScheme {
+                block_edge: edge,
+                block_count: count,
+                seed: 0x7A0,
+            };
+            let mut t = MeanStd::new();
+            let mut preds = Vec::new();
+            for d in &datasets {
+                let (f, ms) = time_ms(|| scheme.error_dependent_features(d, &sz).unwrap());
+                t.push(ms);
+                preds.push(f.get_f64("tao:sampled_ratio").unwrap());
+            }
+            let med = pressio_stats::medape(&truths, &preds).unwrap();
+            writeln!(out, "| {edge} | {count} | {} | {med:.1} |", t.display(3))?;
+        }
+    }
+    writeln!(out, "\nshape check: larger blocks amortize per-block stream overhead (error falls), more blocks cost linearly more time")
+}

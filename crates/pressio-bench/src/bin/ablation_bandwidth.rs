@@ -6,85 +6,13 @@
 //! Timing is `predictors:runtime` + `predictors:nondeterministic`, so each
 //! observation is the median of several replicates (the refinement to the
 //! validation model the paper's §7 calls for).
+//!
+//! Thin wrapper: the study body lives in `pressio_bench::ablations` so
+//! `pressio bench --ablation bandwidth` runs the identical code in-process.
 
 use pressio_bench::BenchArgs;
-use pressio_core::timing::time_ms;
-use pressio_core::{Compressor, Options};
-use pressio_dataset::{DatasetPlugin, Hurricane};
-use pressio_predict::bandwidth::{bandwidth_features, BandwidthModel};
-use pressio_sz::SzCompressor;
-
-fn median_time_ms(comp: &SzCompressor, data: &pressio_core::Data, reps: usize) -> f64 {
-    let mut times: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let (r, ms) = time_ms(|| comp.compress(data));
-            r.unwrap();
-            ms
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
-}
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
-    let reps = if args.quick { 2 } else { 3 };
-    let abs = 1e-4;
-    let mut sz = SzCompressor::new();
-    // pin the predictor: "auto" trial-selection adds timing variance that
-    // is about the selection, not the pipeline being modeled
-    sz.set_options(
-        &Options::new()
-            .with("pressio:abs", abs)
-            .with("sz3:predictor", "lorenzo"),
-    )
-    .unwrap();
-
-    // observations across sizes and fields (sizes vary the dominant term)
-    let mut feats = Vec::new();
-    let mut times = Vec::new();
-    let mut tags = Vec::new();
-    for scale in [16usize, 24, 32, 48] {
-        let mut h = Hurricane::with_dims(scale, scale, scale / 2, 1)
-            .with_fields(&["P", "TC", "U", "QRAIN", "QVAPOR", "W"]);
-        for i in 0..h.len() {
-            let meta = h.load_metadata(i).unwrap();
-            let data = h.load_data(i).unwrap();
-            feats.push(bandwidth_features(&data, abs));
-            times.push(median_time_ms(&sz, &data, reps));
-            tags.push(format!("{}@{scale}", meta.name));
-        }
-    }
-    // odd observations train, even validate (interleaves sizes and fields)
-    let (mut tf, mut tt, mut vf, mut vt, mut vtag) = (vec![], vec![], vec![], vec![], vec![]);
-    for i in 0..feats.len() {
-        if i % 2 == 0 {
-            tf.push(feats[i].clone());
-            tt.push(times[i]);
-        } else {
-            vf.push(feats[i].clone());
-            vt.push(times[i]);
-            vtag.push(tags[i].clone());
-        }
-    }
-    let mut model = BandwidthModel::new();
-    model.fit(&tf, &tt).unwrap();
-
-    println!("# Bandwidth prediction (sz3 @1e-4, runtime-class metric, median of {reps} reps)\n");
-    println!("| dataset | measured (ms) | predicted (ms) | measured MB/s | predicted MB/s |");
-    println!("|---|---|---|---|---|");
-    let mut preds = Vec::new();
-    for ((f, &t), tag) in vf.iter().zip(&vt).zip(&vtag) {
-        let p = model.predict_time_ms(f).unwrap();
-        preds.push(p);
-        let bytes = f.get_f64("bw:log_bytes").unwrap().exp2();
-        println!(
-            "| {tag} | {t:.2} | {p:.2} | {:.1} | {:.1} |",
-            bytes / 1e6 / (t / 1e3),
-            bytes / 1e6 / (p / 1e3)
-        );
-    }
-    let med = pressio_stats::medape(&vt, &preds).unwrap();
-    println!("\nout-of-sample compression-time MedAPE: {med:.1}%");
-    println!("shape check: predictions track payload size and data roughness; residual error reflects the runtime/nondeterministic invalidation class");
+    pressio_bench::ablations::bandwidth(&args, &mut std::io::stdout().lock()).unwrap();
 }

@@ -3,91 +3,13 @@
 //! structurally distinct synthetic families (turbulence, shocks, wave
 //! packets, plateaus) and reports per-family MedAPE for each scheme —
 //! "different datasets have different structural patterns".
+//!
+//! Thin wrapper: the study body lives in `pressio_bench::ablations` so
+//! `pressio bench --ablation datasets` runs the identical code in-process.
 
 use pressio_bench::BenchArgs;
-use pressio_core::{Compressor, Options};
-use pressio_dataset::{synthetic::FAMILIES, DatasetPlugin, SyntheticSuite};
-use pressio_predict::registry::standard_schemes;
-use pressio_stats::{k_folds, medape};
-use pressio_sz::SzCompressor;
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
-    let realizations = if args.quick { 4 } else { 10 };
-    let mut suite = SyntheticSuite::new(args.dims.0, args.dims.1, args.dims.2, realizations);
-    let n = suite.len();
-    let mut datasets = Vec::new();
-    let mut families = Vec::new();
-    for i in 0..n {
-        let meta = suite.load_metadata(i).unwrap();
-        families.push(
-            meta.attributes
-                .get_str("synthetic:family")
-                .unwrap()
-                .to_string(),
-        );
-        datasets.push(suite.load_data(i).unwrap());
-    }
-    let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
-        .unwrap();
-    let truths: Vec<f64> = datasets
-        .iter()
-        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
-        .collect();
-
-    let registry = standard_schemes();
-    println!("# Non-weather dataset study: out-of-sample MedAPE by family (sz3 @1e-4)\n");
-    print!("| scheme |");
-    for f in FAMILIES {
-        print!(" {f} |");
-    }
-    println!(" all |");
-    print!("|---|");
-    for _ in FAMILIES {
-        print!("---|");
-    }
-    println!("---|");
-    for name in ["khan2023", "jin2022", "rahman2023", "krasowska2021"] {
-        let scheme = registry.build(name).unwrap();
-        let trainable = scheme.make_predictor().requires_training();
-        let feats: Vec<Options> = datasets
-            .iter()
-            .map(|d| {
-                let mut f = scheme.error_agnostic_features(d).unwrap();
-                f.merge_from(&scheme.error_dependent_features(d, &sz).unwrap());
-                f
-            })
-            .collect();
-        let mut preds = vec![0.0f64; n];
-        if trainable {
-            for fold in k_folds(n, 5, 17) {
-                let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
-                let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
-                let mut p = scheme.make_predictor();
-                p.fit(&train_f, &train_t).unwrap();
-                for &i in &fold.validate {
-                    preds[i] = p.predict(&feats[i]).unwrap();
-                }
-            }
-        } else {
-            let p = scheme.make_predictor();
-            for i in 0..n {
-                preds[i] = p.predict(&feats[i]).unwrap();
-            }
-        }
-        print!("| {name} |");
-        for family in FAMILIES {
-            let (t, p): (Vec<f64>, Vec<f64>) = truths
-                .iter()
-                .zip(&preds)
-                .zip(&families)
-                .filter(|(_, f)| f.as_str() == family)
-                .map(|((t, p), _)| (*t, *p))
-                .unzip();
-            print!(" {:.1} |", medape(&t, &p).unwrap_or(f64::NAN));
-        }
-        println!(" {:.1} |", medape(&truths, &preds).unwrap());
-    }
-    println!("\nshape check: calculation methods are family-sensitive (shock/plateau stress them differently); trained methods track all families once trained on them");
+    pressio_bench::ablations::datasets(&args, &mut std::io::stdout().lock()).unwrap();
 }

@@ -3,70 +3,13 @@
 //! reports) against the **out-of-sample** setting the paper insists on
 //! (predict on fields never seen in training). The gap quantifies how much
 //! of published accuracy comes from field similarity.
+//!
+//! Thin wrapper: the study body lives in `pressio_bench::ablations` so
+//! `pressio bench --ablation insample` runs the identical code in-process.
 
 use pressio_bench::BenchArgs;
-use pressio_core::{Compressor, Options};
-use pressio_dataset::{DatasetPlugin, Hurricane};
-use pressio_predict::registry::standard_schemes;
-use pressio_stats::{k_folds, medape};
-use pressio_sz::SzCompressor;
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
-    let timesteps = if args.quick { 3 } else { 6 };
-    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, timesteps);
-    let n = hurricane.len();
-    let datasets: Vec<_> = (0..n).map(|i| hurricane.load_data(i).unwrap()).collect();
-    let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
-        .unwrap();
-    let truths: Vec<f64> = datasets
-        .iter()
-        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
-        .collect();
-
-    let registry = standard_schemes();
-    println!("# In-sample (best case) vs out-of-sample (paper setting) MedAPE, sz3 @1e-4\n");
-    println!("| scheme | in-sample (%) | out-of-sample (%) | degradation |");
-    println!("|---|---|---|---|");
-    for name in [
-        "krasowska2021",
-        "underwood2023",
-        "rahman2023",
-        "lu2018",
-        "qin2020",
-        "ganguli2023",
-    ] {
-        let scheme = registry.build(name).unwrap();
-        let feats: Vec<Options> = datasets
-            .iter()
-            .map(|d| {
-                let mut f = scheme.error_agnostic_features(d).unwrap();
-                f.merge_from(&scheme.error_dependent_features(d, &sz).unwrap());
-                f
-            })
-            .collect();
-        // in-sample: fit on everything, predict everything
-        let mut p = scheme.make_predictor();
-        p.fit(&feats, &truths).unwrap();
-        let preds_in: Vec<f64> = feats.iter().map(|f| p.predict(f).unwrap()).collect();
-        let in_sample = medape(&truths, &preds_in).unwrap();
-        // out-of-sample: 5-fold CV
-        let mut preds_out = vec![0.0f64; n];
-        for fold in k_folds(n, 5, 42) {
-            let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
-            let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
-            let mut p = scheme.make_predictor();
-            p.fit(&train_f, &train_t).unwrap();
-            for &i in &fold.validate {
-                preds_out[i] = p.predict(&feats[i]).unwrap();
-            }
-        }
-        let out_sample = medape(&truths, &preds_out).unwrap();
-        println!(
-            "| {name} | {in_sample:.1} | {out_sample:.1} | {:.1}x |",
-            out_sample / in_sample.max(1e-9)
-        );
-    }
-    println!("\nshape check: every trained scheme degrades out-of-sample; the paper's evaluation deliberately reports the harder number");
+    pressio_bench::ablations::insample(&args, &mut std::io::stdout().lock()).unwrap();
 }

@@ -3,75 +3,13 @@
 //! metrics up front, and then use them to conduct many different
 //! predictions"). Predicts at a sweep of error bounds with and without the
 //! cached evaluator and reports the time saved.
+//!
+//! Thin wrapper: the study body lives in `pressio_bench::ablations` so
+//! `pressio bench --ablation invalidation` runs the identical code in-process.
 
 use pressio_bench::BenchArgs;
-use pressio_core::{Compressor, Options};
-use pressio_dataset::{DatasetPlugin, Hurricane};
-use pressio_predict::evaluator::CachedEvaluator;
-use pressio_predict::registry::standard_schemes;
-use pressio_sz::SzCompressor;
-use std::time::Instant;
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
-    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, 1);
-    let n = hurricane.len().min(if args.quick { 4 } else { 13 });
-    let datasets: Vec<_> = (0..n)
-        .map(|i| {
-            (
-                hurricane.load_metadata(i).unwrap().name,
-                hurricane.load_data(i).unwrap(),
-            )
-        })
-        .collect();
-    let bounds = [1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3];
-    let registry = standard_schemes();
-
-    println!("# Ablation: error-agnostic metric reuse across an error-bound sweep\n");
-    println!(
-        "{} datasets x {} bounds, scheme = underwood2023 (expensive SVD agnostic stage)\n",
-        n,
-        bounds.len()
-    );
-    // without reuse: recompute every feature for every bound
-    let scheme = registry.build("underwood2023").unwrap();
-    let t0 = Instant::now();
-    for (_, data) in &datasets {
-        for &abs in &bounds {
-            let mut sz = SzCompressor::new();
-            sz.set_options(&Options::new().with("pressio:abs", abs))
-                .unwrap();
-            let _ = scheme.error_agnostic_features(data).unwrap();
-            let _ = scheme.error_dependent_features(data, &sz).unwrap();
-        }
-    }
-    let naive = t0.elapsed().as_secs_f64();
-    println!("no reuse (recompute everything):        {naive:.2}s");
-
-    // with reuse: the cached evaluator recomputes agnostic features once
-    let scheme = registry.build("underwood2023").unwrap();
-    let mut eval = CachedEvaluator::new(scheme);
-    let t0 = Instant::now();
-    for (name, data) in &datasets {
-        for &abs in &bounds {
-            let mut sz = SzCompressor::new();
-            sz.set_options(&Options::new().with("pressio:abs", abs))
-                .unwrap();
-            let _ = eval.features(name, data, &sz).unwrap();
-        }
-    }
-    let cached = t0.elapsed().as_secs_f64();
-    let counters = eval.counters();
-    println!("with invalidation-aware reuse:          {cached:.2}s");
-    println!(
-        "agnostic cache: {} hits / {} misses; dependent cache: {} hits / {} misses",
-        counters.agnostic_hits,
-        counters.agnostic_misses,
-        counters.dependent_hits,
-        counters.dependent_misses
-    );
-    println!("speedup: {:.1}x", naive / cached.max(1e-9));
-    println!(
-        "\nshape check: the SVD is computed once per dataset instead of once per (dataset, bound)"
-    );
+    pressio_bench::ablations::invalidation(&args, &mut std::io::stdout().lock()).unwrap();
 }

@@ -3,84 +3,13 @@
 //! Hurricane data; Rahman 2023 credits **data augmentation** for reducing
 //! training cost). This sweep toggles both and reports out-of-sample
 //! MedAPE split by sparse vs dense fields.
+//!
+//! Thin wrapper: the study body lives in `pressio_bench::ablations` so
+//! `pressio bench --ablation rahman` runs the identical code in-process.
 
 use pressio_bench::BenchArgs;
-use pressio_core::{Compressor, Options};
-use pressio_dataset::{DatasetPlugin, Hurricane};
-use pressio_predict::schemes::RahmanScheme;
-use pressio_predict::Scheme;
-use pressio_stats::k_folds;
-use pressio_sz::SzCompressor;
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
-    let timesteps = if args.quick { 3 } else { 8 };
-    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, timesteps);
-    let n = hurricane.len();
-    let mut datasets = Vec::new();
-    let mut sparse_flags = Vec::new();
-    for i in 0..n {
-        let meta = hurricane.load_metadata(i).unwrap();
-        sparse_flags.push(meta.attributes.get_bool("hurricane:sparse").unwrap());
-        datasets.push(hurricane.load_data(i).unwrap());
-    }
-    let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
-        .unwrap();
-    let truths: Vec<f64> = datasets
-        .iter()
-        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
-        .collect();
-
-    println!("# Ablation: rahman2023 sparsity correction x data augmentation (sz3, abs=1e-4)\n");
-    println!("| sparsity correction | augmentation | MedAPE all (%) | MedAPE sparse (%) | MedAPE dense (%) |");
-    println!("|---|---|---|---|---|");
-    for sparsity in [true, false] {
-        for augmentation in [2.0f64, 0.0] {
-            let scheme = RahmanScheme {
-                sparsity_correction: sparsity,
-                augmentation,
-            };
-            let feats: Vec<Options> = datasets
-                .iter()
-                .map(|d| {
-                    let mut f = scheme.error_agnostic_features(d).unwrap();
-                    f.merge_from(&scheme.error_dependent_features(d, &sz).unwrap());
-                    f
-                })
-                .collect();
-            // out-of-sample via 5 folds
-            let mut pred = vec![0.0f64; n];
-            for fold in k_folds(n, 5, 99) {
-                let train_f: Vec<Options> = fold.train.iter().map(|&i| feats[i].clone()).collect();
-                let train_t: Vec<f64> = fold.train.iter().map(|&i| truths[i]).collect();
-                let mut p = scheme.make_predictor();
-                p.fit(&train_f, &train_t).unwrap();
-                for &i in &fold.validate {
-                    pred[i] = p.predict(&feats[i]).unwrap();
-                }
-            }
-            let all = pressio_stats::medape(&truths, &pred).unwrap();
-            let (mut st, mut sp, mut dt, mut dp) = (vec![], vec![], vec![], vec![]);
-            for i in 0..n {
-                if sparse_flags[i] {
-                    st.push(truths[i]);
-                    sp.push(pred[i]);
-                } else {
-                    dt.push(truths[i]);
-                    dp.push(pred[i]);
-                }
-            }
-            let sparse = pressio_stats::medape(&st, &sp).unwrap_or(f64::NAN);
-            let dense = pressio_stats::medape(&dt, &dp).unwrap_or(f64::NAN);
-            println!(
-                "| {} | {} | {all:.1} | {sparse:.1} | {dense:.1} |",
-                if sparsity { "on" } else { "off" },
-                if augmentation > 0.0 { "on" } else { "off" },
-            );
-        }
-    }
-    println!(
-        "\nshape check: disabling the sparsity features should hurt most on the sparse fields"
-    );
+    pressio_bench::ablations::rahman(&args, &mut std::io::stdout().lock()).unwrap();
 }

@@ -2,48 +2,13 @@
 //! sweep, reporting estimation time and MedAPE against the true ratio.
 //! The original design tied block size to compressor internals (§2.2);
 //! this sweep shows the accuracy/time trade-off empirically.
+//!
+//! Thin wrapper: the study body lives in `pressio_bench::ablations` so
+//! `pressio bench --ablation tao_sweep` runs the identical code in-process.
 
 use pressio_bench::BenchArgs;
-use pressio_core::timing::{time_ms, MeanStd};
-use pressio_core::{Compressor, Options};
-use pressio_dataset::{DatasetPlugin, Hurricane};
-use pressio_predict::schemes::TaoScheme;
-use pressio_predict::Scheme;
-use pressio_sz::SzCompressor;
 
 fn main() {
     let args = BenchArgs::parse(std::env::args().skip(1));
-    let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, 2);
-    let n = hurricane.len().min(if args.quick { 6 } else { 13 });
-    let datasets: Vec<_> = (0..n).map(|i| hurricane.load_data(i).unwrap()).collect();
-    let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
-        .unwrap();
-    let truths: Vec<f64> = datasets
-        .iter()
-        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
-        .collect();
-
-    println!("# Ablation: tao2019 block-size / block-count sweep (sz3, abs=1e-4)\n");
-    println!("| block edge | blocks | est. time (ms) | MedAPE (%) |");
-    println!("|---|---|---|---|");
-    for edge in [4usize, 8, 16, 24] {
-        for count in [2usize, 8, 24] {
-            let scheme = TaoScheme {
-                block_edge: edge,
-                block_count: count,
-                seed: 0x7A0,
-            };
-            let mut t = MeanStd::new();
-            let mut preds = Vec::new();
-            for d in &datasets {
-                let (f, ms) = time_ms(|| scheme.error_dependent_features(d, &sz).unwrap());
-                t.push(ms);
-                preds.push(f.get_f64("tao:sampled_ratio").unwrap());
-            }
-            let med = pressio_stats::medape(&truths, &preds).unwrap();
-            println!("| {edge} | {count} | {} | {med:.1} |", t.display(3));
-        }
-    }
-    println!("\nshape check: larger blocks amortize per-block stream overhead (error falls), more blocks cost linearly more time");
+    pressio_bench::ablations::tao_sweep(&args, &mut std::io::stdout().lock()).unwrap();
 }

@@ -9,10 +9,23 @@
 //! gate exists to catch structural regressions (a lost cache, an
 //! accidental serialization point), not 5% jitter.
 //!
+//! A second mode gates the single-thread SIMD-lane kernels: `--kernels`
+//! compares the per-kernel scalar-vs-lane entries of `BENCH_parallel.json`
+//! (from `cargo bench -p pressio-bench --bench parallel`, quick mode on
+//! PRs) against `ci/parallel_baseline.json`. Each kernel is held to two
+//! bars: a machine-independent `min_speedup` floor on the scalar/lane
+//! min-time ratio — the real teeth, immune to runner hardware — and a
+//! generous tolerance band around the recorded lane throughput that
+//! catches "the kernel silently fell back to scalar" on comparable
+//! hardware.
+//!
 //! Usage:
-//!   perf_gate            compare and exit non-zero on regression
-//!   perf_gate --update   rewrite the baseline's metrics from the current
-//!                        bench results (tolerances are preserved)
+//!   perf_gate                      gate the serving path
+//!   perf_gate --update             refresh the serve baseline's metrics
+//!   perf_gate --kernels            gate the lane kernels
+//!   perf_gate --kernels --update   refresh per-kernel lane throughput
+//!                                  (min_speedup floors and tolerances are
+//!                                  preserved)
 
 use serde::{Deserialize, Serialize};
 use serde_json::parse_content;
@@ -90,8 +103,120 @@ fn single_shard_rps(bench: &serde::Content) -> f64 {
     metric(bench, &["throughput", "requests_per_s"])
 }
 
+// ---- SIMD-lane kernel gate --------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct KernelBar {
+    name: String,
+    /// Recorded lane throughput (min-of-N), machine-dependent; refreshed
+    /// by `--kernels --update`.
+    lane_mb_per_s: f64,
+    /// Machine-independent floor on the scalar/lane speedup ratio; a
+    /// kernel whose lane path stops beating its scalar twin by at least
+    /// this factor fails the gate on any hardware.
+    min_speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct KernelBaseline {
+    comment: String,
+    kernels: Vec<KernelBar>,
+    tolerance: Tolerance,
+}
+
+fn kernel_gate(update: bool) -> ExitCode {
+    let bench_path = repo_root().join("BENCH_parallel.json");
+    let baseline_path = repo_root().join("ci/parallel_baseline.json");
+    let bench = parse_content(&read_text(&bench_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", bench_path.display()));
+
+    let kernels = match lookup(&bench, &["kernels"]) {
+        Some(serde::Content::Seq(items)) => items,
+        _ => panic!(
+            "BENCH_parallel.json has no kernels section; regenerate with \
+             `cargo bench -p pressio-bench --bench parallel`"
+        ),
+    };
+    let find = |name: &str| -> Option<(f64, f64)> {
+        kernels
+            .iter()
+            .find(|k| matches!(lookup(k, &["name"]), Some(serde::Content::Str(s)) if s == name))
+            .map(|k| {
+                (
+                    lookup(k, &["speedup"]).and_then(as_f64).unwrap_or(0.0),
+                    lookup(k, &["lane_mb_per_s"])
+                        .and_then(as_f64)
+                        .unwrap_or(0.0),
+                )
+            })
+    };
+
+    let mut baseline: KernelBaseline = serde_json::from_str(&read_text(&baseline_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", baseline_path.display()));
+
+    if update {
+        for bar in &mut baseline.kernels {
+            let (_, mbs) = find(&bar.name)
+                .unwrap_or_else(|| panic!("BENCH_parallel.json has no kernel '{}'", bar.name));
+            bar.lane_mb_per_s = mbs;
+        }
+        let json = serde_json::to_string(&baseline).expect("baseline serializes");
+        std::fs::write(&baseline_path, json + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", baseline_path.display()));
+        println!("kernel baseline refreshed from BENCH_parallel.json");
+        return ExitCode::SUCCESS;
+    }
+
+    let tol = baseline.tolerance.throughput_drop_frac;
+    let mut failed = false;
+    for bar in &baseline.kernels {
+        let Some((speedup, mbs)) = find(&bar.name) else {
+            eprintln!(
+                "FAIL: kernel '{}' missing from BENCH_parallel.json",
+                bar.name
+            );
+            failed = true;
+            continue;
+        };
+        let floor = bar.lane_mb_per_s * (1.0 - tol);
+        println!(
+            "{:<18} speedup {speedup:.2}x (floor {:.2}x)  lane {mbs:.0} MB/s (floor {floor:.0})",
+            bar.name, bar.min_speedup
+        );
+        if speedup < bar.min_speedup {
+            eprintln!(
+                "FAIL: {} lane path is only {speedup:.2}x its scalar twin (floor {:.2}x)",
+                bar.name, bar.min_speedup
+            );
+            failed = true;
+        }
+        if mbs < floor {
+            eprintln!(
+                "FAIL: {} lane throughput regressed {:.0}% below baseline (tolerance {:.0}%)",
+                bar.name,
+                (1.0 - mbs / bar.lane_mb_per_s) * 100.0,
+                tol * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "if this change intentionally trades kernel performance, refresh the baseline:\n  \
+             PRESSIO_BENCH_QUICK=1 cargo bench -p pressio-bench --bench parallel\n  \
+             cargo run -p pressio-bench --bin perf_gate -- --kernels --update"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("kernel perf gate passed");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let update = std::env::args().any(|a| a == "--update");
+    if std::env::args().any(|a| a == "--kernels") {
+        return kernel_gate(update);
+    }
     let bench_path = repo_root().join("BENCH_serve.json");
     let baseline_path = repo_root().join("ci/serve_baseline.json");
     let bench = parse_content(&read_text(&bench_path))

@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ablations;
+
 use pressio_dataset::Hurricane;
 
 /// Simple CLI options shared by the bench binaries.

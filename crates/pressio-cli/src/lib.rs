@@ -14,6 +14,8 @@
 //! pressio bench --dims 32,32,16 --timesteps 2 --trace /tmp/bench.jsonl
 //! pressio bench --ablation affinity --dims 16,16,8    # scheduling ablation
 //! pressio bench --ablation checkpoint --dims 16,16,8  # restart-speedup ablation
+//! pressio bench --ablation tao_sweep --dims 16,16,8 --timesteps 1   # also:
+//!     # bandwidth, datasets, insample, invalidation, rahman
 //! pressio bench --faults 'store:put.io=err,times=1'   # fault injection (pressio-faults)
 //! pressio serve --socket /tmp/pressio.sock --models /tmp/models
 //! pressio query --socket /tmp/pressio.sock --op ping
@@ -99,7 +101,8 @@ pub enum Command {
         /// Observability trace output path.
         trace: Option<PathBuf>,
         /// Named ablation to run instead of the Table-2 pipeline
-        /// (currently: `affinity`).
+        /// (`affinity`, `checkpoint`, or any of
+        /// `pressio_bench::ablations::NAMES`).
         ablation: Option<String>,
     },
     /// Run the online prediction daemon (single process, or a sharded
@@ -566,8 +569,23 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                         )?;
                         Ok(())
                     }
+                    // the remaining ablations live in pressio-bench's
+                    // library (shared with the ablation_* bins); the
+                    // CLI's --timesteps 1 default maps to quick mode
+                    name if pressio_bench::ablations::NAMES.contains(&name) => {
+                        let bench_args = pressio_bench::BenchArgs {
+                            dims,
+                            timesteps,
+                            quick: timesteps <= 1,
+                            workers,
+                            ..Default::default()
+                        };
+                        pressio_bench::ablations::run(name, &bench_args, out)?;
+                        Ok(())
+                    }
                     other => Err(usage_error(&format!(
-                        "unknown ablation '{other}' (available: affinity, checkpoint)"
+                        "unknown ablation '{other}' (available: affinity, checkpoint, {})",
+                        pressio_bench::ablations::NAMES.join(", ")
                     ))),
                 };
             }

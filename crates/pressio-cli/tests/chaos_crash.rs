@@ -1,0 +1,129 @@
+//! Chaos: a client with retries rides through a daemon **crash** and
+//! respawn without the caller seeing an error.
+//!
+//! Unlike the in-process suites in `pressio-serve`, this drives the real
+//! `pressio` binary as a child process, because the `crash` fault action
+//! (`serve:request.crash`) takes the whole process down with exit code
+//! 86 — the widest failure window a client can face: request accepted,
+//! daemon gone before the reply.
+
+#![cfg(unix)]
+
+use pressio_core::Options;
+use pressio_dataset::DatasetPlugin;
+use pressio_serve::{Client, Endpoint, RetryPolicy};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("pressio_cli_chaos_crash");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_daemon(socket: &Path, models: &Path, faults: Option<&str>) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pressio"));
+    cmd.arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .arg("--models")
+        .arg(models)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    match faults {
+        Some(spec) => cmd.env("PRESSIO_FAULTS", spec),
+        None => cmd.env_remove("PRESSIO_FAULTS"),
+    };
+    cmd.spawn().expect("spawning pressio serve")
+}
+
+fn wait_for_socket(socket: &Path) {
+    for _ in 0..100 {
+        if socket.exists() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("daemon never created {}", socket.display());
+}
+
+fn train_request(model: &str) -> Options {
+    Options::new()
+        .with("serve:op", "train")
+        .with("serve:model", model)
+        .with("serve:scheme", "rahman2023")
+        .with("serve:dims", vec![8u64, 8, 4])
+        .with("serve:timesteps", 1u64)
+        .with("serve:bounds", vec![1e-4])
+}
+
+#[test]
+fn client_retry_rides_through_daemon_crash_and_respawn() {
+    let dir = temp_dir();
+    let socket = dir.join("serve.sock");
+    let models = dir.join("models");
+
+    // the daemon is scheduled to die on the third request it accepts
+    let mut child = spawn_daemon(
+        &socket,
+        &models,
+        Some("serve:request.crash=crash,after=2,times=1"),
+    );
+    wait_for_socket(&socket);
+    let endpoint = Endpoint::Unix(socket.clone());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    // requests 1 and 2: train a model, take the reference prediction
+    client.call(&train_request("hurr")).unwrap();
+    let data = pressio_dataset::Hurricane::with_dims(8, 8, 4, 1)
+        .load_data(0)
+        .unwrap();
+    let extra = Options::new().with("pressio:abs", 1e-4);
+    let reference = client
+        .predict("hurr", &data, &extra)
+        .unwrap()
+        .get_f64("serve:prediction")
+        .unwrap();
+
+    // a supervisor: reap the crashed daemon, assert the injected exit
+    // code, and respawn it (fault-free) on the same socket and store
+    let respawner = {
+        let (socket, models) = (socket.clone(), models.clone());
+        std::thread::spawn(move || {
+            let status = child.wait().expect("waiting for crashed daemon");
+            assert_eq!(
+                status.code(),
+                Some(86),
+                "daemon must exit with the injected crash code, got {status:?}"
+            );
+            spawn_daemon(&socket, &models, None)
+        })
+    };
+
+    // request 3 crashes the daemon mid-request; the client's retry loop
+    // must absorb the dead socket, the respawn gap, and the cold model
+    // store, then land the byte-identical prediction
+    let policy = RetryPolicy {
+        max_attempts: 40,
+        base_ms: 50,
+        max_ms: 200,
+    };
+    let req = Client::predict_request("hurr", &data, &extra);
+    let resp = client
+        .call_resilient(&req, &policy)
+        .expect("retry through crash + respawn");
+    assert_eq!(resp.get_str("serve:type").unwrap(), "prediction", "{resp}");
+    assert_eq!(
+        resp.get_f64("serve:prediction").unwrap(),
+        reference,
+        "prediction after respawn diverged from the pre-crash answer"
+    );
+
+    let mut replacement = respawner.join().unwrap();
+    client.shutdown().unwrap();
+    let status = replacement.wait().unwrap();
+    assert!(status.success(), "respawned daemon exited with {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

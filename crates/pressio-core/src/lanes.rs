@@ -1,0 +1,75 @@
+//! Fixed-width lane-kernel primitives shared by the hot loops.
+//!
+//! The codec and feature-extraction kernels in this workspace are written
+//! in an explicit lane style: process [`LANES`] elements per iteration
+//! over small fixed arrays, with branchless select instead of data-
+//! dependent branches, so the autovectorizer can turn each iteration into
+//! a handful of SIMD instructions on any target without `std::simd` or
+//! nightly features. This module pins the two conventions every such
+//! kernel shares:
+//!
+//! - [`LANES`] is the workspace-wide lane width. It is a *semantic*
+//!   constant for reductions, not just a tuning knob: kernels that reduce
+//!   floating-point values accumulate into `[f64; LANES]` partial sums
+//!   (element `i` goes to lane `i % LANES`) and collapse them with
+//!   [`fold`], so their result is deterministic and reproducible by a
+//!   plain scalar loop that mirrors the same order.
+//! - [`fold`] is the one blessed horizontal reduction: a fixed pairwise
+//!   tree, so parity tests can assert *exact* equality between a lane
+//!   kernel and its scalar reference.
+//!
+//! Element-wise kernels (quantization, negabinary, bit-plane moves) have
+//! no accumulation order and are bit-identical to their scalar references
+//! by construction; only reductions need this discipline.
+
+/// Workspace-wide lane width for the fixed-width kernels.
+///
+/// Eight `f64` lanes span two AVX2 registers or four NEON registers —
+/// wide enough to hide FP latency on every target we build for, small
+/// enough that remainder handling stays cheap.
+pub const LANES: usize = 8;
+
+/// Collapse per-lane partial sums with a fixed pairwise tree:
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+///
+/// The tree shape is part of the kernel contract — scalar references
+/// reproduce lane-kernel results exactly by accumulating into the same
+/// lanes and folding through this function.
+#[inline]
+pub fn fold(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Branchless "keep finite values, zero the rest" select used by the
+/// reduction kernels so NaN/inf payloads cannot poison partial sums.
+#[inline]
+pub fn finite_or_zero(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_the_documented_tree() {
+        let acc = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        assert_eq!(fold(acc), 255.0);
+        // tree shape: changing association would change this value for
+        // catastrophic inputs; spot-check with a cancellation-heavy case
+        let acc = [1e16, 1.0, -1e16, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(fold(acc), ((1e16 + 1.0) + (-1e16 + 1.0)) + 4.0);
+    }
+
+    #[test]
+    fn finite_or_zero_masks_non_finite() {
+        assert_eq!(finite_or_zero(3.5), 3.5);
+        assert_eq!(finite_or_zero(f64::NAN), 0.0);
+        assert_eq!(finite_or_zero(f64::INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NEG_INFINITY), 0.0);
+    }
+}

@@ -32,6 +32,7 @@ pub mod error;
 pub mod external;
 pub mod fuzz;
 pub mod hash;
+pub mod lanes;
 pub mod metrics;
 pub mod options;
 pub mod registry;

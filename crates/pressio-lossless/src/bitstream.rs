@@ -76,6 +76,19 @@ impl BitWriter {
         }
     }
 
+    /// Append the low `len` bits of `code` most-significant bit first, as a
+    /// single bulk [`BitWriter::write_bits`] of the bit-reversed value.
+    /// Byte-identical to writing the bits one at a time from bit `len-1`
+    /// down to bit `0`, but without the per-bit loop — this is the Huffman
+    /// encoder's hot path.
+    #[inline]
+    pub fn write_code_msb(&mut self, code: u64, len: u32) {
+        if len == 0 {
+            return;
+        }
+        self.write_bits(code.reverse_bits() >> (64 - len), len);
+    }
+
     /// Append a whole byte slice (first aligns to a byte boundary).
     pub fn write_bytes_aligned(&mut self, data: &[u8]) {
         self.align();
@@ -224,6 +237,44 @@ mod tests {
         assert_eq!(w.len_bits(), 5);
         w.write_bits(0, 11);
         assert_eq!(w.len_bits(), 16);
+    }
+
+    #[test]
+    fn write_code_msb_matches_per_bit_loop() {
+        let mut state = 0x0bad_cafe_dead_beefu64;
+        let mut xorshift = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let len = (xorshift() % 58 + 1) as u32;
+            let code = xorshift() & ((1u64 << len) - 1);
+            let mut bulk = BitWriter::new();
+            bulk.write_bits(xorshift() & 0b111, 3); // misalign
+            bulk.write_code_msb(code, len);
+            let mut loopy = bulk.clone();
+            // rebuild: same misalignment, per-bit MSB-first writes
+            let mut reference = BitWriter::new();
+            reference.write_bits(0, 3);
+            for b in (0..len).rev() {
+                reference.write_bit((code >> b) & 1 == 1);
+            }
+            loopy.write_code_msb(0, 0); // zero-width is a no-op
+            assert_eq!(loopy.len_bits(), bulk.len_bits());
+            assert_eq!(reference.len_bits(), 3 + len as usize);
+            // compare the code bits by reading both streams back
+            let a = bulk.into_bytes();
+            let b = reference.into_bytes();
+            let mut ra = BitReader::new(&a);
+            let mut rb = BitReader::new(&b);
+            ra.read_bits(3);
+            rb.read_bits(3);
+            for _ in 0..len {
+                assert_eq!(ra.read_bit(), rb.read_bit());
+            }
+        }
     }
 
     #[test]

@@ -136,16 +136,21 @@ impl Codebook {
         bits / total as f64
     }
 
+    /// Canonical `(code, length)` for `symbol`, if coded. The code value is
+    /// MSB-first, as [`Codebook::decode`] consumes it.
+    pub fn code(&self, symbol: u32) -> Option<(u64, u32)> {
+        self.index
+            .get(&symbol)
+            .map(|&i| (self.codes[i], self.lengths[i].1))
+    }
+
     /// Encode `symbols` onto `writer` (MSB-first within each code).
     pub fn encode(&self, symbols: &[u32], writer: &mut BitWriter) -> Result<(), HuffmanError> {
         for &s in symbols {
             let &i = self.index.get(&s).ok_or(HuffmanError::UnknownSymbol(s))?;
-            let len = self.lengths[i].1;
-            let code = self.codes[i];
-            // emit MSB-first so canonical decode can extend bit-by-bit
-            for b in (0..len).rev() {
-                writer.write_bit((code >> b) & 1 == 1);
-            }
+            // bulk bit-reversed write: byte-identical to emitting the code
+            // MSB-first one bit at a time, minus the per-bit loop
+            writer.write_code_msb(self.codes[i], self.lengths[i].1);
         }
         Ok(())
     }
@@ -333,6 +338,105 @@ pub fn decompress_symbols(bytes: &[u8]) -> Result<Vec<u32>, HuffmanError> {
     book.decode(&mut r, count)
 }
 
+/// Symbols per encode shard in the sharded stream layout. This is a
+/// **format constant**: shard boundaries depend only on it, never on the
+/// thread count, so any thread count produces (and decodes) byte-identical
+/// streams.
+pub const ENC_SHARD: usize = 1 << 15;
+
+/// Huffman-compress `symbols` into the *sharded* self-describing layout:
+///
+/// `[table][count:u64][n_shards:u64][shard_bytes:u64 × n_shards][pad][shard payloads...]`
+///
+/// Each shard independently encodes `ENC_SHARD` consecutive symbols (the
+/// last shard takes the remainder) and is zero-padded to a byte boundary,
+/// so shards can be encoded *and* decoded in parallel. The per-shard byte
+/// lengths ride in the header. Single-threaded output is byte-identical to
+/// any parallel output because shard boundaries are a format constant.
+pub fn compress_symbols_sharded(symbols: &[u32], nthreads: usize) -> Vec<u8> {
+    let freqs = histogram_par(symbols, nthreads);
+    let book = Codebook::from_frequencies(&freqs);
+    let encode_shard = |shard: &[u32]| -> Vec<u8> {
+        let mut sw = BitWriter::with_capacity(shard.len() / 2);
+        book.encode(shard, &mut sw)
+            .expect("all symbols present in freshly built codebook");
+        sw.into_bytes()
+    };
+    let payloads: Vec<Vec<u8>> = if nthreads <= 1 || symbols.len() <= ENC_SHARD {
+        symbols.chunks(ENC_SHARD).map(encode_shard).collect()
+    } else {
+        rayon::par_chunks(symbols, ENC_SHARD, |_, shard| encode_shard(shard))
+    };
+    let mut w = BitWriter::new();
+    book.write_table(&mut w);
+    w.write_bits(symbols.len() as u64, 64);
+    w.write_bits(payloads.len() as u64, 64);
+    for p in &payloads {
+        w.write_bits(p.len() as u64, 64);
+    }
+    for p in &payloads {
+        w.write_bytes_aligned(p);
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`compress_symbols_sharded`]; shards decode in parallel when
+/// `nthreads > 1`, with identical results at any thread count.
+pub fn decompress_symbols_sharded(bytes: &[u8], nthreads: usize) -> Result<Vec<u32>, HuffmanError> {
+    let mut r = BitReader::new(bytes);
+    let book = Codebook::read_table(&mut r)?;
+    let count = r
+        .read_bits(64)
+        .ok_or(HuffmanError::Corrupt("missing count"))? as usize;
+    if count > 0 && book.is_empty() {
+        return Err(HuffmanError::Corrupt("empty codebook with nonzero count"));
+    }
+    if count > r.remaining_bits() {
+        return Err(HuffmanError::Corrupt("count exceeds stream"));
+    }
+    let n_shards = r
+        .read_bits(64)
+        .ok_or(HuffmanError::Corrupt("missing shard count"))? as usize;
+    if n_shards != count.div_ceil(ENC_SHARD) {
+        return Err(HuffmanError::Corrupt("shard count mismatch"));
+    }
+    let mut shard_bytes = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let len = r
+            .read_bits(64)
+            .ok_or(HuffmanError::Corrupt("truncated shard table"))? as usize;
+        if len > bytes.len() {
+            return Err(HuffmanError::Corrupt("shard length exceeds stream"));
+        }
+        shard_bytes.push(len);
+    }
+    let mut shards: Vec<(&[u8], usize)> = Vec::with_capacity(n_shards);
+    for (i, &len) in shard_bytes.iter().enumerate() {
+        let payload = r
+            .read_bytes_aligned(len)
+            .ok_or(HuffmanError::Corrupt("truncated shard payload"))?;
+        let n_syms = ENC_SHARD.min(count - i * ENC_SHARD);
+        if n_syms > payload.len() * 8 {
+            return Err(HuffmanError::Corrupt("shard count exceeds payload"));
+        }
+        shards.push((payload, n_syms));
+    }
+    let decode_shard = |&(payload, n_syms): &(&[u8], usize)| -> Result<Vec<u32>, HuffmanError> {
+        let mut sr = BitReader::new(payload);
+        book.decode(&mut sr, n_syms)
+    };
+    let decoded: Vec<Result<Vec<u32>, HuffmanError>> = if nthreads <= 1 || n_shards <= 1 {
+        shards.iter().map(decode_shard).collect()
+    } else {
+        rayon::par_chunks(&shards, 1, |_, s| decode_shard(&s[0]))
+    };
+    let mut out = Vec::with_capacity(count);
+    for d in decoded {
+        out.extend_from_slice(&d?);
+    }
+    Ok(out)
+}
+
 /// Histogram of a symbol stream as sorted `(symbol, count)` pairs.
 pub fn histogram(symbols: &[u32]) -> Vec<(u32, u64)> {
     histogram_par(symbols, 1)
@@ -499,6 +603,39 @@ mod tests {
                 compress_symbols_par(&symbols, threads)
             );
         }
+    }
+
+    #[test]
+    fn sharded_round_trip_and_thread_invariance() {
+        // crosses several ENC_SHARD boundaries with a ragged tail
+        let symbols: Vec<u32> = (0..(3 * ENC_SHARD as u32 + 1234))
+            .map(|i| i.wrapping_mul(2654435761) % 300)
+            .collect();
+        let seq = compress_symbols_sharded(&symbols, 1);
+        assert_eq!(decompress_symbols_sharded(&seq, 1).unwrap(), symbols);
+        for threads in [2usize, 3, 7] {
+            assert_eq!(compress_symbols_sharded(&symbols, threads), seq);
+            assert_eq!(decompress_symbols_sharded(&seq, threads).unwrap(), symbols);
+        }
+    }
+
+    #[test]
+    fn sharded_handles_empty_small_and_single_symbol() {
+        for symbols in [Vec::new(), vec![7u32; 10], (0..100u32).collect::<Vec<_>>()] {
+            let bytes = compress_symbols_sharded(&symbols, 4);
+            assert_eq!(decompress_symbols_sharded(&bytes, 4).unwrap(), symbols);
+        }
+    }
+
+    #[test]
+    fn sharded_rejects_corruption() {
+        let symbols: Vec<u32> = (0..(ENC_SHARD as u32 * 2)).map(|i| i % 17).collect();
+        let bytes = compress_symbols_sharded(&symbols, 2);
+        // truncation anywhere must error, not panic
+        for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decompress_symbols_sharded(&bytes[..cut], 2).is_err());
+        }
+        assert!(decompress_symbols_sharded(&[0xFFu8; 16], 1).is_err());
     }
 
     #[test]

@@ -20,17 +20,11 @@ pub fn global_stats(data: &Data) -> Options {
     let values = data.to_f64_vec();
     let s = summarize(&values);
     let std = s.variance.sqrt();
-    // mean absolute first difference (cheap smoothness proxy, 1-d walk)
-    let mut grad = 0.0f64;
-    let mut grad_n = 0usize;
-    for w in values.windows(2) {
-        if w[0].is_finite() && w[1].is_finite() {
-            grad += (w[1] - w[0]).abs();
-            grad_n += 1;
-        }
-    }
+    // mean absolute first difference (cheap smoothness proxy, 1-d walk),
+    // lane-strided reduction
+    let (grad_sum, grad_n) = pressio_stats::lanes::sum_abs_diff(&values);
     let grad = if grad_n > 0 {
-        grad / grad_n as f64
+        grad_sum / grad_n as f64
     } else {
         0.0
     };
@@ -148,29 +142,14 @@ pub fn spatial_features(data: &Data) -> Options {
         bm.variance.sqrt().min(100.0)
     };
 
-    // spatial smoothness: 1 / (1 + mean |Δ| / sd)
-    let mut grad = 0.0f64;
-    let mut n = 0usize;
-    for w in values.windows(2) {
-        if w[0].is_finite() && w[1].is_finite() {
-            grad += (w[1] - w[0]).abs();
-            n += 1;
-        }
-    }
-    let grad = if n > 0 { grad / n as f64 } else { 0.0 };
+    // spatial smoothness: 1 / (1 + mean |Δ| / sd), lane-strided reduction
+    let (grad_sum, n) = pressio_stats::lanes::sum_abs_diff(&values);
+    let grad = if n > 0 { grad_sum / n as f64 } else { 0.0 };
     let smoothness = 1.0 / (1.0 + grad / var.sqrt());
 
     // coding gain: variance ratio of the signal to its lag-1 residual
-    let mut resid_var = 0.0f64;
-    let mut rn = 0usize;
-    for w in values.windows(2) {
-        if w[0].is_finite() && w[1].is_finite() {
-            let d = w[1] - w[0];
-            resid_var += d * d;
-            rn += 1;
-        }
-    }
-    let resid_var = if rn > 0 { resid_var / rn as f64 } else { 0.0 };
+    let (resid_sum, rn) = pressio_stats::lanes::sum_sq_diff(&values);
+    let resid_var = if rn > 0 { resid_sum / rn as f64 } else { 0.0 };
     let coding_gain = if resid_var > 0.0 {
         (var / resid_var).log2().clamp(-10.0, 30.0)
     } else {

@@ -53,10 +53,29 @@ impl Client {
     }
 
     /// Send one request frame and wait for its response frame.
+    ///
+    /// Three client-side failpoints bracket the exchange so chaos tests
+    /// can exercise every loss window the retry layer must cover:
+    /// `serve:client.request` (the request never leaves the client),
+    /// `serve:client.conn` (the connection dies with the response in
+    /// flight), and `serve:client.response` (the response arrives torn
+    /// and is discarded). All three surface as transport-class
+    /// [`Error::Io`], which [`call_resilient`](Self::call_resilient)
+    /// answers with reconnect + resend.
     pub fn call(&mut self, request: &Options) -> Result<Options> {
+        pressio_faults::inject("serve:client.request")?;
         write_frame(&mut self.conn, request)?;
-        read_frame(&mut self.conn)?
-            .ok_or_else(|| Error::Io("server closed the connection before replying".into()))
+        if pressio_faults::check("serve:client.conn").is_some() {
+            // the server may still process the request; only idempotent
+            // ops are safe to resend through this window
+            return Err(pressio_faults::injected_error("serve:client.conn"));
+        }
+        let response = read_frame(&mut self.conn)?
+            .ok_or_else(|| Error::Io("server closed the connection before replying".into()))?;
+        if pressio_faults::check("serve:client.response").is_some() {
+            return Err(pressio_faults::injected_error("serve:client.response"));
+        }
+        Ok(response)
     }
 
     /// [`call`](Self::call) with retries: reconnects on transport errors,

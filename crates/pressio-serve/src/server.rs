@@ -545,6 +545,15 @@ fn connection_loop(
             .unwrap_or("")
             .to_string();
         let _span = pressio_obs::span(format!("serve:op.{op_name}"));
+        // failpoint: the daemon dies after accepting a request but before
+        // answering it — the widest crash window a client can face. Exit
+        // code 86 distinguishes the injected crash from a real panic so
+        // supervisors and chaos tests can assert on it.
+        if let Some(pressio_faults::FaultAction::Crash) =
+            pressio_faults::check("serve:request.crash")
+        {
+            std::process::exit(86);
+        }
         let started = Instant::now();
         let mut shutting_down = false;
         let response = match op_name.as_str() {

@@ -251,3 +251,51 @@ fn breaker_trips_sheds_and_recovers() {
     handle.wait().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn client_side_faults_are_healed_by_retry_byte_identical() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    pressio_faults::clear();
+    let dir = temp_dir("client_faults");
+    let handle = Server::start(local_config(&dir)).unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    client.call(&train_request("hurr")).unwrap();
+
+    let data = sample_data();
+    let extra = Options::new().with("pressio:abs", 1e-4);
+    let reference = client
+        .predict("hurr", &data, &extra)
+        .unwrap()
+        .get_f64("serve:prediction")
+        .unwrap();
+
+    // each client-side loss window in turn: request lost before the
+    // write, connection dead with the response in flight, response
+    // arrived torn and discarded — call_resilient must heal all three
+    // and land the identical prediction
+    let req = Client::predict_request("hurr", &data, &extra);
+    for spec in [
+        "serve:client.request=err,times=1",
+        "serve:client.conn=drop,times=1",
+        "serve:client.response=drop,times=1",
+    ] {
+        pressio_faults::configure(spec).unwrap();
+        let resp = client
+            .call_resilient(&req, &RetryPolicy::default())
+            .unwrap();
+        let site = spec.split('=').next().unwrap();
+        let fires = pressio_faults::fired(site);
+        pressio_faults::clear();
+        assert_eq!(fires, 1, "{site} must have fired exactly once");
+        assert_eq!(resp.get_str("serve:type").unwrap(), "prediction", "{resp}");
+        assert_eq!(
+            resp.get_f64("serve:prediction").unwrap(),
+            reference,
+            "retried prediction diverged after {site}"
+        );
+    }
+
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

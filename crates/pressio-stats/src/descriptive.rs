@@ -22,27 +22,13 @@ pub struct Summary {
 }
 
 /// Compute [`Summary`] over `values`, ignoring non-finite entries.
+///
+/// Two lane-strided passes (sum/min/max/zeros, then squared deviations)
+/// replace the old Welford recurrence: the passes are branch-free and
+/// autovectorize, and two-pass variance is at least as accurate as the
+/// single-pass update on the feature-extraction inputs here.
 pub fn summarize(values: &[f64]) -> Summary {
-    let mut count = 0usize;
-    let mut mean = 0.0f64;
-    let mut m2 = 0.0f64;
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    let mut zeros = 0usize;
-    for &v in values {
-        if !v.is_finite() {
-            continue;
-        }
-        count += 1;
-        let delta = v - mean;
-        mean += delta / count as f64;
-        m2 += delta * (v - mean);
-        min = min.min(v);
-        max = max.max(v);
-        if v == 0.0 {
-            zeros += 1;
-        }
-    }
+    let (count, sum, min, max, zeros) = crate::lanes::sum_min_max_zeros(values);
     if count == 0 {
         return Summary {
             count: 0,
@@ -53,6 +39,8 @@ pub fn summarize(values: &[f64]) -> Summary {
             zero_fraction: 0.0,
         };
     }
+    let mean = sum / count as f64;
+    let m2 = crate::lanes::sum_sq_dev(values, mean);
     Summary {
         count,
         mean,

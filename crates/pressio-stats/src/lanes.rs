@@ -1,0 +1,321 @@
+//! Lane-strided reduction kernels for the feature-extraction hot loops.
+//!
+//! The naive single-accumulator reductions in the feature extractors
+//! serialize on the floating-point add's latency; these kernels keep
+//! [`LANES`] independent accumulators (element `i` lands in lane
+//! `i % LANES`) so the loop body is branch-free and autovectorizes, then
+//! collapse with the fixed pairwise tree in [`pressio_core::lanes::fold`].
+//!
+//! Each kernel has a `_scalar` twin that mirrors the lane/fold order
+//! exactly — the pair is **bit-identical** by construction, pinned by the
+//! tests below, so callers can switch freely between them.
+
+use pressio_core::lanes::{finite_or_zero, fold, LANES};
+
+/// Sum of `|v[i+1] - v[i]|` over consecutive pairs where both values are
+/// finite, plus the pair count — the "mean absolute first difference"
+/// smoothness numerator.
+pub fn sum_abs_diff(values: &[f64]) -> (f64, usize) {
+    pair_reduce(values, |d| d.abs())
+}
+
+/// Exact-order scalar reference for [`sum_abs_diff`].
+pub fn sum_abs_diff_scalar(values: &[f64]) -> (f64, usize) {
+    pair_reduce_scalar(values, |d| d.abs())
+}
+
+/// Sum of `(v[i+1] - v[i])²` over finite consecutive pairs, plus the pair
+/// count — the lag-1 residual-variance numerator (coding gain).
+pub fn sum_sq_diff(values: &[f64]) -> (f64, usize) {
+    pair_reduce(values, |d| d * d)
+}
+
+/// Exact-order scalar reference for [`sum_sq_diff`].
+pub fn sum_sq_diff_scalar(values: &[f64]) -> (f64, usize) {
+    pair_reduce_scalar(values, |d| d * d)
+}
+
+#[inline]
+fn pair_reduce(values: &[f64], f: impl Fn(f64) -> f64) -> (f64, usize) {
+    if values.len() < 2 {
+        return (0.0, 0);
+    }
+    let a = &values[..values.len() - 1];
+    let b = &values[1..];
+    // Codegen notes, hard-won: every index into `acc`/`cnt` below is a
+    // compile-time constant (the `for l in 0..LANES` loop fully unrolls and
+    // the tail is unrolled by hand) so SROA promotes both arrays to SSA
+    // registers — one dynamic index anywhere keeps them in a stack slot and
+    // LLVM then compiles the conditional accumulate as masked stores, a
+    // store-forwarding round trip per iteration that is *slower* than the
+    // naive loop. The finiteness predicate uses `&` (not `&&`) to stay
+    // branch-free, the masked difference `d` multiplies through a 0/1 mask
+    // instead of selecting on the sum, and the pair count accumulates in
+    // f64 lanes (exact below 2^53) so the body never crosses into the
+    // integer domain.
+    let mut acc = [0.0f64; LANES];
+    let mut cnt = [0.0f64; LANES];
+    let mut i = 0usize;
+    while i + LANES <= a.len() {
+        // fixed-size views drop per-element bounds checks
+        let ca: &[f64; LANES] = a[i..i + LANES].try_into().unwrap();
+        let cb: &[f64; LANES] = b[i..i + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            let fin = (ca[l].abs() < f64::INFINITY) & (cb[l].abs() < f64::INFINITY);
+            let m = if fin { 1.0 } else { 0.0 };
+            let d = if fin { cb[l] - ca[l] } else { 0.0 };
+            // for a finite pair this adds 1.0 * f(y - x), bit-identical to
+            // adding f(y - x); for a skipped pair it adds 0.0 * f(0.0) = +0.0,
+            // an exact no-op because the accumulator is never -0.0 (both
+            // reducers map through non-negative f)
+            acc[l] += m * f(d);
+            cnt[l] += m;
+        }
+        i += LANES;
+    }
+    let rem = a.len() - i;
+    let tail = |k: usize, acc: &mut f64, cnt: &mut f64| {
+        if k < rem {
+            let (x, y) = (a[i + k], b[i + k]);
+            if x.is_finite() && y.is_finite() {
+                *acc += f(y - x);
+                *cnt += 1.0;
+            }
+        }
+    };
+    tail(0, &mut acc[0], &mut cnt[0]);
+    tail(1, &mut acc[1], &mut cnt[1]);
+    tail(2, &mut acc[2], &mut cnt[2]);
+    tail(3, &mut acc[3], &mut cnt[3]);
+    tail(4, &mut acc[4], &mut cnt[4]);
+    tail(5, &mut acc[5], &mut cnt[5]);
+    tail(6, &mut acc[6], &mut cnt[6]);
+    // identity, but opaque: stops SLP's horizontal-reduction matcher from
+    // seeing the fold tree and re-shuffling the loop body's lane order
+    // around it (measurably worse codegen)
+    let acc = std::hint::black_box(acc);
+    let cnt = std::hint::black_box(cnt);
+    let total = ((cnt[0] + cnt[1]) + (cnt[2] + cnt[3])) + ((cnt[4] + cnt[5]) + (cnt[6] + cnt[7]));
+    (fold(acc), total as usize)
+}
+
+#[inline]
+fn pair_reduce_scalar(values: &[f64], f: impl Fn(f64) -> f64) -> (f64, usize) {
+    if values.len() < 2 {
+        return (0.0, 0);
+    }
+    let mut acc = [0.0f64; LANES];
+    let mut cnt = 0usize;
+    for (i, w) in values.windows(2).enumerate() {
+        if w[0].is_finite() && w[1].is_finite() {
+            acc[i % LANES] += f(w[1] - w[0]);
+            cnt += 1;
+        }
+    }
+    (fold(acc), cnt)
+}
+
+/// First pass of the two-pass summary: `(count, sum, min, max, zeros)`
+/// over finite values, lane-strided. The sum collapses through [`fold`];
+/// min/max are order-insensitive.
+pub fn sum_min_max_zeros(values: &[f64]) -> (usize, f64, f64, f64, usize) {
+    // Same codegen discipline as `pair_reduce`: constant indices only (so
+    // the lane arrays live in registers), counts in f64 lanes (exact below
+    // 2^53, keeping the body out of the integer domain), and a black_box
+    // barrier before the horizontal reductions.
+    let mut sum = [0.0f64; LANES];
+    let mut mn = [f64::INFINITY; LANES];
+    let mut mx = [f64::NEG_INFINITY; LANES];
+    let mut cnt = [0.0f64; LANES];
+    let mut zeros = [0.0f64; LANES];
+    let mut chunks = values.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        let ch: &[f64; LANES] = chunk.try_into().unwrap();
+        for l in 0..LANES {
+            let v = ch[l];
+            let fin = v.abs() < f64::INFINITY;
+            cnt[l] += if fin { 1.0 } else { 0.0 };
+            zeros[l] += if fin & (v == 0.0) { 1.0 } else { 0.0 };
+            sum[l] += if fin { v } else { 0.0 };
+            mn[l] = mn[l].min(if fin { v } else { f64::INFINITY });
+            mx[l] = mx[l].max(if fin { v } else { f64::NEG_INFINITY });
+        }
+    }
+    let rem = chunks.remainder();
+    let mut tail = |l: usize| {
+        if let Some(&v) = rem.get(l) {
+            let fin = v.is_finite();
+            cnt[l] += if fin { 1.0 } else { 0.0 };
+            zeros[l] += if fin & (v == 0.0) { 1.0 } else { 0.0 };
+            sum[l] += if fin { v } else { 0.0 };
+            mn[l] = mn[l].min(if fin { v } else { f64::INFINITY });
+            mx[l] = mx[l].max(if fin { v } else { f64::NEG_INFINITY });
+        }
+    };
+    tail(0);
+    tail(1);
+    tail(2);
+    tail(3);
+    tail(4);
+    tail(5);
+    tail(6);
+    let sum = std::hint::black_box(sum);
+    let mn = std::hint::black_box(mn);
+    let mx = std::hint::black_box(mx);
+    let cnt = std::hint::black_box(cnt);
+    let zeros = std::hint::black_box(zeros);
+    let count = cnt.iter().sum::<f64>() as usize;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for l in 0..LANES {
+        min = min.min(mn[l]);
+        max = max.max(mx[l]);
+    }
+    (
+        count,
+        fold(sum),
+        min,
+        max,
+        zeros.iter().sum::<f64>() as usize,
+    )
+}
+
+/// Second pass: `Σ (v − mean)²` over finite values, lane-strided.
+pub fn sum_sq_dev(values: &[f64], mean: f64) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = values.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        let ch: &[f64; LANES] = chunk.try_into().unwrap();
+        for l in 0..LANES {
+            let d = finite_or_zero(ch[l] - mean);
+            // non-finite v gives non-finite d, masked to 0 above; finite v
+            // always gives finite d
+            acc[l] += d * d;
+        }
+    }
+    let rem = chunks.remainder();
+    let mut tail = |l: usize| {
+        if let Some(&v) = rem.get(l) {
+            let d = finite_or_zero(v - mean);
+            acc[l] += d * d;
+        }
+    };
+    tail(0);
+    tail(1);
+    tail(2);
+    tail(3);
+    tail(4);
+    tail(5);
+    tail(6);
+    fold(std::hint::black_box(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(n: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        if n > 4 {
+            v[1] = f64::NAN;
+            v[n / 2] = f64::INFINITY;
+            v[n - 2] = 0.0;
+        }
+        v
+    }
+
+    #[test]
+    fn pair_kernels_match_scalar_references_bitwise() {
+        for n in [0usize, 1, 2, 7, 8, 9, 61, 200, 1003] {
+            let v = synth(n);
+            let (a, ca) = sum_abs_diff(&v);
+            let (b, cb) = sum_abs_diff_scalar(&v);
+            assert_eq!(a.to_bits(), b.to_bits(), "abs n={n}");
+            assert_eq!(ca, cb, "abs count n={n}");
+            let (a, ca) = sum_sq_diff(&v);
+            let (b, cb) = sum_sq_diff_scalar(&v);
+            assert_eq!(a.to_bits(), b.to_bits(), "sq n={n}");
+            assert_eq!(ca, cb, "sq count n={n}");
+        }
+    }
+
+    #[test]
+    fn pair_kernels_skip_non_finite_pairs() {
+        let v = [1.0, f64::NAN, 2.0, 5.0];
+        // only the (2.0, 5.0) pair is fully finite
+        assert_eq!(sum_abs_diff(&v), (3.0, 1));
+        assert_eq!(sum_sq_diff(&v), (9.0, 1));
+    }
+
+    #[test]
+    fn first_pass_handles_masks_and_tails() {
+        for n in [0usize, 3, 8, 17, 100] {
+            let v = synth(n);
+            let (count, sum, min, max, zeros) = sum_min_max_zeros(&v);
+            let finite: Vec<f64> = v.iter().copied().filter(|x| x.is_finite()).collect();
+            assert_eq!(count, finite.len(), "n={n}");
+            assert_eq!(zeros, finite.iter().filter(|&&x| x == 0.0).count());
+            if finite.is_empty() {
+                assert_eq!(sum, 0.0);
+            } else {
+                let naive: f64 = finite.iter().sum();
+                assert!((sum - naive).abs() <= 1e-9 * naive.abs().max(1.0));
+                assert_eq!(min, finite.iter().copied().fold(f64::INFINITY, f64::min));
+                assert_eq!(
+                    max,
+                    finite.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                );
+            }
+        }
+    }
+
+    /// Dev harness for kernel codegen work — not a correctness test.
+    /// `cargo test --release -p pressio-stats -- --ignored --nocapture timing`
+    #[test]
+    #[ignore = "timing harness, run manually in release mode"]
+    fn timing_harness() {
+        let n = 1usize << 16;
+        let passes = 16;
+        let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let min_ms = |f: &dyn Fn() -> (f64, usize)| {
+            let mut best = f64::INFINITY;
+            for _ in 0..20 {
+                let t = std::time::Instant::now();
+                for _ in 0..passes {
+                    std::hint::black_box(f());
+                }
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        };
+        let naive = min_ms(&|| {
+            let mut acc = 0.0;
+            let mut cnt = 0usize;
+            for w in v.windows(2) {
+                if w[0].is_finite() && w[1].is_finite() {
+                    acc += (w[1] - w[0]).abs();
+                    cnt += 1;
+                }
+            }
+            (acc, cnt)
+        });
+        let lane = min_ms(&|| sum_abs_diff(&v));
+        println!(
+            "naive {naive:.3} ms  lane {lane:.3} ms  speedup {:.2}x",
+            naive / lane
+        );
+    }
+
+    #[test]
+    fn second_pass_matches_naive_two_pass() {
+        let v = synth(257);
+        let (count, sum, _, _, _) = sum_min_max_zeros(&v);
+        let mean = sum / count as f64;
+        let lane = sum_sq_dev(&v, mean);
+        let naive: f64 = v
+            .iter()
+            .filter(|x| x.is_finite())
+            .map(|&x| (x - mean) * (x - mean))
+            .sum();
+        assert!((lane - naive).abs() <= 1e-9 * naive.max(1.0));
+    }
+}

@@ -24,6 +24,7 @@ pub mod descriptive;
 pub mod forest;
 pub mod gp;
 pub mod kfold;
+pub mod lanes;
 pub mod linalg;
 pub mod mlp;
 pub mod regression;

@@ -212,15 +212,16 @@ pub fn assemble_par(
     // hybrid per-block mode bitmap
     push_u64(&mut out, stream.block_modes.len() as u64);
     out.extend_from_slice(&stream.block_modes);
-    // entropy-coded symbols, then the dictionary backend if it helps
-    let huff = huffman::compress_symbols_par(&stream.symbols, nthreads);
+    // entropy-coded symbols (sharded layout so both encode and decode can
+    // fan out per shard), then the dictionary backend if it helps
+    let huff = huffman::compress_symbols_sharded(&stream.symbols, nthreads);
     let dict = lzss::compress(&huff);
     if dict.len() < huff.len() {
-        out.push(1);
+        out.push(3);
         push_u64(&mut out, dict.len() as u64);
         out.extend_from_slice(&dict);
     } else {
-        out.push(0);
+        out.push(2);
         push_u64(&mut out, huff.len() as u64);
         out.extend_from_slice(&huff);
     }
@@ -251,6 +252,12 @@ pub struct ParsedStream {
 
 /// Parse and entropy-decode a stream produced by [`assemble`].
 pub fn parse(bytes: &[u8]) -> Result<ParsedStream> {
+    parse_par(bytes, 1)
+}
+
+/// [`parse`] with a thread count: the sharded Huffman backend decodes its
+/// shards in parallel. Results are identical at any thread count.
+pub fn parse_par(bytes: &[u8], nthreads: usize) -> Result<ParsedStream> {
     let mut pos = 0usize;
     if bytes.len() < 8 || &bytes[..4] != MAGIC {
         return Err(Error::CorruptStream("bad magic".into()));
@@ -275,10 +282,12 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedStream> {
     for _ in 0..rank {
         dims.push(read_u64(bytes, &mut pos)? as usize);
     }
-    let n: usize = dims.iter().product();
-    if n > (1usize << 34) {
-        return Err(Error::CorruptStream("implausible element count".into()));
-    }
+    // checked: a hostile header can hold dims whose product overflows usize
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .filter(|&n| n <= (1usize << 34))
+        .ok_or_else(|| Error::CorruptStream("implausible element count".into()))?;
     let eb = f64::from_le_bytes(
         bytes
             .get(pos..pos + 8)
@@ -342,13 +351,17 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedStream> {
     let payload = bytes
         .get(pos..pos + payload_len)
         .ok_or_else(|| Error::CorruptStream("truncated payload".into()))?;
+    // backends 0/1 are the legacy single-stream layout, 2/3 the sharded one
     let huff = match backend {
-        0 => payload.to_vec(),
-        1 => lzss::decompress(payload).map_err(|e| Error::CorruptStream(e.to_string()))?,
+        0 | 2 => payload.to_vec(),
+        1 | 3 => lzss::decompress(payload).map_err(|e| Error::CorruptStream(e.to_string()))?,
         _ => return Err(Error::CorruptStream("unknown backend".into())),
     };
-    let symbols =
-        huffman::decompress_symbols(&huff).map_err(|e| Error::CorruptStream(e.to_string()))?;
+    let symbols = match backend {
+        0 | 1 => huffman::decompress_symbols(&huff),
+        _ => huffman::decompress_symbols_sharded(&huff, nthreads),
+    }
+    .map_err(|e| Error::CorruptStream(e.to_string()))?;
     if symbols.len() != n {
         return Err(Error::CorruptStream(format!(
             "symbol count {} != element count {n}",
@@ -370,13 +383,40 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedStream> {
 
 /// Reconstruct the data described by a parsed stream.
 pub fn reconstruct(p: &ParsedStream) -> Result<Data> {
+    reconstruct_par(p, 1)
+}
+
+/// [`reconstruct`] with a thread count. Lorenzo decodes by wavefront over
+/// anti-diagonal tiles and interp by independent chunks within each
+/// interpolation pass; regression and hybrid stay sequential. All paths
+/// are bit-identical to the sequential decoder at any thread count.
+pub fn reconstruct_par(p: &ParsedStream, nthreads: usize) -> Result<Data> {
     let round_f32 = p.dtype == Dtype::F32;
-    let mut dq = Dequantizer::new(p.eb, RADIUS, round_f32, &p.symbols, &p.unpredictable);
     let recon = match p.predictor {
-        Predictor::Lorenzo => lorenzo::decode(&p.dims, &mut dq),
-        Predictor::Regression => regression::decode(&p.dims, p.block, &p.coefficients, &mut dq),
-        Predictor::Interp => interp::decode(&p.dims, &mut dq),
+        Predictor::Lorenzo => lorenzo::decode_par(
+            &p.dims,
+            p.eb,
+            RADIUS,
+            round_f32,
+            &p.symbols,
+            &p.unpredictable,
+            nthreads,
+        ),
+        Predictor::Interp => interp::decode_par(
+            &p.dims,
+            p.eb,
+            RADIUS,
+            round_f32,
+            &p.symbols,
+            &p.unpredictable,
+            nthreads,
+        ),
+        Predictor::Regression => {
+            let mut dq = Dequantizer::new(p.eb, RADIUS, round_f32, &p.symbols, &p.unpredictable);
+            regression::decode(&p.dims, p.block, &p.coefficients, &mut dq)
+        }
         Predictor::Hybrid => {
+            let mut dq = Dequantizer::new(p.eb, RADIUS, round_f32, &p.symbols, &p.unpredictable);
             crate::hybrid::decode(&p.dims, p.block, &p.coefficients, &p.block_modes, &mut dq)
         }
     }

@@ -8,7 +8,7 @@
 //! the identical traversal, so predictions match bit-for-bit.
 
 use crate::lorenzo::normalize_dims;
-use crate::quantizer::{DequantError, Dequantizer, Quantizer};
+use crate::quantizer::{decode_symbol, DequantError, Dequantizer, Quantizer};
 
 /// Cubic midpoint weights for samples at −3s, −s, +s, +3s.
 const W: [f64; 4] = [-1.0 / 16.0, 9.0 / 16.0, 9.0 / 16.0, -1.0 / 16.0];
@@ -44,49 +44,70 @@ fn predict_along(
 /// along `axis` are visited; earlier axes step by `s` (already filled this
 /// level), later axes by `2s` (still coarse).
 fn traverse_levels(dims: [usize; 3], mut visit: impl FnMut(usize, usize, usize, usize, usize)) {
-    let [nx, ny, nz] = dims;
-    let nxy = nx * ny;
-    let max_dim = nx.max(ny).max(nz).max(1);
+    for (s, axis) in passes(dims) {
+        traverse_pass(dims, s, axis, &mut visit);
+    }
+}
+
+/// The `(stride, axis)` pass sequence for a shape — every dyadic level
+/// coarse-to-fine, axes in order. Decoders that parallelize within a pass
+/// iterate this list explicitly; the sequential paths go through
+/// [`traverse_levels`], so both walk the identical schedule.
+#[allow(clippy::needless_range_loop)] // axis index is the payload, not a view
+fn passes(dims: [usize; 3]) -> Vec<(usize, usize)> {
+    let max_dim = dims[0].max(dims[1]).max(dims[2]).max(1);
     let mut s_max = 1usize;
     while s_max < max_dim {
         s_max *= 2;
     }
-    let strides_elems = [1usize, nx, nxy];
+    let mut out = Vec::new();
     let mut s = s_max / 2;
     while s >= 1 {
         for axis in 0..3usize {
-            let n_axis = dims[axis];
-            if s >= n_axis {
-                continue;
-            }
-            let (start, step): (Vec<usize>, Vec<usize>) = (0..3)
-                .map(|a| {
-                    if a == axis {
-                        (s, 2 * s)
-                    } else if a < axis {
-                        (0, s)
-                    } else {
-                        (0, 2 * s)
-                    }
-                })
-                .unzip();
-            let mut z = start[2];
-            while z < nz.max(1) {
-                let mut y = start[1];
-                while y < ny.max(1) {
-                    let mut x = start[0];
-                    while x < nx.max(1) {
-                        let idx = z * nxy + y * nx + x;
-                        let coord = [x, y, z][axis];
-                        visit(idx, coord, axis, strides_elems[axis], s);
-                        x += step[0];
-                    }
-                    y += step[1];
-                }
-                z += step[2];
+            if s < dims[axis] {
+                out.push((s, axis));
             }
         }
         s /= 2;
+    }
+    out
+}
+
+/// One `(s, axis)` pass of the dyadic fill, in traversal order.
+fn traverse_pass(
+    dims: [usize; 3],
+    s: usize,
+    axis: usize,
+    visit: &mut impl FnMut(usize, usize, usize, usize, usize),
+) {
+    let [nx, ny, nz] = dims;
+    let nxy = nx * ny;
+    let strides_elems = [1usize, nx, nxy];
+    let (start, step): (Vec<usize>, Vec<usize>) = (0..3)
+        .map(|a| {
+            if a == axis {
+                (s, 2 * s)
+            } else if a < axis {
+                (0, s)
+            } else {
+                (0, 2 * s)
+            }
+        })
+        .unzip();
+    let mut z = start[2];
+    while z < nz.max(1) {
+        let mut y = start[1];
+        while y < ny.max(1) {
+            let mut x = start[0];
+            while x < nx.max(1) {
+                let idx = z * nxy + y * nx + x;
+                let coord = [x, y, z][axis];
+                visit(idx, coord, axis, strides_elems[axis], s);
+                x += step[0];
+            }
+            y += step[1];
+        }
+        z += step[2];
     }
 }
 
@@ -135,6 +156,111 @@ pub fn decode(dims: &[usize], dq: &mut Dequantizer) -> Result<Vec<f64>, DequantE
         Some(e) => Err(e),
         None => Ok(recon),
     }
+}
+
+/// Pass-parallel [`decode`].
+///
+/// Within one `(stride, axis)` pass every point is independent: reads sit
+/// at even multiples of the stride along the axis (filled by earlier
+/// passes) while writes sit at odd multiples, so chunks of a pass decode
+/// concurrently with a barrier between passes. Per-chunk unpredictable-
+/// stream cursors come from zero-symbol prefix counts, and every point
+/// runs the same `predict_along`/`decode_symbol` arithmetic as the
+/// sequential path, so the output is bit-identical at any thread count.
+/// Chunk size is scheduling-only. `nthreads <= 1` falls back to
+/// [`decode`].
+pub fn decode_par(
+    dims: &[usize],
+    eb: f64,
+    radius: i64,
+    round_f32: bool,
+    symbols: &[u32],
+    unpredictable: &[f64],
+    nthreads: usize,
+) -> Result<Vec<f64>, DequantError> {
+    let nd = normalize_dims(dims);
+    let n: usize = nd.iter().product();
+    if nthreads <= 1 || n <= 1 {
+        let mut dq = Dequantizer::new(eb, radius, round_f32, symbols, unpredictable);
+        return decode(dims, &mut dq);
+    }
+    if symbols.len() < n {
+        return Err(DequantError("symbol stream exhausted"));
+    }
+    let strides_elems = [1usize, nd[0], nd[0] * nd[1]];
+    let mut recon = vec![0.0f64; n];
+    let mut up = 0usize; // unpredictable cursor
+    let mut consumed = 0usize; // symbol cursor
+    let mut take_origin = || -> Result<f64, DequantError> {
+        match decode_symbol(eb, radius, round_f32, symbols[0], 0.0)? {
+            Some(v) => Ok(v),
+            None => {
+                up += 1;
+                unpredictable
+                    .first()
+                    .copied()
+                    .ok_or(DequantError("unpredictable stream exhausted"))
+            }
+        }
+    };
+    recon[0] = take_origin()?;
+    consumed += 1;
+    let mut pass_points: Vec<(usize, usize)> = Vec::new();
+    for (s, axis) in passes(nd) {
+        pass_points.clear();
+        traverse_pass(nd, s, axis, &mut |idx, coord, _, _, _| {
+            pass_points.push((idx, coord))
+        });
+        let m = pass_points.len();
+        let sym_slice = &symbols[consumed..consumed + m];
+        // chunking is scheduling-only
+        let chunk = m.div_ceil(4 * nthreads).max(256);
+        let nchunks = m.div_ceil(chunk);
+        let mut zeros_before = vec![0usize; nchunks];
+        let mut acc = 0usize;
+        for (ci, zb) in zeros_before.iter_mut().enumerate() {
+            *zb = acc;
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(m);
+            acc += sym_slice[lo..hi].iter().filter(|&&sym| sym == 0).count();
+        }
+        if up + acc > unpredictable.len() {
+            return Err(DequantError("unpredictable stream exhausted"));
+        }
+        let n_axis = nd[axis];
+        let stride = strides_elems[axis];
+        let results = pressio_core::threads::par_map_indexed(nthreads, nchunks, |ci| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(m);
+            let mut up_local = up + zeros_before[ci];
+            let mut out = Vec::with_capacity(hi - lo);
+            for k in lo..hi {
+                let (idx, coord) = pass_points[k];
+                let pred = predict_along(&recon, idx, coord, n_axis, stride, s);
+                let v = match decode_symbol(eb, radius, round_f32, sym_slice[k], pred)? {
+                    Some(v) => v,
+                    None => {
+                        let v = *unpredictable
+                            .get(up_local)
+                            .ok_or(DequantError("unpredictable stream exhausted"))?;
+                        up_local += 1;
+                        v
+                    }
+                };
+                out.push(v);
+            }
+            Ok::<Vec<f64>, DequantError>(out)
+        });
+        for (ci, res) in results.into_iter().enumerate() {
+            let vals = res?;
+            for (k, v) in vals.into_iter().enumerate() {
+                recon[pass_points[ci * chunk + k].0] = v;
+            }
+        }
+        up += acc;
+        consumed += m;
+    }
+    Ok(recon)
 }
 
 #[cfg(test)]
@@ -237,5 +363,56 @@ mod tests {
         encode(&values, &[8, 8], &mut q);
         let mut dq = Dequantizer::new(1e-3, 32768, false, &q.symbols[..32], &q.unpredictable);
         assert!(decode(&[8, 8], &mut dq).is_err());
+    }
+
+    #[test]
+    fn pass_parallel_decode_matches_sequential() {
+        for dims in [vec![257usize], vec![33, 21], vec![20, 15, 9]] {
+            let n: usize = dims.iter().product();
+            let mut values: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.021).sin() * 2.0 + (i as f64 * 0.4).cos() * 0.1)
+                .collect();
+            values[n / 4] = 1e32; // unpredictable escape
+            values[n / 2] = f64::NAN;
+            for round_f32 in [false, true] {
+                let mut q = Quantizer::new(1e-3, 32768, round_f32, n);
+                let recon_c = encode(&values, &dims, &mut q);
+                for threads in [2usize, 3, 5] {
+                    let par = decode_par(
+                        &dims,
+                        1e-3,
+                        32768,
+                        round_f32,
+                        &q.symbols,
+                        &q.unpredictable,
+                        threads,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        recon_c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "dims={dims:?} threads={threads} round_f32={round_f32}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_parallel_decode_propagates_errors() {
+        let n = 33 * 21;
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let mut q = Quantizer::new(1e-3, 32768, false, n);
+        encode(&values, &[33, 21], &mut q);
+        assert!(decode_par(
+            &[33, 21],
+            1e-3,
+            32768,
+            false,
+            &q.symbols[..n / 2],
+            &q.unpredictable,
+            3
+        )
+        .is_err());
     }
 }

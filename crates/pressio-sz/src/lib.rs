@@ -308,7 +308,8 @@ impl Compressor for SzCompressor {
         if pressio_obs::is_enabled() {
             pressio_obs::add_counter("sz3:decompress.bytes_in", compressed.len() as i64);
         }
-        let parsed = codec::parse(compressed)?;
+        let nthreads = pressio_core::threads::resolve(self.nthreads);
+        let parsed = codec::parse_par(compressed, nthreads)?;
         if parsed.dtype != dtype {
             return Err(Error::UnsupportedData(format!(
                 "stream holds {}, caller asked for {}",
@@ -322,7 +323,7 @@ impl Compressor for SzCompressor {
                 parsed.dims, dims
             )));
         }
-        codec::reconstruct(&parsed)
+        codec::reconstruct_par(&parsed, nthreads)
     }
 
     fn clone_box(&self) -> Box<dyn Compressor> {

@@ -7,7 +7,8 @@
 //! collapsing the slowest dimensions into the third (the prediction quality
 //! degrades gracefully, matching SZ's behaviour on high-rank data).
 
-use crate::quantizer::{DequantError, Dequantizer, Quantizer};
+use crate::quantizer::{decode_symbol, DequantError, Dequantizer, Quantizer};
+use pressio_core::lanes::{fold, LANES};
 
 /// Normalize dims to exactly 3 entries (fastest first), collapsing extras.
 pub(crate) fn normalize_dims(dims: &[usize]) -> [usize; 3] {
@@ -77,30 +78,245 @@ pub fn decode(dims: &[usize], dq: &mut Dequantizer) -> Result<Vec<f64>, DequantE
     Ok(recon)
 }
 
-/// Estimate the mean absolute Lorenzo residual using *original* (not
-/// reconstructed) neighbors — the cheap proxy SZ3 uses for predictor
-/// selection without a full compression pass.
-pub fn estimate_mean_abs_residual(values: &[f64], dims: &[usize]) -> f64 {
+/// Wavefront-parallel [`decode`].
+///
+/// The Lorenzo decode loop carries a serial dependency (every point needs
+/// its already-reconstructed neighbors), but tiles of an x-row only
+/// depend on tiles with a strictly smaller anti-diagonal index
+/// `t + y + z`, so all tiles on one anti-diagonal decode concurrently.
+/// Each point's arithmetic — prediction term order, symbol decode, and
+/// unpredictable-stream position (recovered from per-tile zero-symbol
+/// prefix sums) — is identical to the sequential path, so the output is
+/// bit-for-bit the same at any thread count (pinned by the
+/// parallel-parity proptests). Tile length only affects scheduling, never
+/// the result. 1-D inputs (a single dependency chain) and `nthreads <= 1`
+/// fall back to [`decode`].
+pub fn decode_par(
+    dims: &[usize],
+    eb: f64,
+    radius: i64,
+    round_f32: bool,
+    symbols: &[u32],
+    unpredictable: &[f64],
+    nthreads: usize,
+) -> Result<Vec<f64>, DequantError> {
+    let [nx, ny, nz] = normalize_dims(dims);
+    let n = nx * ny * nz;
+    if nthreads <= 1 || n == 0 || (ny <= 1 && nz <= 1) {
+        let mut dq = Dequantizer::new(eb, radius, round_f32, symbols, unpredictable);
+        return decode(dims, &mut dq);
+    }
+    if symbols.len() < n {
+        return Err(DequantError("symbol stream exhausted"));
+    }
+    let nxy = nx * ny;
+    // tile length is scheduling-only: rows split finer when the y/z plane
+    // alone cannot feed every thread
+    let tile_len = if nz > 1 {
+        nx
+    } else {
+        nx.div_ceil(4 * nthreads).max(32).min(nx)
+    };
+    let tpr = nx.div_ceil(tile_len);
+    let (ny1, nz1) = (ny.max(1), nz.max(1));
+    let ntiles = tpr * ny1 * nz1;
+    // per-tile start offsets into the unpredictable stream, from
+    // zero-symbol counts in symbol (= tile raster) order
+    let tile_bounds = |t: usize| {
+        let x0 = t * tile_len;
+        (x0, (x0 + tile_len).min(nx))
+    };
+    let zero_counts = pressio_core::threads::par_map_indexed(nthreads, ntiles, |i| {
+        let (t, rest) = (i % tpr, i / tpr);
+        let (y, z) = (rest % ny1, rest / ny1);
+        let (x0, x1) = tile_bounds(t);
+        let base = z * nxy + y * nx + x0;
+        symbols[base..base + (x1 - x0)]
+            .iter()
+            .filter(|&&s| s == 0)
+            .count()
+    });
+    let mut unpred_base = vec![0usize; ntiles];
+    let mut acc = 0usize;
+    for (i, &c) in zero_counts.iter().enumerate() {
+        unpred_base[i] = acc;
+        acc += c;
+    }
+    if acc > unpredictable.len() {
+        return Err(DequantError("unpredictable stream exhausted"));
+    }
+    let mut recon = vec![0.0f64; n];
+    let mut wave: Vec<(usize, usize, usize)> = Vec::new();
+    for d in 0..=(tpr - 1) + (ny1 - 1) + (nz1 - 1) {
+        wave.clear();
+        for z in 0..nz1.min(d + 1) {
+            for y in 0..ny1.min(d - z + 1) {
+                let t = d - z - y;
+                if t < tpr {
+                    wave.push((t, y, z));
+                }
+            }
+        }
+        let results = pressio_core::threads::par_map_indexed(nthreads, wave.len(), |i| {
+            let (t, y, z) = wave[i];
+            let (x0, x1) = tile_bounds(t);
+            let row_base = z * nxy + y * nx;
+            let tile_id = (z * ny1 + y) * tpr + t;
+            let mut up = unpred_base[tile_id];
+            let mut out = Vec::with_capacity(x1 - x0);
+            let (yi, zi) = (y as isize, z as isize);
+            for x in x0..x1 {
+                let xi = x as isize;
+                // same term order as `predict`; the x-1 in-row term comes
+                // from this tile's local output (identical value)
+                let prev = if x == 0 {
+                    0.0
+                } else if x == x0 {
+                    recon[row_base + x - 1]
+                } else {
+                    out[x - x0 - 1]
+                };
+                let pred = prev
+                    + at(&recon, nx, nxy, xi, yi - 1, zi)
+                    + at(&recon, nx, nxy, xi, yi, zi - 1)
+                    - at(&recon, nx, nxy, xi - 1, yi - 1, zi)
+                    - at(&recon, nx, nxy, xi - 1, yi, zi - 1)
+                    - at(&recon, nx, nxy, xi, yi - 1, zi - 1)
+                    + at(&recon, nx, nxy, xi - 1, yi - 1, zi - 1);
+                let v = match decode_symbol(eb, radius, round_f32, symbols[row_base + x], pred)? {
+                    Some(v) => v,
+                    None => {
+                        let v = *unpredictable
+                            .get(up)
+                            .ok_or(DequantError("unpredictable stream exhausted"))?;
+                        up += 1;
+                        v
+                    }
+                };
+                out.push(v);
+            }
+            Ok::<Vec<f64>, DequantError>(out)
+        });
+        for (&(t, y, z), res) in wave.iter().zip(results) {
+            let vals = res?;
+            let (x0, _) = tile_bounds(t);
+            let base = z * nxy + y * nx + x0;
+            recon[base..base + vals.len()].copy_from_slice(&vals);
+        }
+    }
+    Ok(recon)
+}
+
+/// One point of the estimation stencil, on *original* values. The term
+/// order matches [`predict`]; `x == 0` contributes literal zeros for the
+/// `x-1` neighbors, like `at` does.
+#[inline]
+fn point_abs_residual(cur: &[f64], a: &[f64], b: &[f64], c: &[f64], x: usize) -> f64 {
+    let (pm, am, bm, cm) = if x == 0 {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        (cur[x - 1], a[x - 1], b[x - 1], c[x - 1])
+    };
+    let pred = pm + a[x] + b[x] - am - bm - c[x] + cm;
+    let v = cur[x];
+    if v.is_finite() && pred.is_finite() {
+        (v - pred).abs()
+    } else {
+        0.0
+    }
+}
+
+/// Lane-kernel Σ|v − pred| over one row. `a`/`b`/`c` are the `y-1`, `z-1`
+/// and `y-1,z-1` neighbor rows (all-zero slices at the boundary).
+/// Accumulation is lane-strided — element `x` lands in lane `x % LANES` —
+/// so [`estimate_mean_abs_residual_scalar`] reproduces it exactly.
+// constant-index lane loop: `acc[l]` with `l` a compile-time-unrollable
+// index is required for SROA + vectorization (see pressio-stats/lanes.rs)
+#[allow(clippy::needless_range_loop)]
+fn row_abs_residual(cur: &[f64], a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+    let n = cur.len();
+    let mut acc = [0.0f64; LANES];
+    for x in 0..n.min(LANES) {
+        acc[x % LANES] += point_abs_residual(cur, a, b, c, x);
+    }
+    let mut x0 = LANES;
+    while x0 + LANES <= n {
+        for l in 0..LANES {
+            let x = x0 + l;
+            let pred = cur[x - 1] + a[x] + b[x] - a[x - 1] - b[x - 1] - c[x] + c[x - 1];
+            let v = cur[x];
+            let d = (v - pred).abs();
+            acc[l] += if v.is_finite() && pred.is_finite() {
+                d
+            } else {
+                0.0
+            };
+        }
+        x0 += LANES;
+    }
+    for x in x0..n {
+        acc[x % LANES] += point_abs_residual(cur, a, b, c, x);
+    }
+    fold(acc)
+}
+
+/// Row decomposition shared by the lane kernel and its scalar reference.
+fn estimate_rows(
+    values: &[f64],
+    dims: &[usize],
+    row: impl Fn(&[f64], &[f64], &[f64], &[f64]) -> f64,
+) -> f64 {
     let [nx, ny, nz] = normalize_dims(dims);
     if values.is_empty() {
         return 0.0;
     }
     let nxy = nx * ny;
+    let zeros = vec![0.0f64; nx];
     let mut sum = 0.0f64;
-    let mut idx = 0usize;
     for z in 0..nz {
         for y in 0..ny {
-            for x in 0..nx {
-                let pred = predict(values, nx, nxy, x, y, z);
-                let v = values[idx];
-                if v.is_finite() && pred.is_finite() {
-                    sum += (v - pred).abs();
-                }
-                idx += 1;
-            }
+            let base = z * nxy + y * nx;
+            let cur = &values[base..base + nx];
+            let a = if y > 0 {
+                &values[base - nx..base]
+            } else {
+                &zeros[..]
+            };
+            let b = if z > 0 {
+                &values[base - nxy..base - nxy + nx]
+            } else {
+                &zeros[..]
+            };
+            let c = if y > 0 && z > 0 {
+                &values[base - nxy - nx..base - nxy]
+            } else {
+                &zeros[..]
+            };
+            sum += row(cur, a, b, c);
         }
     }
     sum / values.len() as f64
+}
+
+/// Estimate the mean absolute Lorenzo residual using *original* (not
+/// reconstructed) neighbors — the cheap proxy SZ3 uses for predictor
+/// selection without a full compression pass. Lane kernel; exactly equal
+/// to [`estimate_mean_abs_residual_scalar`] (pinned by proptests).
+pub fn estimate_mean_abs_residual(values: &[f64], dims: &[usize]) -> f64 {
+    estimate_rows(values, dims, row_abs_residual)
+}
+
+/// Scalar reference for [`estimate_mean_abs_residual`]: the same
+/// row decomposition and lane-strided accumulation order, one element at
+/// a time. Kept public for parity tests and the kernel benchmarks.
+pub fn estimate_mean_abs_residual_scalar(values: &[f64], dims: &[usize]) -> f64 {
+    estimate_rows(values, dims, |cur, a, b, c| {
+        let mut acc = [0.0f64; LANES];
+        for x in 0..cur.len() {
+            acc[x % LANES] += point_abs_residual(cur, a, b, c, x);
+        }
+        fold(acc)
+    })
 }
 
 #[cfg(test)]
@@ -213,5 +429,86 @@ mod tests {
         assert_eq!(estimate_mean_abs_residual(&[], &[0]), 0.0);
         let mut q = Quantizer::new(1e-3, 32768, false, 0);
         assert!(encode(&[], &[0], &mut q).is_empty());
+    }
+
+    fn synth(n: usize, scale: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.113).sin() * scale + (i as f64 * 0.017).cos())
+            .collect()
+    }
+
+    #[test]
+    fn estimate_lane_matches_scalar_reference() {
+        for dims in [vec![101usize], vec![13, 9], vec![33, 21], vec![7, 5, 3]] {
+            let n: usize = dims.iter().product();
+            let mut values = synth(n, 3.0);
+            values[n / 2] = f64::NAN;
+            values[n / 3] = f64::INFINITY;
+            let lane = estimate_mean_abs_residual(&values, &dims);
+            let scalar = estimate_mean_abs_residual_scalar(&values, &dims);
+            assert_eq!(lane.to_bits(), scalar.to_bits(), "dims={dims:?}");
+        }
+    }
+
+    #[test]
+    fn wavefront_decode_matches_sequential() {
+        for dims in [vec![33usize, 21], vec![12, 10, 8], vec![7, 5, 3, 2]] {
+            let n: usize = dims.iter().product();
+            let mut values = synth(n, 2.0);
+            values[1] = 1e30; // force an unpredictable point
+            values[n / 2] = f64::NAN;
+            for round_f32 in [false, true] {
+                let mut q = Quantizer::new(1e-3, 32768, round_f32, n);
+                let recon_c = encode(&values, &dims, &mut q);
+                let mut dq = Dequantizer::new(1e-3, 32768, round_f32, &q.symbols, &q.unpredictable);
+                let seq = decode(&dims, &mut dq).unwrap();
+                assert_eq!(
+                    seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    recon_c.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+                for threads in [2usize, 3, 5] {
+                    let par = decode_par(
+                        &dims,
+                        1e-3,
+                        32768,
+                        round_f32,
+                        &q.symbols,
+                        &q.unpredictable,
+                        threads,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "dims={dims:?} threads={threads} round_f32={round_f32}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_decode_propagates_truncation_errors() {
+        let values = synth(16 * 12, 1.0);
+        let mut q = Quantizer::new(1e-3, 32768, false, values.len());
+        encode(&values, &[16, 12], &mut q);
+        // truncated symbols
+        assert!(decode_par(
+            &[16, 12],
+            1e-3,
+            32768,
+            false,
+            &q.symbols[..10],
+            &q.unpredictable,
+            3
+        )
+        .is_err());
+        // missing unpredictable values
+        let mut vals2 = values.clone();
+        vals2[5] = 1e40;
+        let mut q2 = Quantizer::new(1e-3, 32768, false, vals2.len());
+        encode(&vals2, &[16, 12], &mut q2);
+        assert!(!q2.unpredictable.is_empty());
+        assert!(decode_par(&[16, 12], 1e-3, 32768, false, &q2.symbols, &[], 3).is_err());
     }
 }

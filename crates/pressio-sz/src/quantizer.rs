@@ -72,6 +72,68 @@ impl Quantizer {
         recon
     }
 
+    /// Lane-kernel bulk quantization: quantizes `values[i]` against
+    /// `predictions[i]`, writing reconstructions into `recon` and emitting
+    /// symbols/escapes exactly as per-element [`Quantizer::quantize`] calls
+    /// would — the two paths are byte-identical (pinned by proptests).
+    ///
+    /// Chunks of [`pressio_core::lanes::LANES`] elements are evaluated
+    /// branchlessly (division, round, and the error-bound check all
+    /// vectorize); a chunk whose lanes all stay on the fast path commits
+    /// its eight symbols with one bulk push, and any chunk containing an
+    /// escape or non-finite lane falls back to the scalar method so the
+    /// symbol/unpredictable interleaving is preserved bit-for-bit.
+    pub fn quantize_slice(&mut self, predictions: &[f64], values: &[f64], recon: &mut [f64]) {
+        use pressio_core::lanes::LANES;
+        assert_eq!(predictions.len(), values.len());
+        assert_eq!(values.len(), recon.len());
+        let eb = self.eb;
+        let two_eb = 2.0 * eb;
+        let limit = (self.radius - 1) as f64;
+        let round_f32 = self.round_f32;
+        let mut i = 0usize;
+        while i + LANES <= values.len() {
+            let vs: &[f64; LANES] = values[i..i + LANES].try_into().unwrap();
+            let ps: &[f64; LANES] = predictions[i..i + LANES].try_into().unwrap();
+            let mut codes = [0.0f64; LANES];
+            let mut recs = [0.0f64; LANES];
+            let mut all_ok = true;
+            for l in 0..LANES {
+                let (v, p) = (vs[l], ps[l]);
+                // all-f64 arithmetic: when `ok` holds, `code_f` is integral
+                // and within ±(radius-1), so it equals the scalar path's i64
+                // round-trip bit-for-bit; the cast itself is deferred to the
+                // commit loop because packed f64→i64 doesn't exist pre-AVX-512
+                // and would force this loop scalar. `&` (not `&&`) keeps the
+                // predicate chain branch-free.
+                let code_f = ((v - p) / two_eb).round();
+                let t = p + two_eb * code_f;
+                let r = if round_f32 { t as f32 as f64 } else { t };
+                let ok =
+                    v.is_finite() & p.is_finite() & (code_f.abs() < limit) & ((r - v).abs() <= eb);
+                codes[l] = code_f;
+                recs[l] = r;
+                all_ok &= ok;
+            }
+            if all_ok {
+                let mut syms = [0u32; LANES];
+                for l in 0..LANES {
+                    syms[l] = (codes[l] as i64 + self.radius) as u32;
+                }
+                self.symbols.extend_from_slice(&syms);
+                recon[i..i + LANES].copy_from_slice(&recs);
+            } else {
+                for l in 0..LANES {
+                    recon[i + l] = self.quantize(predictions[i + l], values[i + l]);
+                }
+            }
+            i += LANES;
+        }
+        for l in i..values.len() {
+            recon[l] = self.quantize(predictions[l], values[l]);
+        }
+    }
+
     /// An empty quantizer with the same parameters. Parallel encoders
     /// quantize disjoint regions through forks and splice the streams back
     /// in canonical order with [`Quantizer::absorb`]; because `quantize`
@@ -120,6 +182,31 @@ impl std::fmt::Display for DequantError {
 
 impl std::error::Error for DequantError {}
 
+/// Stateless single-symbol decode shared by [`Dequantizer::recover`] and
+/// the wavefront decoders: `Ok(Some(v))` recovers a coded value,
+/// `Ok(None)` means "take the next unpredictable value verbatim", and
+/// `Err` flags an out-of-range symbol. Keeping the arithmetic in one
+/// place guarantees the sequential and wavefront decode paths can never
+/// diverge by an ulp.
+#[inline]
+pub(crate) fn decode_symbol(
+    eb: f64,
+    radius: i64,
+    round_f32: bool,
+    sym: u32,
+    prediction: f64,
+) -> Result<Option<f64>, DequantError> {
+    if sym == 0 {
+        return Ok(None);
+    }
+    let code = sym as i64 - radius;
+    if code.abs() >= radius {
+        return Err(DequantError("symbol out of range"));
+    }
+    let v = prediction + 2.0 * eb * code as f64;
+    Ok(Some(if round_f32 { v as f32 as f64 } else { v }))
+}
+
 impl<'a> Dequantizer<'a> {
     /// Create a dequantizer over decoded symbol and verbatim-value streams.
     pub fn new(
@@ -138,15 +225,6 @@ impl<'a> Dequantizer<'a> {
         }
     }
 
-    #[inline]
-    fn round_target(&self, v: f64) -> f64 {
-        if self.round_f32 {
-            v as f32 as f64
-        } else {
-            v
-        }
-    }
-
     /// Recover the next value given the same `prediction` the compressor
     /// computed (guaranteed by feeding reconstructions into the predictor).
     #[inline]
@@ -155,18 +233,15 @@ impl<'a> Dequantizer<'a> {
             .symbols
             .next()
             .ok_or(DequantError("symbol stream exhausted"))?;
-        if sym == 0 {
-            let &v = self
-                .unpredictable
-                .next()
-                .ok_or(DequantError("unpredictable stream exhausted"))?;
-            Ok(v)
-        } else {
-            let code = sym as i64 - self.radius;
-            if code.abs() >= self.radius {
-                return Err(DequantError("symbol out of range"));
+        match decode_symbol(self.eb, self.radius, self.round_f32, sym, prediction)? {
+            Some(v) => Ok(v),
+            None => {
+                let &v = self
+                    .unpredictable
+                    .next()
+                    .ok_or(DequantError("unpredictable stream exhausted"))?;
+                Ok(v)
             }
-            Ok(self.round_target(prediction + 2.0 * self.eb * code as f64))
         }
     }
 }
@@ -287,5 +362,48 @@ mod tests {
     #[should_panic(expected = "error bound must be positive")]
     fn zero_error_bound_panics() {
         let _ = Quantizer::new(0.0, 32768, false, 0);
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar_bit_for_bit() {
+        // sizes straddling the lane width, both rounding modes, with
+        // escapes and non-finite lanes forcing mixed chunks
+        for (n, round_f32) in [
+            (1usize, false),
+            (7, false),
+            (8, true),
+            (61, false),
+            (200, true),
+        ] {
+            let mut values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+            let preds: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1e-5 * (i % 5) as f64)
+                .collect();
+            if n > 10 {
+                values[3] = 1e40; // out-of-range code -> escape
+                values[9] = f64::NAN;
+                values[10] = f64::INFINITY;
+            }
+            let mut lane_q = Quantizer::new(1e-4, 32768, round_f32, n);
+            let mut lane_recon = vec![0.0f64; n];
+            lane_q.quantize_slice(&preds, &values, &mut lane_recon);
+            let mut scalar_q = Quantizer::new(1e-4, 32768, round_f32, n);
+            let scalar_recon: Vec<f64> = preds
+                .iter()
+                .zip(&values)
+                .map(|(&p, &v)| scalar_q.quantize(p, v))
+                .collect();
+            assert_eq!(bits(&lane_recon), bits(&scalar_recon), "n={n}");
+            assert_eq!(lane_q.symbols, scalar_q.symbols, "n={n}");
+            assert_eq!(
+                bits(&lane_q.unpredictable),
+                bits(&scalar_q.unpredictable),
+                "n={n}"
+            );
+        }
     }
 }

@@ -47,6 +47,42 @@ fn solve4(a: &mut [[f64; 5]; 4]) -> Option<[f64; 4]> {
     Some(c)
 }
 
+/// `(Σ x, Σ x²)` for `x in 0..n`, as exact integer-valued `f64`s.
+#[inline]
+fn coord_sums(n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let t = (n * (n - 1) / 2) as f64;
+    let q = ((n - 1) * n * (2 * n - 1) / 6) as f64;
+    (t, q)
+}
+
+/// Lane-kernel `(Σ v, Σ x·v)` over one block row; non-finite values
+/// contribute 0, matching the old per-element accumulation.
+#[inline]
+fn row_weighted_sums(row: &[f64]) -> (f64, f64) {
+    use pressio_core::lanes::{finite_or_zero, fold, LANES};
+    let mut s = [0.0f64; LANES];
+    let mut sx = [0.0f64; LANES];
+    let mut chunks = row.chunks_exact(LANES);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        for l in 0..LANES {
+            let v = finite_or_zero(chunk[l]);
+            s[l] += v;
+            sx[l] += (base + l) as f64 * v;
+        }
+        base += LANES;
+    }
+    for (l, &raw) in chunks.remainder().iter().enumerate() {
+        let v = finite_or_zero(raw);
+        s[l] += v;
+        sx[l] += (base + l) as f64 * v;
+    }
+    (fold(s), fold(sx))
+}
+
 /// Fit `v ≈ c0 + c1·x + c2·y + c3·z` over one block of original values.
 /// Degenerate blocks (constant coordinates) get ridge-free reduced fits by
 /// zeroing the affected coefficients.
@@ -62,23 +98,38 @@ fn fit_block(
     by: usize,
     bz: usize,
 ) -> [f32; 4] {
-    // accumulate normal equations; coordinates are block-local
-    let mut a = [[0.0f64; 5]; 4];
+    // The normal-equation matrix depends only on the block shape: every
+    // entry is an integer sum over block-local coordinates, so the closed
+    // forms below are exactly (bit-for-bit) the values the old
+    // element-by-element accumulation produced — integers this small are
+    // exact in f64 regardless of summation order.
+    let (tx, qx) = coord_sums(bx);
+    let (ty, qy) = coord_sums(by);
+    let (tz, qz) = coord_sums(bz);
+    let (fx, fy, fz) = (bx as f64, by as f64, bz as f64);
+    let n = fx * fy * fz;
+    let mut a = [
+        [n, tx * fy * fz, ty * fx * fz, tz * fx * fy, 0.0],
+        [tx * fy * fz, qx * fy * fz, tx * ty * fz, tx * tz * fy, 0.0],
+        [ty * fx * fz, tx * ty * fz, qy * fx * fz, ty * tz * fx, 0.0],
+        [tz * fx * fy, tx * tz * fy, ty * tz * fx, qz * fx * fy, 0.0],
+    ];
+    // right-hand side: lane-accumulated weighted sums, row by row
+    let (mut b0, mut b1, mut b2, mut b3) = (0.0f64, 0.0, 0.0, 0.0);
     for z in 0..bz {
         for y in 0..by {
-            for x in 0..bx {
-                let v = values[(oz + z) * nxy + (oy + y) * nx + (ox + x)];
-                let v = if v.is_finite() { v } else { 0.0 };
-                let row = [1.0, x as f64, y as f64, z as f64];
-                for i in 0..4 {
-                    for j in 0..4 {
-                        a[i][j] += row[i] * row[j];
-                    }
-                    a[i][4] += row[i] * v;
-                }
-            }
+            let base = (oz + z) * nxy + (oy + y) * nx + ox;
+            let (rs, rxs) = row_weighted_sums(&values[base..base + bx]);
+            b0 += rs;
+            b1 += rxs;
+            b2 += y as f64 * rs;
+            b3 += z as f64 * rs;
         }
     }
+    a[0][4] = b0;
+    a[1][4] = b1;
+    a[2][4] = b2;
+    a[3][4] = b3;
     // dimensions with a single layer make the system singular; tiny ridge on
     // the diagonal keeps the solve stable and pushes unused coeffs toward 0
     for (i, extent) in [(1usize, bx), (2, by), (3, bz)] {
@@ -90,11 +141,66 @@ fn fit_block(
         Some(c) => [c[0] as f32, c[1] as f32, c[2] as f32, c[3] as f32],
         None => {
             // fall back to the block mean
-            let n = (bx * by * bz) as f64;
             let mean = if n > 0.0 { a[0][4] / n } else { 0.0 };
             [mean as f32, 0.0, 0.0, 0.0]
         }
     }
+}
+
+/// Predictions for one block row. Encoder and decoder both evaluate the
+/// model through this function, so the prediction — and therefore the
+/// reconstruction — is bit-identical on both sides.
+#[inline]
+fn row_preds(c: &[f32], y: usize, z: usize, out: &mut [f64]) {
+    let base = c[0] as f64 + c[2] as f64 * y as f64 + c[3] as f64 * z as f64;
+    let c1 = c[1] as f64;
+    for (x, p) in out.iter_mut().enumerate() {
+        *p = base + c1 * x as f64;
+    }
+}
+
+/// Reusable per-block staging buffers for the lane quantizer.
+#[derive(Default)]
+struct BlockScratch {
+    vals: Vec<f64>,
+    preds: Vec<f64>,
+    recon: Vec<f64>,
+}
+
+/// Gather one block's values and predictions into contiguous scratch and
+/// run the lane quantizer over the whole block at once (symbol order is
+/// the block-raster order the scalar loop used).
+#[allow(clippy::too_many_arguments)]
+fn quantize_block(
+    values: &[f64],
+    nx: usize,
+    nxy: usize,
+    ox: usize,
+    oy: usize,
+    oz: usize,
+    bx: usize,
+    by: usize,
+    bz: usize,
+    c: &[f32; 4],
+    q: &mut Quantizer,
+    s: &mut BlockScratch,
+) {
+    let n = bx * by * bz;
+    s.vals.clear();
+    s.preds.clear();
+    s.preds.resize(n, 0.0);
+    let mut k = 0usize;
+    for z in 0..bz {
+        for y in 0..by {
+            let base = (oz + z) * nxy + (oy + y) * nx + ox;
+            s.vals.extend_from_slice(&values[base..base + bx]);
+            row_preds(c, y, z, &mut s.preds[k..k + bx]);
+            k += bx;
+        }
+    }
+    s.recon.clear();
+    s.recon.resize(n, 0.0);
+    q.quantize_slice(&s.preds, &s.vals, &mut s.recon);
 }
 
 /// Quantize `values` under block regression. Returns `(recon, coefficients)`;
@@ -112,6 +218,7 @@ pub fn encode(
     let mut recon = vec![0.0f64; values.len()];
     let mut coeffs = Vec::new();
     let b = block.max(2);
+    let mut scratch = BlockScratch::default();
     for oz in (0..nz.max(1)).step_by(b) {
         for oy in (0..ny.max(1)).step_by(b) {
             for ox in (0..nx.max(1)).step_by(b) {
@@ -120,16 +227,13 @@ pub fn encode(
                 let bz = b.min(nz - oz);
                 let c = fit_block(values, nx, nxy, ox, oy, oz, bx, by, bz);
                 coeffs.extend_from_slice(&c);
+                quantize_block(values, nx, nxy, ox, oy, oz, bx, by, bz, &c, q, &mut scratch);
+                let mut k = 0usize;
                 for z in 0..bz {
                     for y in 0..by {
-                        for x in 0..bx {
-                            let idx = (oz + z) * nxy + (oy + y) * nx + (ox + x);
-                            let pred = c[0] as f64
-                                + c[1] as f64 * x as f64
-                                + c[2] as f64 * y as f64
-                                + c[3] as f64 * z as f64;
-                            recon[idx] = q.quantize(pred, values[idx]);
-                        }
+                        let base = (oz + z) * nxy + (oy + y) * nx + ox;
+                        recon[base..base + bx].copy_from_slice(&scratch.recon[k..k + bx]);
+                        k += bx;
                     }
                 }
             }
@@ -178,24 +282,28 @@ pub fn encode_par(
             let mut lq = q.fork(group.len() * b * b * b);
             let mut coeffs = Vec::with_capacity(4 * group.len());
             let mut entries = Vec::with_capacity(group.len() * b * b * b);
+            let mut scratch = BlockScratch::default();
             for &(ox, oy, oz) in group {
                 let bx = b.min(nx - ox);
                 let by = b.min(ny - oy);
                 let bz = b.min(nz - oz);
                 let c = fit_block(values, nx, nxy, ox, oy, oz, bx, by, bz);
                 coeffs.extend_from_slice(&c);
-                for z in 0..bz {
-                    for y in 0..by {
-                        for x in 0..bx {
-                            let idx = (oz + z) * nxy + (oy + y) * nx + (ox + x);
-                            let pred = c[0] as f64
-                                + c[1] as f64 * x as f64
-                                + c[2] as f64 * y as f64
-                                + c[3] as f64 * z as f64;
-                            entries.push(lq.quantize(pred, values[idx]));
-                        }
-                    }
-                }
+                quantize_block(
+                    values,
+                    nx,
+                    nxy,
+                    ox,
+                    oy,
+                    oz,
+                    bx,
+                    by,
+                    bz,
+                    &c,
+                    &mut lq,
+                    &mut scratch,
+                );
+                entries.extend_from_slice(&scratch.recon);
             }
             (coeffs, lq, entries)
         },
@@ -234,6 +342,7 @@ pub fn decode(
     let nxy = nx * ny;
     let mut recon = vec![0.0f64; nx * ny * nz];
     let b = block.max(2);
+    let mut preds = vec![0.0f64; b];
     let mut ci = 0usize;
     for oz in (0..nz.max(1)).step_by(b) {
         for oy in (0..ny.max(1)).step_by(b) {
@@ -247,13 +356,10 @@ pub fn decode(
                 ci += 4;
                 for z in 0..bz {
                     for y in 0..by {
+                        let base = (oz + z) * nxy + (oy + y) * nx + ox;
+                        row_preds(c, y, z, &mut preds[..bx]);
                         for x in 0..bx {
-                            let idx = (oz + z) * nxy + (oy + y) * nx + (ox + x);
-                            let pred = c[0] as f64
-                                + c[1] as f64 * x as f64
-                                + c[2] as f64 * y as f64
-                                + c[3] as f64 * z as f64;
-                            recon[idx] = dq.recover(pred)?;
+                            recon[base + x] = dq.recover(preds[x])?;
                         }
                     }
                 }

@@ -1,8 +1,10 @@
-//! Property-based parity for the parallel SZ encode path: for arbitrary
+//! Property-based parity for the parallel SZ paths: for arbitrary
 //! dims/dtypes/bounds/predictors, compressing with 2/3/7 intra-task
 //! threads must produce **byte-identical** output to the sequential path
-//! (group boundaries are format constants, not thread-count-dependent),
-//! and the error bound must hold on the round trip.
+//! (group and Huffman-shard boundaries are format constants, not
+//! thread-count-dependent), decompressing must be bit-identical to the
+//! sequential decoder (wavefront Lorenzo, pass-parallel interp, sharded
+//! Huffman decode), and the error bound must hold on the round trip.
 
 use pressio_core::{Compressor, Data, Dtype, Options};
 use pressio_sz::SzCompressor;

@@ -3,7 +3,10 @@
 //! the ZFP pipeline, supporting fixed-accuracy, fixed-precision, and
 //! fixed-rate modes.
 
-use crate::transform::{degree_order, fwd_xform, int_to_negabinary, inv_xform, negabinary_to_int};
+use crate::transform::{
+    bitplanes, degree_order, fwd_xform, inv_xform, negabinary_slice, negabinary_to_int_slice,
+    transpose64,
+};
 use pressio_lossless::{BitReader, BitWriter};
 
 /// Fraction bits of the per-block fixed-point representation. 52 bits
@@ -111,7 +114,11 @@ pub fn encode_block(values: &[f64], d: usize, mode: Mode, w: &mut BitWriter) {
     let mut ints: Vec<i64> = values.iter().map(|&v| (v * scale).round() as i64).collect();
     fwd_xform(&mut ints, d);
     let order = degree_order(d);
-    let coeffs: Vec<u64> = order.iter().map(|&i| int_to_negabinary(ints[i])).collect();
+    // negabinary-map all coefficients lane-wise, then permute into
+    // total-degree order (same integer results as mapping after the gather)
+    let mut neg = vec![0u64; size];
+    negabinary_slice(&ints, &mut neg);
+    let coeffs: Vec<u64> = order.iter().map(|&i| neg[i]).collect();
     let k_stop = plane_cutoff(mode, e_max, d);
     encode_planes(&coeffs, k_stop, w, &mut budget);
     pad_to_budget(w, start_bits, mode, d);
@@ -151,6 +158,10 @@ fn pad_to_budget(w: &mut BitWriter, start_bits: usize, mode: Mode, d: usize) {
 /// positions are sent with group testing + unary run-length coding.
 fn encode_planes(coeffs: &[u64], k_stop: u32, w: &mut BitWriter, budget: &mut Option<usize>) {
     let size = coeffs.len();
+    // one bit-matrix transpose yields every plane at once; `planes[k]`
+    // bit `i` = `coeffs[i]` bit `k`, exactly what the old per-plane
+    // gather produced (pinned by `bitplanes_matches_scalar_reference`)
+    let planes = bitplanes(coeffs);
     let mut n = 0usize; // number of significant coefficients so far
     let mut k = INTPREC;
     while k > k_stop {
@@ -158,11 +169,7 @@ fn encode_planes(coeffs: &[u64], k_stop: u32, w: &mut BitWriter, budget: &mut Op
         if matches!(budget, Some(0)) {
             break;
         }
-        // gather plane k, coefficient-ordered LSB-first
-        let mut x = 0u64;
-        for (i, &c) in coeffs.iter().enumerate() {
-            x |= ((c >> k) & 1) << i;
-        }
+        let mut x = planes[k as usize];
         // step 2: verbatim bits for significant coefficients
         let m = match budget {
             None => n,
@@ -240,10 +247,14 @@ pub fn decode_block(r: &mut BitReader, d: usize, mode: Mode) -> Result<Vec<f64>,
             let k_stop = plane_cutoff(mode, e_max, d);
             let coeffs = decode_planes(size, k_stop, r, &mut budget)?;
             let order = degree_order(d);
-            let mut ints = vec![0i64; size];
+            // undo the total-degree permutation, then negabinary-unmap the
+            // whole block lane-wise (same integer results as per-element)
+            let mut neg = vec![0u64; size];
             for (pos, &i) in order.iter().enumerate() {
-                ints[i] = negabinary_to_int(coeffs[pos]);
+                neg[i] = coeffs[pos];
             }
+            let mut ints = vec![0i64; size];
+            negabinary_to_int_slice(&neg, &mut ints);
             inv_xform(&mut ints, d);
             let scale = (2.0f64).powi((e_max - P) as i32);
             Ok(ints.iter().map(|&q| q as f64 * scale).collect())
@@ -279,7 +290,7 @@ fn decode_planes(
     r: &mut BitReader,
     budget: &mut Option<usize>,
 ) -> Result<Vec<u64>, BlockError> {
-    let mut coeffs = vec![0u64; size];
+    let mut planes = [0u64; 64];
     let mut n = 0usize;
     let mut k = INTPREC;
     while k > k_stop {
@@ -313,18 +324,12 @@ fn decode_planes(
             x_full |= 1u64 << n;
             n += 1;
         }
-        // deposit plane
-        let mut i = 0usize;
-        let mut x = x_full;
-        while x != 0 {
-            if x & 1 == 1 {
-                coeffs[i] |= 1u64 << k;
-            }
-            x >>= 1;
-            i += 1;
-        }
+        planes[k as usize] = x_full;
     }
-    Ok(coeffs)
+    // a single transpose scatters every received plane back into
+    // per-coefficient values (replaces the old per-plane bit deposit)
+    transpose64(&mut planes);
+    Ok(planes[..size].to_vec())
 }
 
 #[cfg(test)]

@@ -154,6 +154,72 @@ pub fn negabinary_to_int(u: u64) -> i64 {
     (u ^ MASK).wrapping_sub(MASK) as i64
 }
 
+/// Lane map of [`int_to_negabinary`] over a slice (wrapping add + xor —
+/// pure element-wise integer ops, so results are identical to the scalar
+/// calls and the loop autovectorizes).
+pub fn negabinary_slice(ints: &[i64], out: &mut [u64]) {
+    for (o, &x) in out.iter_mut().zip(ints) {
+        *o = int_to_negabinary(x);
+    }
+}
+
+/// Lane map of [`negabinary_to_int`] over a slice.
+pub fn negabinary_to_int_slice(neg: &[u64], out: &mut [i64]) {
+    for (o, &u) in out.iter_mut().zip(neg) {
+        *o = negabinary_to_int(u);
+    }
+}
+
+/// In-place 64×64 bit-matrix transpose: bit `c` of row `r` swaps with bit
+/// `r` of row `c` (LSB-first column convention).
+///
+/// Recursive masked block swaps (Hacker's Delight §7-3): 6 rounds of 32
+/// swap pairs, ~6·64 word ops total — an order of magnitude fewer than
+/// the per-plane bit gather it replaces in the bit-plane coder, and the
+/// inner loop vectorizes.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j: usize = 32;
+    let mut m: u64 = 0x0000_0000_ffff_ffff;
+    while j != 0 {
+        let mut k: usize = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Bit-plane extraction via [`transpose64`]: returns `planes` with
+/// `planes[k]` bit `i` = `coeffs[i]` bit `k` for every plane at once.
+/// Identical to [`bitplanes_scalar`] (exact integer ops), but one
+/// transpose instead of `INTPREC` per-coefficient gathers.
+pub fn bitplanes(coeffs: &[u64]) -> [u64; 64] {
+    debug_assert!(coeffs.len() <= 64);
+    let mut m = [0u64; 64];
+    m[..coeffs.len()].copy_from_slice(coeffs);
+    transpose64(&mut m);
+    m
+}
+
+/// Scalar reference for [`bitplanes`]: the per-plane gather loop the
+/// embedded coder originally ran once per transmitted plane. Kept public
+/// for parity tests and the kernel benchmarks.
+pub fn bitplanes_scalar(coeffs: &[u64]) -> [u64; 64] {
+    let mut planes = [0u64; 64];
+    for (k, p) in planes.iter_mut().enumerate() {
+        let mut x = 0u64;
+        for (i, &c) in coeffs.iter().enumerate() {
+            x |= ((c >> k) & 1) << i;
+        }
+        *p = x;
+    }
+    planes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +310,65 @@ mod tests {
             let x = (xorshift(&mut state) as i64) >> 8;
             assert_eq!(negabinary_to_int(int_to_negabinary(x)), x);
         }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (r, c) are bit coordinates
+    fn transpose64_is_a_true_transpose_and_involution() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..50 {
+            let mut a = [0u64; 64];
+            for v in a.iter_mut() {
+                *v = xorshift(&mut state);
+            }
+            let orig = a;
+            transpose64(&mut a);
+            for r in 0..64 {
+                for c in 0..64 {
+                    assert_eq!(
+                        (a[r] >> c) & 1,
+                        (orig[c] >> r) & 1,
+                        "bit ({r},{c}) after transpose"
+                    );
+                }
+            }
+            transpose64(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn bitplanes_matches_scalar_reference() {
+        let mut state = 0xfeed_beefu64;
+        for &size in &[4usize, 16, 64] {
+            for _ in 0..100 {
+                let coeffs: Vec<u64> = (0..size)
+                    .map(|_| xorshift(&mut state) & ((1u64 << 58) - 1))
+                    .collect();
+                assert_eq!(bitplanes(&coeffs), bitplanes_scalar(&coeffs), "size {size}");
+                // full-width values too
+                let wide: Vec<u64> = (0..size).map(|_| xorshift(&mut state)).collect();
+                assert_eq!(
+                    bitplanes(&wide),
+                    bitplanes_scalar(&wide),
+                    "wide size {size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negabinary_slice_matches_scalar_calls() {
+        let mut state = 42u64;
+        let ints: Vec<i64> = (0..129).map(|_| xorshift(&mut state) as i64 >> 3).collect();
+        let mut neg = vec![0u64; ints.len()];
+        negabinary_slice(&ints, &mut neg);
+        for (i, &x) in ints.iter().enumerate() {
+            assert_eq!(neg[i], int_to_negabinary(x));
+        }
+        let mut back = vec![0i64; ints.len()];
+        negabinary_to_int_slice(&neg, &mut back);
+        assert_eq!(back, ints);
     }
 
     #[test]
