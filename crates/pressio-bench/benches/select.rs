@@ -1,0 +1,189 @@
+//! Selection-regret bench: how much compression ratio does the
+//! `pressio-select` meta-codec give up versus an oracle that compresses
+//! every hurricane field with every policy-admissible (codec, bound)
+//! candidate and keeps the best? Regret is computed over the same
+//! admissible grid the selector chooses from, so it measures exactly the
+//! ranking error of the trial consult — not the policy itself. Writes a
+//! `BENCH_select.json` summary to the repo root for CI's regret gate
+//! (`perf_gate --select` against `ci/select_baseline.json`).
+//!
+//! `PRESSIO_BENCH_QUICK=1` skips the criterion wall and shrinks the field
+//! set: that is the PR-speed mode the CI `perf` job runs.
+
+use criterion::{criterion_group, Criterion};
+use pressio_core::{Compressor, Data};
+use pressio_dataset::{DatasetPlugin, Hurricane};
+use pressio_predict::standard_compressors;
+use pressio_select::{decode_header, Policy, SelectCodec};
+use std::collections::BTreeMap;
+
+fn quick_mode() -> bool {
+    std::env::var("PRESSIO_BENCH_QUICK").is_ok_and(|v| !v.trim().is_empty() && v != "0")
+}
+
+const DIMS: (usize, usize, usize) = (16, 16, 8);
+
+fn fields(limit: usize) -> Vec<(String, Data)> {
+    let mut hurricane = Hurricane::with_dims(DIMS.0, DIMS.1, DIMS.2, 1);
+    (0..hurricane.len().min(limit))
+        .map(|i| {
+            let name = hurricane.load_metadata(i).unwrap().name;
+            (name, hurricane.load_data(i).unwrap())
+        })
+        .collect()
+}
+
+/// Actual ratio of one admissible candidate, measured the same way for the
+/// oracle and the selector: uncompressed bytes over compressed stream bytes.
+fn candidate_ratio(data: &Data, codec: &str, abs: f64) -> f64 {
+    let mut comp = standard_compressors().build(codec).unwrap();
+    comp.set_options(&pressio_core::Options::new().with("pressio:abs", abs))
+        .unwrap();
+    let stream = comp.compress(data).unwrap();
+    data.size_in_bytes() as f64 / stream.len().max(1) as f64
+}
+
+fn bench_select(c: &mut Criterion) {
+    let (_, data) = fields(1).pop().unwrap();
+    let codec = SelectCodec::new();
+    let mut group = c.benchmark_group("select");
+    group.bench_function("trial_decide", |b| {
+        b.iter(|| criterion::black_box(codec.decide(&data)))
+    });
+    group.bench_function("compress_with_header", |b| {
+        b.iter(|| criterion::black_box(codec.compress(&data).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_select
+}
+
+// ---- BENCH_select.json summary ---------------------------------------------
+
+#[derive(serde::Serialize)]
+struct FieldResult {
+    field: String,
+    /// What the selector picked (codec @ abs) and whether it consulted.
+    selected_codec: String,
+    selected_abs: f64,
+    consult: String,
+    /// Best candidate over the admissible grid: `codec @ abs`.
+    oracle_codec: String,
+    oracle_abs: f64,
+    selected_ratio: f64,
+    oracle_ratio: f64,
+    /// max(0, (oracle - selected) / oracle * 100): 0 means the selector
+    /// found the oracle's winner.
+    regret_pct: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Summary {
+    dims: Vec<usize>,
+    psnr_floor: f64,
+    quick: bool,
+    fields: Vec<FieldResult>,
+    /// How often each codec won the selection.
+    winner_counts: BTreeMap<String, usize>,
+    /// How often the selector agreed with the oracle exactly.
+    exact_matches: usize,
+    mean_regret_pct: f64,
+    max_regret_pct: f64,
+}
+
+fn write_summary() {
+    let quick = quick_mode();
+    let policy = Policy::default();
+    let limit = if quick { 6 } else { 13 };
+    let select = SelectCodec::new();
+
+    let mut results = Vec::new();
+    let mut winner_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (field, data) in fields(limit) {
+        // the admissible grid: every codec at every bound the policy allows
+        let range = pressio_select::value_range(&data);
+        let admissible = policy.feasible_bounds(range);
+        let (mut oracle_codec, mut oracle_abs, mut oracle_ratio) = ("", 0.0, f64::NEG_INFINITY);
+        for codec in pressio_select::CODECS {
+            for &abs in &admissible {
+                let ratio = candidate_ratio(&data, codec, abs);
+                if ratio > oracle_ratio {
+                    (oracle_codec, oracle_abs, oracle_ratio) = (codec, abs, ratio);
+                }
+            }
+        }
+
+        // the selector's pick, measured on the container it actually wrote:
+        // payload after the decision-record header is the winner's stream
+        let container = select.compress(&data).unwrap();
+        let (record, offset) = decode_header(&container).unwrap();
+        let selected_ratio = data.size_in_bytes() as f64 / (container.len() - offset).max(1) as f64;
+
+        let regret_pct = ((oracle_ratio - selected_ratio) / oracle_ratio * 100.0).max(0.0);
+        *winner_counts.entry(record.codec.clone()).or_insert(0) += 1;
+        results.push(FieldResult {
+            field,
+            selected_codec: record.codec,
+            selected_abs: record.abs,
+            consult: record.consult,
+            oracle_codec: oracle_codec.to_string(),
+            oracle_abs,
+            selected_ratio,
+            oracle_ratio,
+            regret_pct,
+        });
+    }
+
+    let exact_matches = results
+        .iter()
+        .filter(|r| r.selected_codec == r.oracle_codec && r.selected_abs == r.oracle_abs)
+        .count();
+    let mean_regret_pct =
+        results.iter().map(|r| r.regret_pct).sum::<f64>() / results.len().max(1) as f64;
+    let max_regret_pct = results.iter().map(|r| r.regret_pct).fold(0.0, f64::max);
+    let summary = Summary {
+        dims: vec![DIMS.0, DIMS.1, DIMS.2],
+        psnr_floor: policy.psnr_floor,
+        quick,
+        winner_counts,
+        exact_matches,
+        mean_regret_pct,
+        max_regret_pct,
+        fields: results,
+    };
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_select.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_select.json");
+    println!("\nwrote {}", path.display());
+    println!(
+        "  fields {}  exact matches {}  mean regret {:.2}%  max regret {:.2}%",
+        summary.fields.len(),
+        summary.exact_matches,
+        summary.mean_regret_pct,
+        summary.max_regret_pct
+    );
+    for r in &summary.fields {
+        println!(
+            "  {:12} selected {:4}@{:.0e} ratio {:7.2}  oracle {:4}@{:.0e} ratio {:7.2}  regret {:5.2}%",
+            r.field,
+            r.selected_codec,
+            r.selected_abs,
+            r.selected_ratio,
+            r.oracle_codec,
+            r.oracle_abs,
+            r.oracle_ratio,
+            r.regret_pct
+        );
+    }
+}
+
+fn main() {
+    if !quick_mode() {
+        benches();
+    }
+    write_summary();
+}

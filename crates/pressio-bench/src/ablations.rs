@@ -13,7 +13,7 @@ use pressio_dataset::{synthetic::FAMILIES, DatasetPlugin, Hurricane, SyntheticSu
 use pressio_predict::bandwidth::{bandwidth_features, BandwidthModel};
 use pressio_predict::evaluator::CachedEvaluator;
 use pressio_predict::registry::standard_schemes;
-use pressio_predict::schemes::{RahmanScheme, TaoScheme};
+use pressio_predict::schemes::RahmanScheme;
 use pressio_predict::Scheme;
 use pressio_stats::{k_folds, medape};
 use pressio_sz::SzCompressor;
@@ -459,38 +459,55 @@ pub fn rahman(args: &BenchArgs, out: &mut dyn Write) -> Result {
 /// Ablation: Tao (2019) sampling parameters — block size × block count
 /// sweep, reporting estimation time and MedAPE against the true ratio.
 /// The original design tied block size to compressor internals (§2.2);
-/// this sweep shows the accuracy/time trade-off empirically.
+/// this sweep shows the accuracy/time trade-off empirically. Estimation
+/// delegates to [`pressio_select::trial_sampled_ratio`] — the exact code
+/// the auto-selection trial consult runs — over both of the selector's
+/// codecs, so the sweep measures the estimator the product actually uses.
 pub fn tao_sweep(args: &BenchArgs, out: &mut dyn Write) -> Result {
     let mut hurricane = Hurricane::with_dims(args.dims.0, args.dims.1, args.dims.2, 2);
     let n = hurricane.len().min(if args.quick { 6 } else { 13 });
     let datasets: Vec<_> = (0..n).map(|i| hurricane.load_data(i).unwrap()).collect();
-    let mut sz = SzCompressor::new();
-    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
-        .unwrap();
-    let truths: Vec<f64> = datasets
+    let compressors: Vec<Box<dyn Compressor>> = pressio_select::CODECS
         .iter()
-        .map(|d| d.size_in_bytes() as f64 / sz.compress(d).unwrap().len() as f64)
+        .map(|name| {
+            let mut comp = pressio_predict::standard_compressors().build(name).unwrap();
+            comp.set_options(&Options::new().with("pressio:abs", 1e-4))
+                .unwrap();
+            comp
+        })
+        .collect();
+    let truths: Vec<f64> = compressors
+        .iter()
+        .flat_map(|comp| {
+            datasets
+                .iter()
+                .map(|d| d.size_in_bytes() as f64 / comp.compress(d).unwrap().len() as f64)
+        })
         .collect();
 
     writeln!(
         out,
-        "# Ablation: tao2019 block-size / block-count sweep (sz3, abs=1e-4)\n"
+        "# Ablation: tao2019 block-size / block-count sweep (sz3 + zfp, abs=1e-4)\n"
     )?;
     writeln!(out, "| block edge | blocks | est. time (ms) | MedAPE (%) |")?;
     writeln!(out, "|---|---|---|---|")?;
     for edge in [4usize, 8, 16, 24] {
         for count in [2usize, 8, 24] {
-            let scheme = TaoScheme {
+            let params = pressio_select::TrialParams {
                 block_edge: edge,
                 block_count: count,
                 seed: 0x7A0,
             };
             let mut t = MeanStd::new();
             let mut preds = Vec::new();
-            for d in &datasets {
-                let (f, ms) = time_ms(|| scheme.error_dependent_features(d, &sz).unwrap());
-                t.push(ms);
-                preds.push(f.get_f64("tao:sampled_ratio").unwrap());
+            for comp in &compressors {
+                for d in &datasets {
+                    let (ratio, ms) = time_ms(|| {
+                        pressio_select::trial_sampled_ratio(d, comp.as_ref(), &params).unwrap()
+                    });
+                    t.push(ms);
+                    preds.push(ratio);
+                }
             }
             let med = pressio_stats::medape(&truths, &preds).unwrap();
             writeln!(out, "| {edge} | {count} | {} | {med:.1} |", t.display(3))?;

@@ -19,6 +19,16 @@
 //! catches "the kernel silently fell back to scalar" on comparable
 //! hardware.
 //!
+//! A third mode gates compressor auto-selection: `--select` compares the
+//! regret numbers in `BENCH_select.json` (from
+//! `cargo bench -p pressio-bench --bench select`, quick mode on PRs)
+//! against `ci/select_baseline.json`. Selection regret is
+//! machine-independent — it measures ranking quality, not speed — so the
+//! gate's ceilings are absolute percentages, not tolerance bands around a
+//! recorded value: mean regret over the hurricane fields must stay at or
+//! under the baseline's `max_mean_regret_pct` (the paper-level 5% bar)
+//! and no single field may exceed `max_field_regret_pct`.
+//!
 //! Usage:
 //!   perf_gate                      gate the serving path
 //!   perf_gate --update             refresh the serve baseline's metrics
@@ -26,6 +36,9 @@
 //!   perf_gate --kernels --update   refresh per-kernel lane throughput
 //!                                  (min_speedup floors and tolerances are
 //!                                  preserved)
+//!   perf_gate --select             gate selection regret
+//!   perf_gate --select --update    refresh the recorded regret numbers
+//!                                  (the regret ceilings are preserved)
 
 use serde::{Deserialize, Serialize};
 use serde_json::parse_content;
@@ -212,10 +225,99 @@ fn kernel_gate(update: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---- selection regret gate --------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct SelectBaseline {
+    comment: String,
+    /// Last recorded run (informational; refreshed by `--select --update`).
+    recorded_mean_regret_pct: f64,
+    recorded_max_regret_pct: f64,
+    recorded_exact_matches: u64,
+    recorded_fields: u64,
+    /// Machine-independent ceilings — the gate's teeth.
+    max_mean_regret_pct: f64,
+    max_field_regret_pct: f64,
+}
+
+fn select_gate(update: bool) -> ExitCode {
+    let bench_path = repo_root().join("BENCH_select.json");
+    let baseline_path = repo_root().join("ci/select_baseline.json");
+    let bench = parse_content(&read_text(&bench_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", bench_path.display()));
+
+    let mean = lookup(&bench, &["mean_regret_pct"])
+        .and_then(as_f64)
+        .expect("BENCH_select.json: missing mean_regret_pct");
+    let max = lookup(&bench, &["max_regret_pct"])
+        .and_then(as_f64)
+        .expect("BENCH_select.json: missing max_regret_pct");
+    let exact = lookup(&bench, &["exact_matches"])
+        .and_then(as_f64)
+        .unwrap_or(0.0);
+    let fields = match lookup(&bench, &["fields"]) {
+        Some(serde::Content::Seq(items)) => items.len(),
+        _ => 0,
+    };
+
+    let mut baseline: SelectBaseline = serde_json::from_str(&read_text(&baseline_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", baseline_path.display()));
+
+    if update {
+        baseline.recorded_mean_regret_pct = mean;
+        baseline.recorded_max_regret_pct = max;
+        baseline.recorded_exact_matches = exact as u64;
+        baseline.recorded_fields = fields as u64;
+        let json = serde_json::to_string(&baseline).expect("baseline serializes");
+        std::fs::write(&baseline_path, json + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", baseline_path.display()));
+        println!(
+            "select baseline refreshed: mean regret {mean:.2}%, max {max:.2}%, \
+             {exact:.0}/{fields} exact"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "selection regret: mean {mean:.2}% (ceiling {:.2}%)  max {max:.2}% (ceiling {:.2}%)  \
+         {exact:.0}/{fields} fields match the oracle",
+        baseline.max_mean_regret_pct, baseline.max_field_regret_pct
+    );
+    let mut failed = false;
+    if mean > baseline.max_mean_regret_pct {
+        eprintln!(
+            "FAIL: mean selection regret {mean:.2}% exceeds the {:.2}% ceiling",
+            baseline.max_mean_regret_pct
+        );
+        failed = true;
+    }
+    if max > baseline.max_field_regret_pct {
+        eprintln!(
+            "FAIL: a field's selection regret {max:.2}% exceeds the {:.2}% ceiling",
+            baseline.max_field_regret_pct
+        );
+        failed = true;
+    }
+    if failed {
+        eprintln!(
+            "the selector is mis-ranking candidates; inspect BENCH_select.json per-field rows:\n  \
+             PRESSIO_BENCH_QUICK=1 cargo bench -p pressio-bench --bench select\n  \
+             cargo run -p pressio-bench --bin perf_gate -- --select --update  (refresh recorded \
+             numbers once the regression is understood)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("select regret gate passed");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let update = std::env::args().any(|a| a == "--update");
     if std::env::args().any(|a| a == "--kernels") {
         return kernel_gate(update);
+    }
+    if std::env::args().any(|a| a == "--select") {
+        return select_gate(update);
     }
     let bench_path = repo_root().join("BENCH_serve.json");
     let baseline_path = repo_root().join("ci/serve_baseline.json");

@@ -159,6 +159,39 @@ pub enum Command {
         /// the supervisor proxy.
         route: bool,
     },
+    /// Auto-select the compressor per buffer (`pressio-select` meta-codec):
+    /// `pressio select <compress|decompress|explain>`.
+    Select {
+        /// What to do with the selected container.
+        action: SelectAction,
+        /// Input file (raw for compress, container otherwise).
+        input: PathBuf,
+        /// Output file (compress/decompress only).
+        output: Option<PathBuf>,
+        /// Consult mode: `trial` (in-process sampling, default), `remote`
+        /// (query a serve daemon), or `static` (no prediction).
+        consult: String,
+        /// Daemon endpoint for remote consult.
+        endpoint: Option<pressio_serve::Endpoint>,
+        /// Model name prefix for remote consult (`<prefix>-<codec>`).
+        model: Option<String>,
+        /// Selection options (`select:psnr`, `select:bounds`, ...).
+        options: Options,
+        /// After compressing, decompress again and report the measured
+        /// PSNR against the policy floor.
+        verify: bool,
+    },
+}
+
+/// The three `pressio select` actions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectAction {
+    /// Consult, pick a winner, write a self-describing container.
+    Compress,
+    /// Header-driven decompression (no out-of-band shape needed).
+    Decompress,
+    /// Print the audited decision record of a container.
+    Explain,
 }
 
 fn flag_value(args: &mut std::collections::VecDeque<String>, flag: &str) -> Result<String> {
@@ -174,6 +207,22 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let sub = args
         .pop_front()
         .ok_or_else(|| usage_error("no subcommand"))?;
+    // `select` takes a positional action before its flags
+    let select_action = if sub == "select" {
+        match args.pop_front().as_deref() {
+            Some("compress") => Some(SelectAction::Compress),
+            Some("decompress") => Some(SelectAction::Decompress),
+            Some("explain") => Some(SelectAction::Explain),
+            other => {
+                return Err(usage_error(&format!(
+                    "select needs an action <compress|decompress|explain>, got {:?}",
+                    other.unwrap_or("nothing")
+                )))
+            }
+        }
+    } else {
+        None
+    };
     let mut input: Option<PathBuf> = None;
     let mut output: Option<PathBuf> = None;
     let mut compressor = "sz3".to_string();
@@ -199,6 +248,7 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let mut shard_index: Option<usize> = None;
     let mut shared_tcp: Option<String> = None;
     let mut route = false;
+    let mut consult = "trial".to_string();
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
             "-i" | "--input" => input = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
@@ -306,6 +356,24 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             }
             "--shared-tcp" => shared_tcp = Some(flag_value(&mut args, &arg)?),
             "--route" => route = true,
+            "--consult" => consult = flag_value(&mut args, &arg)?,
+            "--psnr" => {
+                let v: f64 = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--psnr needs a number (dB)"))?;
+                options.set("select:psnr", v);
+            }
+            "--bounds" => {
+                let spec = flag_value(&mut args, &arg)?;
+                let bounds: Vec<f64> = spec
+                    .split(',')
+                    .map(|p| {
+                        p.parse()
+                            .map_err(|_| usage_error("--bounds needs B1,B2,..."))
+                    })
+                    .collect::<Result<_>>()?;
+                options.set("select:bounds", bounds);
+            }
             "--faults" => {
                 // fault-injection schedule (see pressio-faults), activated
                 // process-wide at parse time like --threads; also exported
@@ -388,6 +456,29 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             timesteps,
             route,
         }),
+        "select" => {
+            let action = select_action.expect("select always parses an action first");
+            if matches!(action, SelectAction::Compress | SelectAction::Decompress)
+                && output.is_none()
+            {
+                return Err(usage_error("select compress/decompress require --output"));
+            }
+            if consult == "remote" && endpoint.is_none() {
+                return Err(usage_error(
+                    "select --consult remote requires --socket or --tcp",
+                ));
+            }
+            Ok(Command::Select {
+                action,
+                input: need_input("select", input)?,
+                output,
+                consult,
+                endpoint,
+                model,
+                options,
+                verify,
+            })
+        }
         other => Err(usage_error(&format!("unknown subcommand '{other}'"))),
     }
 }
@@ -396,7 +487,7 @@ fn usage_error(msg: &str) -> Error {
     Error::InvalidValue {
         key: "cli".into(),
         reason: format!(
-            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict|bench|serve|query> [flags]"
+            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict|bench|serve|query|select> [flags]"
         ),
     }
 }
@@ -752,6 +843,111 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             }
             Ok(())
         }
+        Command::Select {
+            action,
+            input,
+            output,
+            consult,
+            endpoint,
+            model,
+            options,
+            verify,
+        } => match action {
+            SelectAction::Compress => {
+                let data = read_raw(&input)?;
+                let mut codec = pressio_select::SelectCodec::new();
+                let mut opts = options.clone().with("select:consult", consult.as_str());
+                if let Some(ep) = &endpoint {
+                    opts.set("select:endpoint", ep.to_string());
+                }
+                if let Some(model) = &model {
+                    opts.set("select:model", model.as_str());
+                }
+                codec.set_options(&opts)?;
+                let container = codec.compress(&data)?;
+                let output = output.expect("parser enforces --output");
+                std::fs::write(&output, &container)?;
+                let (record, _) = pressio_select::decode_header(&container)?;
+                writeln!(
+                    out,
+                    "selected {} @ abs {:e} via {} consult{} ({} -> {} bytes, ratio {:.2})",
+                    record.codec,
+                    record.abs,
+                    record.consult,
+                    if record.fallback { " [fallback]" } else { "" },
+                    data.size_in_bytes(),
+                    container.len(),
+                    data.size_in_bytes() as f64 / container.len().max(1) as f64
+                )?;
+                if verify {
+                    let restored = codec.decompress(&container, record.dtype, &[])?;
+                    let original = data.to_f64_vec();
+                    let decoded = restored.to_f64_vec();
+                    let (mut lo, mut hi, mut se) = (f64::INFINITY, f64::NEG_INFINITY, 0.0f64);
+                    for (&x, &y) in original.iter().zip(&decoded) {
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                        se += (x - y) * (x - y);
+                    }
+                    let mse = se / original.len().max(1) as f64;
+                    let psnr = if mse <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        10.0 * ((hi - lo).powi(2) / mse).log10()
+                    };
+                    writeln!(
+                        out,
+                        "measured psnr: {psnr:.1} dB (policy {})",
+                        record.policy
+                    )?;
+                }
+                Ok(())
+            }
+            SelectAction::Decompress => {
+                let container = std::fs::read(&input)?;
+                let (record, _) = pressio_select::decode_header(&container)?;
+                let codec = pressio_select::SelectCodec::new();
+                let data = codec.decompress(&container, record.dtype, &[])?;
+                let output = output.expect("parser enforces --output");
+                // the header is authoritative; if the output filename also
+                // encodes a shape, it must agree rather than silently lie
+                if let Ok((_, dims, dtype)) = parse_filename(&output) {
+                    if dims != record.dims || dtype != record.dtype {
+                        return Err(Error::InvalidValue {
+                            key: "select:dims".into(),
+                            reason: format!(
+                                "output name implies {dtype:?} {dims:?} but the container \
+                                 records {:?} {:?}",
+                                record.dtype, record.dims
+                            ),
+                        });
+                    }
+                }
+                std::fs::write(&output, data.to_le_bytes())?;
+                writeln!(
+                    out,
+                    "{} -> {} ({} values, {} @ abs {:e})",
+                    input.display(),
+                    output.display(),
+                    data.num_elements(),
+                    record.codec,
+                    record.abs
+                )?;
+                Ok(())
+            }
+            SelectAction::Explain => {
+                let container = std::fs::read(&input)?;
+                let (record, offset) = pressio_select::decode_header(&container)?;
+                writeln!(out, "{}", record.to_options().to_json()?)?;
+                writeln!(
+                    out,
+                    "header {} bytes, compressed payload {} bytes",
+                    offset,
+                    container.len() - offset
+                )?;
+                Ok(())
+            }
+        },
     }
 }
 
@@ -1133,6 +1329,146 @@ mod tests {
             &mut Vec::new(),
         );
         assert!(matches!(err, Err(Error::NotFitted(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parses_select() {
+        let cmd = parse(&[
+            "select",
+            "compress",
+            "-i",
+            "U_4x4.f32",
+            "-o",
+            "U.psel",
+            "--psnr",
+            "50",
+            "--bounds",
+            "1e-4,1e-3",
+            "--verify",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Select {
+                action,
+                input,
+                output,
+                consult,
+                verify,
+                options,
+                ..
+            } => {
+                assert_eq!(action, SelectAction::Compress);
+                assert_eq!(input, Path::new("U_4x4.f32"));
+                assert_eq!(output.as_deref(), Some(Path::new("U.psel")));
+                assert_eq!(consult, "trial");
+                assert!(verify);
+                assert_eq!(options.get_f64("select:psnr").unwrap(), 50.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // the action is positional and mandatory
+        assert!(parse(&["select"]).is_err());
+        assert!(parse(&["select", "frobnicate", "-i", "x"]).is_err());
+        // compress/decompress need an output, explain does not
+        assert!(parse(&["select", "compress", "-i", "x"]).is_err());
+        assert!(parse(&["select", "explain", "-i", "x.psel"]).is_ok());
+        // remote consult needs an endpoint
+        assert!(parse(&[
+            "select",
+            "compress",
+            "-i",
+            "x",
+            "-o",
+            "y",
+            "--consult",
+            "remote"
+        ])
+        .is_err());
+        assert!(parse(&["select", "compress", "-i", "x", "--psnr", "sixty"]).is_err());
+        assert!(parse(&["select", "compress", "-i", "x", "--bounds", "1e-4;1e-3"]).is_err());
+    }
+
+    #[test]
+    fn select_compress_explain_decompress_roundtrip() {
+        let dir = std::env::temp_dir().join("pressio_cli_select");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        run(
+            Command::Generate {
+                out: dir.join("raw"),
+                dims: (12, 12, 6),
+                timesteps: 1,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let input = dir.join("raw").join("TC-t00_12x12x6.f32");
+        let container = dir.join("TC.psel");
+        let mut buf = Vec::new();
+        run(
+            parse(&[
+                "select",
+                "compress",
+                "-i",
+                input.to_str().unwrap(),
+                "-o",
+                container.to_str().unwrap(),
+                "--psnr",
+                "60",
+                "--verify",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("selected"), "{text}");
+        assert!(text.contains("via trial consult"), "{text}");
+        assert!(text.contains("measured psnr"), "{text}");
+        // explain prints the audited decision record
+        let mut buf = Vec::new();
+        run(
+            parse(&["select", "explain", "-i", container.to_str().unwrap()]).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("select:codec"), "{text}");
+        assert!(text.contains("select:policy"), "{text}");
+        // header-driven decompression: no codec, dtype, or dims supplied
+        let restored = dir.join("restored_12x12x6.f32");
+        run(
+            parse(&[
+                "select",
+                "decompress",
+                "-i",
+                container.to_str().unwrap(),
+                "-o",
+                restored.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let original = read_raw(&input).unwrap();
+        let back = read_raw(&restored).unwrap();
+        assert_eq!(original.dims(), back.dims());
+        // an output name that contradicts the header is rejected
+        let lying = dir.join("restored_9x9x9.f32");
+        let err = run(
+            parse(&[
+                "select",
+                "decompress",
+                "-i",
+                container.to_str().unwrap(),
+                "-o",
+                lying.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        );
+        assert!(err.is_err(), "shape-lying output name must be rejected");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,97 @@
+//! Fuzz the decision-record header parser: `decode` must never panic on
+//! adversarial containers — torn prefixes, lying payload lengths,
+//! checksum-passing-but-malformed JSON, hostile dimension products — only
+//! return `Ok`/`Err`, and a reject must be atomic (no partial record, no
+//! state poisoning a later parse of valid bytes). Cases are seeded
+//! mutations of real containers (`pressio_core::fuzz`), replayable from
+//! the `seed`/`iteration` pair in any failure message; the nightly CI tier
+//! deepens the run via `PRESSIO_FUZZ_ITERS`.
+
+use pressio_core::data::Dtype;
+use pressio_core::fuzz::Fuzzer;
+use pressio_select::header::{decode, DecisionRecord};
+
+/// Real containers of every record shape the selector produces: both
+/// codecs, trial/remote/static consults, fallback on and off, 1-D to 4-D.
+fn corpus() -> Vec<Vec<u8>> {
+    let records = vec![
+        DecisionRecord {
+            codec: "sz3".into(),
+            abs: 1e-4,
+            dtype: Dtype::F32,
+            dims: vec![16, 16, 8],
+            consult: "trial".into(),
+            model: "-".into(),
+            policy: "max-ratio s.t. psnr>=60dB".into(),
+            predicted_ratio: 6.5,
+            fallback: false,
+        },
+        DecisionRecord {
+            codec: "zfp".into(),
+            abs: 1e-5,
+            dtype: Dtype::F64,
+            dims: vec![64],
+            consult: "remote".into(),
+            model: "sel-zfp@3".into(),
+            policy: "max-ratio s.t. psnr>=80dB".into(),
+            predicted_ratio: 2.125,
+            fallback: false,
+        },
+        DecisionRecord {
+            codec: "sz3".into(),
+            abs: 1e-3,
+            dtype: Dtype::F32,
+            dims: vec![4, 4, 4, 4],
+            consult: "static".into(),
+            model: "-".into(),
+            policy: "max-ratio s.t. psnr>=60dB".into(),
+            predicted_ratio: 0.0,
+            fallback: true,
+        },
+    ];
+    records
+        .into_iter()
+        .map(|r| {
+            let mut container = r.encode().unwrap();
+            container.extend_from_slice(b"\x00\x01payload-bytes\xff");
+            container
+        })
+        .collect()
+}
+
+#[test]
+fn header_decode_never_panics_on_mutated_containers() {
+    let corpus = corpus();
+    Fuzzer::from_env(800).run(&corpus, |case| {
+        let _ = decode(case);
+    });
+}
+
+#[test]
+fn reject_path_is_atomic() {
+    // a rejected parse must not poison anything: the same valid container
+    // decodes identically before and after arbitrary rejected inputs
+    let corpus = corpus();
+    let reference = decode(&corpus[0]).unwrap();
+    Fuzzer::from_env(400).run(&corpus, |case| {
+        let _ = decode(case);
+        let again = decode(&corpus[0]).expect("valid container must still parse");
+        assert_eq!(again, reference, "reject leaked state into a later parse");
+    });
+}
+
+#[test]
+fn surviving_headers_reencode_to_identical_bytes() {
+    // anything the parser accepts must be a complete record that encodes
+    // back to a stable header (canonical JSON payload, same checksum)
+    let corpus = corpus();
+    Fuzzer::from_env(400).run(&corpus, |case| {
+        if let Ok((record, offset)) = decode(case) {
+            let encoded = record.encode().expect("accepted record must re-encode");
+            let (back, back_offset) = decode(&encoded).expect("re-encoded header must parse");
+            assert_eq!(back, record, "decode/encode/decode must be stable");
+            assert!(back_offset <= encoded.len());
+            assert!(offset <= case.len());
+        }
+    });
+}

@@ -335,6 +335,13 @@ struct SupervisorState {
     routed: AtomicU64,
     failovers: AtomicU64,
     restarts_total: AtomicU64,
+    /// Parked proxy connections, one per shard slot. An entry leaves the
+    /// pool while a request is in flight (request/response frames must
+    /// never interleave on one socket) and returns on success; errors drop
+    /// it so the next request dials fresh. The endpoint is stored with the
+    /// client so a restarted shard's stale connection is never reused.
+    pool: Mutex<std::collections::HashMap<usize, (Endpoint, Client)>>,
+    conn_reuse: AtomicU64,
 }
 
 impl SupervisorState {
@@ -366,25 +373,67 @@ impl SupervisorState {
         let _ = self.topology().save(&self.config.template.model_dir);
     }
 
+    /// Take shard `index`'s parked connection, if its endpoint still
+    /// matches; a mismatch means the shard restarted elsewhere, so the
+    /// stale connection is dropped instead of handed out.
+    fn take_pooled(&self, index: usize, endpoint: &Endpoint) -> Option<Client> {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        match pool.remove(&index) {
+            Some((ep, client)) if &ep == endpoint => Some(client),
+            _ => None,
+        }
+    }
+
+    /// Park a healthy connection for the next request to shard `index`.
+    fn park(&self, index: usize, endpoint: &Endpoint, client: Client) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        pool.insert(index, (endpoint.clone(), client));
+    }
+
+    /// One pooled request/response against shard `index`: reuse the parked
+    /// connection when available, dial otherwise, and reconnect once when
+    /// a reused socket turns out stale — pooling must never cause a
+    /// spurious failover that a fresh dial would have avoided.
+    fn call_shard(&self, index: usize, endpoint: &Endpoint, request: &Options) -> Option<Options> {
+        let pooled = self.take_pooled(index, endpoint);
+        let reused = pooled.is_some();
+        let mut client = match pooled {
+            Some(client) => client,
+            None => Client::connect(endpoint).ok()?,
+        };
+        match client.call(request) {
+            Ok(resp) => {
+                if reused {
+                    self.conn_reuse.fetch_add(1, Ordering::Relaxed);
+                    pressio_obs::add_counter("proxy:conn.reuse", 1);
+                }
+                self.park(index, endpoint, client);
+                Some(resp)
+            }
+            Err(_) if reused => {
+                // stale parked socket (peer closed it while idle, or the
+                // shard restarted on the same endpoint): one fresh dial
+                let mut fresh = Client::connect(endpoint).ok()?;
+                let resp = fresh.call(request).ok()?;
+                self.park(index, endpoint, fresh);
+                Some(resp)
+            }
+            Err(_) => None,
+        }
+    }
+
     /// Forward `request` to the home shard for `key`, walking the
     /// rendezvous failover order when shards are unreachable.
     fn forward(&self, key: &str, request: &Options) -> Options {
         self.routed.fetch_add(1, Ordering::Relaxed);
         let order = self.topology().failover_order(key);
         for (attempt, (index, endpoint)) in order.iter().enumerate() {
-            let Ok(mut client) = Client::connect(endpoint) else {
-                continue;
-            };
-            match client.call(request) {
-                Ok(resp) => {
-                    if attempt > 0 {
-                        self.failovers.fetch_add(attempt as u64, Ordering::Relaxed);
-                        pressio_obs::add_counter("serve:supervisor.failover", attempt as i64);
-                    }
-                    let _ = index;
-                    return resp;
+            if let Some(resp) = self.call_shard(*index, endpoint, request) {
+                if attempt > 0 {
+                    self.failovers.fetch_add(attempt as u64, Ordering::Relaxed);
+                    pressio_obs::add_counter("serve:supervisor.failover", attempt as i64);
                 }
-                Err(_) => continue,
+                return resp;
             }
         }
         protocol::error_response(code::INTERNAL, "no shard reachable for request")
@@ -397,11 +446,9 @@ impl SupervisorState {
             slots.iter().map(|s| s.endpoint.clone()).collect()
         };
         let mut ok = 0usize;
-        for endpoint in &endpoints {
-            if let Ok(mut client) = Client::connect(endpoint) {
-                if client.call(request).is_ok() {
-                    ok += 1;
-                }
+        for (index, endpoint) in endpoints.iter().enumerate() {
+            if self.call_shard(index, endpoint, request).is_some() {
+                ok += 1;
             }
         }
         (ok, endpoints.len())
@@ -499,6 +546,8 @@ impl Supervisor {
             routed: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             restarts_total: AtomicU64::new(0),
+            pool: Mutex::new(std::collections::HashMap::new()),
+            conn_reuse: AtomicU64::new(0),
             spawner,
             config,
         });
@@ -708,6 +757,10 @@ fn supervisor_stats(state: &SupervisorState) -> Options {
         .with(
             "serve:restarts",
             state.restarts_total.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:proxy.conn_reuse",
+            state.conn_reuse.load(Ordering::Relaxed),
         );
     for (total, key) in totals.iter().zip(summed.iter()) {
         resp.set(*key, *total);

@@ -402,3 +402,64 @@ fn topology_op_works_on_standalone_and_sharded_servers() {
     sup.wait().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn supervisor_proxy_reuses_pooled_shard_connections() {
+    let dir = temp_dir("pool");
+    let sup = start_supervisor(&dir, 2, 1);
+    let mut client = Client::connect(sup.endpoint()).unwrap();
+    let trained = client.call(&train_request("m")).unwrap();
+    assert_eq!(
+        trained.get_str("serve:type").unwrap(),
+        "trained",
+        "{trained}"
+    );
+    let extra = Options::new().with("pressio:abs", 1e-4);
+    let reference: Vec<u64> = (0..4)
+        .map(|i| {
+            client
+                .predict("m", &sample_data(i), &extra)
+                .unwrap()
+                .get_f64("serve:prediction")
+                .unwrap()
+                .to_bits()
+        })
+        .collect();
+    for _ in 0..2 {
+        for (i, &want) in reference.iter().enumerate() {
+            let resp = client.predict("m", &sample_data(i), &extra).unwrap();
+            assert_eq!(resp.get_f64("serve:prediction").unwrap().to_bits(), want);
+        }
+    }
+
+    // 12 routed predicts over 2 shards: after each shard's first dial,
+    // every subsequent proxied request rides the parked connection
+    let stats = client.stats().unwrap();
+    let reused = stats.get_u64("serve:proxy.conn_reuse").unwrap();
+    assert!(
+        reused >= 10,
+        "proxy must reuse pooled connections, saw {reused}: {stats}"
+    );
+
+    // a killed shard's parked connection must not wedge the proxy: the
+    // stale-socket retry and the failover order keep answers flowing
+    sup.kill_shard(0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for (i, &want) in reference.iter().cycle().enumerate().take(8) {
+        loop {
+            match client.predict("m", &sample_data(i % 4), &extra) {
+                Ok(resp) if resp.get_str("serve:type").unwrap() == "prediction" => {
+                    assert_eq!(resp.get_f64("serve:prediction").unwrap().to_bits(), want);
+                    break;
+                }
+                _ if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                other => panic!("prediction never recovered after shard kill: {other:?}"),
+            }
+        }
+    }
+    sup.trigger_shutdown();
+    sup.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
