@@ -1,0 +1,315 @@
+//! Streaming-path bench: PSTF chunked streaming vs whole-buffer
+//! compression throughput, the bounded-memory claim (the streamed peak
+//! working set must not grow with the timestep count), and the online
+//! learning error trajectory against a live `--online` daemon. Writes a
+//! `BENCH_stream.json` summary to the repo root for CI's
+//! `perf_gate --stream` and for readers.
+//!
+//! `PRESSIO_BENCH_QUICK=1` skips the criterion wall and shrinks sample
+//! counts: that is the PR-speed mode the CI `perf` job runs.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use pressio_core::{Compressor, Data, Dtype, Options};
+use pressio_dataset::{DatasetPlugin, Hurricane};
+use pressio_serve::{Client, Endpoint, ServeConfig, Server};
+use pressio_stream::{StreamEncoder, StreamHeader};
+use pressio_sz::SzCompressor;
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var("PRESSIO_BENCH_QUICK").is_ok_and(|v| !v.trim().is_empty() && v != "0")
+}
+
+const DIMS: (usize, usize, usize) = (16, 16, 8);
+const CHUNK_OUTER: usize = 1;
+
+/// A stacked single-field time series: dims `[nx, ny, nz, t]`, the shape
+/// `pressio stream` chunks along its outer (timestep) axis.
+fn stacked_field(timesteps: usize) -> Data {
+    let mut source = Hurricane::with_dims(DIMS.0, DIMS.1, DIMS.2, timesteps).with_fields(&["TC"]);
+    let mut bytes = Vec::new();
+    for t in 0..timesteps {
+        bytes.extend_from_slice(&source.load_data(t).unwrap().to_le_bytes());
+    }
+    Data::from_le_bytes(Dtype::F32, vec![DIMS.0, DIMS.1, DIMS.2, timesteps], &bytes).unwrap()
+}
+
+fn header(chunk_outer: usize) -> StreamHeader {
+    StreamHeader {
+        codec: "sz3".into(),
+        dtype: Dtype::F32,
+        inner_dims: vec![DIMS.0, DIMS.1, DIMS.2],
+        chunk_outer,
+        chained: false,
+        codec_options: Options::new().with("pressio:abs", 1e-4),
+    }
+}
+
+/// Stream `data` chunk-at-a-time and report
+/// `(compressed_bytes, peak_working_set_bytes)`. The peak working set is
+/// the frame-level bound the decoder also obeys: the largest single
+/// chunk's raw slice plus its compressed form — NOT the whole field.
+fn stream_once(data: &Data) -> (u64, u64) {
+    let mut encoder = StreamEncoder::new(std::io::sink(), header(CHUNK_OUTER)).unwrap();
+    let outer = *data.dims().last().unwrap();
+    let mut compressed = 0u64;
+    let mut peak = 0u64;
+    for (start, count) in pressio_core::chunking::OuterChunks::new(outer, CHUNK_OUTER).unwrap() {
+        let chunk = pressio_core::chunking::slice_outer(data, start, count).unwrap();
+        let record = encoder.write_chunk(&chunk).unwrap();
+        compressed += record.comp_len as u64;
+        peak = peak.max(record.raw_len as u64 + record.comp_len as u64);
+    }
+    (compressed, peak)
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let data = stacked_field(8);
+    let bytes = data.size_in_bytes() as u64;
+
+    let mut group = c.benchmark_group("stream");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("streamed_compress", |b| b.iter(|| stream_once(&data)));
+    group.bench_function("whole_buffer_compress", |b| {
+        let mut sz = SzCompressor::new();
+        sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+            .unwrap();
+        b.iter(|| sz.compress(&data).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stream
+}
+
+// ---- BENCH_stream.json summary ---------------------------------------------
+
+#[derive(serde::Serialize)]
+struct MemoryPoint {
+    timesteps: usize,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+    /// Largest single chunk (raw slice + its compressed form) seen while
+    /// streaming — the frame-level working-set bound.
+    peak_working_set_bytes: u64,
+}
+
+#[derive(serde::Serialize)]
+struct Memory {
+    chunk_outer: usize,
+    points: Vec<MemoryPoint>,
+    /// What one-shot compression of the largest series must hold at once.
+    whole_buffer_working_set_bytes: u64,
+}
+
+#[derive(serde::Serialize)]
+struct ThroughputStat {
+    streamed_mb_per_s: f64,
+    whole_buffer_mb_per_s: f64,
+    /// streamed / whole-buffer (1.0 = framing costs nothing).
+    streamed_over_whole: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Online {
+    chunks: usize,
+    window: usize,
+    refit_every: usize,
+    refits: u64,
+    /// Rolling prediction error after each chunk, as the daemon reported it.
+    rolling_error: Vec<f64>,
+    /// Running minimum of `rolling_error` — non-increasing by construction;
+    /// the gate checks the *raw* trajectory against it.
+    cummin_rolling_error: Vec<f64>,
+    initial_rolling_error: f64,
+    final_rolling_error: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Summary {
+    codec: String,
+    dims: Vec<usize>,
+    quick: bool,
+    throughput: ThroughputStat,
+    memory: Memory,
+    online: Online,
+}
+
+/// Min-of-N wall time for `f`, in seconds.
+fn min_time(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Stream a hurricane time series through a live `--online` daemon,
+/// reporting each chunk's real achieved ratio so the learner refines the
+/// model mid-stream; returns the per-chunk rolling errors and refit count.
+fn run_online(timesteps: usize, window: usize, refit_every: usize) -> (Vec<f64>, u64) {
+    let dir = std::env::temp_dir().join(format!("pressio_stream_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = ServeConfig::new(Endpoint::Tcp("127.0.0.1:0".into()), dir.join("models"));
+    config.online = true;
+    config.online_window = window;
+    config.online_refit_every = refit_every;
+    let handle = Server::start(config).expect("start online daemon");
+    let mut client = Client::connect(handle.endpoint()).expect("connect");
+    let trained = client
+        .call(
+            &Options::new()
+                .with("serve:op", "train")
+                .with("serve:model", "bench")
+                .with("serve:scheme", "rahman2023")
+                .with("serve:dims", vec![8u64, 8, 4])
+                .with("serve:timesteps", 1u64)
+                .with("serve:bounds", vec![1e-4]),
+        )
+        .expect("train");
+    assert_eq!(trained.get_str("serve:type").unwrap(), "trained");
+
+    let begun = client
+        .stream_begin(
+            "bench-online",
+            &Options::new()
+                .with("serve:model", "bench")
+                .with("pressio:abs", 1e-4),
+        )
+        .unwrap();
+    assert!(begun.get_bool("stream:online").unwrap(), "{begun}");
+
+    let mut source = Hurricane::with_dims(DIMS.0, DIMS.1, DIMS.2, timesteps).with_fields(&["TC"]);
+    // each wire chunk is one 3-D timestep: inner [nx, ny], outer = nz
+    let side_header = StreamHeader {
+        inner_dims: vec![DIMS.0, DIMS.1],
+        chunk_outer: DIMS.2,
+        ..header(CHUNK_OUTER)
+    };
+    let mut encoder = StreamEncoder::new(std::io::sink(), side_header).unwrap();
+    let mut errors = Vec::with_capacity(timesteps);
+    for t in 0..timesteps {
+        let chunk = source.load_data(t).unwrap();
+        let record = encoder.write_chunk(&chunk).unwrap();
+        let actual = record.raw_len as f64 / record.comp_len.max(1) as f64;
+        let resp = client
+            .stream_chunk(
+                "bench-online",
+                &chunk,
+                &Options::new().with("stream:actual", actual),
+            )
+            .unwrap();
+        errors.push(resp.get_f64("stream:online.error").unwrap());
+    }
+    let ended = client.stream_end("bench-online").unwrap();
+    let refits = ended.get_u64("stream:online.refits").unwrap();
+
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (errors, refits)
+}
+
+fn write_summary() {
+    let quick = quick_mode();
+    let samples = if quick { 3 } else { 8 };
+
+    // throughput + bounded-memory sweep: same field, 8 vs 48 timesteps
+    let small = stacked_field(8);
+    let large = stacked_field(48);
+
+    let streamed_s = min_time(samples, || {
+        criterion::black_box(stream_once(&large));
+    });
+    let mut sz = SzCompressor::new();
+    sz.set_options(&Options::new().with("pressio:abs", 1e-4))
+        .unwrap();
+    let mut whole_compressed = 0u64;
+    let whole_s = min_time(samples, || {
+        whole_compressed = sz.compress(&large).unwrap().len() as u64;
+    });
+    let mb = large.size_in_bytes() as f64 / (1 << 20) as f64;
+    let streamed_mbs = mb / streamed_s;
+    let whole_mbs = mb / whole_s;
+
+    let mut points = Vec::new();
+    for data in [&small, &large] {
+        let (compressed, peak) = stream_once(data);
+        points.push(MemoryPoint {
+            timesteps: *data.dims().last().unwrap(),
+            raw_bytes: data.size_in_bytes() as u64,
+            compressed_bytes: compressed,
+            peak_working_set_bytes: peak,
+        });
+    }
+    let memory = Memory {
+        chunk_outer: CHUNK_OUTER,
+        points,
+        whole_buffer_working_set_bytes: large.size_in_bytes() as u64 + whole_compressed,
+    };
+
+    // online trajectory: a small window so the final rolling error reflects
+    // the refined model, not the cold model's early misses
+    let (window, refit_every, chunks) = (16usize, 6usize, 48usize);
+    let (rolling_error, refits) = run_online(chunks, window, refit_every);
+    let mut cummin = Vec::with_capacity(rolling_error.len());
+    let mut best = f64::INFINITY;
+    for &e in &rolling_error {
+        best = best.min(e);
+        cummin.push(best);
+    }
+    let online = Online {
+        chunks,
+        window,
+        refit_every,
+        refits,
+        initial_rolling_error: rolling_error.first().copied().unwrap_or(0.0),
+        final_rolling_error: rolling_error.last().copied().unwrap_or(0.0),
+        rolling_error,
+        cummin_rolling_error: cummin,
+    };
+
+    let summary = Summary {
+        codec: "sz3".into(),
+        dims: vec![DIMS.0, DIMS.1, DIMS.2],
+        quick,
+        throughput: ThroughputStat {
+            streamed_mb_per_s: streamed_mbs,
+            whole_buffer_mb_per_s: whole_mbs,
+            streamed_over_whole: streamed_mbs / whole_mbs,
+        },
+        memory,
+        online,
+    };
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_stream.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_stream.json");
+    println!("\nwrote {}", path.display());
+    println!(
+        "  streamed {streamed_mbs:8.1} MB/s  whole-buffer {whole_mbs:8.1} MB/s  ratio {:.2}",
+        summary.throughput.streamed_over_whole
+    );
+    for p in &summary.memory.points {
+        println!(
+            "  t={:<3} raw {:>9} B  peak working set {:>7} B",
+            p.timesteps, p.raw_bytes, p.peak_working_set_bytes
+        );
+    }
+    println!(
+        "  online: {refits} refits, rolling error {:.3} -> {:.3}",
+        summary.online.initial_rolling_error, summary.online.final_rolling_error
+    );
+}
+
+fn main() {
+    if !quick_mode() {
+        benches();
+    }
+    write_summary();
+}

@@ -39,6 +39,19 @@
 //!   perf_gate --select             gate selection regret
 //!   perf_gate --select --update    refresh the recorded regret numbers
 //!                                  (the regret ceilings are preserved)
+//!   perf_gate --stream             gate the streaming path
+//!   perf_gate --stream --update    refresh recorded streamed throughput
+//!                                  (memory/online bars are preserved)
+//!
+//! A fourth mode gates the streaming path: `--stream` checks
+//! `BENCH_stream.json` (from `cargo bench -p pressio-bench --bench stream`,
+//! quick mode on PRs) against `ci/stream_baseline.json`. Its teeth are
+//! machine-independent: the streamed peak working set must stay flat as
+//! the timestep count grows 8 → 48 (the bounded-memory claim) and stay
+//! under the whole-buffer working set; the online-learning rolling error
+//! must end at or below where it started with at least one refit. A
+//! generous tolerance band around recorded streamed throughput catches
+//! "chunking suddenly costs 10x" on comparable hardware.
 
 use serde::{Deserialize, Serialize};
 use serde_json::parse_content;
@@ -311,6 +324,157 @@ fn select_gate(update: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---- streaming gate ---------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct StreamBaseline {
+    comment: String,
+    /// Recorded streamed throughput (machine-dependent; refreshed by
+    /// `--stream --update`).
+    recorded_streamed_mb_per_s: f64,
+    /// Allowed fractional throughput drop before the gate fails.
+    throughput_drop_frac: f64,
+    /// Machine-independent bars — the gate's teeth.
+    /// Allowed fractional growth of the streamed peak working set between
+    /// the smallest and largest timestep counts (bounded-memory claim).
+    max_peak_growth_frac: f64,
+    /// The online learner must refit at least this many times mid-stream.
+    min_refits: u64,
+}
+
+fn stream_gate(update: bool) -> ExitCode {
+    let bench_path = repo_root().join("BENCH_stream.json");
+    let baseline_path = repo_root().join("ci/stream_baseline.json");
+    let bench = parse_content(&read_text(&bench_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", bench_path.display()));
+
+    let streamed_mbs = lookup(&bench, &["throughput", "streamed_mb_per_s"])
+        .and_then(as_f64)
+        .expect("BENCH_stream.json: missing throughput.streamed_mb_per_s");
+
+    let mut baseline: StreamBaseline = serde_json::from_str(&read_text(&baseline_path))
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", baseline_path.display()));
+
+    if update {
+        baseline.recorded_streamed_mb_per_s = streamed_mbs;
+        let json = serde_json::to_string(&baseline).expect("baseline serializes");
+        std::fs::write(&baseline_path, json + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", baseline_path.display()));
+        println!("stream baseline refreshed: {streamed_mbs:.1} MB/s streamed");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+
+    // bounded memory: streaming 6x more timesteps must not grow the peak
+    // working set, and the peak must stay under the whole-buffer footprint
+    let points = match lookup(&bench, &["memory", "points"]) {
+        Some(serde::Content::Seq(items)) if items.len() >= 2 => items,
+        _ => panic!("BENCH_stream.json: memory.points needs at least two entries"),
+    };
+    let point = |p: &serde::Content, key: &str| {
+        lookup(p, &[key])
+            .and_then(as_f64)
+            .unwrap_or_else(|| panic!("BENCH_stream.json: memory point missing {key}"))
+    };
+    let (small, large) = (&points[0], &points[points.len() - 1]);
+    let (t_small, t_large) = (point(small, "timesteps"), point(large, "timesteps"));
+    let (peak_small, peak_large) = (
+        point(small, "peak_working_set_bytes"),
+        point(large, "peak_working_set_bytes"),
+    );
+    let peak_ceiling = peak_small * (1.0 + baseline.max_peak_growth_frac);
+    let whole = lookup(&bench, &["memory", "whole_buffer_working_set_bytes"])
+        .and_then(as_f64)
+        .expect("BENCH_stream.json: missing memory.whole_buffer_working_set_bytes");
+    println!(
+        "peak working set: {peak_small:.0} B at t={t_small:.0} -> {peak_large:.0} B at \
+         t={t_large:.0} (ceiling {peak_ceiling:.0}), whole-buffer {whole:.0} B"
+    );
+    if peak_large > peak_ceiling {
+        eprintln!(
+            "FAIL: streamed peak working set grew {:.1}% from t={t_small:.0} to t={t_large:.0} \
+             (allowed {:.1}%) — memory is no longer bounded in the timestep count",
+            (peak_large / peak_small - 1.0) * 100.0,
+            baseline.max_peak_growth_frac * 100.0
+        );
+        failed = true;
+    }
+    if peak_large >= whole {
+        eprintln!(
+            "FAIL: streamed peak working set {peak_large:.0} B is not below the whole-buffer \
+             working set {whole:.0} B"
+        );
+        failed = true;
+    }
+
+    // online learning: the rolling error trajectory must converge
+    let errors = match lookup(&bench, &["online", "rolling_error"]) {
+        Some(serde::Content::Seq(items)) => items.iter().filter_map(as_f64).collect::<Vec<_>>(),
+        _ => panic!("BENCH_stream.json: missing online.rolling_error"),
+    };
+    let cummin = match lookup(&bench, &["online", "cummin_rolling_error"]) {
+        Some(serde::Content::Seq(items)) => items.iter().filter_map(as_f64).collect::<Vec<_>>(),
+        _ => panic!("BENCH_stream.json: missing online.cummin_rolling_error"),
+    };
+    let refits = lookup(&bench, &["online", "refits"])
+        .and_then(as_f64)
+        .expect("BENCH_stream.json: missing online.refits");
+    let (initial, last) = (
+        errors.first().copied().unwrap_or(f64::NAN),
+        errors.last().copied().unwrap_or(f64::NAN),
+    );
+    println!(
+        "online: {refits:.0} refits over {} chunks, rolling error {initial:.3} -> {last:.3}",
+        errors.len()
+    );
+    if cummin.windows(2).any(|w| w[1] > w[0]) {
+        eprintln!("FAIL: online.cummin_rolling_error is not non-increasing");
+        failed = true;
+    }
+    // NaN fails closed: a missing trajectory is a gate failure
+    if last.is_nan() || initial.is_nan() || last > initial {
+        eprintln!(
+            "FAIL: online rolling error ended at {last:.4}, above its starting {initial:.4} — \
+             mid-stream refits are not refining the model"
+        );
+        failed = true;
+    }
+    if refits < baseline.min_refits as f64 {
+        eprintln!(
+            "FAIL: only {refits:.0} online refits (need at least {})",
+            baseline.min_refits
+        );
+        failed = true;
+    }
+
+    // throughput: generous band, catches structural chunking regressions
+    let floor = baseline.recorded_streamed_mb_per_s * (1.0 - baseline.throughput_drop_frac);
+    println!(
+        "streamed throughput: {streamed_mbs:.1} MB/s (baseline {:.1}, floor {floor:.1})",
+        baseline.recorded_streamed_mb_per_s
+    );
+    if streamed_mbs < floor {
+        eprintln!(
+            "FAIL: streamed throughput regressed {:.0}% below baseline (tolerance {:.0}%)",
+            (1.0 - streamed_mbs / baseline.recorded_streamed_mb_per_s) * 100.0,
+            baseline.throughput_drop_frac * 100.0
+        );
+        failed = true;
+    }
+
+    if failed {
+        eprintln!(
+            "if this change intentionally trades streaming performance, refresh the baseline:\n  \
+             PRESSIO_BENCH_QUICK=1 cargo bench -p pressio-bench --bench stream\n  \
+             cargo run -p pressio-bench --bin perf_gate -- --stream --update"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("stream gate passed");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let update = std::env::args().any(|a| a == "--update");
     if std::env::args().any(|a| a == "--kernels") {
@@ -318,6 +482,9 @@ fn main() -> ExitCode {
     }
     if std::env::args().any(|a| a == "--select") {
         return select_gate(update);
+    }
+    if std::env::args().any(|a| a == "--stream") {
+        return stream_gate(update);
     }
     let bench_path = repo_root().join("BENCH_serve.json");
     let baseline_path = repo_root().join("ci/serve_baseline.json");

@@ -52,6 +52,11 @@ pub enum Command {
         dims: (usize, usize, usize),
         /// Timesteps.
         timesteps: usize,
+        /// Stack all timesteps of each field into one 4-D raw file
+        /// (`FIELD-stack_NXxNYxNZxT.f32`) instead of one file per
+        /// timestep — the shape `pressio stream` chunks along its outer
+        /// (timestep) axis.
+        stack: bool,
     },
     /// Compress a raw file.
     Compress {
@@ -132,6 +137,15 @@ pub enum Command {
         /// Shared `SO_REUSEPORT` TCP data address all shards also accept
         /// on (Linux only; needs a concrete port).
         shared_tcp: Option<String>,
+        /// Enable rolling-window online learning for streaming sessions.
+        online: bool,
+        /// Online-learning window size (observations kept).
+        online_window: usize,
+        /// Refit the model every this many online observations.
+        refit_every: usize,
+        /// Declared-frame-length cap in MiB (0 = protocol default);
+        /// oversized frames are rejected before allocation.
+        max_frame_mb: usize,
     },
     /// Send one request to a running daemon and print the JSON response.
     Query {
@@ -181,6 +195,33 @@ pub enum Command {
         /// PSNR against the policy floor.
         verify: bool,
     },
+    /// Chunked streaming frames (`pressio-stream`): turn a raw field into
+    /// a PSTF stream (and back), inspect one, or send a field
+    /// chunk-at-a-time to a live daemon for per-chunk predictions:
+    /// `pressio stream <compress|decompress|info|send>`.
+    Stream {
+        /// What to do.
+        action: StreamAction,
+        /// Input file (raw for compress/send, PSTF stream otherwise).
+        input: PathBuf,
+        /// Output file (compress/decompress only).
+        output: Option<PathBuf>,
+        /// Chunk codec id (`sz3` or `zfp`).
+        codec: String,
+        /// Outer (slowest-axis) slices per chunk.
+        chunk: usize,
+        /// Chained mode: delta each chunk against the previous chunk's
+        /// trailing timestep.
+        chained: bool,
+        /// Codec options (abs/rel/...).
+        options: Options,
+        /// Daemon endpoint (`send` only).
+        endpoint: Option<pressio_serve::Endpoint>,
+        /// Model reference for `send`.
+        model: Option<String>,
+        /// Scheme name for model-less `send`.
+        scheme: Option<String>,
+    },
 }
 
 /// The three `pressio select` actions.
@@ -192,6 +233,21 @@ pub enum SelectAction {
     Decompress,
     /// Print the audited decision record of a container.
     Explain,
+}
+
+/// The four `pressio stream` actions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamAction {
+    /// Chunk a raw field along its outer axis into a PSTF stream file.
+    Compress,
+    /// Decode a PSTF stream back to a raw file (header-driven shape).
+    Decompress,
+    /// Print a stream's header and chunk structure without decoding.
+    Info,
+    /// Stream a raw field chunk-at-a-time to a daemon: open a session,
+    /// get a prediction per chunk (reporting the locally-achieved ratio
+    /// as `stream:actual` for online learning), and close it.
+    Send,
 }
 
 fn flag_value(args: &mut std::collections::VecDeque<String>, flag: &str) -> Result<String> {
@@ -216,6 +272,23 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             other => {
                 return Err(usage_error(&format!(
                     "select needs an action <compress|decompress|explain>, got {:?}",
+                    other.unwrap_or("nothing")
+                )))
+            }
+        }
+    } else {
+        None
+    };
+    // so does `stream`
+    let stream_action = if sub == "stream" {
+        match args.pop_front().as_deref() {
+            Some("compress") => Some(StreamAction::Compress),
+            Some("decompress") => Some(StreamAction::Decompress),
+            Some("info") => Some(StreamAction::Info),
+            Some("send") => Some(StreamAction::Send),
+            other => {
+                return Err(usage_error(&format!(
+                    "stream needs an action <compress|decompress|info|send>, got {:?}",
                     other.unwrap_or("nothing")
                 )))
             }
@@ -249,13 +322,20 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let mut shared_tcp: Option<String> = None;
     let mut route = false;
     let mut consult = "trial".to_string();
+    let mut chunk = 1usize;
+    let mut chained = false;
+    let mut stack = false;
+    let mut online = false;
+    let mut online_window = 64usize;
+    let mut refit_every = 8usize;
+    let mut max_frame_mb = 0usize;
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
             "-i" | "--input" => input = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
             "-o" | "--output" | "--out" => {
                 output = Some(PathBuf::from(flag_value(&mut args, &arg)?))
             }
-            "-c" | "--compressor" => compressor = flag_value(&mut args, &arg)?,
+            "-c" | "--compressor" | "--codec" => compressor = flag_value(&mut args, &arg)?,
             "--scheme" => {
                 scheme = flag_value(&mut args, &arg)?;
                 scheme_given = true;
@@ -357,6 +437,29 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             "--shared-tcp" => shared_tcp = Some(flag_value(&mut args, &arg)?),
             "--route" => route = true,
             "--consult" => consult = flag_value(&mut args, &arg)?,
+            "--chunk" => {
+                chunk = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--chunk needs a number of outer slices"))?;
+            }
+            "--chained" => chained = true,
+            "--stack" => stack = true,
+            "--online" => online = true,
+            "--online-window" => {
+                online_window = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--online-window needs a number"))?;
+            }
+            "--refit-every" => {
+                refit_every = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--refit-every needs a number"))?;
+            }
+            "--max-frame-mb" => {
+                max_frame_mb = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--max-frame-mb needs a number of MiB"))?;
+            }
             "--psnr" => {
                 let v: f64 = flag_value(&mut args, &arg)?
                     .parse()
@@ -404,6 +507,7 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             out: output.ok_or_else(|| usage_error("generate requires --out"))?,
             dims,
             timesteps,
+            stack,
         }),
         "compress" => Ok(Command::Compress {
             input: need_input("compress", input)?,
@@ -443,6 +547,10 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             shards,
             shard_index,
             shared_tcp,
+            online,
+            online_window,
+            refit_every,
+            max_frame_mb,
         }),
         "query" => Ok(Command::Query {
             endpoint: endpoint.ok_or_else(|| usage_error("query requires --socket or --tcp"))?,
@@ -479,6 +587,32 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
                 verify,
             })
         }
+        "stream" => {
+            let action = stream_action.expect("stream always parses an action first");
+            if matches!(action, StreamAction::Compress | StreamAction::Decompress)
+                && output.is_none()
+            {
+                return Err(usage_error("stream compress/decompress require --output"));
+            }
+            if action == StreamAction::Send && endpoint.is_none() {
+                return Err(usage_error("stream send requires --socket or --tcp"));
+            }
+            if chunk == 0 {
+                return Err(usage_error("--chunk must be at least 1"));
+            }
+            Ok(Command::Stream {
+                action,
+                input: need_input("stream", input)?,
+                output,
+                codec: compressor,
+                chunk,
+                chained,
+                options,
+                endpoint,
+                model,
+                scheme: scheme_given.then_some(scheme),
+            })
+        }
         other => Err(usage_error(&format!("unknown subcommand '{other}'"))),
     }
 }
@@ -487,7 +621,7 @@ fn usage_error(msg: &str) -> Error {
     Error::InvalidValue {
         key: "cli".into(),
         reason: format!(
-            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict|bench|serve|query|select> [flags]"
+            "{msg}\nusage: pressio <schemes|compressors|generate|compress|decompress|predict|bench|serve|query|select|stream> [flags]"
         ),
     }
 }
@@ -529,8 +663,33 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             out: dir,
             dims,
             timesteps,
+            stack,
         } => {
             let mut h = pressio_dataset::Hurricane::with_dims(dims.0, dims.1, dims.2, timesteps);
+            if stack {
+                // one 4-D file per field, timesteps stacked along the
+                // outer (slowest) axis — the shape `pressio stream`
+                // chunks without ever materializing more than one chunk
+                let fields: Vec<String> = h.fields().to_vec();
+                for (f, field) in fields.iter().enumerate() {
+                    let mut bytes = Vec::new();
+                    let mut dtype = pressio_core::Dtype::F32;
+                    for t in 0..timesteps {
+                        let data = h.load_data(t * fields.len() + f)?;
+                        dtype = data.dtype();
+                        bytes.extend_from_slice(&data.to_le_bytes());
+                    }
+                    let stacked = pressio_core::Data::from_le_bytes(
+                        dtype,
+                        vec![dims.0, dims.1, dims.2, timesteps],
+                        &bytes,
+                    )?;
+                    let path =
+                        pressio_dataset::io::write_raw(&dir, &format!("{field}-stack"), &stacked)?;
+                    writeln!(out, "wrote {}", path.display())?;
+                }
+                return Ok(());
+            }
             for i in 0..h.len() {
                 let meta = h.load_metadata(i)?;
                 let data = h.load_data(i)?;
@@ -729,6 +888,10 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             shards,
             shard_index,
             shared_tcp,
+            online,
+            online_window,
+            refit_every,
+            max_frame_mb,
         } => {
             let collector = match &trace {
                 Some(path) => {
@@ -746,6 +909,12 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             config.cache_entries = cache;
             config.default_deadline_ms = deadline_ms;
             config.shard_index = shard_index;
+            config.online = online;
+            config.online_window = online_window;
+            config.online_refit_every = refit_every;
+            if max_frame_mb > 0 {
+                config.max_frame = max_frame_mb << 20;
+            }
             if let Some(addr) = &shared_tcp {
                 config.extra_listeners.push(pressio_serve::ExtraListener {
                     endpoint: pressio_serve::Endpoint::Tcp(addr.clone()),
@@ -948,6 +1117,203 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                 Ok(())
             }
         },
+        Command::Stream {
+            action,
+            input,
+            output,
+            codec,
+            chunk,
+            chained,
+            options,
+            endpoint,
+            model,
+            scheme,
+        } => match action {
+            StreamAction::Compress => {
+                let data = read_raw(&input)?;
+                let header = stream_header(&data, &codec, chunk, chained, &options);
+                let bytes = pressio_stream::compress_stream(&data, header)?;
+                let output = output.expect("parser enforces --output");
+                std::fs::write(&output, &bytes)?;
+                let outer = data.dims().last().copied().unwrap_or(1);
+                writeln!(
+                    out,
+                    "{} -> {}: {} chunks ({} outer slices, {}), {} -> {} bytes (ratio {:.2})",
+                    input.display(),
+                    output.display(),
+                    outer.div_ceil(chunk),
+                    outer,
+                    if chained { "chained" } else { "independent" },
+                    data.size_in_bytes(),
+                    bytes.len(),
+                    data.size_in_bytes() as f64 / bytes.len().max(1) as f64
+                )?;
+                Ok(())
+            }
+            StreamAction::Decompress => {
+                let bytes = std::fs::read(&input)?;
+                let data = pressio_stream::decompress_stream(&bytes)?;
+                let output = output.expect("parser enforces --output");
+                // the frame header is authoritative; a shape-encoding
+                // output name must agree rather than silently lie
+                if let Ok((_, dims, dtype)) = parse_filename(&output) {
+                    if dims != data.dims() || dtype != data.dtype() {
+                        return Err(Error::InvalidValue {
+                            key: "stream:dims".into(),
+                            reason: format!(
+                                "output name implies {dtype:?} {dims:?} but the stream \
+                                 records {:?} {:?}",
+                                data.dtype(),
+                                data.dims()
+                            ),
+                        });
+                    }
+                }
+                std::fs::write(&output, data.to_le_bytes())?;
+                writeln!(
+                    out,
+                    "{} -> {} ({} values, dims {:?})",
+                    input.display(),
+                    output.display(),
+                    data.num_elements(),
+                    data.dims()
+                )?;
+                Ok(())
+            }
+            StreamAction::Info => {
+                let file = std::fs::File::open(&input)?;
+                let summary = pressio_stream::scan_info(std::io::BufReader::new(file))?;
+                let h = &summary.header;
+                writeln!(
+                    out,
+                    "codec {} dtype {} inner dims {:?} chunk_outer {} mode {}",
+                    h.codec,
+                    h.dtype.name(),
+                    h.inner_dims,
+                    h.chunk_outer,
+                    if h.chained { "chained" } else { "independent" }
+                )?;
+                writeln!(
+                    out,
+                    "{} chunks, {} outer slices, {} raw -> {} compressed bytes (ratio {:.2})",
+                    summary.end.total_chunks,
+                    summary.end.total_outer,
+                    summary.raw_bytes,
+                    summary.compressed_bytes,
+                    summary.raw_bytes as f64 / summary.compressed_bytes.max(1) as f64
+                )?;
+                for (i, record) in summary.chunks.iter().enumerate() {
+                    writeln!(
+                        out,
+                        "chunk {i}: {} outer, {} -> {} bytes, checksum {:016x}",
+                        record.outer, record.raw_len, record.comp_len, record.checksum
+                    )?;
+                }
+                Ok(())
+            }
+            StreamAction::Send => {
+                let endpoint = endpoint.expect("parser enforces endpoint");
+                let data = read_raw(&input)?;
+                let header = stream_header(&data, &codec, chunk, chained, &options);
+                let outer = *data.dims().last().ok_or_else(|| Error::InvalidValue {
+                    key: "stream:dims".into(),
+                    reason: "streaming needs at least one dimension".into(),
+                })?;
+                // the stream id is the field's content hash: chunk ops
+                // carrying it all route to the same shard
+                let stream_id =
+                    format!("{:016x}", pressio_core::hash::fnv1a64(&data.to_le_bytes()));
+                let fail = |resp: &Options| -> Result<()> {
+                    if resp.get_str_opt("serve:type").ok().flatten() == Some("error") {
+                        return Err(Error::TaskFailed(format!(
+                            "server answered {}: {}",
+                            resp.get_str_opt("serve:code").ok().flatten().unwrap_or("?"),
+                            resp.get_str_opt("serve:message")
+                                .ok()
+                                .flatten()
+                                .unwrap_or("")
+                        )));
+                    }
+                    Ok(())
+                };
+                let mut extra = options.clone().with("serve:compressor", codec.as_str());
+                if let Some(m) = &model {
+                    extra.set("serve:model", m.as_str());
+                }
+                if let Some(s) = &scheme {
+                    extra.set("serve:scheme", s.as_str());
+                }
+                let mut client = pressio_serve::Client::connect(&endpoint)?;
+                let begun = client.stream_begin(&stream_id, &extra)?;
+                fail(&begun)?;
+                writeln!(
+                    out,
+                    "stream {stream_id}: {} chunks of {} outer slices, online={}",
+                    outer.div_ceil(chunk),
+                    chunk,
+                    begun.get_bool("stream:online").unwrap_or(false)
+                )?;
+                // local encoder to a sink: per-chunk achieved ratios for
+                // stream:actual without buffering the compressed stream
+                let mut encoder = pressio_stream::StreamEncoder::new(std::io::sink(), header)?;
+                for (start, count) in pressio_core::chunking::OuterChunks::new(outer, chunk)? {
+                    let chunk_data = pressio_core::chunking::slice_outer(&data, start, count)?;
+                    let record = encoder.write_chunk(&chunk_data)?;
+                    let actual = record.raw_len as f64 / record.comp_len.max(1) as f64;
+                    let resp = client.stream_chunk(
+                        &stream_id,
+                        &chunk_data,
+                        &Options::new().with("stream:actual", actual),
+                    )?;
+                    fail(&resp)?;
+                    write!(
+                        out,
+                        "chunk {} (outer {start}..{}): predicted {:.3}, actual {actual:.3}",
+                        resp.get_u64("stream:seq")?,
+                        start + count,
+                        resp.get_f64("serve:prediction")?,
+                    )?;
+                    if let Some(tag) = resp.get_str_opt("serve:model")? {
+                        write!(out, ", model {tag}")?;
+                    }
+                    if let Some(err) = resp.get_f64_opt("stream:online.error")? {
+                        write!(out, ", rolling error {err:.3}")?;
+                    }
+                    writeln!(out)?;
+                }
+                let ended = client.stream_end(&stream_id)?;
+                fail(&ended)?;
+                write!(out, "ended: {} chunks", ended.get_u64("stream:chunks")?)?;
+                if let Some(refits) = ended.get_u64_opt("stream:online.refits")? {
+                    write!(out, ", {refits} online refits")?;
+                }
+                if let Some(err) = ended.get_f64_opt("stream:online.error")? {
+                    write!(out, ", final rolling error {err:.3}")?;
+                }
+                writeln!(out)?;
+                Ok(())
+            }
+        },
+    }
+}
+
+/// Frame header for streaming `data` along its outer (slowest) axis.
+fn stream_header(
+    data: &pressio_core::Data,
+    codec: &str,
+    chunk: usize,
+    chained: bool,
+    options: &Options,
+) -> pressio_stream::StreamHeader {
+    let dims = data.dims();
+    let inner = &dims[..dims.len().saturating_sub(1)];
+    pressio_stream::StreamHeader {
+        codec: codec.to_string(),
+        dtype: data.dtype(),
+        inner_dims: inner.to_vec(),
+        chunk_outer: chunk,
+        chained,
+        codec_options: options.clone(),
     }
 }
 
@@ -1247,6 +1613,7 @@ mod tests {
                 out: dir.join("raw"),
                 dims: (16, 16, 8),
                 timesteps: 1,
+                stack: false,
             },
             &mut buf,
         )
@@ -1399,6 +1766,7 @@ mod tests {
                 out: dir.join("raw"),
                 dims: (12, 12, 6),
                 timesteps: 1,
+                stack: false,
             },
             &mut Vec::new(),
         )
@@ -1469,6 +1837,280 @@ mod tests {
             &mut Vec::new(),
         );
         assert!(err.is_err(), "shape-lying output name must be rejected");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parses_stream_generate_stack_and_serve_online_flags() {
+        let cmd = parse(&[
+            "stream",
+            "compress",
+            "-i",
+            "TC-stack_8x8x4x6.f32",
+            "-o",
+            "tc.pstf",
+            "--codec",
+            "zfp",
+            "--chunk",
+            "2",
+            "--chained",
+            "--abs",
+            "1e-3",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Stream {
+                action,
+                codec,
+                chunk,
+                chained,
+                options,
+                ..
+            } => {
+                assert_eq!(action, StreamAction::Compress);
+                assert_eq!(codec, "zfp");
+                assert_eq!(chunk, 2);
+                assert!(chained);
+                assert_eq!(options.get_f64("pressio:abs").unwrap(), 1e-3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // structural requirements
+        assert!(parse(&["stream", "compress", "-i", "x.f32"]).is_err());
+        assert!(parse(&["stream", "send", "-i", "x.f32"]).is_err());
+        assert!(parse(&["stream", "wat"]).is_err());
+        assert!(parse(&["stream"]).is_err());
+        assert!(parse(&["stream", "compress", "-i", "x.f32", "-o", "y", "--chunk", "0"]).is_err());
+        let cmd = parse(&[
+            "stream", "send", "-i", "x.f32", "--tcp", "h:1", "--model", "m", "--chunk", "3",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Stream {
+                action: StreamAction::Send,
+                chunk: 3,
+                model: Some(ref m),
+                ..
+            } if m == "m"
+        ));
+        let cmd = parse(&["generate", "--out", "d", "--stack", "--timesteps", "4"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Generate {
+                stack: true,
+                timesteps: 4,
+                ..
+            }
+        ));
+        let cmd = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--models",
+            "/tmp/m",
+            "--online",
+            "--online-window",
+            "16",
+            "--refit-every",
+            "2",
+            "--max-frame-mb",
+            "4",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                online,
+                online_window,
+                refit_every,
+                max_frame_mb,
+                ..
+            } => {
+                assert!(online);
+                assert_eq!(online_window, 16);
+                assert_eq!(refit_every, 2);
+                assert_eq!(max_frame_mb, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        // defaults: online off, protocol-default frame cap
+        let cmd = parse(&["serve", "--tcp", "127.0.0.1:0", "--models", "/tmp/m"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                online: false,
+                max_frame_mb: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stream_compress_info_decompress_roundtrip() {
+        let dir = std::env::temp_dir().join("pressio_cli_stream");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // a stacked 4-D time series: 5 timesteps along the outer axis
+        run(
+            Command::Generate {
+                out: dir.join("raw"),
+                dims: (6, 6, 2),
+                timesteps: 5,
+                stack: true,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let input = dir.join("raw").join("TC-stack_6x6x2x5.f32");
+        assert!(input.is_file(), "expected stacked field at {input:?}");
+
+        let stream = dir.join("TC.pstf");
+        let mut buf = Vec::new();
+        run(
+            parse(&[
+                "stream",
+                "compress",
+                "-i",
+                input.to_str().unwrap(),
+                "-o",
+                stream.to_str().unwrap(),
+                "--chunk",
+                "2",
+                "--abs",
+                "1e-4",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3 chunks"), "{text}");
+
+        let mut buf = Vec::new();
+        run(
+            parse(&["stream", "info", "-i", stream.to_str().unwrap()]).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("codec sz3"), "{text}");
+        assert!(text.contains("3 chunks, 5 outer slices"), "{text}");
+
+        let restored = dir.join("TC-restored_6x6x2x5.f32");
+        run(
+            parse(&[
+                "stream",
+                "decompress",
+                "-i",
+                stream.to_str().unwrap(),
+                "-o",
+                restored.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let original = read_raw(&input).unwrap();
+        let back = read_raw(&restored).unwrap();
+        assert_eq!(original.dims(), back.dims());
+        let (o, b) = (original.to_f64_vec(), back.to_f64_vec());
+        let worst = o
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= 1e-4 * 1.01 + 2e-3, "bound violated: {worst}");
+
+        // an output name that contradicts the frame header is rejected
+        let lying = dir.join("TC-bad_9x9x9.f32");
+        let err = run(
+            parse(&[
+                "stream",
+                "decompress",
+                "-i",
+                stream.to_str().unwrap(),
+                "-o",
+                lying.to_str().unwrap(),
+            ])
+            .unwrap(),
+            &mut Vec::new(),
+        );
+        assert!(err.is_err(), "shape-lying output name must be rejected");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stream_send_runs_against_a_live_online_daemon() {
+        let dir = std::env::temp_dir().join("pressio_cli_stream_send");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        run(
+            Command::Generate {
+                out: dir.join("raw"),
+                dims: (8, 8, 2),
+                timesteps: 8,
+                stack: true,
+            },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let input = dir.join("raw").join("TC-stack_8x8x2x8.f32");
+
+        let mut config = pressio_serve::ServeConfig::new(
+            pressio_serve::Endpoint::Tcp("127.0.0.1:0".into()),
+            dir.join("models"),
+        );
+        config.online = true;
+        config.online_refit_every = 3;
+        let handle = pressio_serve::Server::start(config).unwrap();
+        let addr = match handle.endpoint() {
+            pressio_serve::Endpoint::Tcp(a) => a.clone(),
+            other => panic!("expected a TCP endpoint, got {other}"),
+        };
+        let mut client = pressio_serve::Client::connect(handle.endpoint()).unwrap();
+        let trained = client
+            .call(
+                &Options::new()
+                    .with("serve:op", "train")
+                    .with("serve:model", "hurr")
+                    .with("serve:scheme", "rahman2023")
+                    .with("serve:dims", vec![8u64, 8, 2])
+                    .with("serve:timesteps", 1u64)
+                    .with("serve:bounds", vec![1e-4]),
+            )
+            .unwrap();
+        assert_eq!(trained.get_str("serve:type").unwrap(), "trained");
+
+        let mut buf = Vec::new();
+        run(
+            parse(&[
+                "stream",
+                "send",
+                "-i",
+                input.to_str().unwrap(),
+                "--tcp",
+                &addr,
+                "--model",
+                "hurr",
+                "--chunk",
+                "1",
+                "--abs",
+                "1e-4",
+            ])
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("online=true"), "{text}");
+        assert!(text.contains("chunk 1 "), "{text}");
+        assert!(text.contains("chunk 8 "), "{text}");
+        assert!(text.contains("rolling error"), "{text}");
+        assert!(text.contains("ended: 8 chunks"), "{text}");
+        assert!(text.contains("online refits"), "{text}");
+
+        client.shutdown().unwrap();
+        handle.wait().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -147,6 +147,49 @@ impl Sha256 {
     }
 }
 
+/// Streaming FNV-1a 64-bit — the repo's standard cheap content checksum
+/// (PSEL decision records, PSTF stream frames). Unlike [`Sha256`] it is
+/// not collision-resistant; it guards against corruption, not adversaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Fnv1a64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a64 {
+        Fnv1a64 {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Absorb bytes; chunk boundaries do not affect the result.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest so far (the hasher remains usable).
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
 /// Render a digest as lowercase hex.
 pub fn to_hex(digest: &[u8; 32]) -> String {
     let mut s = String::with_capacity(64);
@@ -321,5 +364,23 @@ mod tests {
         let a = Options::new().with("ab", "c");
         let b = Options::new().with("a", "bc");
         assert_ne!(hash_options(&a), hash_options(&b));
+    }
+
+    #[test]
+    fn fnv1a64_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a64_streaming_matches_one_shot() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1031).collect();
+        let mut h = Fnv1a64::new();
+        for piece in payload.chunks(7) {
+            h.update(piece);
+        }
+        assert_eq!(h.finish(), fnv1a64(&payload));
+        assert_eq!(Fnv1a64::default().finish(), fnv1a64(b""));
     }
 }

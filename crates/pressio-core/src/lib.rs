@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunking;
 pub mod compressor;
 pub mod data;
 pub mod error;

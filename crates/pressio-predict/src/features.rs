@@ -107,6 +107,30 @@ pub fn error_agnostic_all(data: &Data) -> Options {
     merged
 }
 
+/// Error-agnostic temporal-delta feature group (`temporal:*`): how the
+/// current chunk relates to the previous timestep's last slice (LFZip).
+///
+/// `prev` is one outer slice (the previous chunk's trailing timestep);
+/// `cur` is the current chunk. When `cur` spans several outer slices the
+/// statistics are computed against its first slice-sized prefix — the
+/// boundary the chained streaming delta actually codes against.
+pub fn temporal_delta_features(prev: &Data, cur: &Data) -> Options {
+    let prev_values = prev.to_f64_vec();
+    let cur_values = cur.to_f64_vec();
+    let n = prev_values.len().min(cur_values.len());
+    if n == 0 {
+        return Options::new();
+    }
+    let td = pressio_stats::temporal_delta(&prev_values[..n], &cur_values[..n]);
+    Options::new()
+        .with("temporal:mean_abs_delta", td.mean_abs_delta)
+        .with("temporal:rms_delta", td.rms_delta)
+        .with("temporal:max_abs_delta", td.max_abs_delta)
+        .with("temporal:delta_range", td.delta_range)
+        .with("temporal:correlation", td.correlation)
+        .with("temporal:hold_gain", td.hold_gain)
+}
+
 /// Error-dependent quantized entropy (`qent:entropy`), Krasowska's first
 /// regressor: the Shannon entropy of the data after bucketing at the
 /// current absolute error bound.
@@ -382,5 +406,22 @@ mod tests {
         let _ = spatial_features(&tiny);
         let _ = quantized_entropy_features(&tiny, 1e-3);
         let _ = sz_quantization_profile(&tiny, 1e-3, 1);
+    }
+
+    #[test]
+    fn temporal_features_track_correlation() {
+        let prev = Data::from_f32(vec![16], (0..16).map(|i| (i as f32 * 0.3).sin()).collect());
+        let same = temporal_delta_features(&prev, &prev);
+        assert_eq!(same.get_f64("temporal:mean_abs_delta").unwrap(), 0.0);
+        assert!((same.get_f64("temporal:correlation").unwrap() - 1.0).abs() < 1e-9);
+
+        // a chunk wider than one slice: only the leading slice is compared
+        let chunk = Data::from_f32(
+            vec![16, 2],
+            (0..32).map(|i| (i as f32 * 0.3).sin() + 0.5).collect(),
+        );
+        let shifted = temporal_delta_features(&prev, &chunk);
+        assert!((shifted.get_f64("temporal:mean_abs_delta").unwrap() - 0.5).abs() < 1e-6);
+        assert!((shifted.get_f64("temporal:delta_range").unwrap()).abs() < 1e-6);
     }
 }

@@ -36,15 +36,9 @@ pub const PREFIX_LEN: usize = 20;
 /// scalar fields, so anything bigger than this is corrupt, not large.
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
-/// FNV-1a 64-bit, the repo's standard cheap content hash.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit, the repo's standard cheap content hash (re-exported from
+/// `pressio_core::hash`, which also offers a streaming `Fnv1a64`).
+pub use pressio_core::hash::fnv1a64;
 
 /// The audited compression decision stored in every selected container.
 #[derive(Debug, Clone, PartialEq)]

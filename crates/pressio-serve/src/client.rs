@@ -182,6 +182,44 @@ impl Client {
     pub fn predict(&mut self, model_ref: &str, data: &Data, extra: &Options) -> Result<Options> {
         self.call(&Self::predict_request(model_ref, data, extra))
     }
+
+    /// `stream.begin` → open a streaming session. `extra` carries the
+    /// scheme/model reference and compressor knobs captured for the whole
+    /// stream (e.g. `serve:model`, `serve:compressor`, `pressio:abs`).
+    pub fn stream_begin(&mut self, stream_id: &str, extra: &Options) -> Result<Options> {
+        self.call(
+            &extra
+                .clone()
+                .with("serve:op", op::STREAM_BEGIN)
+                .with("stream:id", stream_id),
+        )
+    }
+
+    /// `stream.chunk` → per-chunk prediction for an open stream. Pass the
+    /// observed outcome as `stream:actual` in `extra` to feed online
+    /// learning on an `--online` daemon.
+    pub fn stream_chunk(
+        &mut self,
+        stream_id: &str,
+        chunk: &Data,
+        extra: &Options,
+    ) -> Result<Options> {
+        let mut req = extra
+            .clone()
+            .with("serve:op", op::STREAM_CHUNK)
+            .with("stream:id", stream_id);
+        protocol::data_into_request(&mut req, chunk);
+        self.call(&req)
+    }
+
+    /// `stream.end` → close a streaming session and get its summary.
+    pub fn stream_end(&mut self, stream_id: &str) -> Result<Options> {
+        self.call(
+            &Options::new()
+                .with("serve:op", op::STREAM_END)
+                .with("stream:id", stream_id),
+        )
+    }
 }
 
 /// A topology-aware client: fetches the shard [`Topology`] once from the

@@ -24,6 +24,9 @@
 //! - [`client`] — the blocking client used by `pressio query`, the tests,
 //!   and the serve benchmark; [`client::ShardedClient`] routes directly to
 //!   shards by content hash with failover.
+//! - [`stream`] — streaming prediction sessions (`stream.begin` /
+//!   `stream.chunk` / `stream.end`) with per-chunk temporal features and
+//!   the rolling-window online learner behind `--online`.
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 pub mod store;
+pub mod stream;
 
 pub use breaker::CircuitBreaker;
 pub use cache::{CacheStats, ShardedLru};
@@ -44,3 +48,4 @@ pub use net::Endpoint;
 pub use server::{serve, ExtraListener, ServeConfig, Server, ServerHandle};
 pub use shard::{InProcessSpawner, ShardSpawner, Supervisor, SupervisorConfig, Topology};
 pub use store::{ModelArtifact, ModelStore};
+pub use stream::OnlineLearner;

@@ -47,6 +47,14 @@ pub mod op {
     /// under a superseded version. Broadcast by the supervisor after a
     /// train so every shard picks the new version up immediately.
     pub const RELOAD: &str = "reload";
+    /// Open a streaming prediction session (`stream:id`, scheme/model,
+    /// compressor knobs). Chunks then flow through [`STREAM_CHUNK`].
+    pub const STREAM_BEGIN: &str = "stream.begin";
+    /// Predict for one chunk of an open stream; may carry the observed
+    /// outcome (`stream:actual`) to drive online model refinement.
+    pub const STREAM_CHUNK: &str = "stream.chunk";
+    /// Close a streaming session and report its summary.
+    pub const STREAM_END: &str = "stream.end";
 }
 
 /// Error codes (`serve:code` values on `serve:type = "error"` responses).
@@ -111,6 +119,16 @@ pub fn write_frame(w: &mut impl Write, msg: &Options) -> Result<()> {
 /// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
 /// (the peer closed the connection); a mid-frame EOF is an error.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Options>> {
+    read_frame_capped(r, MAX_FRAME)
+}
+
+/// [`read_frame`] with a configurable declared-length cap: the length
+/// prefix is checked against `max_frame` *before* the payload buffer is
+/// allocated, so a hostile prefix can never force an allocation larger
+/// than the deployment's configured bound (`--max-frame-mb`). `max_frame`
+/// is itself clamped to the protocol-wide [`MAX_FRAME`].
+pub fn read_frame_capped(r: &mut impl Read, max_frame: usize) -> Result<Option<Options>> {
+    let max_frame = max_frame.min(MAX_FRAME);
     let mut len_buf = [0u8; 4];
     let mut filled = 0usize;
     while filled < 4 {
@@ -124,9 +142,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Options>> {
         filled += n;
     }
     let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
+    if len > max_frame {
         return Err(Error::CorruptStream(format!(
-            "frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"
+            "frame length {len} exceeds the frame cap ({max_frame})"
         )));
     }
     let mut payload = vec![0u8; len];
@@ -233,6 +251,40 @@ mod tests {
         let mut buf = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
         buf.extend_from_slice(b"xx");
         assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn configured_frame_cap_rejects_before_the_protocol_ceiling() {
+        // a frame comfortably under MAX_FRAME but over the deployment cap:
+        // the declared length alone must reject it — the body is two bytes,
+        // so any attempt to read/allocate the declared size would fail loud
+        let mut buf = (1_000_000u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let err = read_frame_capped(&mut std::io::Cursor::new(buf.clone()), 64 << 10)
+            .expect_err("cap must reject the declared length");
+        assert!(
+            matches!(err, Error::CorruptStream(ref m) if m.contains("frame cap")),
+            "unexpected error: {err:?}"
+        );
+        // same bytes pass the default ceiling far enough to hit the torn body
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)),
+            Err(Error::Io(_))
+        ));
+
+        // a frame under the cap still round-trips
+        let msg = Options::new().with("serve:op", op::PING);
+        let mut small = Vec::new();
+        write_frame(&mut small, &msg).unwrap();
+        let back = read_frame_capped(&mut std::io::Cursor::new(small), 64 << 10)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, msg);
+
+        // the cap clamps to the protocol-wide MAX_FRAME
+        let mut huge = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        huge.extend_from_slice(b"xx");
+        assert!(read_frame_capped(&mut std::io::Cursor::new(huge), usize::MAX).is_err());
     }
 
     #[test]

@@ -74,6 +74,20 @@ pub struct ServeConfig {
     /// directory scan per request; a `reload` op invalidates it
     /// immediately.
     pub latest_ttl_ms: u64,
+    /// Largest declared frame length accepted from a peer, in bytes.
+    /// Clamped to [`protocol::MAX_FRAME`]; a frame declaring more is
+    /// rejected *before* any buffer is allocated, so a hostile or
+    /// corrupt length prefix cannot force a large allocation.
+    pub max_frame: usize,
+    /// Enable rolling-window online learning for streaming sessions:
+    /// `stream.chunk` ops reporting `stream:actual` feed the session's
+    /// [`crate::stream::OnlineLearner`], which periodically refits the
+    /// model on the window and installs the bumped version hot.
+    pub online: bool,
+    /// Rolling-window size for online learning (observations kept).
+    pub online_window: usize,
+    /// Refit the model every this many online observations.
+    pub online_refit_every: usize,
 }
 
 /// One extra accept endpoint (see [`ServeConfig::extra_listeners`]).
@@ -102,6 +116,10 @@ impl ServeConfig {
             extra_listeners: Vec::new(),
             shard_index: None,
             latest_ttl_ms: 2_000,
+            max_frame: protocol::MAX_FRAME,
+            online: false,
+            online_window: 64,
+            online_refit_every: 8,
         }
     }
 }
@@ -136,6 +154,12 @@ struct ServerState {
     coalesced: AtomicU64,
     /// `reload` ops handled.
     reloads: AtomicU64,
+    /// Open streaming sessions.
+    streams: crate::stream::SessionMap,
+    /// `stream.chunk` ops handled.
+    stream_chunks: AtomicU64,
+    /// Online-learning refits that produced a new model version.
+    online_refits: AtomicU64,
 }
 
 impl ServerState {
@@ -162,6 +186,9 @@ impl ServerState {
             predictions_served: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            streams: crate::stream::SessionMap::new(),
+            stream_chunks: AtomicU64::new(0),
+            online_refits: AtomicU64::new(0),
         })
     }
 
@@ -476,11 +503,17 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-/// Like [`protocol::read_frame`], but tolerant of read timeouts so an
-/// idle connection can notice the shutdown flag. Returns `Ok(None)` on a
-/// clean close or on shutdown-while-idle; mid-frame timeouts keep reading
-/// (the frame is already in flight).
-fn read_frame_polled(conn: &mut Conn, stop: &AtomicBool) -> Result<Option<Options>> {
+/// Like [`protocol::read_frame_capped`], but tolerant of read timeouts so
+/// an idle connection can notice the shutdown flag. Returns `Ok(None)` on
+/// a clean close or on shutdown-while-idle; mid-frame timeouts keep
+/// reading (the frame is already in flight). `max_frame` is the
+/// configured declared-length cap ([`ServeConfig::max_frame`]), checked
+/// before the payload buffer is allocated.
+fn read_frame_polled(
+    conn: &mut Conn,
+    stop: &AtomicBool,
+    max_frame: usize,
+) -> Result<Option<Options>> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0usize;
     while filled < 4 {
@@ -503,9 +536,10 @@ fn read_frame_polled(conn: &mut Conn, stop: &AtomicBool) -> Result<Option<Option
         }
     }
     let len = u32::from_be_bytes(len_buf) as usize;
-    if len > protocol::MAX_FRAME {
+    let max_frame = max_frame.min(protocol::MAX_FRAME);
+    if len > max_frame {
         return Err(Error::CorruptStream(format!(
-            "frame length {len} exceeds MAX_FRAME"
+            "frame length {len} exceeds the frame cap ({max_frame})"
         )));
     }
     let mut payload = vec![0u8; len];
@@ -533,7 +567,7 @@ fn connection_loop(
 ) {
     let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
     loop {
-        let request = match read_frame_polled(&mut conn, &signal.flag) {
+        let request = match read_frame_polled(&mut conn, &signal.flag, state.config.max_frame) {
             Ok(Some(req)) => req,
             Ok(None) => break,
             Err(_) => break, // torn frame / protocol violation: drop the peer
@@ -564,6 +598,12 @@ fn connection_loop(
             op::TRAIN => respond(handle_train(state, &request)),
             op::RELOAD => respond(state.reload()),
             op::TOPOLOGY => respond(topology_response(state)),
+            // streaming ops run inline on the connection thread: chunks of
+            // one stream are strictly ordered (carried state), so routing
+            // them through the batching pipeline would buy nothing
+            op::STREAM_BEGIN => respond(handle_stream_begin(state, &request)),
+            op::STREAM_CHUNK => respond(handle_stream_chunk(state, &request)),
+            op::STREAM_END => respond(handle_stream_end(state, &request)),
             op::SHUTDOWN => {
                 shutting_down = true;
                 Options::new().with("serve:type", "bye")
@@ -653,6 +693,15 @@ fn stats_response(state: &ServerState, pipeline: &Pipeline) -> Options {
         )
         .with("serve:coalesced", state.coalesced.load(Ordering::Relaxed))
         .with("serve:reloads", state.reloads.load(Ordering::Relaxed))
+        .with("serve:streams.active", state.streams.active() as u64)
+        .with(
+            "serve:stream.chunks",
+            state.stream_chunks.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:online.refits",
+            state.online_refits.load(Ordering::Relaxed),
+        )
         .with(
             "serve:models.resident",
             state
@@ -762,6 +811,233 @@ fn handle_train(state: &ServerState, request: &Options) -> Result<Options> {
         .with("serve:scheme", scheme_name)
         .with("serve:samples", features.len() as u64)
         .with("serve:fit_ms", fit_ms))
+}
+
+// ---- streaming ops ---------------------------------------------------------
+
+/// Open a streaming session. A `serve:model` reference is resolved (and
+/// loaded) now so a bad reference fails at `begin`, not mid-stream; a
+/// model-less stream needs a scheme whose predictor works untrained.
+/// Compressor knobs on the request are captured and re-applied per chunk.
+fn handle_stream_begin(state: &ServerState, request: &Options) -> Result<Options> {
+    let id = request.get_str("stream:id")?.to_string();
+    let model_name = request.get_str_opt("serve:model")?.map(str::to_string);
+    let (scheme_name, model_tag) = match &model_name {
+        Some(model_ref) => {
+            let model = state.resolve_model(model_ref)?;
+            (
+                model.scheme.clone(),
+                format!("{}@{}", model.name, model.version),
+            )
+        }
+        None => {
+            let scheme_name = request.get_str("serve:scheme")?.to_string();
+            let scheme = standard_schemes().build(&scheme_name)?;
+            if scheme.make_predictor().requires_training() {
+                return Ok(protocol::error_response(
+                    code::NOT_FOUND,
+                    format!(
+                        "scheme '{scheme_name}' needs a trained model; \
+                         train one and pass serve:model"
+                    ),
+                ));
+            }
+            (scheme_name, String::new())
+        }
+    };
+    let comp_id = request
+        .get_str_opt("serve:compressor")?
+        .unwrap_or("sz3")
+        .to_string();
+    let scheme = standard_schemes().build(&scheme_name)?;
+    if !scheme.supports(&comp_id) {
+        return Err(Error::Unsupported(format!(
+            "scheme '{scheme_name}' does not support compressor '{comp_id}'"
+        )));
+    }
+    let online = state.config.online;
+    let session = crate::stream::StreamSession {
+        id: id.clone(),
+        scheme_name: scheme_name.clone(),
+        model_name,
+        comp_id,
+        codec_options: request.clone(),
+        prev_last: None,
+        chunks: 0,
+        last_active: Instant::now(),
+        learner: online.then(|| {
+            crate::stream::OnlineLearner::new(
+                state.config.online_window,
+                state.config.online_refit_every,
+            )
+        }),
+    };
+    match state.streams.begin(session) {
+        Ok(()) => {}
+        Err(crate::stream::BeginError::Duplicate) => {
+            return Err(Error::InvalidValue {
+                key: "stream:id".into(),
+                reason: format!("stream '{id}' is already open"),
+            })
+        }
+        Err(crate::stream::BeginError::Full) => {
+            return Ok(protocol::error_response(
+                code::OVERLOADED,
+                format!(
+                    "stream sessions at capacity ({})",
+                    crate::stream::MAX_SESSIONS
+                ),
+            ))
+        }
+    }
+    pressio_obs::add_counter("serve:stream.begin", 1);
+    let mut resp = Options::new()
+        .with("serve:type", "stream.begun")
+        .with("stream:id", id)
+        .with("serve:scheme", scheme_name)
+        .with("stream:online", online);
+    if !model_tag.is_empty() {
+        resp.set("serve:model", model_tag);
+    }
+    Ok(resp)
+}
+
+/// Predict for one chunk of an open stream. The session's previous
+/// trailing timestep feeds the `temporal:*` feature group; an unpinned
+/// model reference is re-resolved per chunk so online refits (and
+/// concurrent re-trains) take effect mid-stream. With `--online` and a
+/// reported `stream:actual`, the observation feeds the session's rolling
+/// window and may trigger a versioned model refit.
+fn handle_stream_chunk(state: &ServerState, request: &Options) -> Result<Options> {
+    // failpoint: the connection stalls mid-stream (client sees latency,
+    // never corruption)
+    if let Some(pressio_faults::FaultAction::Stall(ms) | pressio_faults::FaultAction::Delay(ms)) =
+        pressio_faults::check("stream:conn.stall")
+    {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    let id = request.get_str("stream:id")?.to_string();
+    let entry = state.streams.get(&id).ok_or_else(|| Error::UnknownPlugin {
+        kind: "stream",
+        name: id.clone(),
+    })?;
+    let mut guard = entry.lock().unwrap_or_else(|e| e.into_inner());
+    let session = &mut *guard;
+    let data = protocol::data_from_request(request)?;
+    let scheme = standard_schemes().build(&session.scheme_name)?;
+    let mut comp = standard_compressors().build(&session.comp_id)?;
+    comp.set_options(&session.codec_options)?;
+    comp.set_options(request)?; // per-chunk overrides
+    let mut features = scheme.error_agnostic_features(&data)?;
+    features.merge_from(&scheme.error_dependent_features(&data, comp.as_ref())?);
+    if let Some(prev) = &session.prev_last {
+        features.merge_from(&pressio_predict::features::temporal_delta_features(
+            prev, &data,
+        ));
+    }
+    state.features_computed.fetch_add(2, Ordering::Relaxed);
+    let (prediction, model_tag) = match &session.model_name {
+        Some(model_ref) => {
+            let model = state.resolve_model(model_ref)?;
+            (
+                model.predictor.predict(&features)?,
+                format!("{}@{}", model.name, model.version),
+            )
+        }
+        None => (scheme.make_predictor().predict(&features)?, String::new()),
+    };
+    state.predictions_served.fetch_add(1, Ordering::Relaxed);
+    state.stream_chunks.fetch_add(1, Ordering::Relaxed);
+    session.chunks += 1;
+    let mut resp = prediction_response(
+        prediction,
+        false,
+        &session.scheme_name,
+        &model_tag,
+        state.config.shard_index,
+    )
+    .with("serve:type", "stream.prediction")
+    .with("stream:id", id)
+    .with("stream:seq", session.chunks);
+    if let Some(learner) = &mut session.learner {
+        if let Ok(Some(actual)) = request.get_f64_opt("stream:actual") {
+            if actual.is_finite() && actual > 0.0 {
+                let rolling = learner.observe(features, prediction, actual);
+                resp.set("stream:online.error", rolling);
+                resp.set("stream:online.observations", learner.observations() as u64);
+                if learner.should_refit() {
+                    if let Some(model_ref) = &session.model_name {
+                        // best-effort: a failed refit keeps serving the
+                        // current model version rather than failing the chunk
+                        match refit_online(state, &session.scheme_name, model_ref, learner) {
+                            Ok(version) => {
+                                resp.set("stream:online.version", version);
+                            }
+                            Err(e) => {
+                                pressio_obs::add_counter("serve:online.refit_failed", 1);
+                                resp.set("stream:online.refit_error", e.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    session.prev_last = pressio_core::chunking::last_outer_slice(&data).ok();
+    session.last_active = Instant::now();
+    Ok(resp)
+}
+
+/// Refit the scheme's predictor on the learner's rolling window and
+/// install the result as a new hot model version. The save goes through
+/// the normal versioned store, so the refit is hot-reload safe and
+/// survives a daemon restart; a version-pinned session keeps predicting
+/// with its pinned version while the bump serves unpinned traffic.
+fn refit_online(
+    state: &ServerState,
+    scheme_name: &str,
+    model_ref: &str,
+    learner: &mut crate::stream::OnlineLearner,
+) -> Result<u64> {
+    let (name, _) = parse_model_ref(model_ref)?;
+    let (features, targets) = learner.window_snapshot();
+    let scheme = standard_schemes().build(scheme_name)?;
+    let mut predictor = scheme.make_predictor();
+    let (fit_result, fit_ms) = time_ms(|| predictor.fit(&features, &targets));
+    fit_result?;
+    pressio_obs::record_ms("serve:online.fit", fit_ms);
+    let predictor_state = predictor.state()?;
+    let version = state.store.save(&name, scheme_name, &predictor_state)?;
+    state.install_model(LoadedModel {
+        name,
+        version,
+        scheme: scheme_name.to_string(),
+        predictor,
+    });
+    state.online_refits.fetch_add(1, Ordering::Relaxed);
+    pressio_obs::add_counter("serve:online.refit", 1);
+    learner.mark_refit();
+    Ok(version)
+}
+
+/// Close a streaming session and report its summary.
+fn handle_stream_end(state: &ServerState, request: &Options) -> Result<Options> {
+    let id = request.get_str("stream:id")?;
+    let entry = state.streams.end(id).ok_or_else(|| Error::UnknownPlugin {
+        kind: "stream",
+        name: id.to_string(),
+    })?;
+    let session = entry.lock().unwrap_or_else(|e| e.into_inner());
+    let mut resp = Options::new()
+        .with("serve:type", "stream.ended")
+        .with("stream:id", id)
+        .with("stream:chunks", session.chunks);
+    if let Some(learner) = &session.learner {
+        resp.set("stream:online.error", learner.rolling_error());
+        resp.set("stream:online.refits", learner.refits());
+    }
+    pressio_obs::add_counter("serve:stream.end", 1);
+    Ok(resp)
 }
 
 /// Compute the batch key for a queued op, then submit and wait for the

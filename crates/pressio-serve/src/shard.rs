@@ -72,11 +72,16 @@ pub fn route(key: &str, shards: usize) -> usize {
         .unwrap_or(0)
 }
 
-/// The routing key for a request: the data content hash when a buffer is
-/// embedded (cache affinity), else the model/scheme reference (so `train`
-/// and `load` for one model always land on the same shard), else `None`
-/// (caller picks any shard).
+/// The routing key for a request: the stream id when one is present
+/// (every chunk of a stream must land on the shard holding its session —
+/// by convention the id is the stream's content hash), else the data
+/// content hash when a buffer is embedded (cache affinity), else the
+/// model/scheme reference (so `train` and `load` for one model always
+/// land on the same shard), else `None` (caller picks any shard).
 pub fn routing_key(request: &Options) -> Option<String> {
+    if let Ok(Some(id)) = request.get_str_opt("stream:id") {
+        return Some(format!("stream:{id}"));
+    }
     if let Ok(hash) = protocol::data_content_hash(request) {
         return Some(hash);
     }

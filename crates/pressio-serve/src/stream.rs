@@ -1,0 +1,267 @@
+//! Streaming prediction sessions and the rolling-window online learner.
+//!
+//! A client streaming a chunked field (see `pressio-stream`) opens a
+//! session with `stream.begin`, sends each chunk through `stream.chunk`
+//! for a per-chunk prediction, and closes with `stream.end`. The session
+//! carries the previous chunk's trailing timestep so chunk features can
+//! include the `temporal:*` group — the same previous-timestep boundary
+//! the chained frame codec delta-codes against — without the client ever
+//! buffering more than one chunk.
+//!
+//! When the daemon runs with `--online`, each `stream.chunk` may also
+//! report the *observed* outcome (`stream:actual`, e.g. the achieved
+//! compression ratio from the encoder's chunk record). The
+//! [`OnlineLearner`] keeps a bounded rolling window of
+//! `(features, actual)` pairs and, every `refit_every` observations,
+//! refits the session's model on the window. Refits go through the
+//! normal model store (`save` bumps the version, `install_model` makes it
+//! hot), so online refinement is hot-reload safe: every response names
+//! the exact `model@version` that produced it, concurrent `predict`
+//! traffic picks the refreshed version up through the latest-version TTL
+//! cache, and a daemon restart replays from the persisted artifacts.
+
+use pressio_core::{Data, Options};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hard bound on concurrently open stream sessions per daemon.
+pub const MAX_SESSIONS: usize = 128;
+
+/// Sessions idle longer than this are reaped when a new one begins.
+const IDLE_EXPIRY: Duration = Duration::from_secs(300);
+
+/// Rolling window of `(features, actual)` observations driving online
+/// model refinement, plus the rolling prediction-error trajectory.
+#[derive(Debug)]
+pub struct OnlineLearner {
+    window: VecDeque<(Options, f64)>,
+    window_cap: usize,
+    refit_every: usize,
+    since_refit: usize,
+    errors: VecDeque<f64>,
+    refits: u64,
+}
+
+impl OnlineLearner {
+    /// A learner keeping at most `window_cap` observations and refitting
+    /// every `refit_every` of them. Both are clamped to at least 1.
+    pub fn new(window_cap: usize, refit_every: usize) -> OnlineLearner {
+        OnlineLearner {
+            window: VecDeque::new(),
+            window_cap: window_cap.max(1),
+            refit_every: refit_every.max(1),
+            since_refit: 0,
+            errors: VecDeque::new(),
+            refits: 0,
+        }
+    }
+
+    /// Record one `(features, predicted, actual)` triple. Returns the
+    /// rolling mean relative error after this observation.
+    pub fn observe(&mut self, features: Options, predicted: f64, actual: f64) -> f64 {
+        let rel = (predicted - actual).abs() / actual.abs().max(1e-12);
+        self.errors.push_back(rel);
+        while self.errors.len() > self.window_cap {
+            self.errors.pop_front();
+        }
+        self.window.push_back((features, actual));
+        while self.window.len() > self.window_cap {
+            self.window.pop_front();
+        }
+        self.since_refit += 1;
+        self.rolling_error()
+    }
+
+    /// Mean relative error over the rolling window (0 before any
+    /// observation).
+    pub fn rolling_error(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Whether enough observations accumulated since the last refit. A
+    /// refit also needs at least 4 window samples so tiny windows never
+    /// feed a degenerate fit.
+    pub fn should_refit(&self) -> bool {
+        self.since_refit >= self.refit_every && self.window.len() >= 4
+    }
+
+    /// Snapshot the window as parallel `(features, targets)` vectors for
+    /// a predictor fit.
+    pub fn window_snapshot(&self) -> (Vec<Options>, Vec<f64>) {
+        let features = self.window.iter().map(|(f, _)| f.clone()).collect();
+        let targets = self.window.iter().map(|(_, t)| *t).collect();
+        (features, targets)
+    }
+
+    /// Reset the refit cadence counter after a successful refit.
+    pub fn mark_refit(&mut self) {
+        self.since_refit = 0;
+        self.refits += 1;
+    }
+
+    /// Observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Successful refits so far.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+}
+
+/// One open streaming session.
+pub(crate) struct StreamSession {
+    /// Client-chosen identifier (by convention the stream's content
+    /// hash), also the shard routing key for every op that carries it.
+    pub(crate) id: String,
+    pub(crate) scheme_name: String,
+    /// Unversioned model name; `None` streams against the scheme's
+    /// untrained (analytic) predictor.
+    pub(crate) model_name: Option<String>,
+    pub(crate) comp_id: String,
+    /// Compressor knobs captured at `stream.begin`, re-applied per chunk.
+    pub(crate) codec_options: Options,
+    /// Trailing outer slice of the previous chunk — the carried state for
+    /// `temporal:*` features.
+    pub(crate) prev_last: Option<Data>,
+    pub(crate) chunks: u64,
+    pub(crate) last_active: Instant,
+    pub(crate) learner: Option<OnlineLearner>,
+}
+
+/// The daemon's registry of open sessions: bounded, idle-reaped, each
+/// session under its own lock so long feature extractions never block
+/// unrelated streams.
+pub(crate) struct SessionMap {
+    inner: Mutex<HashMap<String, Arc<Mutex<StreamSession>>>>,
+}
+
+/// Why a `stream.begin` was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum BeginError {
+    /// The id is already an open session.
+    Duplicate,
+    /// The registry is at [`MAX_SESSIONS`] even after reaping idle ones.
+    Full,
+}
+
+impl SessionMap {
+    pub(crate) fn new() -> SessionMap {
+        SessionMap {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Open a session, reaping idle sessions first if at capacity.
+    pub(crate) fn begin(&self, session: StreamSession) -> Result<(), BeginError> {
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(&session.id) {
+            return Err(BeginError::Duplicate);
+        }
+        if map.len() >= MAX_SESSIONS {
+            map.retain(|_, entry| match entry.try_lock() {
+                Ok(s) => s.last_active.elapsed() < IDLE_EXPIRY,
+                Err(_) => true, // mid-chunk: definitionally not idle
+            });
+        }
+        if map.len() >= MAX_SESSIONS {
+            return Err(BeginError::Full);
+        }
+        map.insert(session.id.clone(), Arc::new(Mutex::new(session)));
+        Ok(())
+    }
+
+    pub(crate) fn get(&self, id: &str) -> Option<Arc<Mutex<StreamSession>>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// Close and return a session.
+    pub(crate) fn end(&self, id: &str) -> Option<Arc<Mutex<StreamSession>>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(id)
+    }
+
+    pub(crate) fn active(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(id: &str) -> StreamSession {
+        StreamSession {
+            id: id.to_string(),
+            scheme_name: "rahman2023".into(),
+            model_name: None,
+            comp_id: "sz3".into(),
+            codec_options: Options::new(),
+            prev_last: None,
+            chunks: 0,
+            last_active: Instant::now(),
+            learner: None,
+        }
+    }
+
+    #[test]
+    fn learner_rolls_its_window_and_error() {
+        let mut learner = OnlineLearner::new(4, 2);
+        // first observations: large error, then perfect predictions
+        learner.observe(Options::new(), 2.0, 1.0); // rel 1.0
+        assert!((learner.rolling_error() - 1.0).abs() < 1e-12);
+        for _ in 0..4 {
+            learner.observe(Options::new(), 1.0, 1.0);
+        }
+        // the bad first observation fell out of the window
+        assert_eq!(learner.observations(), 4);
+        assert_eq!(learner.rolling_error(), 0.0);
+    }
+
+    #[test]
+    fn refit_cadence_requires_count_and_window() {
+        let mut learner = OnlineLearner::new(16, 3);
+        for _ in 0..3 {
+            learner.observe(Options::new(), 1.0, 1.0);
+        }
+        // cadence reached but window < 4
+        assert!(!learner.should_refit());
+        learner.observe(Options::new(), 1.0, 1.0);
+        assert!(learner.should_refit());
+        learner.mark_refit();
+        assert!(!learner.should_refit());
+        assert_eq!(learner.refits(), 1);
+        let (features, targets) = learner.window_snapshot();
+        assert_eq!(features.len(), 4);
+        assert_eq!(targets, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn session_map_bounds_and_duplicates() {
+        let map = SessionMap::new();
+        assert!(map.begin(session("a")).is_ok());
+        assert_eq!(map.begin(session("a")), Err(BeginError::Duplicate));
+        for i in 0..MAX_SESSIONS - 1 {
+            assert!(map.begin(session(&format!("s{i}"))).is_ok());
+        }
+        // full, and nothing is idle yet
+        assert_eq!(map.begin(session("overflow")), Err(BeginError::Full));
+        assert_eq!(map.active(), MAX_SESSIONS);
+        assert!(map.end("a").is_some());
+        assert!(map.end("a").is_none());
+        assert!(map.begin(session("overflow")).is_ok());
+        assert!(map.get("overflow").is_some());
+        assert!(map.get("missing").is_none());
+    }
+}

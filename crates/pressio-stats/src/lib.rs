@@ -15,6 +15,8 @@
 //!   augmentation (Rahman 2023).
 //! - [`variogram`] — spatial-correlation features (Krasowska 2021).
 //! - [`kfold`] — deterministic k-fold cross-validation splits (§4.3).
+//! - [`temporal`] — previous-timestep delta statistics for streaming
+//!   time-series prediction (LFZip-style residual summaries).
 //! - [`conformal`] — split conformal prediction intervals (Ganguli 2023).
 
 #![warn(missing_docs)]
@@ -29,6 +31,7 @@ pub mod linalg;
 pub mod mlp;
 pub mod regression;
 pub mod spline;
+pub mod temporal;
 pub mod tree;
 pub mod variogram;
 
@@ -41,5 +44,6 @@ pub use linalg::{singular_values, svd_truncation_fraction, Matrix};
 pub use mlp::{Mlp, MlpParams};
 pub use regression::LinearModel;
 pub use spline::NaturalSpline;
+pub use temporal::{temporal_delta, TemporalDelta};
 pub use tree::{RegressionTree, TreeParams};
 pub use variogram::{variogram, variogram_score};

@@ -1,0 +1,134 @@
+//! Temporal-delta statistics between consecutive timesteps.
+//!
+//! The LFZip observation: for correlated time series, the previous
+//! timestep is a strong predictor of the current one, and the statistics
+//! of the *residual* (current − previous) — not of the raw values — are
+//! what govern how well a chained lossy codec will do. These summaries
+//! feed the `temporal:*` feature group used by streaming prediction.
+
+use crate::summarize;
+
+/// Summary of how one timestep relates to its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalDelta {
+    /// Mean of `|cur - prev|`.
+    pub mean_abs_delta: f64,
+    /// Root-mean-square of `cur - prev`.
+    pub rms_delta: f64,
+    /// Largest `|cur - prev|`.
+    pub max_abs_delta: f64,
+    /// Range (max − min) of the signed delta.
+    pub delta_range: f64,
+    /// Pearson correlation between `prev` and `cur` (0 when degenerate).
+    pub correlation: f64,
+    /// `std(cur) / std(cur − prev)` — how much a previous-timestep hold
+    /// predictor shrinks the signal a codec has to encode (≥ 1 means the
+    /// residual is easier than the raw values; 1 when degenerate).
+    pub hold_gain: f64,
+}
+
+/// Compute [`TemporalDelta`] over two equal-length value slices.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn temporal_delta(prev: &[f64], cur: &[f64]) -> TemporalDelta {
+    assert_eq!(prev.len(), cur.len(), "timesteps must have equal length");
+    assert!(!cur.is_empty(), "timesteps must be non-empty");
+    let n = cur.len() as f64;
+
+    let deltas: Vec<f64> = cur.iter().zip(prev.iter()).map(|(c, p)| c - p).collect();
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut max_abs = 0.0f64;
+    let (mut dmin, mut dmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &d in &deltas {
+        abs_sum += d.abs();
+        sq_sum += d * d;
+        max_abs = max_abs.max(d.abs());
+        dmin = dmin.min(d);
+        dmax = dmax.max(d);
+    }
+
+    let sp = summarize(prev);
+    let sc = summarize(cur);
+    let mut cov = 0.0;
+    for (p, c) in prev.iter().zip(cur.iter()) {
+        cov += (p - sp.mean) * (c - sc.mean);
+    }
+    cov /= n;
+    let denom = (sp.variance * sc.variance).sqrt();
+    let correlation = if denom > 0.0 && denom.is_finite() {
+        (cov / denom).clamp(-1.0, 1.0)
+    } else {
+        0.0
+    };
+
+    let sd = summarize(&deltas);
+    let cur_std = sc.variance.sqrt();
+    let delta_std = sd.variance.sqrt();
+    let hold_gain = if delta_std > 0.0 && cur_std.is_finite() {
+        cur_std / delta_std
+    } else {
+        1.0
+    };
+
+    TemporalDelta {
+        mean_abs_delta: abs_sum / n,
+        rms_delta: (sq_sum / n).sqrt(),
+        max_abs_delta: max_abs,
+        delta_range: dmax - dmin,
+        correlation,
+        hold_gain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_timesteps_have_zero_delta_and_full_correlation() {
+        let v: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let td = temporal_delta(&v, &v);
+        assert_eq!(td.mean_abs_delta, 0.0);
+        assert_eq!(td.rms_delta, 0.0);
+        assert_eq!(td.max_abs_delta, 0.0);
+        assert_eq!(td.delta_range, 0.0);
+        assert!((td.correlation - 1.0).abs() < 1e-12);
+        assert_eq!(td.hold_gain, 1.0); // degenerate: zero residual std
+    }
+
+    #[test]
+    fn constant_shift_is_pure_delta() {
+        let prev: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let cur: Vec<f64> = prev.iter().map(|v| v + 2.5).collect();
+        let td = temporal_delta(&prev, &cur);
+        assert!((td.mean_abs_delta - 2.5).abs() < 1e-12);
+        assert!((td.rms_delta - 2.5).abs() < 1e-12);
+        assert!((td.max_abs_delta - 2.5).abs() < 1e-12);
+        assert!(td.delta_range.abs() < 1e-12);
+        assert!((td.correlation - 1.0).abs() < 1e-12);
+        assert_eq!(td.hold_gain, 1.0); // constant residual: zero std again
+    }
+
+    #[test]
+    fn correlated_drift_yields_high_hold_gain() {
+        // smooth signal, small temporal increment: residual std << signal std
+        let prev: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).sin() * 10.0).collect();
+        let cur: Vec<f64> = (0..256)
+            .map(|i| (i as f64 * 0.05).sin() * 10.0 + (i as f64 * 0.3).cos() * 0.01)
+            .collect();
+        let td = temporal_delta(&prev, &cur);
+        assert!(td.hold_gain > 100.0, "hold_gain {} too small", td.hold_gain);
+        assert!(td.correlation > 0.999);
+    }
+
+    #[test]
+    fn anticorrelated_signals_detected() {
+        let prev: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let cur: Vec<f64> = prev.iter().map(|v| -v).collect();
+        let td = temporal_delta(&prev, &cur);
+        assert!(td.correlation < -0.999);
+        assert!(td.hold_gain < 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Dispatch to the codecs' stateful chunk entry points.
+
+use pressio_core::error::{Error, Result};
+use pressio_core::{Compressor, Data, Dtype, Options};
+use pressio_sz::SzCompressor;
+use pressio_zfp::ZfpCompressor;
+
+/// The codecs a stream can carry, dispatching to their streaming entry
+/// points (`encode_chunk`/`decode_chunk`).
+#[derive(Clone)]
+pub enum ChunkCodec {
+    /// SZ3-style prediction + quantization codec.
+    Sz(SzCompressor),
+    /// ZFP-style transform codec.
+    Zfp(ZfpCompressor),
+}
+
+impl ChunkCodec {
+    /// Instantiate `codec_id` with the header's passthrough options.
+    pub fn new(codec_id: &str, options: &Options) -> Result<ChunkCodec> {
+        match codec_id {
+            "sz3" => {
+                let mut c = SzCompressor::new();
+                c.set_options(options)?;
+                Ok(ChunkCodec::Sz(c))
+            }
+            "zfp" => {
+                let mut c = ZfpCompressor::new();
+                c.set_options(options)?;
+                Ok(ChunkCodec::Zfp(c))
+            }
+            other => Err(Error::UnknownPlugin {
+                kind: "stream codec",
+                name: other.into(),
+            }),
+        }
+    }
+
+    /// Stable codec id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ChunkCodec::Sz(c) => c.id(),
+            ChunkCodec::Zfp(c) => c.id(),
+        }
+    }
+
+    /// Encode one chunk (see `SzCompressor::encode_chunk`).
+    pub fn encode_chunk(&self, chunk: &Data, carried: Option<&Data>) -> Result<(Vec<u8>, Data)> {
+        match self {
+            ChunkCodec::Sz(c) => c.encode_chunk(chunk, carried),
+            ChunkCodec::Zfp(c) => c.encode_chunk(chunk, carried),
+        }
+    }
+
+    /// Decode one chunk (see `SzCompressor::decode_chunk`).
+    pub fn decode_chunk(
+        &self,
+        compressed: &[u8],
+        dtype: Dtype,
+        dims: &[usize],
+        carried: Option<&Data>,
+    ) -> Result<Data> {
+        match self {
+            ChunkCodec::Sz(c) => c.decode_chunk(compressed, dtype, dims, carried),
+            ChunkCodec::Zfp(c) => c.decode_chunk(compressed, dtype, dims, carried),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Fuzz the PSTF frame parser: `StreamDecoder`/`scan_info` must never
+//! panic on adversarial streams — torn prefixes, lying lengths, hostile
+//! dimension products, checksum-passing-but-malformed JSON headers — only
+//! return `Ok`/`Err`, and a reject must be atomic (no state poisoning a
+//! later parse of valid bytes). Cases are seeded mutations of real streams
+//! (`pressio_core::fuzz`), replayable from the `seed`/`iteration` pair in
+//! any failure message; the nightly CI tier deepens the run via
+//! `PRESSIO_FUZZ_ITERS`.
+
+use pressio_core::fuzz::Fuzzer;
+use pressio_core::{Data, Dtype, Options};
+use pressio_stream::{compress_stream, decompress_stream, scan_info, StreamHeader};
+
+/// Real streams of every shape the encoder produces: both codecs, both
+/// dtypes, chained and independent, rank-1 through rank-3 slices,
+/// single-chunk and multi-chunk.
+fn corpus() -> Vec<Vec<u8>> {
+    let mut streams = Vec::new();
+    let cases: &[(&str, Dtype, Vec<usize>, usize, bool)] = &[
+        ("sz3", Dtype::F32, vec![12, 8, 5], 2, false),
+        ("sz3", Dtype::F64, vec![40, 6], 3, true),
+        ("zfp", Dtype::F32, vec![9, 9, 4], 4, true),
+        ("zfp", Dtype::F64, vec![16, 3], 1, false),
+        ("sz3", Dtype::F32, vec![7], 8, false),
+    ];
+    for (codec, dtype, dims, chunk_outer, chained) in cases {
+        let n: usize = dims.iter().product();
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.03).sin() * 5.0).collect();
+        let data = match dtype {
+            Dtype::F32 => {
+                Data::from_f32(dims.clone(), values.into_iter().map(|v| v as f32).collect())
+            }
+            _ => Data::from_f64(dims.clone(), values),
+        };
+        let header = StreamHeader {
+            codec: (*codec).into(),
+            dtype: *dtype,
+            inner_dims: dims[..dims.len() - 1].to_vec(),
+            chunk_outer: *chunk_outer,
+            chained: *chained,
+            codec_options: Options::new().with("pressio:abs", 1e-3),
+        };
+        streams.push(compress_stream(&data, header).unwrap());
+    }
+    streams
+}
+
+#[test]
+fn frame_parse_never_panics_on_mutated_streams() {
+    let corpus = corpus();
+    Fuzzer::from_env(600).run(&corpus, |case| {
+        let _ = scan_info(case);
+        let _ = decompress_stream(case);
+    });
+}
+
+#[test]
+fn reject_path_is_atomic() {
+    // a rejected stream must not poison anything: the same valid stream
+    // decodes identically before and after arbitrary rejected inputs
+    let corpus = corpus();
+    let reference = decompress_stream(&corpus[0]).unwrap().to_le_bytes();
+    Fuzzer::from_env(300).run(&corpus, |case| {
+        let _ = decompress_stream(case);
+        let again = decompress_stream(&corpus[0])
+            .expect("valid stream must still decode")
+            .to_le_bytes();
+        assert_eq!(again, reference, "reject leaked state into a later decode");
+    });
+}

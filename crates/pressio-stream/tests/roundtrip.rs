@@ -1,0 +1,176 @@
+//! Property coverage for the PSTF streaming path.
+//!
+//! Independent-chunk mode is pinned byte-for-byte: each streamed chunk is
+//! compressed exactly as a whole-buffer compression of that chunk, so the
+//! streamed decode must equal the concatenation of per-chunk whole-buffer
+//! roundtrips bit-for-bit — across both dtypes, both codecs, and chunk
+//! sizes that straddle the outer extent (1, divisors, non-divisors,
+//! larger-than-stream). Chained mode is held to the codec's absolute
+//! error bound (plus one float-rounding step for the carried-state add).
+
+use pressio_core::chunking::{slice_outer, OuterChunks};
+use pressio_core::{Compressor, Data, Dtype, Options};
+use pressio_stream::{compress_stream, decompress_stream, StreamDecoder, StreamHeader};
+use proptest::prelude::*;
+use proptest::strategy;
+
+/// Deterministic synthetic time series: smooth field + slow drift + noise.
+fn synth(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|i| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (i as f64 * 0.017).sin() * 8.0 + (i as f64 * 0.0009).cos() * 3.0 + noise * 0.1
+        })
+        .collect()
+}
+
+fn make_data(dims: &[usize], seed: u64, f32_input: bool) -> (Data, Dtype) {
+    let n: usize = dims.iter().product();
+    let values = synth(n, seed);
+    if f32_input {
+        (
+            Data::from_f32(
+                dims.to_vec(),
+                values.into_iter().map(|v| v as f32).collect(),
+            ),
+            Dtype::F32,
+        )
+    } else {
+        (Data::from_f64(dims.to_vec(), values), Dtype::F64)
+    }
+}
+
+/// Inner shapes from rank-1 streams to 3-D slices.
+fn inner_strategy() -> strategy::OneOf<Vec<usize>> {
+    prop_oneof![
+        Just(vec![]),
+        (8usize..40).prop_map(|a| vec![a]),
+        ((4usize..14), (4usize..14)).prop_map(|(a, b)| vec![a, b]),
+        ((3usize..8), (3usize..8), (3usize..8)).prop_map(|(a, b, c)| vec![a, b, c]),
+    ]
+}
+
+fn header(
+    codec: &str,
+    dtype: Dtype,
+    inner: &[usize],
+    chunk_outer: usize,
+    chained: bool,
+) -> StreamHeader {
+    StreamHeader {
+        codec: codec.into(),
+        dtype,
+        inner_dims: inner.to_vec(),
+        chunk_outer,
+        chained,
+        codec_options: Options::new().with("pressio:abs", 1e-4),
+    }
+}
+
+fn codec_for(header: &StreamHeader) -> Box<dyn Compressor> {
+    let mut c: Box<dyn Compressor> = if header.codec == "sz3" {
+        Box::new(pressio_sz::SzCompressor::new())
+    } else {
+        Box::new(pressio_zfp::ZfpCompressor::new())
+    };
+    c.set_options(&header.codec_options).unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn independent_stream_equals_chunkwise_whole_buffer_roundtrip(
+        inner in inner_strategy(),
+        outer in 1usize..14,
+        chunk_outer in 1usize..6,
+        seed in any::<u64>(),
+        f32_input in any::<bool>(),
+        use_zfp in any::<bool>(),
+    ) {
+        let mut dims = inner.clone();
+        dims.push(outer);
+        let (data, dtype) = make_data(&dims, seed, f32_input);
+        let codec_id = if use_zfp { "zfp" } else { "sz3" };
+        let h = header(codec_id, dtype, &inner, chunk_outer, false);
+
+        let stream = compress_stream(&data, h.clone()).unwrap();
+        let streamed = decompress_stream(&stream).unwrap();
+
+        // reference: whole-buffer roundtrip of each chunk independently
+        let codec = codec_for(&h);
+        let mut reference = Vec::new();
+        for (start, count) in OuterChunks::new(outer, chunk_outer).unwrap() {
+            let chunk = slice_outer(&data, start, count).unwrap();
+            let comp = codec.compress(&chunk).unwrap();
+            let dec = codec.decompress(&comp, dtype, chunk.dims()).unwrap();
+            reference.extend_from_slice(&dec.to_le_bytes());
+        }
+        prop_assert_eq!(streamed.dims(), data.dims());
+        prop_assert!(
+            streamed.to_le_bytes() == reference,
+            "streamed decode diverged from chunk-wise whole-buffer roundtrip \
+             (codec {}, dims {:?}, chunk_outer {})",
+            codec_id, dims, chunk_outer
+        );
+    }
+
+    #[test]
+    fn chained_stream_respects_abs_bound(
+        inner in inner_strategy(),
+        outer in 2usize..12,
+        chunk_outer in 1usize..5,
+        seed in any::<u64>(),
+        f32_input in any::<bool>(),
+        use_zfp in any::<bool>(),
+    ) {
+        let mut dims = inner.clone();
+        dims.push(outer);
+        let (data, dtype) = make_data(&dims, seed, f32_input);
+        let codec_id = if use_zfp { "zfp" } else { "sz3" };
+        let h = header(codec_id, dtype, &inner, chunk_outer, true);
+        let abs = 1e-4;
+        // f32 inputs round at the storage precision on top of the bound
+        let slack = if f32_input { abs * 1.01 + 2e-3 } else { abs * 1.01 + 1e-12 };
+
+        let stream = compress_stream(&data, h).unwrap();
+        let decoded = decompress_stream(&stream).unwrap();
+        prop_assert_eq!(decoded.dims(), data.dims());
+        let orig = data.to_f64_vec();
+        let back = decoded.to_f64_vec();
+        let mut worst = 0.0f64;
+        for (a, b) in orig.iter().zip(back.iter()) {
+            worst = worst.max((a - b).abs());
+        }
+        prop_assert!(worst <= slack, "chained bound violated: {} > {}", worst, slack);
+    }
+
+    #[test]
+    fn decoder_counters_and_scan_agree(
+        outer in 1usize..10,
+        chunk_outer in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let dims = vec![24usize, outer];
+        let (data, dtype) = make_data(&dims, seed, true);
+        let h = header("sz3", dtype, &[24], chunk_outer, false);
+        let stream = compress_stream(&data, h).unwrap();
+
+        let summary = pressio_stream::scan_info(&stream[..]).unwrap();
+        let want_chunks = outer.div_ceil(chunk_outer);
+        prop_assert_eq!(summary.chunks.len(), want_chunks);
+        prop_assert_eq!(summary.end.total_outer, outer as u64);
+        prop_assert_eq!(summary.raw_bytes, (24 * outer * 4) as u64);
+
+        let mut decoder = StreamDecoder::new(&stream[..]).unwrap();
+        while decoder.next_chunk().unwrap().is_some() {}
+        prop_assert!(decoder.finished());
+        prop_assert_eq!(decoder.chunks_seen() as usize, want_chunks);
+        prop_assert_eq!(decoder.outer_seen(), outer as u64);
+    }
+}

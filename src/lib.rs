@@ -34,6 +34,7 @@ pub use pressio_lossless as lossless;
 pub use pressio_obs as obs;
 pub use pressio_predict as predict;
 pub use pressio_stats as stats;
+pub use pressio_stream as stream;
 pub use pressio_sz as sz;
 pub use pressio_zfp as zfp;
 
