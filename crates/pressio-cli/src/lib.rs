@@ -146,6 +146,11 @@ pub enum Command {
         /// Declared-frame-length cap in MiB (0 = protocol default);
         /// oversized frames are rejected before allocation.
         max_frame_mb: usize,
+        /// Reap streaming sessions idle longer than this many seconds.
+        stream_idle_secs: u64,
+        /// Journal streaming sessions for crash-safe `stream.resume`
+        /// (`--no-stream-journal` disables it).
+        stream_journal: bool,
     },
     /// Send one request to a running daemon and print the JSON response.
     Query {
@@ -329,6 +334,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
     let mut online_window = 64usize;
     let mut refit_every = 8usize;
     let mut max_frame_mb = 0usize;
+    let mut stream_idle_secs = 300u64;
+    let mut stream_journal = true;
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
             "-i" | "--input" => input = Some(PathBuf::from(flag_value(&mut args, &arg)?)),
@@ -460,6 +467,12 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
                     .parse()
                     .map_err(|_| usage_error("--max-frame-mb needs a number of MiB"))?;
             }
+            "--stream-idle-secs" => {
+                stream_idle_secs = flag_value(&mut args, &arg)?
+                    .parse()
+                    .map_err(|_| usage_error("--stream-idle-secs needs a number of seconds"))?;
+            }
+            "--no-stream-journal" => stream_journal = false,
             "--psnr" => {
                 let v: f64 = flag_value(&mut args, &arg)?
                     .parse()
@@ -551,6 +564,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Command> {
             online_window,
             refit_every,
             max_frame_mb,
+            stream_idle_secs,
+            stream_journal,
         }),
         "query" => Ok(Command::Query {
             endpoint: endpoint.ok_or_else(|| usage_error("query requires --socket or --tcp"))?,
@@ -892,6 +907,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             online_window,
             refit_every,
             max_frame_mb,
+            stream_idle_secs,
+            stream_journal,
         } => {
             let collector = match &trace {
                 Some(path) => {
@@ -912,6 +929,8 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
             config.online = online;
             config.online_window = online_window;
             config.online_refit_every = refit_every;
+            config.stream_idle_secs = stream_idle_secs;
+            config.stream_journal = stream_journal;
             if max_frame_mb > 0 {
                 config.max_frame = max_frame_mb << 20;
             }
@@ -1243,28 +1262,55 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                 if let Some(s) = &scheme {
                     extra.set("serve:scheme", s.as_str());
                 }
-                let mut client = pressio_serve::Client::connect(&endpoint)?;
-                let begun = client.stream_begin(&stream_id, &extra)?;
-                fail(&begun)?;
-                writeln!(
-                    out,
-                    "stream {stream_id}: {} chunks of {} outer slices, online={}",
-                    outer.div_ceil(chunk),
-                    chunk,
-                    begun.get_bool("stream:online").unwrap_or(false)
-                )?;
-                // local encoder to a sink: per-chunk achieved ratios for
-                // stream:actual without buffering the compressed stream
+                // precompute every (chunk, achieved ratio) up front — the
+                // resilient sender may rewind and re-send any seq after a
+                // crash, so each chunk must be addressable by seq, not
+                // consumed from a forward-only iterator. The local encoder
+                // writes to a sink: per-chunk achieved ratios for
+                // stream:actual without buffering the compressed stream.
                 let mut encoder = pressio_stream::StreamEncoder::new(std::io::sink(), header)?;
+                let mut chunks = Vec::new();
                 for (start, count) in pressio_core::chunking::OuterChunks::new(outer, chunk)? {
                     let chunk_data = pressio_core::chunking::slice_outer(&data, start, count)?;
                     let record = encoder.write_chunk(&chunk_data)?;
                     let actual = record.raw_len as f64 / record.comp_len.max(1) as f64;
-                    let resp = client.stream_chunk(
-                        &stream_id,
-                        &chunk_data,
-                        &Options::new().with("stream:actual", actual),
+                    chunks.push((start, count, chunk_data, actual));
+                }
+                // a daemon crash + respawn (or a supervisor failover) can
+                // take far longer than the default client retry budget;
+                // give the interactive sender room to ride it out
+                let mut sender = pressio_serve::ResilientStreamSender::new(
+                    endpoint,
+                    stream_id.clone(),
+                    pressio_serve::RetryPolicy {
+                        max_attempts: 12,
+                        base_ms: 25,
+                        max_ms: 500,
+                    },
+                );
+                let begun = sender.begin(&extra)?;
+                fail(&begun)?;
+                writeln!(
+                    out,
+                    "stream {stream_id}: {} chunks of {} outer slices, online={}",
+                    chunks.len(),
+                    chunk,
+                    begun.get_bool_opt("stream:online")?.unwrap_or(false)
+                )?;
+                while sender.next_seq() <= chunks.len() as u64 {
+                    let seq = sender.next_seq();
+                    let (start, count, chunk_data, actual) = &chunks[seq as usize - 1];
+                    let resp = sender.send_chunk(
+                        seq,
+                        chunk_data,
+                        &Options::new().with("stream:actual", *actual),
                     )?;
+                    if resp.get_str_opt("serve:type")? == Some("stream.rewound") {
+                        // a crash tore the journal tail: the server acked
+                        // less than we sent, so replay from its offset
+                        writeln!(out, "rewound to chunk {}", sender.next_seq())?;
+                        continue;
+                    }
                     fail(&resp)?;
                     write!(
                         out,
@@ -1279,11 +1325,17 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                     if let Some(err) = resp.get_f64_opt("stream:online.error")? {
                         write!(out, ", rolling error {err:.3}")?;
                     }
+                    if resp.get_bool_opt("stream:replayed")?.unwrap_or(false) {
+                        write!(out, " (replayed)")?;
+                    }
                     writeln!(out)?;
                 }
-                let ended = client.stream_end(&stream_id)?;
+                let ended = sender.end()?;
                 fail(&ended)?;
                 write!(out, "ended: {} chunks", ended.get_u64("stream:chunks")?)?;
+                if let Some(observed) = ended.get_u64_opt("stream:observed")? {
+                    write!(out, ", observed {observed}")?;
+                }
                 if let Some(refits) = ended.get_u64_opt("stream:online.refits")? {
                     write!(out, ", {refits} online refits")?;
                 }
@@ -1291,6 +1343,15 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<()> {
                     write!(out, ", final rolling error {err:.3}")?;
                 }
                 writeln!(out)?;
+                if sender.resumes() > 0 || sender.replays() > 0 {
+                    writeln!(
+                        out,
+                        "recovered: resumes={} replays={} retries={}",
+                        sender.resumes(),
+                        sender.replays(),
+                        sender.retries()
+                    )?;
+                }
                 Ok(())
             }
         },
@@ -1933,16 +1994,49 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        // defaults: online off, protocol-default frame cap
+        // defaults: online off, protocol-default frame cap, journaled
+        // sessions reaped after five idle minutes
         let cmd = parse(&["serve", "--tcp", "127.0.0.1:0", "--models", "/tmp/m"]).unwrap();
         assert!(matches!(
             cmd,
             Command::Serve {
                 online: false,
                 max_frame_mb: 0,
+                stream_idle_secs: 300,
+                stream_journal: true,
                 ..
             }
         ));
+        // resume/reap knobs
+        let cmd = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--models",
+            "/tmp/m",
+            "--stream-idle-secs",
+            "7",
+            "--no-stream-journal",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                stream_idle_secs: 7,
+                stream_journal: false,
+                ..
+            }
+        ));
+        let err = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--models",
+            "/tmp/m",
+            "--stream-idle-secs",
+            "soon",
+        ]);
+        assert!(err.is_err(), "--stream-idle-secs must be numeric");
     }
 
     #[test]

@@ -83,9 +83,18 @@ impl ShardSpawner for ProcessSpawner {
             .args(["--cache", &config.cache_entries.to_string()])
             .args(["--deadline", &config.default_deadline_ms.to_string()])
             .args(["--shard-index", &index.to_string()])
+            .args(["--stream-idle-secs", &config.stream_idle_secs.to_string()])
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        if config.online {
+            cmd.arg("--online")
+                .args(["--online-window", &config.online_window.to_string()])
+                .args(["--refit-every", &config.online_refit_every.to_string()]);
+        }
+        if !config.stream_journal {
+            cmd.arg("--no-stream-journal");
+        }
         for extra in &config.extra_listeners {
             if let (Endpoint::Tcp(addr), true) = (&extra.endpoint, extra.reuseport) {
                 cmd.args(["--shared-tcp", addr]);

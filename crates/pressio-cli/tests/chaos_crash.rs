@@ -41,12 +41,14 @@ fn spawn_daemon(socket: &Path, models: &Path, faults: Option<&str>) -> Child {
 
 fn wait_for_socket(socket: &Path) {
     for _ in 0..100 {
-        if socket.exists() {
+        // probe an actual connection: the socket file exists between
+        // bind() and listen(), when a connect still gets refused
+        if std::os::unix::net::UnixStream::connect(socket).is_ok() {
             return;
         }
         std::thread::sleep(Duration::from_millis(100));
     }
-    panic!("daemon never created {}", socket.display());
+    panic!("daemon never listened on {}", socket.display());
 }
 
 fn train_request(model: &str) -> Options {

@@ -220,6 +220,51 @@ impl Client {
                 .with("stream:id", stream_id),
         )
     }
+
+    /// Build a seq-tagged `stream.chunk` request. Tagging the 1-based
+    /// `seq` makes the chunk idempotent: replaying a seq at or below the
+    /// server's acked offset answers from the cached outcome without
+    /// re-feeding the online learner.
+    pub fn stream_chunk_request(
+        stream_id: &str,
+        seq: u64,
+        chunk: &Data,
+        extra: &Options,
+    ) -> Options {
+        let mut req = extra
+            .clone()
+            .with("serve:op", op::STREAM_CHUNK)
+            .with("stream:id", stream_id)
+            .with("stream:seq", seq);
+        protocol::data_into_request(&mut req, chunk);
+        req
+    }
+
+    /// Seq-tagged [`stream_chunk`](Self::stream_chunk): idempotent under
+    /// replay (see [`stream_chunk_request`](Self::stream_chunk_request)).
+    pub fn stream_chunk_at(
+        &mut self,
+        stream_id: &str,
+        seq: u64,
+        chunk: &Data,
+        extra: &Options,
+    ) -> Result<Options> {
+        self.call(&Self::stream_chunk_request(stream_id, seq, chunk, extra))
+    }
+
+    /// `stream.resume` → rehydrate a session after a disconnect or crash.
+    /// `token` is the session token from `stream.begun`; `acked` is the
+    /// client's last-acked chunk offset. The `stream.resumed` response
+    /// carries the server's authoritative `stream:acked` to replay from.
+    pub fn stream_resume(&mut self, stream_id: &str, token: &str, acked: u64) -> Result<Options> {
+        self.call(
+            &Options::new()
+                .with("serve:op", op::STREAM_RESUME)
+                .with("stream:id", stream_id)
+                .with("stream:token", token)
+                .with("stream:acked", acked),
+        )
+    }
 }
 
 /// A topology-aware client: fetches the shard [`Topology`] once from the

@@ -25,17 +25,26 @@
 //!   and the serve benchmark; [`client::ShardedClient`] routes directly to
 //!   shards by content hash with failover.
 //! - [`stream`] — streaming prediction sessions (`stream.begin` /
-//!   `stream.chunk` / `stream.end`) with per-chunk temporal features and
-//!   the rolling-window online learner behind `--online`.
+//!   `stream.chunk` / `stream.end` / `stream.resume`) with per-chunk
+//!   temporal features and the rolling-window online learner behind
+//!   `--online`.
+//! - [`journal`] — crash-safe append+fsync per-session stream journals
+//!   under the model store, the durable half of `stream.resume`.
+//! - [`sender`] — [`sender::ResilientStreamSender`], the reconnecting
+//!   stream client: retry with backoff on transient errors,
+//!   `stream.resume` + replay-from-acked-offset across disconnects and
+//!   daemon crashes.
 
 #![warn(missing_docs)]
 
 pub mod breaker;
 pub mod cache;
 pub mod client;
+pub mod journal;
 pub mod net;
 pub mod pipeline;
 pub mod protocol;
+pub mod sender;
 pub mod server;
 pub mod shard;
 pub mod store;
@@ -44,7 +53,9 @@ pub mod stream;
 pub use breaker::CircuitBreaker;
 pub use cache::{CacheStats, ShardedLru};
 pub use client::{Client, RetryPolicy, ShardedClient};
+pub use journal::SessionJournal;
 pub use net::Endpoint;
+pub use sender::ResilientStreamSender;
 pub use server::{serve, ExtraListener, ServeConfig, Server, ServerHandle};
 pub use shard::{InProcessSpawner, ShardSpawner, Supervisor, SupervisorConfig, Topology};
 pub use store::{ModelArtifact, ModelStore};

@@ -55,6 +55,14 @@ pub mod op {
     pub const STREAM_CHUNK: &str = "stream.chunk";
     /// Close a streaming session and report its summary.
     pub const STREAM_END: &str = "stream.end";
+    /// Rehydrate a streaming session after a disconnect or crash:
+    /// `stream:id` + `stream:token` (echoed from `stream.begun`) +
+    /// `stream:acked` (the client's last-acked chunk offset). The server
+    /// answers `stream.resumed` with its authoritative acked offset; the
+    /// client replays chunks from there, and replays of already-acked
+    /// chunks are idempotent (cached prediction, no duplicate learner
+    /// observation).
+    pub const STREAM_RESUME: &str = "stream.resume";
 }
 
 /// Error codes (`serve:code` values on `serve:type = "error"` responses).

@@ -88,6 +88,14 @@ pub struct ServeConfig {
     pub online_window: usize,
     /// Refit the model every this many online observations.
     pub online_refit_every: usize,
+    /// Journal streaming sessions to `<model_dir>/sessions/` (append +
+    /// fsync per chunk) so `stream.resume` can rehydrate them after a
+    /// disconnect, crash, or shard respawn. On by default; turn off only
+    /// when stream durability is worth trading for per-chunk fsync cost.
+    pub stream_journal: bool,
+    /// Streaming sessions idle longer than this many seconds are reaped
+    /// by the sweep that runs on every stream op.
+    pub stream_idle_secs: u64,
 }
 
 /// One extra accept endpoint (see [`ServeConfig::extra_listeners`]).
@@ -120,6 +128,8 @@ impl ServeConfig {
             online: false,
             online_window: 64,
             online_refit_every: 8,
+            stream_journal: true,
+            stream_idle_secs: 300,
         }
     }
 }
@@ -160,11 +170,30 @@ struct ServerState {
     stream_chunks: AtomicU64,
     /// Online-learning refits that produced a new model version.
     online_refits: AtomicU64,
+    /// Durable per-session stream journals (`None` when disabled).
+    journal: Option<crate::journal::SessionJournal>,
+    /// Idle sessions reaped by the per-op sweep.
+    sessions_reaped: AtomicU64,
+    /// Already-acked chunks answered idempotently from the outcome cache.
+    stream_replays: AtomicU64,
+    /// `stream.resume` ops that successfully rehydrated or re-attached.
+    stream_resumes: AtomicU64,
+    /// Chunk observations fed to online learners (exactly-once: replays
+    /// never double-count).
+    stream_observed: AtomicU64,
+    /// Journal appends that failed (durability degraded, stream kept
+    /// alive).
+    journal_errors: AtomicU64,
 }
 
 impl ServerState {
     fn new(config: ServeConfig, endpoint: Endpoint) -> Result<ServerState> {
         let store = ModelStore::open(&config.model_dir)?;
+        let journal = config
+            .stream_journal
+            .then(|| crate::journal::SessionJournal::open(&config.model_dir))
+            .transpose()?;
+        let idle = Duration::from_secs(config.stream_idle_secs);
         Ok(ServerState {
             feature_cache: ShardedLru::new(
                 "serve:cache.feature",
@@ -186,10 +215,29 @@ impl ServerState {
             predictions_served: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
-            streams: crate::stream::SessionMap::new(),
+            streams: crate::stream::SessionMap::new(idle),
             stream_chunks: AtomicU64::new(0),
             online_refits: AtomicU64::new(0),
+            journal,
+            sessions_reaped: AtomicU64::new(0),
+            stream_replays: AtomicU64::new(0),
+            stream_resumes: AtomicU64::new(0),
+            stream_observed: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
         })
+    }
+
+    /// Reap idle sessions; runs on every stream op so abandoned sessions
+    /// are collected even on an otherwise-quiet daemon. The durable
+    /// journal (when enabled) outlives the reap, so a reaped-but-journaled
+    /// session is still resumable.
+    fn sweep_sessions(&self) {
+        let reaped = self.streams.sweep();
+        if reaped > 0 {
+            self.sessions_reaped
+                .fetch_add(reaped as u64, Ordering::Relaxed);
+            pressio_obs::add_counter("serve:session.reaped", reaped as i64);
+        }
     }
 
     /// The latest store version of `name`, via the TTL cache.
@@ -604,6 +652,7 @@ fn connection_loop(
             op::STREAM_BEGIN => respond(handle_stream_begin(state, &request)),
             op::STREAM_CHUNK => respond(handle_stream_chunk(state, &request)),
             op::STREAM_END => respond(handle_stream_end(state, &request)),
+            op::STREAM_RESUME => respond(handle_stream_resume(state, &request)),
             op::SHUTDOWN => {
                 shutting_down = true;
                 Options::new().with("serve:type", "bye")
@@ -701,6 +750,26 @@ fn stats_response(state: &ServerState, pipeline: &Pipeline) -> Options {
         .with(
             "serve:online.refits",
             state.online_refits.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:session.reaped",
+            state.sessions_reaped.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:stream.replays",
+            state.stream_replays.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:stream.resumes",
+            state.stream_resumes.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:stream.observed",
+            state.stream_observed.load(Ordering::Relaxed),
+        )
+        .with(
+            "serve:journal.errors",
+            state.journal_errors.load(Ordering::Relaxed),
         )
         .with(
             "serve:models.resident",
@@ -820,6 +889,7 @@ fn handle_train(state: &ServerState, request: &Options) -> Result<Options> {
 /// model-less stream needs a scheme whose predictor works untrained.
 /// Compressor knobs on the request are captured and re-applied per chunk.
 fn handle_stream_begin(state: &ServerState, request: &Options) -> Result<Options> {
+    state.sweep_sessions();
     let id = request.get_str("stream:id")?.to_string();
     let model_name = request.get_str_opt("serve:model")?.map(str::to_string);
     let (scheme_name, model_tag) = match &model_name {
@@ -856,14 +926,24 @@ fn handle_stream_begin(state: &ServerState, request: &Options) -> Result<Options
         )));
     }
     let online = state.config.online;
+    // the session token: client-minted when supplied (so a client that
+    // never saw the `stream.begun` response can still resume), otherwise
+    // server-minted and echoed back
+    let token = match request.get_str_opt("stream:token")? {
+        Some(t) if !t.is_empty() => t.to_string(),
+        _ => crate::stream::mint_token(&id),
+    };
     let session = crate::stream::StreamSession {
         id: id.clone(),
+        token: token.clone(),
         scheme_name: scheme_name.clone(),
-        model_name,
-        comp_id,
+        model_name: model_name.clone(),
+        comp_id: comp_id.clone(),
         codec_options: request.clone(),
         prev_last: None,
         chunks: 0,
+        observed: 0,
+        outcomes: Vec::new(),
         last_active: Instant::now(),
         learner: online.then(|| {
             crate::stream::OnlineLearner::new(
@@ -890,16 +970,69 @@ fn handle_stream_begin(state: &ServerState, request: &Options) -> Result<Options
             ))
         }
     }
+    // a fresh begin invalidates any stale journal for a reused id, then
+    // durably records the session configuration for `stream.resume`
+    if let Some(journal) = &state.journal {
+        let begin_record = begin_journal_record(
+            &id,
+            &token,
+            &scheme_name,
+            &model_name,
+            &comp_id,
+            request,
+            state,
+        );
+        let written = journal
+            .reset(&id)
+            .and_then(|()| journal.append(&id, &begin_record));
+        if let Err(e) = written {
+            state.journal_errors.fetch_add(1, Ordering::Relaxed);
+            pressio_obs::add_counter("serve:journal.error", 1);
+            pressio_obs::add_counter("serve:journal.begin_failed", 1);
+            let _ = e;
+        }
+    }
     pressio_obs::add_counter("serve:stream.begin", 1);
     let mut resp = Options::new()
         .with("serve:type", "stream.begun")
         .with("stream:id", id)
         .with("serve:scheme", scheme_name)
-        .with("stream:online", online);
+        .with("stream:online", online)
+        .with("stream:token", token)
+        .with("stream:acked", 0u64);
     if !model_tag.is_empty() {
         resp.set("serve:model", model_tag);
     }
     Ok(resp)
+}
+
+/// The journal's first record: everything `stream.resume` needs to
+/// rebuild the session shell (the chunk records then replay its state).
+fn begin_journal_record(
+    id: &str,
+    token: &str,
+    scheme_name: &str,
+    model_name: &Option<String>,
+    comp_id: &str,
+    request: &Options,
+    state: &ServerState,
+) -> Options {
+    let mut record = Options::new()
+        .with("j:type", "begin")
+        .with("j:id", id)
+        .with("j:token", token)
+        .with("j:scheme", scheme_name)
+        .with("j:comp", comp_id)
+        .with("j:online", state.config.online)
+        .with("j:window", state.config.online_window as u64)
+        .with("j:refit_every", state.config.online_refit_every as u64);
+    if let Some(model) = model_name {
+        record.set("j:model", model.as_str());
+    }
+    if let Ok(json) = request.to_json() {
+        record.set("j:request", json);
+    }
+    record
 }
 
 /// Predict for one chunk of an open stream. The session's previous
@@ -909,6 +1042,7 @@ fn handle_stream_begin(state: &ServerState, request: &Options) -> Result<Options
 /// reported `stream:actual`, the observation feeds the session's rolling
 /// window and may trigger a versioned model refit.
 fn handle_stream_chunk(state: &ServerState, request: &Options) -> Result<Options> {
+    state.sweep_sessions();
     // failpoint: the connection stalls mid-stream (client sees latency,
     // never corruption)
     if let Some(pressio_faults::FaultAction::Stall(ms) | pressio_faults::FaultAction::Delay(ms)) =
@@ -917,12 +1051,85 @@ fn handle_stream_chunk(state: &ServerState, request: &Options) -> Result<Options
         std::thread::sleep(Duration::from_millis(ms));
     }
     let id = request.get_str("stream:id")?.to_string();
+    // failpoint: the in-memory session vanishes (as a shard crash or
+    // respawn would lose it) while the durable journal survives — the
+    // client sees `not_found`, resumes, and the journal rehydrates
+    if pressio_faults::check("stream:session.lost").is_some() {
+        state.streams.end(&id);
+        pressio_obs::add_counter("serve:session.lost_injected", 1);
+    }
+    // transient-overload failpoint: the chunk is rejected with a
+    // retryable code, exactly like a full queue would answer `query` —
+    // the resilient sender must retry it in place
+    if pressio_faults::check("stream:chunk.overload").is_some() {
+        return Ok(protocol::error_response(
+            code::OVERLOADED,
+            "stream chunk rejected (injected overload)",
+        ));
+    }
     let entry = state.streams.get(&id).ok_or_else(|| Error::UnknownPlugin {
         kind: "stream",
         name: id.clone(),
     })?;
     let mut guard = entry.lock().unwrap_or_else(|e| e.into_inner());
     let session = &mut *guard;
+    // an explicit chunk sequence number makes replays idempotent: a seq
+    // at or below the acked offset answers from the outcome cache without
+    // re-feeding the learner; a seq past the next expected chunk is a
+    // typed error (the client skipped ahead)
+    if let Some(seq) = request.get_u64_opt("stream:seq")? {
+        if seq == 0 {
+            return Err(Error::InvalidValue {
+                key: "stream:seq".into(),
+                reason: "chunk sequence numbers are 1-based".into(),
+            });
+        }
+        if seq <= session.chunks {
+            let outcome = session
+                .outcome(seq)
+                .cloned()
+                .ok_or_else(|| Error::InvalidValue {
+                    key: "stream:seq".into(),
+                    reason: format!("chunk {seq} is acked but has no cached outcome"),
+                })?;
+            session.last_active = Instant::now();
+            state.stream_replays.fetch_add(1, Ordering::Relaxed);
+            pressio_obs::add_counter("serve:stream.replay", 1);
+            let mut resp = prediction_response(
+                outcome.prediction,
+                true,
+                &session.scheme_name,
+                &outcome.model_tag,
+                state.config.shard_index,
+            )
+            .with("serve:type", "stream.prediction")
+            .with("stream:id", id)
+            .with("stream:seq", seq)
+            .with("stream:replayed", true)
+            .with("stream:acked", session.chunks)
+            .with("stream:token", session.token.as_str());
+            if let Some(err) = outcome.online_error {
+                resp.set("stream:online.error", err);
+            }
+            if let Some(obs) = outcome.online_observations {
+                resp.set("stream:online.observations", obs);
+            }
+            if let Some(version) = outcome.online_version {
+                resp.set("stream:online.version", version);
+            }
+            return Ok(resp);
+        }
+        if seq != session.chunks + 1 {
+            return Err(Error::InvalidValue {
+                key: "stream:seq".into(),
+                reason: format!(
+                    "chunk {seq} skips ahead of the acked offset {} (next expected {})",
+                    session.chunks,
+                    session.chunks + 1
+                ),
+            });
+        }
+    }
     let data = protocol::data_from_request(request)?;
     let scheme = standard_schemes().build(&session.scheme_name)?;
     let mut comp = standard_compressors().build(&session.comp_id)?;
@@ -957,14 +1164,34 @@ fn handle_stream_chunk(state: &ServerState, request: &Options) -> Result<Options
         state.config.shard_index,
     )
     .with("serve:type", "stream.prediction")
-    .with("stream:id", id)
+    .with("stream:id", id.clone())
     .with("stream:seq", session.chunks);
+    let mut outcome = crate::stream::ChunkOutcome {
+        prediction,
+        model_tag,
+        online_error: None,
+        online_observations: None,
+        online_version: None,
+        observed: false,
+    };
+    // the (features, actual) pair fed to the learner is also journaled so
+    // rehydration can replay the observation stream exactly once
+    let mut journaled_observation: Option<(String, f64)> = None;
     if let Some(learner) = &mut session.learner {
         if let Ok(Some(actual)) = request.get_f64_opt("stream:actual") {
             if actual.is_finite() && actual > 0.0 {
+                let features_json = features.to_json().ok();
                 let rolling = learner.observe(features, prediction, actual);
                 resp.set("stream:online.error", rolling);
                 resp.set("stream:online.observations", learner.observations() as u64);
+                outcome.online_error = Some(rolling);
+                outcome.online_observations = Some(learner.observations() as u64);
+                outcome.observed = true;
+                session.observed += 1;
+                state.stream_observed.fetch_add(1, Ordering::Relaxed);
+                if let Some(json) = features_json {
+                    journaled_observation = Some((json, actual));
+                }
                 if learner.should_refit() {
                     if let Some(model_ref) = &session.model_name {
                         // best-effort: a failed refit keeps serving the
@@ -972,6 +1199,7 @@ fn handle_stream_chunk(state: &ServerState, request: &Options) -> Result<Options
                         match refit_online(state, &session.scheme_name, model_ref, learner) {
                             Ok(version) => {
                                 resp.set("stream:online.version", version);
+                                outcome.online_version = Some(version);
                             }
                             Err(e) => {
                                 pressio_obs::add_counter("serve:online.refit_failed", 1);
@@ -985,6 +1213,39 @@ fn handle_stream_chunk(state: &ServerState, request: &Options) -> Result<Options
     }
     session.prev_last = pressio_core::chunking::last_outer_slice(&data).ok();
     session.last_active = Instant::now();
+    // journal before acking so an acked chunk is always rehydratable;
+    // a failed append degrades durability, not availability
+    if let Some(journal) = &state.journal {
+        let mut record = Options::new()
+            .with("j:type", "chunk")
+            .with("j:seq", session.chunks)
+            .with("j:prediction", outcome.prediction)
+            .with("j:model", outcome.model_tag.as_str())
+            .with("j:observed", outcome.observed);
+        if let Some((features_json, actual)) = journaled_observation {
+            record.set("j:features", features_json);
+            record.set("j:actual", actual);
+        }
+        if let Some(err) = outcome.online_error {
+            record.set("j:online.error", err);
+        }
+        if let Some(obs) = outcome.online_observations {
+            record.set("j:online.observations", obs);
+        }
+        if let Some(version) = outcome.online_version {
+            record.set("j:online.version", version);
+        }
+        if let Some(prev) = &session.prev_last {
+            protocol::data_into_request(&mut record, prev);
+        }
+        if journal.append(&session.id, &record).is_err() {
+            state.journal_errors.fetch_add(1, Ordering::Relaxed);
+            pressio_obs::add_counter("serve:journal.error", 1);
+        }
+    }
+    session.outcomes.push(outcome);
+    resp.set("stream:acked", session.chunks);
+    resp.set("stream:token", session.token.as_str());
     Ok(resp)
 }
 
@@ -1020,24 +1281,231 @@ fn refit_online(
     Ok(version)
 }
 
-/// Close a streaming session and report its summary.
+/// Close a streaming session and report its summary. The durable journal
+/// is deleted — a completed stream is no longer resumable.
 fn handle_stream_end(state: &ServerState, request: &Options) -> Result<Options> {
+    state.sweep_sessions();
     let id = request.get_str("stream:id")?;
     let entry = state.streams.end(id).ok_or_else(|| Error::UnknownPlugin {
         kind: "stream",
         name: id.to_string(),
     })?;
+    if let Some(journal) = &state.journal {
+        if journal.remove(id).is_err() {
+            state.journal_errors.fetch_add(1, Ordering::Relaxed);
+            pressio_obs::add_counter("serve:journal.error", 1);
+        }
+    }
     let session = entry.lock().unwrap_or_else(|e| e.into_inner());
     let mut resp = Options::new()
         .with("serve:type", "stream.ended")
         .with("stream:id", id)
-        .with("stream:chunks", session.chunks);
+        .with("stream:chunks", session.chunks)
+        .with("stream:observed", session.observed);
     if let Some(learner) = &session.learner {
         resp.set("stream:online.error", learner.rolling_error());
         resp.set("stream:online.refits", learner.refits());
     }
     pressio_obs::add_counter("serve:stream.end", 1);
     Ok(resp)
+}
+
+/// Rehydrate or re-attach a streaming session after a disconnect, crash,
+/// or shard respawn. The client presents the stream id, its session
+/// token, and its last-acked chunk offset; the server answers with the
+/// *authoritative* acked offset (the client replays from there — replays
+/// of already-acked chunks are idempotent). A session missing from memory
+/// is rebuilt from the durable journal: configuration from the begin
+/// record, then every chunk record replayed — carried trailing slice,
+/// cached outcomes, and the online learner's window, each observation
+/// exactly once.
+fn handle_stream_resume(state: &ServerState, request: &Options) -> Result<Options> {
+    state.sweep_sessions();
+    // failpoint: the resume is refused with a retryable code (as a
+    // rebalancing or mid-rehydration shard would); the resilient sender
+    // backs off and retries
+    if pressio_faults::check("stream:resume.reject").is_some() {
+        return Ok(protocol::error_response(
+            code::OVERLOADED,
+            "stream resume rejected (injected)",
+        ));
+    }
+    let id = request.get_str("stream:id")?.to_string();
+    let token = request.get_str("stream:token")?.to_string();
+    let client_acked = request.get_u64_opt("stream:acked")?.unwrap_or(0);
+    let mut rehydrated = false;
+    let entry = match state.streams.get(&id) {
+        Some(entry) => entry,
+        None => {
+            let session = rehydrate_session(state, &id)?.ok_or_else(|| Error::UnknownPlugin {
+                kind: "stream",
+                name: id.clone(),
+            })?;
+            rehydrated = true;
+            match state.streams.begin(session) {
+                // a concurrent resume won the race: attach to its session
+                Ok(()) | Err(crate::stream::BeginError::Duplicate) => {}
+                Err(crate::stream::BeginError::Full) => {
+                    return Ok(protocol::error_response(
+                        code::OVERLOADED,
+                        format!(
+                            "stream sessions at capacity ({})",
+                            crate::stream::MAX_SESSIONS
+                        ),
+                    ))
+                }
+            }
+            state.streams.get(&id).ok_or_else(|| Error::UnknownPlugin {
+                kind: "stream",
+                name: id.clone(),
+            })?
+        }
+    };
+    let mut session = entry.lock().unwrap_or_else(|e| e.into_inner());
+    if session.token != token {
+        return Err(Error::InvalidValue {
+            key: "stream:token".into(),
+            reason: format!("token mismatch for stream '{id}'"),
+        });
+    }
+    if client_acked > session.chunks {
+        // past-end resume: typed rejection, session untouched. The
+        // response carries the authoritative acked offset so a client
+        // whose progress outran a torn journal tail can rewind to it and
+        // re-resume instead of giving up.
+        let mut resp = protocol::error_response(
+            code::BAD_REQUEST,
+            format!(
+                "resume offset {client_acked} is past the acked offset {}",
+                session.chunks
+            ),
+        );
+        resp.set("stream:acked", session.chunks);
+        return Ok(resp);
+    }
+    session.last_active = Instant::now();
+    state.stream_resumes.fetch_add(1, Ordering::Relaxed);
+    pressio_obs::add_counter("serve:stream.resume", 1);
+    let mut resp = Options::new()
+        .with("serve:type", "stream.resumed")
+        .with("stream:id", id)
+        .with("serve:scheme", session.scheme_name.as_str())
+        .with("stream:token", session.token.as_str())
+        .with("stream:acked", session.chunks)
+        .with("stream:online", session.learner.is_some())
+        .with("stream:rehydrated", rehydrated);
+    if let Some(shard) = state.config.shard_index {
+        resp.set("serve:shard", shard as u64);
+    }
+    Ok(resp)
+}
+
+/// Rebuild a [`crate::stream::StreamSession`] from its durable journal.
+/// Returns `Ok(None)` when journaling is off, no journal exists, or the
+/// journal has no usable begin record. Chunk records replay in sequence:
+/// a gap or torn tail truncates the rebuild at the last contiguous record
+/// (acked state is always a prefix).
+fn rehydrate_session(
+    state: &ServerState,
+    id: &str,
+) -> Result<Option<crate::stream::StreamSession>> {
+    let journal = match &state.journal {
+        Some(j) => j,
+        None => return Ok(None),
+    };
+    let records = match journal.load(id)? {
+        Some(r) if !r.is_empty() => r,
+        _ => return Ok(None),
+    };
+    let begin = &records[0];
+    if begin.get_str_opt("j:type").ok().flatten() != Some("begin")
+        || begin.get_str_opt("j:id").ok().flatten() != Some(id)
+    {
+        return Ok(None);
+    }
+    let online = begin.get_bool_opt("j:online")?.unwrap_or(false);
+    let window = begin
+        .get_u64_opt("j:window")?
+        .unwrap_or(state.config.online_window as u64) as usize;
+    let refit_every = begin
+        .get_u64_opt("j:refit_every")?
+        .unwrap_or(state.config.online_refit_every as u64) as usize;
+    let codec_options = match begin.get_str_opt("j:request")? {
+        Some(json) => Options::from_json(json)?,
+        None => Options::new(),
+    };
+    let mut session = crate::stream::StreamSession {
+        id: id.to_string(),
+        token: begin.get_str("j:token")?.to_string(),
+        scheme_name: begin.get_str("j:scheme")?.to_string(),
+        model_name: begin.get_str_opt("j:model")?.map(str::to_string),
+        comp_id: begin.get_str("j:comp")?.to_string(),
+        codec_options,
+        prev_last: None,
+        chunks: 0,
+        observed: 0,
+        outcomes: Vec::new(),
+        last_active: Instant::now(),
+        learner: online.then(|| crate::stream::OnlineLearner::new(window, refit_every)),
+    };
+    for record in &records[1..] {
+        if record.get_str_opt("j:type").ok().flatten() != Some("chunk") {
+            break;
+        }
+        let seq = match record.get_u64_opt("j:seq") {
+            Ok(Some(seq)) if seq == session.chunks + 1 => seq,
+            _ => break, // out-of-order or malformed: stop at the prefix
+        };
+        let prediction = match record.get_f64_opt("j:prediction") {
+            Ok(Some(p)) => p,
+            _ => break,
+        };
+        let observed = record
+            .get_bool_opt("j:observed")
+            .ok()
+            .flatten()
+            .unwrap_or(false);
+        let online_version = record.get_u64_opt("j:online.version").ok().flatten();
+        let outcome = crate::stream::ChunkOutcome {
+            prediction,
+            model_tag: record
+                .get_str_opt("j:model")
+                .ok()
+                .flatten()
+                .unwrap_or("")
+                .to_string(),
+            online_error: record.get_f64_opt("j:online.error").ok().flatten(),
+            online_observations: record.get_u64_opt("j:online.observations").ok().flatten(),
+            online_version,
+            observed,
+        };
+        if observed {
+            if let (Some(learner), Ok(Some(features_json)), Ok(Some(actual))) = (
+                session.learner.as_mut(),
+                record.get_str_opt("j:features"),
+                record.get_f64_opt("j:actual"),
+            ) {
+                if let Ok(features) = Options::from_json(features_json) {
+                    learner.observe(features, prediction, actual);
+                    session.observed += 1;
+                }
+            }
+        }
+        if online_version.is_some() {
+            // the refit itself is already persisted in the model store;
+            // replaying only restores the learner's cadence counters
+            if let Some(learner) = session.learner.as_mut() {
+                learner.mark_refit();
+            }
+        }
+        if let Ok(prev) = protocol::data_from_request(record) {
+            session.prev_last = Some(prev);
+        }
+        session.chunks = seq;
+        session.outcomes.push(outcome);
+    }
+    pressio_obs::add_counter("serve:stream.rehydrated", 1);
+    Ok(Some(session))
 }
 
 /// Compute the batch key for a queued op, then submit and wait for the

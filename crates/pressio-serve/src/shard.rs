@@ -695,7 +695,14 @@ fn supervisor_connection_loop(mut conn: Conn, state: &Arc<SupervisorState>) {
                 }
                 resp
             }
-            op::PREDICT | op::LOAD | op::MODELS | op::SLEEP => {
+            op::PREDICT
+            | op::LOAD
+            | op::MODELS
+            | op::SLEEP
+            | op::STREAM_BEGIN
+            | op::STREAM_CHUNK
+            | op::STREAM_END
+            | op::STREAM_RESUME => {
                 let key = routing_key(&request).unwrap_or_else(|| {
                     // no routing affinity: spread by request counter
                     format!("rr:{}", state.routed.load(Ordering::Relaxed))

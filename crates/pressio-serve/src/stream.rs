@@ -22,14 +22,35 @@
 
 use pressio_core::{Data, Options};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Hard bound on concurrently open stream sessions per daemon.
 pub const MAX_SESSIONS: usize = 128;
 
-/// Sessions idle longer than this are reaped when a new one begins.
-const IDLE_EXPIRY: Duration = Duration::from_secs(300);
+/// Default idle expiry: sessions quiet longer than this are reaped by the
+/// sweep that runs on every stream op (configurable via
+/// `ServeConfig::stream_idle_secs`).
+pub const DEFAULT_IDLE_EXPIRY: Duration = Duration::from_secs(300);
+
+/// Mint a session token for `id`: a process-unique, hard-to-guess-enough
+/// tag a resuming client must echo back so one stream cannot hijack
+/// another's session. Derivation mixes the stream id, the process id, the
+/// wall clock, and a process-global counter through fnv1a64.
+pub fn mint_token(id: &str) -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut seed = Vec::with_capacity(id.len() + 24);
+    seed.extend_from_slice(id.as_bytes());
+    seed.extend_from_slice(&std::process::id().to_le_bytes());
+    seed.extend_from_slice(&nanos.to_le_bytes());
+    seed.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    format!("{:016x}", pressio_core::hash::fnv1a64(&seed))
+}
 
 /// Rolling window of `(features, actual)` observations driving online
 /// model refinement, plus the rolling prediction-error trajectory.
@@ -114,11 +135,31 @@ impl OnlineLearner {
     }
 }
 
+/// The cached outcome of one processed chunk: everything a replayed
+/// `stream.chunk` (same `stream:seq`, already acked) needs to answer
+/// idempotently — without recomputing features, re-predicting, or
+/// re-feeding the online learner.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkOutcome {
+    pub(crate) prediction: f64,
+    /// `name@version` that produced the prediction ("" when model-less).
+    pub(crate) model_tag: String,
+    pub(crate) online_error: Option<f64>,
+    pub(crate) online_observations: Option<u64>,
+    pub(crate) online_version: Option<u64>,
+    /// Whether this chunk fed the online learner (exactly-once replay
+    /// protection: a replay of an observed chunk never observes again).
+    pub(crate) observed: bool,
+}
+
 /// One open streaming session.
 pub(crate) struct StreamSession {
     /// Client-chosen identifier (by convention the stream's content
     /// hash), also the shard routing key for every op that carries it.
     pub(crate) id: String,
+    /// Session token: minted at `stream.begin` (client-supplied or
+    /// server-minted) and required by `stream.resume`.
+    pub(crate) token: String,
     pub(crate) scheme_name: String,
     /// Unversioned model name; `None` streams against the scheme's
     /// untrained (analytic) predictor.
@@ -130,8 +171,23 @@ pub(crate) struct StreamSession {
     /// `temporal:*` features.
     pub(crate) prev_last: Option<Data>,
     pub(crate) chunks: u64,
+    /// Chunks that fed the online learner (exactly-once accounting).
+    pub(crate) observed: u64,
+    /// Per-chunk outcomes, indexed by `seq - 1`, serving idempotent
+    /// replays of already-acked chunks.
+    pub(crate) outcomes: Vec<ChunkOutcome>,
     pub(crate) last_active: Instant,
     pub(crate) learner: Option<OnlineLearner>,
+}
+
+impl StreamSession {
+    /// The cached outcome for 1-based `seq`, when that chunk was acked.
+    pub(crate) fn outcome(&self, seq: u64) -> Option<&ChunkOutcome> {
+        if seq == 0 || seq > self.chunks {
+            return None;
+        }
+        self.outcomes.get(seq as usize - 1)
+    }
 }
 
 /// The daemon's registry of open sessions: bounded, idle-reaped, each
@@ -139,6 +195,7 @@ pub(crate) struct StreamSession {
 /// unrelated streams.
 pub(crate) struct SessionMap {
     inner: Mutex<HashMap<String, Arc<Mutex<StreamSession>>>>,
+    idle_expiry: Duration,
 }
 
 /// Why a `stream.begin` was refused.
@@ -151,10 +208,26 @@ pub(crate) enum BeginError {
 }
 
 impl SessionMap {
-    pub(crate) fn new() -> SessionMap {
+    pub(crate) fn new(idle_expiry: Duration) -> SessionMap {
         SessionMap {
             inner: Mutex::new(HashMap::new()),
+            idle_expiry,
         }
+    }
+
+    /// Reap every session idle past the expiry. Runs on *every* stream op
+    /// (not just a capacity-pressured `begin`), so abandoned sessions are
+    /// collected even on a daemon that never fills up. Sessions whose lock
+    /// is held (mid-chunk) are definitionally not idle. Returns the number
+    /// reaped so the caller can bump the `serve:session.reaped` counter.
+    pub(crate) fn sweep(&self) -> usize {
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let before = map.len();
+        map.retain(|_, entry| match entry.try_lock() {
+            Ok(s) => s.last_active.elapsed() < self.idle_expiry,
+            Err(_) => true, // mid-chunk: definitionally not idle
+        });
+        before - map.len()
     }
 
     /// Open a session, reaping idle sessions first if at capacity.
@@ -165,7 +238,7 @@ impl SessionMap {
         }
         if map.len() >= MAX_SESSIONS {
             map.retain(|_, entry| match entry.try_lock() {
-                Ok(s) => s.last_active.elapsed() < IDLE_EXPIRY,
+                Ok(s) => s.last_active.elapsed() < self.idle_expiry,
                 Err(_) => true, // mid-chunk: definitionally not idle
             });
         }
@@ -204,12 +277,15 @@ mod tests {
     fn session(id: &str) -> StreamSession {
         StreamSession {
             id: id.to_string(),
+            token: mint_token(id),
             scheme_name: "rahman2023".into(),
             model_name: None,
             comp_id: "sz3".into(),
             codec_options: Options::new(),
             prev_last: None,
             chunks: 0,
+            observed: 0,
+            outcomes: Vec::new(),
             last_active: Instant::now(),
             learner: None,
         }
@@ -248,8 +324,57 @@ mod tests {
     }
 
     #[test]
+    fn tokens_are_unique_per_mint() {
+        let a = mint_token("s");
+        let b = mint_token("s");
+        assert_ne!(a, b, "two mints for one id must differ");
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn sweep_reaps_idle_sessions_and_counts_them() {
+        let map = SessionMap::new(Duration::from_millis(20));
+        map.begin(session("idle")).unwrap();
+        map.begin(session("busy")).unwrap();
+        // nothing idle yet
+        assert_eq!(map.sweep(), 0);
+        let busy = map.get("busy").unwrap();
+        let held = busy.lock().unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        // the idle session goes; the locked (mid-chunk) one survives
+        assert_eq!(map.sweep(), 1);
+        assert!(map.get("idle").is_none());
+        assert!(map.get("busy").is_some());
+        drop(held);
+        assert_eq!(map.sweep(), 1);
+        assert_eq!(map.active(), 0);
+    }
+
+    #[test]
+    fn outcome_lookup_respects_acked_window() {
+        let mut s = session("s");
+        s.chunks = 2;
+        s.outcomes = vec![
+            ChunkOutcome {
+                prediction: 1.5,
+                model_tag: "m@1".into(),
+                online_error: None,
+                online_observations: None,
+                online_version: None,
+                observed: false,
+            };
+            2
+        ];
+        assert!(s.outcome(0).is_none());
+        assert_eq!(s.outcome(1).unwrap().prediction, 1.5);
+        assert_eq!(s.outcome(2).unwrap().model_tag, "m@1");
+        assert!(s.outcome(3).is_none(), "past-end seq has no cached outcome");
+    }
+
+    #[test]
     fn session_map_bounds_and_duplicates() {
-        let map = SessionMap::new();
+        let map = SessionMap::new(DEFAULT_IDLE_EXPIRY);
         assert!(map.begin(session("a")).is_ok());
         assert_eq!(map.begin(session("a")), Err(BeginError::Duplicate));
         for i in 0..MAX_SESSIONS - 1 {

@@ -8,7 +8,7 @@
 use pressio_core::fuzz::Fuzzer;
 use pressio_core::{Data, Options};
 use pressio_serve::protocol::{self, error_response, frame_bytes, op, read_frame};
-use pressio_serve::Client;
+use pressio_serve::{Client, Endpoint, ServeConfig, Server};
 
 /// Real frames of every message shape the protocol produces: ops with
 /// and without payloads, an embedded data buffer, and an error response.
@@ -56,6 +56,132 @@ fn options_json_parser_never_panics_on_mutated_payloads() {
         let text = String::from_utf8_lossy(case);
         let _ = Options::from_json(&text);
     });
+}
+
+/// Grammar of `stream.resume` (and neighboring session-op) frames the
+/// fuzzer mutates: ids from plain to hostile (path traversal, huge,
+/// empty), tokens from well-formed hex to truncated and oversized, and
+/// acked offsets across the whole u64 range.
+fn resume_corpus() -> Vec<Vec<u8>> {
+    let resume = |id: &str, token: &str, acked: u64| {
+        Options::new()
+            .with("serve:op", op::STREAM_RESUME)
+            .with("stream:id", id)
+            .with("stream:token", token)
+            .with("stream:acked", acked)
+    };
+    let messages = vec![
+        resume("s1", "00e1d2c3b4a59687", 0),
+        resume("s1", "00e1d2c3b4a59687", 3),
+        resume("s1", "00e1d2c3b4a59687", u64::MAX),
+        resume("", "", 1),
+        resume("../../etc/passwd", "deadbeef", 7),
+        resume(&"x".repeat(4096), &"f".repeat(4096), 42),
+        // resume with fields missing or mistyped
+        Options::new().with("serve:op", op::STREAM_RESUME),
+        Options::new()
+            .with("serve:op", op::STREAM_RESUME)
+            .with("stream:id", "s1")
+            .with("stream:acked", "not-a-number"),
+        // the surrounding session grammar, so splices can cross ops
+        Options::new()
+            .with("serve:op", op::STREAM_BEGIN)
+            .with("stream:id", "s1")
+            .with("stream:token", "00e1d2c3b4a59687")
+            .with("serve:scheme", "rahman2023"),
+        Options::new()
+            .with("serve:op", op::STREAM_CHUNK)
+            .with("stream:id", "s1")
+            .with("stream:seq", 2u64),
+        Options::new()
+            .with("serve:op", op::STREAM_END)
+            .with("stream:id", "s1"),
+    ];
+    messages
+        .into_iter()
+        .map(|m| frame_bytes(&m).unwrap())
+        .collect()
+}
+
+#[test]
+fn mutated_stream_resume_frames_never_kill_a_live_server() {
+    let dir = std::env::temp_dir().join("pressio_fuzz_resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = ServeConfig::new(Endpoint::Tcp("127.0.0.1:0".into()), dir.join("models"));
+    let handle = Server::start(config).unwrap();
+    let endpoint = handle.endpoint().clone();
+
+    // every mutated frame goes at a real connection: the server may
+    // answer, reject, or drop the connection — but must never panic or
+    // stop accepting. Responses are deliberately not awaited (a lying
+    // length prefix would stall a reader); dropping the connection is
+    // part of the hostile-client surface.
+    let corpus = resume_corpus();
+    Fuzzer::from_env(300).run(&corpus, |case| {
+        let mut conn = endpoint.connect().expect("server must keep accepting");
+        let _ = std::io::Write::write_all(&mut conn, case);
+        let _ = std::io::Write::flush(&mut conn);
+    });
+
+    // the parser side of the same corpus never panics either
+    Fuzzer::from_env(300).run(&corpus, |case| {
+        let mut cursor = std::io::Cursor::new(case);
+        while let Ok(Some(_)) = read_frame(&mut cursor) {}
+    });
+
+    // the daemon survived the barrage and still answers typed responses
+    let mut client = Client::connect(&endpoint).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_str("serve:type").unwrap(), "stats");
+    let resume = client.stream_resume("never-opened", "deadbeef", 0).unwrap();
+    assert_eq!(resume.get_str("serve:code").unwrap(), "not_found");
+
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_resume_field_values_get_typed_answers() {
+    let dir = std::env::temp_dir().join("pressio_fuzz_resume_fields");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = ServeConfig::new(Endpoint::Tcp("127.0.0.1:0".into()), dir.join("models"));
+    let handle = Server::start(config).unwrap();
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+
+    // well-formed frames with fuzzer-derived field values: every one must
+    // get a typed JSON answer over the same connection — hostile ids,
+    // tokens, and offsets can be rejected but never break the session loop
+    let seeds: Vec<Vec<u8>> = vec![
+        b"stream-id\x00token\xffoffset".to_vec(),
+        b"../../escape\x01\x02\x03\x04\x05\x06\x07\x08".to_vec(),
+        vec![0xff; 64],
+    ];
+    Fuzzer::from_env(200).run(&seeds, |case| {
+        let mid = case.len() / 2;
+        let id = String::from_utf8_lossy(&case[..mid]).into_owned();
+        let token = String::from_utf8_lossy(&case[mid..]).into_owned();
+        let mut acked = [0u8; 8];
+        for (i, b) in case.iter().take(8).enumerate() {
+            acked[i] = *b;
+        }
+        let resp = client
+            .stream_resume(&id, &token, u64::from_le_bytes(acked))
+            .expect("a well-formed resume frame must get a typed answer");
+        let kind = resp.get_str("serve:type").expect("response must be typed");
+        assert!(
+            kind == "error" || kind == "stream.resumed",
+            "unexpected resume answer: {resp}"
+        );
+    });
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_str("serve:type").unwrap(), "stats");
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

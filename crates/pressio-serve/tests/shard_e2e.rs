@@ -463,3 +463,98 @@ fn supervisor_proxy_reuses_pooled_shard_connections() {
     sup.wait().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn mid_stream_shard_kill_resumes_on_failover_shard_byte_identically() {
+    let dir = temp_dir("stream_kill");
+    let sup = start_supervisor(&dir, 2, 2);
+    let mut client = Client::connect(sup.endpoint()).unwrap();
+    client.call(&train_request("m")).unwrap();
+    let extra = Options::new()
+        .with("serve:model", "m")
+        .with("pressio:abs", 1e-4);
+
+    let mut source = Hurricane::with_dims(8, 8, 4, 6).with_fields(&["TC"]);
+    let data: Vec<pressio_core::Data> = (0..6).map(|t| source.load_data(t).unwrap()).collect();
+
+    // unfailed reference stream, proxied through the supervisor: stream
+    // ops route by stream:id, so the whole session has shard affinity
+    client.stream_begin("ref", &extra).unwrap();
+    let reference: Vec<u64> = data
+        .iter()
+        .enumerate()
+        .map(|(t, chunk)| {
+            let resp = client
+                .stream_chunk_at("ref", t as u64 + 1, chunk, &Options::new())
+                .unwrap();
+            assert_eq!(
+                resp.get_str("serve:type").unwrap(),
+                "stream.prediction",
+                "{resp}"
+            );
+            resp.get_f64("serve:prediction").unwrap().to_bits()
+        })
+        .collect();
+    client.stream_end("ref").unwrap();
+
+    // the faulted stream: find its home shard before starting
+    let probe = Options::new()
+        .with("serve:op", op::STREAM_CHUNK)
+        .with("stream:id", "kill");
+    let home = sup.topology().route(&routing_key(&probe).unwrap());
+
+    let mut sender = pressio_serve::ResilientStreamSender::new(
+        sup.endpoint().clone(),
+        "kill",
+        pressio_serve::RetryPolicy {
+            max_attempts: 20,
+            base_ms: 20,
+            max_ms: 200,
+        },
+    );
+    let begun = sender.begin(&extra).unwrap();
+    assert_eq!(begun.get_str("serve:type").unwrap(), "stream.begun");
+    let mut recovered = vec![0u64; data.len()];
+    while sender.next_seq() <= data.len() as u64 {
+        let seq = sender.next_seq();
+        if seq == 4 {
+            // kill the session's home shard mid-stream: the proxy fails
+            // over, the failover shard rehydrates the session from the
+            // shared journal, and the stream continues
+            sup.kill_shard(home);
+        }
+        let resp = sender
+            .send_chunk(seq, &data[seq as usize - 1], &Options::new())
+            .unwrap();
+        if resp.get_str_opt("serve:type").unwrap() == Some("stream.rewound") {
+            continue;
+        }
+        assert_eq!(
+            resp.get_str("serve:type").unwrap(),
+            "stream.prediction",
+            "chunk {seq} after shard kill: {resp}"
+        );
+        recovered[seq as usize - 1] = resp.get_f64("serve:prediction").unwrap().to_bits();
+    }
+    assert_eq!(
+        recovered, reference,
+        "stream resumed across a shard kill diverged from the unfailed run"
+    );
+    assert!(
+        sender.resumes() >= 1,
+        "the sender must have resumed the session (resumes: {})",
+        sender.resumes()
+    );
+
+    let ended = sender.end().unwrap();
+    assert_eq!(
+        ended.get_str("serve:type").unwrap(),
+        "stream.ended",
+        "{ended}"
+    );
+    assert_eq!(ended.get_u64("stream:chunks").unwrap(), 6);
+
+    sup.trigger_shutdown();
+    sup.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
